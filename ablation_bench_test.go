@@ -1,0 +1,130 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: overlap
+// size, weighting scheme, convergence-detection protocol, per-band direct
+// solver and heterogeneous load balancing. Each reports the *virtual* solve
+// time as the custom metric "vsec/solve" alongside the real benchmark time
+// (the real time measures the simulator, the virtual time measures the
+// modeled grid).
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	repro "repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/splu"
+)
+
+func fig3Matrix() (*repro.Matrix, []float64) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 4000, Band: 40, PerRow: 10, Margin: 0.002, Negative: true, Seed: 100})
+	b, _ := gen.RHSForSolution(a)
+	return a, b
+}
+
+func runAblation(b *testing.B, newPlat func() *cluster.Platform, a *repro.Matrix, rhs []float64, opt core.Options) {
+	b.Helper()
+	var vsec float64
+	for i := 0; i < b.N; i++ {
+		plt := newPlat()
+		res, err := repro.Solve(plt.Platform, plt.Hosts, a, rhs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vsec += res.Time
+	}
+	b.ReportMetric(vsec/float64(b.N), "vsec/solve")
+}
+
+// BenchmarkAblationOverlap sweeps the Schwarz overlap (the Figure 3 knob).
+func BenchmarkAblationOverlap(b *testing.B) {
+	a, rhs := fig3Matrix()
+	for _, ov := range []int{0, 50, 150, 400} {
+		b.Run(fmt.Sprintf("overlap=%d", ov), func(b *testing.B) {
+			runAblation(b, func() *cluster.Platform { return cluster.Cluster3(-1).ScaleSpeed(0.05) },
+				a, rhs, core.Options{Tol: 1e-8, Overlap: ov})
+		})
+	}
+}
+
+// BenchmarkAblationWeights compares the owner (multisubdomain Schwarz) and
+// averaging (O'Leary–White) weighting schemes under overlap.
+func BenchmarkAblationWeights(b *testing.B) {
+	a, rhs := fig3Matrix()
+	for _, sc := range []core.WeightScheme{core.WeightOwner, core.WeightAverage} {
+		b.Run(sc.String(), func(b *testing.B) {
+			runAblation(b, func() *cluster.Platform { return cluster.Cluster3(-1).ScaleSpeed(0.05) },
+				a, rhs, core.Options{Tol: 1e-8, Overlap: 150, Scheme: sc})
+		})
+	}
+}
+
+// BenchmarkAblationDetector compares the asynchronous convergence-detection
+// protocols (paper refs [2] and [4]).
+func BenchmarkAblationDetector(b *testing.B) {
+	a, rhs := fig3Matrix()
+	for _, det := range []string{"centralized", "decentralized"} {
+		b.Run(det, func(b *testing.B) {
+			runAblation(b, func() *cluster.Platform { return cluster.Cluster3(-1).ScaleSpeed(0.05) },
+				a, rhs, core.Options{Tol: 1e-8, Overlap: 150, Async: true, Detector: det})
+		})
+	}
+}
+
+// BenchmarkAblationSolver compares the pluggable per-band direct methods.
+func BenchmarkAblationSolver(b *testing.B) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 4000, Band: 25, PerRow: 8, Seed: 7})
+	rhs, _ := gen.RHSForSolution(a)
+	for _, s := range []struct {
+		name   string
+		solver splu.Direct
+	}{
+		{"sparse-lu", &splu.SparseLU{}},
+		{"band-lu", splu.BandSolver{Reorder: true}},
+		{"dense-lu", splu.DenseSolver{}},
+	} {
+		b.Run(s.name, func(b *testing.B) {
+			runAblation(b, func() *cluster.Platform { return cluster.Cluster1(4, -1) },
+				a, rhs, core.Options{Tol: 1e-8, Solver: s.solver})
+		})
+	}
+}
+
+// BenchmarkAblationBalance compares uniform and speed-proportional band
+// sizes on the heterogeneous cluster2 with slowed hosts (compute-dominated).
+func BenchmarkAblationBalance(b *testing.B) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 6000, Band: 30, PerRow: 10, Seed: 8})
+	rhs, _ := gen.RHSForSolution(a)
+	for _, balanced := range []bool{false, true} {
+		b.Run(fmt.Sprintf("balance=%v", balanced), func(b *testing.B) {
+			runAblation(b, func() *cluster.Platform { return cluster.Cluster2(-1).ScaleSpeed(0.001) },
+				a, rhs, core.Options{Tol: 1e-8, Balance: balanced})
+		})
+	}
+}
+
+// BenchmarkAblationBandsPerProc compares one band per processor with the
+// several-non-adjacent-bands assignment of the paper's Remark 2.
+func BenchmarkAblationBandsPerProc(b *testing.B) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 6000, Band: 30, PerRow: 10, Seed: 9})
+	rhs, _ := gen.RHSForSolution(a)
+	for _, bpp := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("bands=%d", bpp), func(b *testing.B) {
+			runAblation(b, func() *cluster.Platform { return cluster.Cluster1(4, -1) },
+				a, rhs, core.Options{Tol: 1e-8, BandsPerProc: bpp})
+		})
+	}
+}
+
+// BenchmarkAblationSyncVsAsync isolates the synchronization mode on the
+// distant platform.
+func BenchmarkAblationSyncVsAsync(b *testing.B) {
+	a, rhs := fig3Matrix()
+	for _, async := range []bool{false, true} {
+		b.Run(fmt.Sprintf("async=%v", async), func(b *testing.B) {
+			runAblation(b, func() *cluster.Platform { return cluster.Cluster3(-1).ScaleSpeed(0.05) },
+				a, rhs, core.Options{Tol: 1e-8, Overlap: 150, Async: async})
+		})
+	}
+}

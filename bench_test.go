@@ -1,0 +1,141 @@
+// Benchmarks regenerating each of the paper's tables and figure, plus
+// micro-benchmarks of the underlying kernels. One benchmark iteration runs
+// the whole experiment at the benchmark scale (64: coarse but preserving the
+// headline comparisons); use cmd/msexp for presentation-quality runs.
+package repro_test
+
+import (
+	"testing"
+
+	repro "repro"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/splu"
+	"repro/internal/vec"
+)
+
+const benchScale = 64
+
+func benchTable(b *testing.B, run func(experiments.Config) (*experiments.Table, error)) {
+	b.Helper()
+	cfg := experiments.Config{Scale: benchScale}
+	for i := 0; i < b.N; i++ {
+		tab, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the cluster1/cage10 scalability table.
+func BenchmarkTable1(b *testing.B) { benchTable(b, experiments.Table1) }
+
+// BenchmarkTable2 regenerates the cluster1/cage11 table with its memory
+// boundary.
+func BenchmarkTable2(b *testing.B) { benchTable(b, experiments.Table2) }
+
+// BenchmarkTable3 regenerates the distant/heterogeneous comparison table.
+func BenchmarkTable3(b *testing.B) { benchTable(b, experiments.Table3) }
+
+// BenchmarkTable4 regenerates the network-perturbation table.
+func BenchmarkTable4(b *testing.B) { benchTable(b, experiments.Table4) }
+
+// BenchmarkFigure3 regenerates the overlap-sweep series.
+func BenchmarkFigure3(b *testing.B) { benchTable(b, experiments.Figure3) }
+
+// --- Kernel micro-benchmarks.
+
+func BenchmarkSpMV(b *testing.B) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 100000, Band: 12, PerRow: 7, Seed: 1})
+	x := make([]float64, a.Rows)
+	y := make([]float64, a.Rows)
+	vec.Fill(x, 1)
+	var c vec.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x, &c)
+	}
+	b.SetBytes(int64(a.NNZ()) * 16)
+}
+
+func BenchmarkSparseLUFactor(b *testing.B) {
+	a := gen.Poisson2D(60, 60)
+	var c vec.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&splu.SparseLU{}).Factor(a, &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparseLUSolve(b *testing.B) {
+	a := gen.Poisson2D(60, 60)
+	var c vec.Counter
+	f, err := (&splu.SparseLU{}).Factor(a, &c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, a.Rows)
+	x := make([]float64, a.Rows)
+	vec.Fill(rhs, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Solve(x, rhs, &c)
+	}
+}
+
+func BenchmarkBandLUFactor(b *testing.B) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 5000, Band: 30, PerRow: 12, Seed: 2})
+	var c vec.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (splu.BandSolver{}).Factor(a, &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultisplittingSync measures a complete synchronous distributed
+// solve on a simulated 4-host LAN (simulation overhead included).
+func BenchmarkMultisplittingSync(b *testing.B) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 20000, Band: 12, PerRow: 7, Seed: 3})
+	rhs, _ := gen.RHSForSolution(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plt := repro.Cluster1(4, repro.MemUnlimited)
+		if _, err := repro.Solve(plt.Platform, plt.Hosts, a, rhs, repro.Options{Tol: 1e-8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultisplittingAsync is the asynchronous counterpart on the
+// two-site cluster3 platform.
+func BenchmarkMultisplittingAsync(b *testing.B) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 20000, Band: 12, PerRow: 7, Seed: 3})
+	rhs, _ := gen.RHSForSolution(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plt := repro.Cluster3(repro.MemUnlimited)
+		if _, err := repro.Solve(plt.Platform, plt.Hosts, a, rhs, repro.Options{Tol: 1e-8, Async: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistributedLU measures the baseline distributed direct solve.
+func BenchmarkDistributedLU(b *testing.B) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 20000, Band: 12, PerRow: 7, Seed: 3})
+	rhs, _ := gen.RHSForSolution(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plt := repro.Cluster1(4, repro.MemUnlimited)
+		if _, err := repro.DSLUSolve(plt.Platform, plt.Hosts, a, rhs, dsluOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command msexp regenerates the paper's experimental tables and figures on
+// the simulated grid platforms.
+//
+// Usage:
+//
+//	msexp [-scale N] [-csv] [-quiet] [experiment ...]
+//
+// Experiments: table1 table2 table3 table4 figure3 (default: all).
+// -scale divides the paper's matrix dimensions (default 16; 8 gives a
+// closer, slower run; 1 is the paper's exact sizes, only practical for the
+// generated banded matrices). -csv emits comma-separated values instead of
+// aligned text (handy for plotting figure3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 16, "divide the paper's matrix dimensions by this factor")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	plot := flag.Bool("plot", false, "render figure3 as an ASCII plot (in addition to the table)")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	cfg := experiments.Config{Scale: *scale, Progress: progress}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, e := range experiments.All() {
+			names = append(names, e.Name)
+		}
+	}
+	for _, name := range names {
+		run, err := experiments.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		tab, err := run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := tab.CSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else if err := tab.Fprint(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *plot && (name == "figure3" || name == "fig3") {
+			if err := experiments.PlotFigure3(os.Stdout, tab); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDecompositionBasic(t *testing.T) {
+	d, err := NewDecomposition(100, 4, 0, WeightOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.L() != 4 {
+		t.Fatalf("L = %d", d.L())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range d.Bands {
+		if b.Size() != 25 {
+			t.Fatalf("band size %d, want 25", b.Size())
+		}
+		if b.Lo != b.Start || b.Hi != b.End {
+			t.Fatal("overlap 0 should give Lo=Start, Hi=End")
+		}
+	}
+}
+
+func TestNewDecompositionOverlapClamped(t *testing.T) {
+	d, err := NewDecomposition(100, 4, 10, WeightAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Bands[0].Lo != 0 {
+		t.Fatalf("first band Lo = %d, want 0 (clamped)", d.Bands[0].Lo)
+	}
+	if d.Bands[3].Hi != 100 {
+		t.Fatalf("last band Hi = %d, want 100 (clamped)", d.Bands[3].Hi)
+	}
+	if d.Bands[1].Lo != 15 || d.Bands[1].Hi != 60 {
+		t.Fatalf("band 1 range [%d,%d), want [15,60)", d.Bands[1].Lo, d.Bands[1].Hi)
+	}
+}
+
+func TestNewDecompositionErrors(t *testing.T) {
+	if _, err := NewDecomposition(3, 5, 0, WeightOwner); err == nil {
+		t.Fatal("more bands than unknowns accepted")
+	}
+	if _, err := NewDecomposition(10, 2, -1, WeightOwner); err == nil {
+		t.Fatal("negative overlap accepted")
+	}
+}
+
+func TestNewDecompositionFromStarts(t *testing.T) {
+	d, err := NewDecompositionFromStarts(10, []int{0, 3, 10}, 1, WeightOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Bands[0].End != 3 || d.Bands[1].Start != 3 {
+		t.Fatal("starts not respected")
+	}
+	if _, err := NewDecompositionFromStarts(10, []int{0, 5, 5, 10}, 0, WeightOwner); err == nil {
+		t.Fatal("empty band accepted")
+	}
+	if _, err := NewDecompositionFromStarts(10, []int{1, 10}, 0, WeightOwner); err == nil {
+		t.Fatal("starts not beginning at 0 accepted")
+	}
+}
+
+func TestOwnerWeights(t *testing.T) {
+	d, _ := NewDecomposition(20, 2, 3, WeightOwner)
+	// Index 8 is owned by band 0, also contained in band 1 (Lo=7).
+	if w := d.Weight(0, 8); w != 1 {
+		t.Fatalf("owner weight = %v, want 1", w)
+	}
+	if w := d.Weight(1, 8); w != 0 {
+		t.Fatalf("non-owner weight = %v, want 0", w)
+	}
+	if got := d.Contributors(8); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("contributors = %v", got)
+	}
+}
+
+func TestAverageWeights(t *testing.T) {
+	d, _ := NewDecomposition(20, 2, 3, WeightAverage)
+	// Index 8 is inside both bands' ranges: each contributes 1/2.
+	if w := d.Weight(0, 8); w != 0.5 {
+		t.Fatalf("weight = %v, want 0.5", w)
+	}
+	if w := d.Weight(1, 8); w != 0.5 {
+		t.Fatalf("weight = %v, want 0.5", w)
+	}
+	if got := d.Contributors(8); len(got) != 2 {
+		t.Fatalf("contributors = %v", got)
+	}
+	// Non-overlapped index belongs to one band only.
+	if w := d.Weight(0, 2); w != 1 {
+		t.Fatalf("weight = %v, want 1", w)
+	}
+}
+
+func TestOwnerAndOwnerLookup(t *testing.T) {
+	d, _ := NewDecomposition(10, 3, 2, WeightOwner)
+	for j := 0; j < 10; j++ {
+		k := d.Owner(j)
+		if !d.Bands[k].Owns(j) {
+			t.Fatalf("Owner(%d) = %d does not own it", j, k)
+		}
+	}
+}
+
+// Property (paper eq. 4): for every scheme, overlap and band count, the E_lk
+// are nonnegative diagonals summing to the identity.
+func TestWeightPartitionOfUnityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		nb := 1 + rng.Intn(min(8, n))
+		overlap := rng.Intn(n)
+		scheme := WeightScheme(rng.Intn(3))
+		d, err := NewDecomposition(n, nb, overlap, scheme)
+		if err != nil {
+			return false
+		}
+		return d.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if WeightOwner.String() != "owner" || WeightAverage.String() != "average" || WeightLinear.String() != "linear" {
+		t.Fatal("scheme names wrong")
+	}
+	if WeightScheme(9).String() == "" {
+		t.Fatal("unknown scheme should still print")
+	}
+}
+
+func TestLinearWeights(t *testing.T) {
+	d, _ := NewDecomposition(40, 2, 6, WeightLinear)
+	// Band 0 owns [0,20) with Hi=26; band 1 owns [20,40) with Lo=14.
+	// Deep inside band 0's cell, outside band 1's range: full weight.
+	if w := d.Weight(0, 5); w != 1 {
+		t.Fatalf("interior weight = %v, want 1", w)
+	}
+	// In the overlap, weights are strictly between 0 and 1 and favour the
+	// owner near its cell.
+	w0 := d.Weight(0, 21)
+	w1 := d.Weight(1, 21)
+	if w0 <= 0 || w0 >= 1 || w1 <= 0 || w1 >= 1 {
+		t.Fatalf("overlap weights not interior: %v, %v", w0, w1)
+	}
+	if w1 <= w0 {
+		t.Fatalf("owner (band 1) weight %v not above band 0's %v at index 21", w1, w0)
+	}
+	if diff := w0 + w1 - 1; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("weights sum to %v", w0+w1)
+	}
+	// Weight decays monotonically across band 0's right overlap [20,26).
+	prev := 1.0
+	for j := 20; j < 26; j++ {
+		w := d.Weight(0, j)
+		if w >= prev {
+			t.Fatalf("band 0 weight not decaying at %d: %v >= %v", j, w, prev)
+		}
+		prev = w
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

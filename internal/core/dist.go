@@ -1,0 +1,671 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/mp"
+	"repro/internal/sparse"
+	"repro/internal/splu"
+	"repro/internal/vec"
+	"repro/internal/vgrid"
+)
+
+// debugAsync enables iteration-level tracing of the asynchronous driver.
+var debugAsync = false
+
+// Solver message tags (detect reserves tags from 1<<18 upward).
+const (
+	tagX      = 1 // boundary solution exchange
+	tagAbort  = 2 // a rank hit the iteration cap
+	tagGather = 3 // final solution assembly
+)
+
+// Options configures a distributed multisplitting solve.
+type Options struct {
+	// Overlap extends every band by this many rows on each side (Figure 3's
+	// swept parameter). Zero gives the disjoint block-Jacobi-like variant of
+	// Section 2.
+	Overlap int
+	// Scheme selects the E_lk weighting family (owner or average).
+	Scheme WeightScheme
+	// Solver is the sequential direct method used per band
+	// (default: sparse LU with RCM ordering, the SuperLU stand-in).
+	Solver splu.Direct
+	// Tol is the successive-iterate infinity-norm accuracy (default 1e-8,
+	// the paper's setting).
+	Tol float64
+	// MaxIter caps the iteration count (default 100000).
+	MaxIter int
+	// Async selects the asynchronous driver (paper's Corba variant): ranks
+	// iterate freely, adopt the freshest available neighbor data and detect
+	// convergence with a polling protocol.
+	Async bool
+	// Detector names the async convergence-detection protocol:
+	// "decentralized" (default, paper ref [4]) or "centralized" (ref [2]).
+	Detector string
+	// Smooth is the number of consecutive locally-converged iterations
+	// required before a rank reports local convergence in async mode
+	// (default 3); it guards the detection against transient stalls.
+	Smooth int
+	// TrackMemory accounts the band matrix and factors against the host
+	// memory capacity, so undersized platforms fail with "not enough
+	// memory" exactly as in the paper's Tables 2 and 3.
+	TrackMemory bool
+	// Balance sizes each band proportionally to its host's speed instead
+	// of uniformly, addressing the heterogeneity the paper discusses for
+	// cluster2/cluster3.
+	Balance bool
+	// SolverPerRank assigns a different sequential direct method to each
+	// rank (the paper's conclusion proposes coupling different direct
+	// algorithms on different clusters). When set it must have one entry
+	// per host; nil entries fall back to Solver.
+	SolverPerRank []splu.Direct
+	// Equilibrate left-scales the system by the inverse diagonal before
+	// splitting (a simple preconditioning hook, paper Remark 5). The
+	// returned solution solves the original system.
+	Equilibrate bool
+	// MaxStale bounds asynchronous staleness: a rank that has gone
+	// MaxStale consecutive iterations without fresh data from some
+	// contributor pauses until it arrives (the partially asynchronous
+	// model of Bertsekas–Tsitsiklis, paper ref [8]). Zero means totally
+	// asynchronous (no bound). Ignored in synchronous mode.
+	MaxStale int
+	// UseResidual stops on the true band residual
+	// ‖BSub − DepMat·z − ASub·XSub‖∞ ≤ Tol instead of the
+	// successive-iterate difference — a stronger criterion that costs one
+	// extra sparse matrix-vector product per iteration.
+	UseResidual bool
+	// TreeCollectives uses binomial-tree reductions for the synchronous
+	// convergence test (O(log P) depth) instead of the flat rank-0 star,
+	// as real MPI implementations do.
+	TreeCollectives bool
+	// BandsPerProc assigns this many non-adjacent bands to every processor
+	// (the paper's Remark 2), cyclically: rank r owns bands r, r+P, r+2P….
+	// Values above 1 are incompatible with Balance, MaxStale and
+	// UseResidual. Default 1.
+	BandsPerProc int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Solver == nil {
+		out.Solver = &splu.SparseLU{}
+	}
+	if out.Tol == 0 {
+		out.Tol = 1e-8
+	}
+	if out.MaxIter == 0 {
+		out.MaxIter = 100000
+	}
+	if out.Detector == "" {
+		out.Detector = "decentralized"
+	}
+	if out.Smooth == 0 {
+		out.Smooth = 3
+	}
+	return out
+}
+
+// Result reports a distributed multisplitting solve.
+type Result struct {
+	// X is the assembled solution (owned segments gathered at rank 0).
+	X []float64
+	// Converged reports whether the accuracy was reached before MaxIter.
+	Converged bool
+	// Iterations is the maximum iteration count over the ranks (in async
+	// mode ranks iterate different numbers of times).
+	Iterations int
+	// IterationsPerRank records each rank's own count.
+	IterationsPerRank []int
+	// FactorTime is the largest per-rank factorization time in virtual
+	// seconds (the paper's "factorization time" column).
+	FactorTime float64
+	// Time is the total virtual solve time (latest rank finish).
+	Time float64
+	// BytesSent totals solver payload traffic across ranks.
+	BytesSent int64
+	// MsgsSent totals solver messages across ranks.
+	MsgsSent int64
+}
+
+// Pending is a solve registered on an engine; read the Result after the
+// engine has run.
+type Pending struct {
+	res   Result
+	procs []*vgrid.Proc
+	done  bool
+}
+
+// Result returns the solve outcome; it panics if the engine has not run.
+func (p *Pending) Result() *Result {
+	if !p.done {
+		panic("core: Result read before the engine ran")
+	}
+	return &p.res
+}
+
+// Running reports whether any solver rank is still executing; background
+// traffic generators use it as their shutdown condition.
+func (p *Pending) Running() bool {
+	for _, pr := range p.procs {
+		if !pr.Done() {
+			return true
+		}
+	}
+	return false
+}
+
+// Finish marks the result readable. Call it after the engine has run; it is
+// needed when ranks failed (e.g. out of memory) before filling the result.
+func (p *Pending) Finish() { p.done = true }
+
+// Launch registers the multisplitting solver on the engine, one rank per
+// host (one band per processor, the simple variant of Section 2; see paper
+// Remark 2). The matrix and right-hand side are globally readable at load
+// time, as the paper's Initialization step allows. Call engine.Run, then
+// read Pending.Result.
+func Launch(e *vgrid.Engine, hosts []*vgrid.Host, a *sparse.CSR, b []float64, opt Options) (*Pending, error) {
+	o := opt.withDefaults()
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("core: shape mismatch: A is %dx%d, len(b)=%d", a.Rows, a.Cols, len(b))
+	}
+	if len(hosts) == 0 {
+		return nil, errors.New("core: no hosts")
+	}
+	if o.SolverPerRank != nil && len(o.SolverPerRank) != len(hosts) {
+		return nil, fmt.Errorf("core: SolverPerRank has %d entries for %d hosts", len(o.SolverPerRank), len(hosts))
+	}
+	var err error
+	if o.Equilibrate {
+		a, b, err = equilibrate(a, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	multiband := o.BandsPerProc > 1
+	if multiband && (o.Balance || o.MaxStale > 0 || o.UseResidual) {
+		return nil, errors.New("core: BandsPerProc > 1 is incompatible with Balance, MaxStale and UseResidual")
+	}
+	var d *Decomposition
+	switch {
+	case multiband:
+		d, err = NewDecomposition(n, len(hosts)*o.BandsPerProc, o.Overlap, o.Scheme)
+	case o.Balance:
+		var starts []int
+		starts, err = BalancedStarts(n, hosts)
+		if err != nil {
+			return nil, err
+		}
+		d, err = NewDecompositionFromStarts(n, starts, o.Overlap, o.Scheme)
+	default:
+		d, err = NewDecomposition(n, len(hosts), o.Overlap, o.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	pend := &Pending{}
+	pend.res.IterationsPerRank = make([]int, len(hosts))
+	pend.procs = mp.Launch(e, hosts, "ms", func(c *mp.Comm) error {
+		if multiband {
+			return msRankMulti(c, a, b, d, o, pend)
+		}
+		return msRank(c, a, b, d, o, pend)
+	})
+	// Mark the pending result complete when the engine finishes: the last
+	// rank to return fills the aggregate fields (single-threaded engine, so
+	// plain writes are safe).
+	return pend, nil
+}
+
+// Solve builds an engine over the platform, runs the solver on the given
+// hosts and returns the result. ErrNoConvergence is reported with the
+// partial result attached.
+func Solve(pl *vgrid.Platform, hosts []*vgrid.Host, a *sparse.CSR, b []float64, opt Options) (*Result, error) {
+	e := vgrid.NewEngine(pl)
+	pend, err := Launch(e, hosts, a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	end, err := e.Run()
+	pend.res.Time = end
+	pend.done = true
+	res := pend.Result()
+	if err != nil {
+		return res, err
+	}
+	if !res.Converged {
+		return res, ErrNoConvergence
+	}
+	return res, nil
+}
+
+// segment describes an exchange between two ranks: which local positions of
+// the sender map to which dependency slots (with weights) of the receiver.
+type inSegment struct {
+	from    int
+	pos     []int     // positions in depCols
+	weights []float64 // E weight applied to each received value
+}
+
+type outSegment struct {
+	to  int
+	loc []int // local indices (global j − Lo) to ship
+}
+
+// msRank is the body of Algorithm 1 executed by every rank.
+func msRank(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o Options, pend *Pending) error {
+	c.Tree = o.TreeCollectives
+	rank := c.Rank()
+	band := d.Bands[rank]
+	cnt := &vec.Counter{}
+	charged := 0.0
+	charge := func() {
+		if f := cnt.Flops(); f > charged {
+			c.Compute(f - charged)
+			charged = f
+		}
+	}
+
+	// --- Initialization: load and factor the band (paper step 1 + Remark 4).
+	sub := a.Submatrix(band.Lo, band.Hi, band.Lo, band.Hi)
+	left := a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
+	right := a.ColumnsUsed(band.Lo, band.Hi, band.Hi, d.N)
+	depCols := append(append([]int{}, left...), right...)
+	depMat := a.SelectColumns(band.Lo, band.Hi, depCols)
+	bSub := vec.Clone(bGlob[band.Lo:band.Hi])
+
+	if o.TrackMemory {
+		if err := c.Proc().Alloc(csrBytes(sub) + csrBytes(depMat) + 8*int64(band.Size())); err != nil {
+			return err
+		}
+	}
+	factStart := c.Now()
+	solver := o.Solver
+	if o.SolverPerRank != nil && o.SolverPerRank[rank] != nil {
+		solver = o.SolverPerRank[rank]
+	}
+	fact, err := solver.Factor(sub, cnt)
+	if err != nil {
+		return fmt.Errorf("rank %d: %w", rank, err)
+	}
+	charge()
+	factTime := c.Now() - factStart
+	if o.TrackMemory {
+		if err := c.Proc().Alloc(fact.Bytes()); err != nil {
+			return err
+		}
+	}
+
+	// --- Communication plan: who contributes to my dependencies, and which
+	// of my components do the others depend on (DependsOnMe of Algorithm 1).
+	var ins []inSegment
+	{
+		byFrom := map[int]*inSegment{}
+		for i, j := range depCols {
+			for _, k := range d.Contributors(j) {
+				seg := byFrom[k]
+				if seg == nil {
+					seg = &inSegment{from: k}
+					byFrom[k] = seg
+				}
+				seg.pos = append(seg.pos, i)
+				seg.weights = append(seg.weights, d.Weight(k, j))
+			}
+		}
+		froms := make([]int, 0, len(byFrom))
+		for k := range byFrom {
+			froms = append(froms, k)
+		}
+		sort.Ints(froms)
+		for _, k := range froms {
+			ins = append(ins, *byFrom[k])
+		}
+	}
+	var outs []outSegment
+	for m := 0; m < d.L(); m++ {
+		if m == rank {
+			continue
+		}
+		mb := d.Bands[m]
+		mLeft := a.ColumnsUsed(mb.Lo, mb.Hi, 0, mb.Lo)
+		mRight := a.ColumnsUsed(mb.Lo, mb.Hi, mb.Hi, d.N)
+		var loc []int
+		for _, j := range append(append([]int{}, mLeft...), mRight...) {
+			if band.Contains(j) && d.Weight(rank, j) > 0 {
+				loc = append(loc, j-band.Lo)
+			}
+		}
+		if len(loc) > 0 {
+			outs = append(outs, outSegment{to: m, loc: loc})
+		}
+	}
+
+	// --- Iteration state.
+	xSub := make([]float64, band.Size())
+	xPrev := make([]float64, band.Size())
+	rhs := make([]float64, band.Size())
+	z := make([]float64, len(depCols)) // weighted dependency values (zero start)
+	sendBuf := make([]float64, 0, band.Size()+2)
+
+	// Messages carry a two-slot header before the data: the sender's own
+	// iteration version and, for the specific receiver, the highest version
+	// of the *receiver's* data the sender has incorporated so far (the
+	// causal echo). The asynchronous detection uses the echo to require a
+	// full round trip of stabilized data before declaring local
+	// convergence, which is what keeps detection sound when messages
+	// pipeline over high-latency links.
+	const hdr = 2
+	segIndexByRank := map[int]int{}
+	for si, seg := range ins {
+		segIndexByRank[seg.from] = si
+	}
+	verIncorporated := make([]float64, len(ins)) // latest version seen per contributor
+	echoFrom := make([]float64, len(ins))        // highest own version echoed back
+
+	// lastRecv[k] holds the last values received from segment k so z can be
+	// updated incrementally under the weighting scheme.
+	lastRecv := make([][]float64, len(ins))
+	for i, seg := range ins {
+		lastRecv[i] = make([]float64, len(seg.pos))
+	}
+	applySeg := func(si int, pk *mp.Packet) {
+		seg := ins[si]
+		vals := pk.Floats[hdr:]
+		verIncorporated[si] = pk.Floats[0]
+		if refl := pk.Floats[1]; refl < 0 {
+			// The sender does not depend on us: no echo is possible, the
+			// round-trip criterion is vacuously satisfied for this channel.
+			echoFrom[si] = math.Inf(1)
+		} else if refl > echoFrom[si] {
+			echoFrom[si] = refl
+		}
+		for i, pos := range seg.pos {
+			z[pos] += seg.weights[i] * (vals[i] - lastRecv[si][i])
+			lastRecv[si][i] = vals[i]
+		}
+		cnt.Add(3 * float64(len(seg.pos)))
+	}
+
+	var det detect.Detector
+	if o.Async {
+		det, err = detect.New(o.Detector, c)
+		if err != nil {
+			return err
+		}
+	}
+	// freshSeen tracks, per contributor, whether new data arrived since the
+	// last complete exchange round; async convergence evidence only counts
+	// on complete rounds (see below).
+	freshSeen := make([]bool, len(ins))
+
+	iter := 0
+	converged := false
+	aborted := false
+	stableRuns := 0
+	stableStart := 0 // first iteration of the current stable streak
+	staleCount := make([]int, len(ins))
+	rtmp := make([]float64, band.Size())
+	// residual computes the true band residual ‖BSub − Dep·z − ASub·XSub‖∞
+	// against the *current* dependency values.
+	residual := func() float64 {
+		copy(rtmp, bSub)
+		if len(depCols) > 0 {
+			depMat.MulVecSub(rtmp, z, cnt)
+		}
+		sub.MulVecSub(rtmp, xSub, cnt)
+		return vec.NormInf(rtmp, cnt)
+	}
+
+	for iter < o.MaxIter {
+		iter++
+		// Computation (step 2): BLoc = BSub − Dep·z, solve the subsystem.
+		copy(rhs, bSub)
+		if len(depCols) > 0 {
+			depMat.MulVecSub(rhs, z, cnt)
+		}
+		fact.Solve(xSub, rhs, cnt)
+		if !vec.AllFinite(xSub) {
+			return fmt.Errorf("rank %d: %w at iteration %d", rank, ErrDiverged, iter)
+		}
+		diff := vec.DiffNormInf(xSub, xPrev, cnt)
+		copy(xPrev, xSub)
+		charge()
+
+		// Data exchange (step 3): ship my components to their dependents.
+		for _, seg := range outs {
+			sendBuf = sendBuf[:0]
+			refl := -1.0
+			if si, ok := segIndexByRank[seg.to]; ok {
+				refl = verIncorporated[si]
+			}
+			sendBuf = append(sendBuf, float64(iter), refl)
+			for _, li := range seg.loc {
+				sendBuf = append(sendBuf, xSub[li])
+			}
+			if err := c.SendFloats(seg.to, tagX, sendBuf); err != nil {
+				return err
+			}
+		}
+
+		if !o.Async {
+			// Synchronous: wait for every contributor's fresh values.
+			for si, seg := range ins {
+				pk := c.Recv(seg.from, tagX)
+				applySeg(si, pk)
+			}
+			crit := diff
+			if o.UseResidual {
+				crit = residual()
+			}
+			charge()
+			// Convergence detection (step 4), synchronous flavor.
+			gd, err := c.Allreduce(crit, mp.OpMax)
+			if err != nil {
+				return err
+			}
+			if gd <= o.Tol {
+				converged = true
+				break
+			}
+			continue
+		}
+
+		// Asynchronous: adopt the freshest arrived values, never block —
+		// except under a staleness bound (partial asynchronism), where a
+		// rank pauses for data older than MaxStale iterations.
+		for si, seg := range ins {
+			if pk := c.DrainLatest(seg.from, tagX); pk != nil {
+				applySeg(si, pk)
+				freshSeen[si] = true
+				staleCount[si] = 0
+			} else {
+				staleCount[si]++
+			}
+		}
+		if o.MaxStale > 0 {
+			stop, abort, err := waitForStale(c, ins, o, det, staleCount, freshSeen, applySeg)
+			if err != nil {
+				return err
+			}
+			if stop {
+				converged = true
+				break
+			}
+			if abort {
+				aborted = true
+				break
+			}
+		}
+		charge()
+		// Local convergence evidence only accumulates on complete exchange
+		// rounds — iterations by which every contributor (including the
+		// slowest cross-site channel) has delivered fresh data since the
+		// last counted round. Quiet iterations are trivially stationary and
+		// say nothing about global convergence; counting them causes the
+		// premature detections the paper's ref [4] protocol is careful to
+		// avoid.
+		roundComplete := true
+		for _, f := range freshSeen {
+			if !f {
+				roundComplete = false
+				break
+			}
+		}
+		crit := diff
+		if o.UseResidual {
+			crit = residual()
+			charge()
+		}
+		switch {
+		case crit > o.Tol:
+			stableRuns = 0
+			stableStart = iter
+		case roundComplete:
+			stableRuns++
+		}
+		if roundComplete {
+			for i := range freshSeen {
+				freshSeen[i] = false
+			}
+		}
+		// Causal round-trip criterion: this rank's data from iteration
+		// stableStart (the first stable one) must have been incorporated by
+		// every mutual dependent and echoed back, proving the stabilized
+		// values survived a full information round trip.
+		localOK := stableRuns >= o.Smooth
+		for si := range ins {
+			if echoFrom[si] < float64(stableStart) {
+				localOK = false
+				break
+			}
+		}
+		if debugAsync {
+			fmt.Printf("DBG rank=%d iter=%d t=%.5f diff=%.3e round=%v stable=%d localOK=%v\n", rank, iter, c.Now(), diff, roundComplete, stableRuns, localOK)
+		}
+		stop, err := det.Step(localOK)
+		if err != nil {
+			return err
+		}
+		if stop {
+			converged = true
+			break
+		}
+		if pk := c.TryRecv(mp.AnySource, tagAbort); pk != nil {
+			aborted = true
+			break
+		}
+	}
+	if !converged && !aborted && o.Async {
+		// Hit the cap: tell everyone to stop so the run terminates.
+		for m := 0; m < c.Size(); m++ {
+			if m != rank {
+				if err := c.Signal(m, tagAbort); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Assemble the solution from the owned segments at rank 0.
+	owned := xSub[band.Start-band.Lo : band.End-band.Lo]
+	if rank != 0 {
+		if err := c.SendFloats(0, tagGather, owned); err != nil {
+			return err
+		}
+	} else {
+		x := make([]float64, d.N)
+		copy(x[band.Start:band.End], owned)
+		for m := 1; m < d.L(); m++ {
+			pk := c.Recv(m, tagGather)
+			mb := d.Bands[m]
+			copy(x[mb.Start:mb.End], pk.Floats)
+		}
+		pend.res.X = x
+	}
+
+	// Aggregate run statistics (plain writes: the engine is single-threaded).
+	pend.res.IterationsPerRank[rank] = iter
+	if iter > pend.res.Iterations {
+		pend.res.Iterations = iter
+	}
+	if factTime > pend.res.FactorTime {
+		pend.res.FactorTime = factTime
+	}
+	if rank == 0 {
+		pend.res.Converged = converged
+	}
+	pend.res.BytesSent += c.Proc().BytesSent
+	pend.res.MsgsSent += c.Proc().MsgsSent
+	if end := c.Now(); end > pend.res.Time {
+		pend.res.Time = end
+	}
+	pend.done = true
+	return nil
+}
+
+// waitForStale enforces the partial-asynchronism bound: for every
+// contributor whose data has been stale for more than MaxStale iterations,
+// poll until fresh data arrives, staying responsive to the detection
+// protocol and abort messages. It reports (stop, abort, err).
+func waitForStale(c *mp.Comm, ins []inSegment, o Options, det detect.Detector, staleCount []int, freshSeen []bool, applySeg func(int, *mp.Packet)) (bool, bool, error) {
+	const pollInterval = 1e-4 // virtual seconds between polls
+	for si, seg := range ins {
+		for staleCount[si] > o.MaxStale {
+			if pk := c.DrainLatest(seg.from, tagX); pk != nil {
+				applySeg(si, pk)
+				freshSeen[si] = true
+				staleCount[si] = 0
+				break
+			}
+			c.Proc().Sleep(pollInterval)
+			if det != nil {
+				stop, err := det.Step(false)
+				if err != nil {
+					return false, false, err
+				}
+				if stop {
+					return true, false, nil
+				}
+			}
+			if pk := c.TryRecv(mp.AnySource, tagAbort); pk != nil {
+				return false, true, nil
+			}
+		}
+	}
+	return false, false, nil
+}
+
+func csrBytes(m *sparse.CSR) int64 {
+	return int64(m.NNZ())*16 + int64(len(m.RowPtr))*8
+}
+
+// equilibrate left-scales the system by the inverse diagonal: returns
+// (D⁻¹A, D⁻¹b). The solution of the scaled system equals the original's.
+func equilibrate(a *sparse.CSR, b []float64) (*sparse.CSR, []float64, error) {
+	diag := a.Diagonal()
+	for i, d := range diag {
+		if d == 0 {
+			return nil, nil, fmt.Errorf("core: cannot equilibrate, zero diagonal at row %d", i)
+		}
+	}
+	out := a.Clone()
+	for i := 0; i < out.Rows; i++ {
+		inv := 1 / diag[i]
+		for p := out.RowPtr[i]; p < out.RowPtr[i+1]; p++ {
+			out.Val[p] *= inv
+		}
+	}
+	nb := make([]float64, len(b))
+	for i := range b {
+		nb[i] = b[i] / diag[i]
+	}
+	return out, nb, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/splu"
+	"repro/internal/vec"
+)
+
+// Overlap larger than the cells: bands swallow their neighbors entirely;
+// the decomposition must clamp and still converge.
+func TestOverlapExceedsCells(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 120, Seed: 50})
+	b, xtrue := gen.RHSForSolution(a)
+	for _, scheme := range []WeightScheme{WeightOwner, WeightAverage, WeightLinear} {
+		d, err := NewDecomposition(120, 4, 100, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		var c vec.Counter
+		res, err := SolveSequential(a, b, d, &splu.SparseLU{}, 1e-10, 10000, &c)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		for i := range res.X {
+			if diff := res.X[i] - xtrue[i]; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("%v: x[%d] off by %v", scheme, i, diff)
+			}
+		}
+		// With full overlap every band solves (nearly) the whole system:
+		// very few iterations.
+		if res.Iterations > 5 {
+			t.Fatalf("%v: full overlap took %d iterations", scheme, res.Iterations)
+		}
+	}
+}
+
+// One band per unknown: the extreme decomposition degenerates to point
+// Jacobi and must still match it.
+func TestOneBandPerUnknown(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 30, Seed: 51})
+	b, xtrue := gen.RHSForSolution(a)
+	d, err := NewDecomposition(30, 30, 0, WeightOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c vec.Counter
+	res, err := SolveSequential(a, b, d, &splu.SparseLU{}, 1e-10, 50000, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if diff := res.X[i] - xtrue[i]; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("x[%d] off", i)
+		}
+	}
+}
+
+// Uneven division: n not divisible by the band count.
+func TestUnevenBands(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 101, Seed: 52})
+	b, xtrue := gen.RHSForSolution(a)
+	for _, nb := range []int{3, 7, 13} {
+		d, err := NewDecomposition(101, nb, 2, WeightOwner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("nb=%d: %v", nb, err)
+		}
+		var c vec.Counter
+		res, err := SolveSequential(a, b, d, &splu.SparseLU{}, 1e-10, 20000, &c)
+		if err != nil {
+			t.Fatalf("nb=%d: %v", nb, err)
+		}
+		for i := range res.X {
+			if diff := res.X[i] - xtrue[i]; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("nb=%d: x[%d] off", nb, i)
+			}
+		}
+	}
+}
+
+// The three weighting schemes agree on the fixed point (same solution) even
+// though their iteration paths differ.
+func TestSchemesAgreeOnSolution(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 200, Margin: 0.2, Seed: 53})
+	b, _ := gen.RHSForSolution(a)
+	var sols [][]float64
+	for _, scheme := range []WeightScheme{WeightOwner, WeightAverage, WeightLinear} {
+		d, _ := NewDecomposition(200, 4, 12, scheme)
+		var c vec.Counter
+		res, err := SolveSequential(a, b, d, &splu.SparseLU{}, 1e-12, 50000, &c)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		sols = append(sols, res.X)
+	}
+	for s := 1; s < len(sols); s++ {
+		for i := range sols[0] {
+			if diff := sols[s][i] - sols[0][i]; diff > 1e-8 || diff < -1e-8 {
+				t.Fatalf("scheme %d differs at %d by %v", s, i, diff)
+			}
+		}
+	}
+}
+
+// The per-band solver choice does not change the fixed point: sparse, dense
+// and banded LU produce identical iterates (they solve the same subsystems
+// exactly).
+func TestSolverChoiceSameIterationCount(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 160, Band: 6, Seed: 54})
+	b, _ := gen.RHSForSolution(a)
+	d, _ := NewDecomposition(160, 4, 0, WeightOwner)
+	var iters []int
+	for _, s := range []splu.Direct{&splu.SparseLU{}, splu.DenseSolver{}, splu.BandSolver{}} {
+		var c vec.Counter
+		res, err := SolveSequential(a, b, d, s, 1e-9, 10000, &c)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		iters = append(iters, res.Iterations)
+	}
+	if iters[0] != iters[1] || iters[1] != iters[2] {
+		t.Fatalf("iteration counts differ across solvers: %v", iters)
+	}
+}

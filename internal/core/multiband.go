@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/mp"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// Multi-band message tags: tag(k→b) identifies the (sender band, receiver
+// band) pair; the gather tags identify the band being collected.
+const (
+	tagMBandBase   = 16
+	tagMGatherBase = 1 << 17
+)
+
+func tagMBand(l, from, to int) int { return tagMBandBase + from*l + to }
+
+// mseg is a per-band incoming segment: values for some of the band's
+// dependency columns, produced by another band.
+type mseg struct {
+	fromBand int
+	pos      []int
+	weights  []float64
+	lastRecv []float64
+}
+
+// mBandState is one owned band's full solver state.
+type mBandState struct {
+	idx     int
+	band    Band
+	fact    factSolver
+	depCols []int
+	depMat  *sparse.CSR
+	bSub    []float64
+	z       []float64
+	xSub    []float64
+	xNew    []float64
+	rhs     []float64
+	inSegs  []mseg
+}
+
+type factSolver interface {
+	Solve(x, b []float64, c *vec.Counter)
+	FactorFlops() float64
+	Bytes() int64
+}
+
+// msRankMulti is the Algorithm 1 body for the several-bands-per-processor
+// assignment of the paper's Remark 2: rank r owns the non-adjacent bands
+// {r, r+P, r+2P, …} of a decomposition with L = P·BandsPerProc bands and
+// solves each of them every iteration, exchanging boundary segments between
+// bands (locally when both live on the same rank, by message otherwise).
+func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o Options, pend *Pending) error {
+	c.Tree = o.TreeCollectives
+	rank := c.Rank()
+	nprocs := c.Size()
+	l := d.L()
+	ownerOf := func(bandIdx int) int { return bandIdx % nprocs }
+	cnt := &vec.Counter{}
+	charged := 0.0
+	charge := func() {
+		if f := cnt.Flops(); f > charged {
+			c.Compute(f - charged)
+			charged = f
+		}
+	}
+
+	// --- Initialization: factor every owned band, build the segment plan.
+	var owned []*mBandState
+	factStart := c.Now()
+	for k := rank; k < l; k += nprocs {
+		band := d.Bands[k]
+		sub := a.Submatrix(band.Lo, band.Hi, band.Lo, band.Hi)
+		fact, err := o.Solver.Factor(sub, cnt)
+		if err != nil {
+			return fmt.Errorf("rank %d band %d: %w", rank, k, err)
+		}
+		left := a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
+		right := a.ColumnsUsed(band.Lo, band.Hi, band.Hi, d.N)
+		depCols := append(append([]int{}, left...), right...)
+		st := &mBandState{
+			idx:     k,
+			band:    band,
+			fact:    fact,
+			depCols: depCols,
+			depMat:  a.SelectColumns(band.Lo, band.Hi, depCols),
+			bSub:    vec.Clone(bGlob[band.Lo:band.Hi]),
+			z:       make([]float64, len(depCols)),
+			xSub:    make([]float64, band.Size()),
+			xNew:    make([]float64, band.Size()),
+			rhs:     make([]float64, band.Size()),
+		}
+		// Incoming segments: contributors of each dependency column.
+		byFrom := map[int]*mseg{}
+		for i, j := range depCols {
+			for _, kb := range d.Contributors(j) {
+				sg := byFrom[kb]
+				if sg == nil {
+					sg = &mseg{fromBand: kb}
+					byFrom[kb] = sg
+				}
+				sg.pos = append(sg.pos, i)
+				sg.weights = append(sg.weights, d.Weight(kb, j))
+			}
+		}
+		froms := make([]int, 0, len(byFrom))
+		for kb := range byFrom {
+			froms = append(froms, kb)
+		}
+		sort.Ints(froms)
+		for _, kb := range froms {
+			sg := byFrom[kb]
+			sg.lastRecv = make([]float64, len(sg.pos))
+			st.inSegs = append(st.inSegs, *sg)
+		}
+		owned = append(owned, st)
+		if o.TrackMemory {
+			if err := c.Proc().Alloc(csrBytes(sub) + csrBytes(st.depMat) + fact.Bytes()); err != nil {
+				return err
+			}
+		}
+	}
+	charge()
+	factTime := c.Now() - factStart
+
+	// Outgoing segments: for every owned band k, the remote bands that
+	// depend on it (the sender recomputes the receiver's plan from the
+	// global matrix, so both sides agree without communication).
+	type outSeg struct {
+		fromBand, toBand int
+		toRank           int
+		loc              []int // local indices within band fromBand
+	}
+	var outs []outSeg
+	for _, st := range owned {
+		for b := 0; b < l; b++ {
+			if ownerOf(b) == rank {
+				continue
+			}
+			bb := d.Bands[b]
+			bLeft := a.ColumnsUsed(bb.Lo, bb.Hi, 0, bb.Lo)
+			bRight := a.ColumnsUsed(bb.Lo, bb.Hi, bb.Hi, d.N)
+			var loc []int
+			for _, j := range append(append([]int{}, bLeft...), bRight...) {
+				if st.band.Contains(j) && d.Weight(st.idx, j) > 0 {
+					loc = append(loc, j-st.band.Lo)
+				}
+			}
+			if len(loc) > 0 {
+				outs = append(outs, outSeg{fromBand: st.idx, toBand: b, toRank: ownerOf(b), loc: loc})
+			}
+		}
+	}
+
+	applySeg := func(st *mBandState, si int, vals []float64) {
+		sg := &st.inSegs[si]
+		for i, pos := range sg.pos {
+			st.z[pos] += sg.weights[i] * (vals[i] - sg.lastRecv[i])
+			sg.lastRecv[i] = vals[i]
+		}
+		cnt.Add(3 * float64(len(sg.pos)))
+	}
+	stByIdx := map[int]*mBandState{}
+	for _, st := range owned {
+		stByIdx[st.idx] = st
+	}
+
+	// Rank-level causal-echo bookkeeping for the async detection.
+	verFromRank := make([]float64, nprocs)
+	echoFromRank := make([]float64, nprocs)
+	recvFromRank := make([]bool, nprocs) // ranks with any inbound segment
+	mutualRank := make([]bool, nprocs)   // ranks we also send to
+	for _, st := range owned {
+		for _, sg := range st.inSegs {
+			if r := ownerOf(sg.fromBand); r != rank {
+				recvFromRank[r] = true
+			}
+		}
+	}
+	for _, og := range outs {
+		mutualRank[og.toRank] = true
+	}
+	for r := range echoFromRank {
+		if !recvFromRank[r] {
+			continue
+		}
+		if !mutualRank[r] {
+			// No echo possible from a rank we never send to.
+			echoFromRank[r] = 1e18
+		}
+	}
+
+	var det detect.Detector
+	var err error
+	if o.Async {
+		det, err = detect.New(o.Detector, c)
+		if err != nil {
+			return err
+		}
+	}
+	// freshRank persists across iterations: a round completes once every
+	// source rank has delivered since the last completed round.
+	freshRank := make([]bool, nprocs)
+	resetFresh := func() {
+		for r := range freshRank {
+			freshRank[r] = !recvFromRank[r]
+		}
+	}
+	resetFresh()
+
+	iter := 0
+	converged := false
+	aborted := false
+	stableRuns := 0
+	stableStart := 0
+	sendBuf := make([]float64, 0, 64)
+
+	for iter < o.MaxIter {
+		iter++
+		// Solve every owned band against the previous exchange round.
+		diff := 0.0
+		for _, st := range owned {
+			copy(st.rhs, st.bSub)
+			if len(st.depCols) > 0 {
+				st.depMat.MulVecSub(st.rhs, st.z, cnt)
+			}
+			st.fact.Solve(st.xNew, st.rhs, cnt)
+			if !vec.AllFinite(st.xNew) {
+				return fmt.Errorf("rank %d band %d: %w at iteration %d", rank, st.idx, ErrDiverged, iter)
+			}
+			if dl := vec.DiffNormInf(st.xNew, st.xSub, cnt); dl > diff {
+				diff = dl
+			}
+		}
+		for _, st := range owned {
+			copy(st.xSub, st.xNew)
+		}
+		charge()
+
+		// Ship remote segments.
+		for _, og := range outs {
+			st := stByIdx[og.fromBand]
+			sendBuf = sendBuf[:0]
+			refl := -1.0
+			if recvFromRank[og.toRank] {
+				refl = verFromRank[og.toRank]
+			}
+			sendBuf = append(sendBuf, float64(iter), refl)
+			for _, li := range og.loc {
+				sendBuf = append(sendBuf, st.xSub[li])
+			}
+			if err := c.SendFloats(og.toRank, tagMBand(l, og.fromBand, og.toBand), sendBuf); err != nil {
+				return err
+			}
+		}
+		// Apply intra-rank segments directly.
+		for _, st := range owned {
+			for si := range st.inSegs {
+				src := stByIdx[st.inSegs[si].fromBand]
+				if src == nil {
+					continue // remote
+				}
+				vals := make([]float64, len(st.inSegs[si].pos))
+				for i, pos := range st.inSegs[si].pos {
+					vals[i] = src.xSub[st.depCols[pos]-src.band.Lo]
+				}
+				applySeg(st, si, vals)
+			}
+		}
+
+		recvSeg := func(st *mBandState, si int, blocking bool) (bool, error) {
+			sg := &st.inSegs[si]
+			from := ownerOf(sg.fromBand)
+			tag := tagMBand(l, sg.fromBand, st.idx)
+			var pk *mp.Packet
+			if blocking {
+				pk = c.Recv(from, tag)
+			} else {
+				pk = c.DrainLatest(from, tag)
+				if pk == nil {
+					return false, nil
+				}
+			}
+			if pk.Floats[0] > verFromRank[from] {
+				verFromRank[from] = pk.Floats[0]
+			}
+			if refl := pk.Floats[1]; refl >= 0 && refl > echoFromRank[from] {
+				echoFromRank[from] = refl
+			}
+			applySeg(st, si, pk.Floats[2:])
+			return true, nil
+		}
+
+		if !o.Async {
+			for _, st := range owned {
+				for si := range st.inSegs {
+					if stByIdx[st.inSegs[si].fromBand] != nil {
+						continue // handled locally
+					}
+					if _, err := recvSeg(st, si, true); err != nil {
+						return err
+					}
+				}
+			}
+			charge()
+			gd, err := c.Allreduce(diff, mp.OpMax)
+			if err != nil {
+				return err
+			}
+			if gd <= o.Tol {
+				converged = true
+				break
+			}
+			continue
+		}
+
+		// Asynchronous: drain whatever arrived, per remote segment.
+		for _, st := range owned {
+			for si := range st.inSegs {
+				if stByIdx[st.inSegs[si].fromBand] != nil {
+					continue
+				}
+				got, err := recvSeg(st, si, false)
+				if err != nil {
+					return err
+				}
+				if got {
+					freshRank[ownerOf(st.inSegs[si].fromBand)] = true
+				}
+			}
+		}
+		charge()
+		roundComplete := true
+		for _, f := range freshRank {
+			if !f {
+				roundComplete = false
+				break
+			}
+		}
+		switch {
+		case diff > o.Tol:
+			stableRuns = 0
+			stableStart = iter
+		case roundComplete:
+			stableRuns++
+		}
+		if roundComplete {
+			resetFresh()
+		}
+		localOK := stableRuns >= o.Smooth
+		for r := range echoFromRank {
+			if recvFromRank[r] && echoFromRank[r] < float64(stableStart) {
+				localOK = false
+				break
+			}
+		}
+		stop, err := det.Step(localOK)
+		if err != nil {
+			return err
+		}
+		if stop {
+			converged = true
+			break
+		}
+		if pk := c.TryRecv(mp.AnySource, tagAbort); pk != nil {
+			aborted = true
+			break
+		}
+	}
+	if !converged && !aborted && o.Async {
+		for m := 0; m < c.Size(); m++ {
+			if m != rank {
+				if err := c.Signal(m, tagAbort); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Gather the owned cells of every band at rank 0.
+	if rank != 0 {
+		for _, st := range owned {
+			ownedVals := st.xSub[st.band.Start-st.band.Lo : st.band.End-st.band.Lo]
+			if err := c.SendFloats(0, tagMGatherBase+st.idx, ownedVals); err != nil {
+				return err
+			}
+		}
+	} else {
+		x := make([]float64, d.N)
+		for _, st := range owned {
+			copy(x[st.band.Start:st.band.End], st.xSub[st.band.Start-st.band.Lo:st.band.End-st.band.Lo])
+		}
+		for b := 0; b < l; b++ {
+			if ownerOf(b) == 0 {
+				continue
+			}
+			pk := c.Recv(ownerOf(b), tagMGatherBase+b)
+			bb := d.Bands[b]
+			copy(x[bb.Start:bb.End], pk.Floats)
+		}
+		pend.res.X = x
+	}
+
+	pend.res.IterationsPerRank[rank] = iter
+	if iter > pend.res.Iterations {
+		pend.res.Iterations = iter
+	}
+	if factTime > pend.res.FactorTime {
+		pend.res.FactorTime = factTime
+	}
+	if rank == 0 {
+		pend.res.Converged = converged
+	}
+	pend.res.BytesSent += c.Proc().BytesSent
+	pend.res.MsgsSent += c.Proc().MsgsSent
+	if end := c.Now(); end > pend.res.Time {
+		pend.res.Time = end
+	}
+	pend.done = true
+	return nil
+}

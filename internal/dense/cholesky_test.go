@@ -1,0 +1,131 @@
+package dense
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+func spdMatrix(rng *rand.Rand, n int) *Matrix {
+	// B·Bᵀ + n·I is SPD.
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b.At(i, k) * b.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := spdMatrix(rng, 25)
+	xtrue := make([]float64, 25)
+	for i := range xtrue {
+		xtrue[i] = rng.NormFloat64()
+	}
+	var c vec.Counter
+	b := make([]float64, 25)
+	a.MulVec(b, xtrue, &c)
+	f, err := FactorCholesky(a, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 25)
+	f.Solve(x, b, &c)
+	for i := range x {
+		if math.Abs(x[i]-xtrue[i]) > 1e-8*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xtrue[i])
+		}
+	}
+	if f.Flops <= 0 {
+		t.Fatal("no flops reported")
+	}
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := spdMatrix(rng, 12)
+	var c vec.Counter
+	f, err := FactorCholesky(a, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L·Lᵀ must reproduce A.
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			s := 0.0
+			for k := 0; k <= min(i, j); k++ {
+				s += f.L.At(i, k) * f.L.At(j, k)
+			}
+			if math.Abs(s-a.At(i, j)) > 1e-9*(1+math.Abs(a.At(i, j))) {
+				t.Fatalf("LLᵀ(%d,%d) = %v, want %v", i, j, s, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	var c vec.Counter
+	if _, err := FactorCholesky(a, &c); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("err = %v, want ErrNotSPD", err)
+	}
+	if _, err := FactorCholesky(NewMatrix(2, 3), &c); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestCholeskyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		a := spdMatrix(rng, n)
+		var c vec.Counter
+		ch, err := FactorCholesky(a, &c)
+		if err != nil {
+			return false
+		}
+		xtrue := make([]float64, n)
+		for i := range xtrue {
+			xtrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(b, xtrue, &c)
+		x := make([]float64, n)
+		ch.Solve(x, b, &c)
+		for i := range x {
+			if math.Abs(x[i]-xtrue[i]) > 1e-7*(1+math.Abs(xtrue[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

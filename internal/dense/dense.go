@@ -1,0 +1,336 @@
+// Package dense provides dense and banded matrix storage together with LU
+// factorizations (partial pivoting) and triangular solves. These are the
+// "any sequential direct solver" alternatives the paper's Section 2 allows a
+// processor to plug into the multisplitting iteration.
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// ErrSingular is returned when a factorization meets an exactly zero pivot.
+var ErrSingular = errors.New("dense: matrix is singular")
+
+// Matrix is a row-major dense matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, element (i,j) at Data[i*Cols+j]
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("dense: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+// Add accumulates v into element (i, j).
+func (m *Matrix) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("dense: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic("dense: row out of range")
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: append([]float64(nil), m.Data...)}
+}
+
+// MulVec computes y = M*x.
+func (m *Matrix) MulVec(y, x []float64, c *vec.Counter) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic("dense: MulVec shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	c.Add(2 * float64(m.Rows) * float64(m.Cols))
+}
+
+// LU is a dense LU factorization with partial pivoting: P·A = L·U with unit
+// lower-triangular L stored below the diagonal of LU and U on and above it.
+type LU struct {
+	N     int
+	LU    *Matrix
+	Piv   []int // row i of the factor came from original row Piv[i]
+	Flops float64
+}
+
+// FactorLU computes the dense LU factorization of a (which is not modified).
+func FactorLU(a *Matrix, c *vec.Counter) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("dense: FactorLU needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	flops := 0.0
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest magnitude in column k, rows k..n-1.
+		p := k
+		best := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > best {
+				best, p = a, i
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := lu.At(i, k) / pivot
+			lu.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= l * rk[j]
+			}
+			flops += 2 * float64(n-k-1)
+		}
+		flops += float64(n - k - 1)
+	}
+	c.Add(flops)
+	return &LU{N: n, LU: lu, Piv: piv, Flops: flops}, nil
+}
+
+// Solve computes x with A·x = b. b is not modified.
+func (f *LU) Solve(x, b []float64, c *vec.Counter) {
+	n := f.N
+	if len(x) != n || len(b) != n {
+		panic("dense: LU Solve shape mismatch")
+	}
+	// Apply permutation: y = P·b.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.Piv[i]]
+	}
+	// Forward solve L·y = P·b (unit diagonal).
+	for i := 1; i < n; i++ {
+		row := f.LU.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back solve U·x = y.
+	for i := n - 1; i >= 0; i-- {
+		row := f.LU.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	c.Add(2 * float64(n) * float64(n))
+}
+
+// Band is a general band matrix with kl sub-diagonals and ku super-diagonals
+// stored in LAPACK band layout with room for fill during pivoting: column j
+// holds rows j-ku-kl .. j+kl in a (2kl+ku+1)×n array (the extra kl rows
+// absorb pivot fill, as in LAPACK gbtrf).
+type Band struct {
+	N, KL, KU int
+	// Data[(kl+ku+i-j) + j*stride] holds A(i,j) once factored; before
+	// factorization entries live in rows kl..2kl+ku of each column.
+	Data   []float64
+	stride int
+}
+
+// NewBand returns a zeroed n×n band matrix with the given bandwidths.
+func NewBand(n, kl, ku int) *Band {
+	if n < 0 || kl < 0 || ku < 0 {
+		panic("dense: negative band dimension")
+	}
+	stride := 2*kl + ku + 1
+	return &Band{N: n, KL: kl, KU: ku, Data: make([]float64, stride*n), stride: stride}
+}
+
+// Set assigns A(i,j); |i-j| must lie within the band.
+func (b *Band) Set(i, j int, v float64) {
+	if i < 0 || i >= b.N || j < 0 || j >= b.N {
+		panic("dense: band index out of range")
+	}
+	if i-j > b.KL || j-i > b.KU {
+		panic(fmt.Sprintf("dense: (%d,%d) outside band kl=%d ku=%d", i, j, b.KL, b.KU))
+	}
+	b.Data[b.index(i, j)] = v
+}
+
+// At returns A(i,j), zero outside the band.
+func (b *Band) At(i, j int) float64 {
+	if i < 0 || i >= b.N || j < 0 || j >= b.N {
+		panic("dense: band index out of range")
+	}
+	if i-j > b.KL || j-i > b.KU {
+		return 0
+	}
+	return b.Data[b.index(i, j)]
+}
+
+func (b *Band) index(i, j int) int {
+	return (b.KL + b.KU + i - j) + j*b.stride
+}
+
+// BandLU is an LU factorization of a band matrix with partial pivoting.
+type BandLU struct {
+	b     *Band
+	piv   []int
+	Flops float64
+}
+
+// FactorBand factors the band matrix in place (gbtrf-style) and returns the
+// factorization. The receiver is consumed: do not reuse b afterwards.
+func FactorBand(b *Band, c *vec.Counter) (*BandLU, error) {
+	n, kl, ku := b.N, b.KL, b.KU
+	piv := make([]int, n)
+	flops := 0.0
+	// Effective upper bandwidth after pivoting grows to kl+ku.
+	kv := kl + ku
+	for k := 0; k < n; k++ {
+		// Pivot search among rows k..min(k+kl, n-1) in column k.
+		p := k
+		best := math.Abs(b.at2(k, k, kv))
+		iMax := k + kl
+		if iMax > n-1 {
+			iMax = n - 1
+		}
+		for i := k + 1; i <= iMax; i++ {
+			if a := math.Abs(b.at2(i, k, kv)); a > best {
+				best, p = a, i
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		piv[k] = p
+		jMax := k + kv
+		if jMax > n-1 {
+			jMax = n - 1
+		}
+		if p != k {
+			for j := k; j <= jMax; j++ {
+				vk := b.at2(k, j, kv)
+				vp := b.at2(p, j, kv)
+				b.set2(k, j, vp, kv)
+				b.set2(p, j, vk, kv)
+			}
+		}
+		pivot := b.at2(k, k, kv)
+		for i := k + 1; i <= iMax; i++ {
+			l := b.at2(i, k, kv) / pivot
+			b.set2(i, k, l, kv)
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j <= jMax; j++ {
+				b.set2(i, j, b.at2(i, j, kv)-l*b.at2(k, j, kv), kv)
+			}
+			flops += 2 * float64(jMax-k)
+		}
+	}
+	c.Add(flops)
+	return &BandLU{b: b, piv: piv, Flops: flops}, nil
+}
+
+// at2/set2 access the factored layout where the upper bandwidth is kv=kl+ku.
+func (b *Band) at2(i, j, kv int) float64 {
+	if i-j > b.KL || j-i > kv {
+		return 0
+	}
+	return b.Data[(b.KL+b.KU+i-j)+j*b.stride]
+}
+
+func (b *Band) set2(i, j int, v float64, kv int) {
+	if i-j > b.KL || j-i > kv {
+		if v != 0 {
+			panic("dense: band fill outside storage")
+		}
+		return
+	}
+	b.Data[(b.KL+b.KU+i-j)+j*b.stride] = v
+}
+
+// Solve computes x with A·x = b0 using the band factorization.
+func (f *BandLU) Solve(x, b0 []float64, c *vec.Counter) {
+	b := f.b
+	n, kl, ku := b.N, b.KL, b.KU
+	kv := kl + ku
+	if len(x) != n || len(b0) != n {
+		panic("dense: BandLU Solve shape mismatch")
+	}
+	copy(x, b0)
+	// Forward: apply row swaps and L (unit diagonal) in elimination order.
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+		iMax := k + kl
+		if iMax > n-1 {
+			iMax = n - 1
+		}
+		for i := k + 1; i <= iMax; i++ {
+			x[i] -= b.at2(i, k, kv) * x[k]
+		}
+	}
+	// Back substitution with U (bandwidth kv).
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		jMax := i + kv
+		if jMax > n-1 {
+			jMax = n - 1
+		}
+		for j := i + 1; j <= jMax; j++ {
+			s -= b.at2(i, j, kv) * x[j]
+		}
+		x[i] = s / b.at2(i, i, kv)
+	}
+	c.Add(2 * float64(n) * float64(kl+kv+1))
+}

@@ -1,0 +1,366 @@
+// Package detect implements global convergence detection for asynchronous
+// iterations, the two options of step 4 of the paper's Algorithm 1:
+//
+//   - Centralized (paper ref [2]): every process reports local-convergence
+//     state changes to rank 0, which runs a verification round before
+//     broadcasting the stop order.
+//   - Decentralized (paper ref [4]): processes form a binary tree; subtree
+//     convergence states flow toward the root, the root triggers a
+//     verification wave down the tree, and only an all-yes response commits
+//     the stop. State changes (un-convergence) cancel pending detections.
+//
+// Both detectors are polling (non-blocking): the solver calls Step once per
+// local iteration with its current local convergence state and keeps
+// iterating until Step reports the global stop.
+package detect
+
+import (
+	"fmt"
+
+	"repro/internal/mp"
+)
+
+// Detector is a pluggable global-convergence detection protocol.
+type Detector interface {
+	// Step reports this process's current local convergence state and
+	// processes protocol traffic. It returns true when global convergence
+	// has been committed and the process must stop iterating.
+	Step(localConverged bool) (bool, error)
+	// Name identifies the protocol in experiment reports.
+	Name() string
+}
+
+// Protocol message tags. The solver must not use tags in this range
+// (reserve user tags below 1<<18).
+const (
+	tagState  = 1<<18 + iota // worker -> coordinator / child -> parent state change
+	tagVerify                // coordinator/root -> workers: verification request
+	tagVResp                 // verification response (up)
+	tagStop                  // commit: stop iterating
+	tagResume                // verification failed: keep iterating
+)
+
+// Centralized implements Detector with a rank-0 coordinator.
+type Centralized struct {
+	c *mp.Comm
+	// lastReported is this worker's last state sent to the coordinator.
+	lastReported bool
+	reportedOnce bool
+
+	// Coordinator state (rank 0 only).
+	state      []bool
+	inVerify   bool
+	vresp      map[int]bool
+	stopped    bool
+	Detections int // completed verification rounds (diagnostics)
+}
+
+// NewCentralized creates a centralized detector over the communicator.
+func NewCentralized(c *mp.Comm) *Centralized {
+	d := &Centralized{c: c}
+	if c.Rank() == 0 {
+		d.state = make([]bool, c.Size())
+	}
+	return d
+}
+
+// Name implements Detector.
+func (d *Centralized) Name() string { return "centralized" }
+
+// Step implements Detector.
+func (d *Centralized) Step(local bool) (bool, error) {
+	if d.stopped {
+		return true, nil
+	}
+	if d.c.Size() == 1 {
+		return local, nil
+	}
+	if d.c.Rank() == 0 {
+		return d.coordinatorStep(local)
+	}
+	return d.workerStep(local)
+}
+
+func (d *Centralized) workerStep(local bool) (bool, error) {
+	c := d.c
+	// Report state changes.
+	if !d.reportedOnce || local != d.lastReported {
+		if err := c.SendInts(0, tagState, []int{boolToInt(local)}); err != nil {
+			return false, err
+		}
+		d.reportedOnce = true
+		d.lastReported = local
+	}
+	// Answer verification requests with the *current* local state.
+	for {
+		pk := c.TryRecv(0, tagVerify)
+		if pk == nil {
+			break
+		}
+		if err := c.SendInts(0, tagVResp, []int{boolToInt(local)}); err != nil {
+			return false, err
+		}
+	}
+	if pk := c.TryRecv(0, tagStop); pk != nil {
+		d.stopped = true
+		return true, nil
+	}
+	return false, nil
+}
+
+func (d *Centralized) coordinatorStep(local bool) (bool, error) {
+	c := d.c
+	d.state[0] = local
+	for {
+		pk := c.TryRecv(mp.AnySource, tagState)
+		if pk == nil {
+			break
+		}
+		d.state[pk.From] = pk.Ints[0] != 0
+		if d.inVerify {
+			// A state change during verification invalidates it.
+			if pk.Ints[0] == 0 {
+				d.vresp = nil
+				d.inVerify = false
+			}
+		}
+	}
+	if d.inVerify {
+		for {
+			pk := c.TryRecv(mp.AnySource, tagVResp)
+			if pk == nil {
+				break
+			}
+			if d.vresp == nil { // verification already aborted; drop stale responses
+				continue
+			}
+			d.vresp[pk.From] = pk.Ints[0] != 0
+		}
+		if d.vresp != nil && len(d.vresp) == c.Size()-1 {
+			ok := local
+			for _, v := range d.vresp {
+				ok = ok && v
+			}
+			d.inVerify = false
+			d.vresp = nil
+			d.Detections++
+			if ok {
+				for r := 1; r < c.Size(); r++ {
+					if err := c.Signal(r, tagStop); err != nil {
+						return false, err
+					}
+				}
+				d.stopped = true
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	// Start a verification round when everyone looks converged.
+	all := true
+	for _, s := range d.state {
+		all = all && s
+	}
+	if all {
+		d.inVerify = true
+		d.vresp = make(map[int]bool, c.Size()-1)
+		for r := 1; r < c.Size(); r++ {
+			if err := c.Signal(r, tagVerify); err != nil {
+				return false, err
+			}
+		}
+	}
+	return false, nil
+}
+
+// Decentralized implements Detector with a binary tree over the ranks:
+// parent(r) = (r−1)/2. Subtree convergence changes propagate up; the root
+// launches a verification wave and commits the stop only on an all-yes
+// response.
+type Decentralized struct {
+	c        *mp.Comm
+	parent   int
+	children []int
+
+	local    bool
+	childOK  map[int]bool
+	lastSent int // -1 unsent, else 0/1 last subtree state pushed to parent
+
+	// Verification state.
+	verifying  bool
+	vrespWait  map[int]bool // children we still owe a response
+	vrespOK    bool
+	sawVerify  bool // non-root: a verify wave is in flight below us
+	stopped    bool
+	Detections int
+}
+
+// NewDecentralized creates a tree-based detector over the communicator.
+func NewDecentralized(c *mp.Comm) *Decentralized {
+	d := &Decentralized{c: c, parent: (c.Rank() - 1) / 2, lastSent: -1, childOK: map[int]bool{}}
+	for _, ch := range []int{2*c.Rank() + 1, 2*c.Rank() + 2} {
+		if ch < c.Size() {
+			d.children = append(d.children, ch)
+			d.childOK[ch] = false
+		}
+	}
+	return d
+}
+
+// Name implements Detector.
+func (d *Decentralized) Name() string { return "decentralized" }
+
+func (d *Decentralized) isRoot() bool { return d.c.Rank() == 0 }
+
+func (d *Decentralized) subtreeOK() bool {
+	ok := d.local
+	for _, v := range d.childOK {
+		ok = ok && v
+	}
+	return ok
+}
+
+// Step implements Detector.
+func (d *Decentralized) Step(local bool) (bool, error) {
+	if d.stopped {
+		return true, nil
+	}
+	if d.c.Size() == 1 {
+		return local, nil
+	}
+	c := d.c
+	d.local = local
+
+	// Drain child state changes.
+	for {
+		pk := c.TryRecv(mp.AnySource, tagState)
+		if pk == nil {
+			break
+		}
+		d.childOK[pk.From] = pk.Ints[0] != 0
+	}
+	// A stop order is terminal: forward down the tree and quit.
+	if !d.isRoot() {
+		if pk := c.TryRecv(d.parent, tagStop); pk != nil {
+			for _, ch := range d.children {
+				if err := c.Signal(ch, tagStop); err != nil {
+					return false, err
+				}
+			}
+			d.stopped = true
+			return true, nil
+		}
+	}
+
+	// Verification wave arriving from the parent: forward down and start
+	// collecting responses.
+	if !d.isRoot() && !d.sawVerify {
+		if pk := c.TryRecv(d.parent, tagVerify); pk != nil {
+			d.sawVerify = true
+			d.vrespWait = map[int]bool{}
+			d.vrespOK = local
+			for _, ch := range d.children {
+				d.vrespWait[ch] = true
+				if err := c.Signal(ch, tagVerify); err != nil {
+					return false, err
+				}
+			}
+		}
+	}
+	// Collect verification responses from children (both root and inner).
+	if d.sawVerify || d.verifying {
+		for {
+			pk := c.TryRecv(mp.AnySource, tagVResp)
+			if pk == nil {
+				break
+			}
+			if d.vrespWait != nil {
+				delete(d.vrespWait, pk.From)
+				d.vrespOK = d.vrespOK && pk.Ints[0] != 0
+			}
+		}
+		if d.vrespWait != nil && len(d.vrespWait) == 0 {
+			if d.isRoot() {
+				d.verifying = false
+				d.vrespWait = nil
+				d.Detections++
+				if d.vrespOK && d.local {
+					for _, ch := range d.children {
+						if err := c.Signal(ch, tagStop); err != nil {
+							return false, err
+						}
+					}
+					d.stopped = true
+					return true, nil
+				}
+				// Failed verification: tell everyone to keep going.
+				for _, ch := range d.children {
+					if err := c.Signal(ch, tagResume); err != nil {
+						return false, err
+					}
+				}
+			} else {
+				// All children answered: push the aggregate up.
+				ok := d.vrespOK && d.local
+				if err := c.SendInts(d.parent, tagVResp, []int{boolToInt(ok)}); err != nil {
+					return false, err
+				}
+				d.vrespWait = nil
+				// sawVerify stays set until STOP or RESUME arrives.
+			}
+		}
+	}
+	// Resume order: clear verification state, forward down.
+	if !d.isRoot() {
+		if pk := c.TryRecv(d.parent, tagResume); pk != nil {
+			d.sawVerify = false
+			d.vrespWait = nil
+			for _, ch := range d.children {
+				if err := c.Signal(ch, tagResume); err != nil {
+					return false, err
+				}
+			}
+		}
+	}
+
+	// Push subtree state changes toward the root.
+	st := boolToInt(d.subtreeOK())
+	if !d.isRoot() && st != d.lastSent {
+		if err := c.SendInts(d.parent, tagState, []int{st}); err != nil {
+			return false, err
+		}
+		d.lastSent = st
+	}
+	// Root launches a verification wave when its subtree looks converged.
+	if d.isRoot() && !d.verifying && d.subtreeOK() {
+		d.verifying = true
+		d.vrespWait = map[int]bool{}
+		d.vrespOK = true
+		for _, ch := range d.children {
+			d.vrespWait[ch] = true
+			if err := c.Signal(ch, tagVerify); err != nil {
+				return false, err
+			}
+		}
+	}
+	return false, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// New returns a detector by name ("centralized" or "decentralized").
+func New(name string, c *mp.Comm) (Detector, error) {
+	switch name {
+	case "centralized":
+		return NewCentralized(c), nil
+	case "decentralized":
+		return NewDecentralized(c), nil
+	default:
+		return nil, fmt.Errorf("detect: unknown protocol %q", name)
+	}
+}

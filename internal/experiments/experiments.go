@@ -1,0 +1,281 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6): the cluster1 scalability tables (1, 2), the
+// distant heterogeneous cluster comparison (Table 3), the network
+// perturbation study (Table 4) and the overlap sweep (Figure 3).
+//
+// Matrix sizes are divided by Config.Scale so a full regeneration runs in
+// seconds to minutes; Scale 1 uses the paper's exact dimensions (feasible
+// for the generated banded matrices, prohibitive for the near-dense
+// cage-like factorizations — see EXPERIMENTS.md). Every solve is verified
+// against a manufactured true solution; cells are marked when verification
+// fails.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dslu"
+	"repro/internal/gen"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+	"repro/internal/vgrid"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale divides the paper's matrix dimensions (default 16).
+	Scale int
+	// Progress, when non-nil, receives per-run progress lines.
+	Progress io.Writer
+}
+
+func (c Config) scale() int {
+	if c.Scale < 1 {
+		return 16
+	}
+	return c.Scale
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], cell)
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1 + 2*len(widths)
+	for _, wd := range widths {
+		total += wd
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(line(t.Header)))); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV renders the table as comma-separated values (for plotting Figure 3).
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Workload matrices (paper Section 6, scaled).
+
+// Cage10Like returns the cage10 stand-in (n = 11397/scale).
+func Cage10Like(cfg Config) *sparse.CSR { return gen.CageLike(11397/cfg.scale(), 1010) }
+
+// Cage11Like returns the cage11 stand-in (n = 39082/scale).
+func Cage11Like(cfg Config) *sparse.CSR { return gen.CageLike(39082/cfg.scale(), 1011) }
+
+// Cage12Like returns the cage12 stand-in (n = 130228/scale).
+func Cage12Like(cfg Config) *sparse.CSR { return gen.CageLike(130228/cfg.scale(), 1012) }
+
+// Gen500k returns the paper's generated diagonally dominant matrix of
+// degree 500000 (scaled).
+func Gen500k(cfg Config) *sparse.CSR {
+	return gen.DiagDominant(gen.DiagDominantOpts{
+		N: 500000 / cfg.scale(), Band: 12, PerRow: 7, Margin: 0.4, Seed: 500,
+	})
+}
+
+// Gen100k returns the generated matrix of degree 100000 whose spectral
+// radius is close to 1 (the Figure 3 matrix): wide local single-sign
+// couplings and a tiny dominance margin put the band splittings in the
+// Schwarz regime, where overlap meaningfully trades iteration count against
+// factorization cost. The coupling width scales with the matrix so the
+// overlap-to-band ratios (and hence iteration counts) are scale-invariant.
+func Gen100k(cfg Config) *sparse.CSR {
+	n := 100000 / cfg.scale()
+	band := 960 / cfg.scale()
+	if band < 4 {
+		band = 4
+	}
+	return gen.DiagDominant(gen.DiagDominantOpts{
+		N: n, Band: band, PerRow: 10, Margin: 0.002, Negative: true, Seed: 100,
+	})
+}
+
+// fig3SpeedScale preserves the paper's compute-to-communication balance for
+// the overlap sweep: per-band factorization work shrinks as scale³ (rows ×
+// width²) while network latency is scale-free, so host speed shrinks by the
+// same cube. At scale 16 this calibrates the factorization-time curve into
+// the paper's 3–10 s range.
+func fig3SpeedScale(cfg Config) float64 {
+	s := float64(cfg.scale())
+	return 40.96 / (s * s * s)
+}
+
+// --- Cell runners.
+
+type cell struct {
+	time float64
+	fact float64
+	ok   bool
+	note string
+}
+
+func (c cell) timeStr() string {
+	if !c.ok {
+		return c.note
+	}
+	return fmtSec(c.time)
+}
+
+func fmtSec(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.3f", s)
+	}
+}
+
+// relResidual returns ‖Ax − b‖∞ / ‖b‖∞.
+func relResidual(a *sparse.CSR, x, b []float64) float64 {
+	var c vec.Counter
+	y := make([]float64, len(b))
+	a.MulVec(y, x, &c)
+	num, den := 0.0, 0.0
+	for i := range y {
+		if d := math.Abs(y[i] - b[i]); d > num {
+			num = d
+		}
+		if d := math.Abs(b[i]); d > den {
+			den = d
+		}
+	}
+	if den == 0 {
+		return num
+	}
+	return num / den
+}
+
+// residualGate marks a cell bad when the solve did not actually solve.
+const residualGate = 1e-4
+
+// probeFill runs the distributed solver without memory limits and returns
+// its total factor fill (used to self-calibrate the "nem" budgets).
+func probeFill(plt *cluster.Platform, a *sparse.CSR, b []float64) (int64, error) {
+	res, err := dslu.Solve(plt.Platform, plt.Hosts, a, b, dslu.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("experiments: fill probe: %w", err)
+	}
+	return res.FillNNZ, nil
+}
+
+func newEngine(plt *cluster.Platform) *vgrid.Engine { return vgrid.NewEngine(plt.Platform) }
+
+func dsluLaunch(e *vgrid.Engine, plt *cluster.Platform, a *sparse.CSR, b []float64) (*dslu.Pending, error) {
+	return dslu.Launch(e, plt.Hosts, a, b, dslu.Options{})
+}
+
+func runDSLU(plt *cluster.Platform, a *sparse.CSR, b []float64, track bool) cell {
+	res, err := dslu.Solve(plt.Platform, plt.Hosts, a, b, dslu.Options{TrackMemory: track})
+	switch {
+	case errors.Is(err, vgrid.ErrOutOfMemory):
+		return cell{note: "nem"}
+	case err != nil:
+		return cell{note: "err"}
+	}
+	if r := relResidual(a, res.X, b); r > residualGate {
+		return cell{note: fmt.Sprintf("bad(%.0e)", r)}
+	}
+	return cell{time: res.Time, fact: res.FactorTime, ok: true}
+}
+
+type msOpts struct {
+	async   bool
+	overlap int
+	track   bool
+	flows   int
+}
+
+func runMS(plt *cluster.Platform, a *sparse.CSR, b []float64, o msOpts) (cell, *core.Result) {
+	e := vgrid.NewEngine(plt.Platform)
+	pend, err := core.Launch(e, plt.Hosts, a, b, core.Options{
+		Async:       o.async,
+		Overlap:     o.overlap,
+		TrackMemory: o.track,
+	})
+	if err != nil {
+		return cell{note: "err"}, nil
+	}
+	if o.flows > 0 {
+		plt.Perturb(e, o.flows, pend.Running)
+	}
+	_, err = e.Run()
+	pend.Finish()
+	res := pend.Result()
+	switch {
+	case errors.Is(err, vgrid.ErrOutOfMemory):
+		return cell{note: "nem"}, res
+	case err != nil:
+		return cell{note: "err"}, res
+	case !res.Converged:
+		return cell{note: "div"}, res
+	}
+	if r := relResidual(a, res.X, b); r > residualGate {
+		return cell{note: fmt.Sprintf("bad(%.0e)", r)}, res
+	}
+	return cell{time: res.Time, fact: res.FactorTime, ok: true}, res
+}

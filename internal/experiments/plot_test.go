@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := AsciiPlot(&buf, "demo", []float64{0, 1, 2}, []Series{
+		{Name: "up", Marker: 'u', Y: []float64{0, 1, 2}},
+		{Name: "down", Marker: 'd', Y: []float64{2, 1, 0}},
+	}, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "legend:", "u up", "d down"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") < 10 {
+		t.Fatalf("plot too short:\n%s", out)
+	}
+}
+
+func TestAsciiPlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, "x", []float64{0}, nil, 30, 10); err == nil {
+		t.Fatal("empty plot accepted")
+	}
+}
+
+func TestAsciiPlotConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := AsciiPlot(&buf, "flat", []float64{0, 1}, []Series{
+		{Name: "c", Marker: 'c', Y: []float64{5, 5}},
+	}, 25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "c") {
+		t.Fatal("constant series not drawn")
+	}
+}
+
+func TestPlotFigure3FromTable(t *testing.T) {
+	tab := &Table{
+		Title:  "fig3",
+		Header: []string{"overlap", "sync time", "async time", "factorization time", "sync iterations/100"},
+		Rows: [][]string{
+			{"0", "10", "12", "1", "4"},
+			{"500", "6", "7", "2", "1"},
+			{"1000", "7", "8", "3", "0.5"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := PlotFigure3(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"synchronous", "asynchronous", "factorizing time", "iterations/100"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("figure plot missing %q", want)
+		}
+	}
+}
+
+func TestPlotFigure3SkipsBadCells(t *testing.T) {
+	tab := &Table{
+		Title:  "fig3",
+		Header: []string{"overlap", "sync time", "async time", "factorization time", "sync iterations/100"},
+		Rows: [][]string{
+			{"0", "nem", "-", "-", "-"},
+			{"500", "6", "7", "2", "1"},
+			{"1000", "7", "8", "3", "0.5"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := PlotFigure3(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlotFigure3AllBad(t *testing.T) {
+	tab := &Table{
+		Title:  "fig3",
+		Header: []string{"overlap", "sync time", "async time", "factorization time", "sync iterations/100"},
+		Rows:   [][]string{{"0", "nem", "-", "-", "-"}},
+	}
+	var buf bytes.Buffer
+	if err := PlotFigure3(&buf, tab); err == nil {
+		t.Fatal("unplottable table accepted")
+	}
+}

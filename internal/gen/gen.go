@@ -1,0 +1,300 @@
+// Package gen builds the test and experiment matrices: the paper's generated
+// diagonally dominant systems (with a controllable dominance margin so the
+// Jacobi spectral radius can be pushed arbitrarily close to 1, as the
+// authors do for their Figure 3 matrix), synthetic stand-ins for the UF
+// cage10/11/12 DNA-electrophoresis matrices, and classic PDE discretizations
+// used by the examples and the property tests.
+//
+// Everything is deterministic given a seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// DiagDominantOpts configures DiagDominant.
+type DiagDominantOpts struct {
+	// N is the matrix dimension.
+	N int
+	// Band is the half bandwidth for off-diagonal placement (default 10).
+	Band int
+	// PerRow is the number of off-diagonal entries per row (default 6).
+	PerRow int
+	// Margin is the strict-dominance margin: |a_ii| = (1+Margin)·Σ|a_ij|.
+	// A small margin pushes the point-Jacobi spectral radius toward 1
+	// (default 0.5). Must be > 0 for strict dominance.
+	Margin float64
+	// Negative makes every off-diagonal entry negative (an M-matrix-like
+	// sign pattern). With mixed signs random cancellation keeps the true
+	// spectral radius of the iteration operator well below the row-sum
+	// bound; a single sign removes the cancellation so ρ genuinely
+	// approaches 1/(1+Margin) — the regime of the paper's Figure 3 matrix.
+	Negative bool
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+func (o *DiagDominantOpts) defaults() {
+	if o.Band <= 0 {
+		o.Band = 10
+	}
+	if o.PerRow <= 0 {
+		o.PerRow = 6
+	}
+	if o.Margin == 0 {
+		o.Margin = 0.5
+	}
+}
+
+// DiagDominant generates a nonsymmetric strictly diagonally dominant banded
+// sparse matrix, following the construction the paper describes for its
+// "generated" 500000 and 100000 matrices. Rows i always couple to i−1 and
+// i+1 so the matrix is irreducible.
+func DiagDominant(o DiagDominantOpts) *sparse.CSR {
+	o.defaults()
+	n := o.N
+	rng := rand.New(rand.NewSource(o.Seed))
+	co := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		cols := map[int]bool{}
+		if i > 0 {
+			cols[i-1] = true
+		}
+		if i < n-1 {
+			cols[i+1] = true
+		}
+		// Cap the target by the columns actually reachable inside the band
+		// (rows near the boundary have fewer candidates).
+		lo, hi := i-o.Band, i+o.Band
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		want := o.PerRow
+		if avail := hi - lo; avail < want {
+			want = avail
+		}
+		for len(cols) < want {
+			off := rng.Intn(2*o.Band+1) - o.Band
+			j := i + off
+			if j == i || j < 0 || j >= n {
+				continue
+			}
+			cols[j] = true
+		}
+		sum := 0.0
+		for _, j := range sortedKeys(cols) {
+			var v float64
+			if o.Negative {
+				v = -(0.05 + 0.95*rng.Float64()) // in [-1,-0.05)
+			} else {
+				v = rng.Float64()*2 - 1 // in [-1,1)
+				if v == 0 {
+					v = 0.5
+				}
+			}
+			co.Append(i, j, v)
+			sum += math.Abs(v)
+		}
+		co.Append(i, i, (1+o.Margin)*sum)
+	}
+	return co.ToCSR()
+}
+
+// CageLike generates a synthetic stand-in for the UF cage family (DNA
+// electrophoresis transition matrices): nonsymmetric, ~13 nonzeros per row,
+// positive diagonal with negative off-diagonals in I−P form where P is
+// substochastic, hence an irreducibly diagonally dominant M-matrix-like
+// system. Structure mixes short-range (±1, ±2) and long-range (±k, ±k²)
+// couplings, mimicking the cage model's configuration-graph bands.
+func CageLike(n int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	co := sparse.NewCOO(n, n)
+	k := int(math.Sqrt(float64(n)))
+	if k < 2 {
+		k = 2
+	}
+	offsets := []int{-k * 2, -k, -2, -1, 1, 2, k, k * 2}
+	for i := 0; i < n; i++ {
+		// Deterministic structural couplings plus a few random ones.
+		cols := map[int]bool{}
+		for _, off := range offsets {
+			j := i + off
+			if j >= 0 && j < n && j != i {
+				cols[j] = true
+			}
+		}
+		extra := 5
+		for e := 0; e < extra; e++ {
+			j := rng.Intn(n)
+			if j != i {
+				cols[j] = true
+			}
+		}
+		// Substochastic off-diagonal mass: rows sum to 1−δ with δ≈0.1.
+		delta := 0.08 + 0.04*rng.Float64()
+		mass := 1 - delta
+		order := sortedKeys(cols)
+		weights := make([]float64, len(order))
+		wsum := 0.0
+		for k := range order {
+			w := 0.1 + rng.Float64()
+			weights[k] = w
+			wsum += w
+		}
+		for k, j := range order {
+			co.Append(i, j, -mass*weights[k]/wsum)
+		}
+		co.Append(i, i, 1)
+	}
+	return co.ToCSR()
+}
+
+// Poisson2D returns the 5-point finite-difference Laplacian on an nx×ny grid
+// (n = nx·ny unknowns, Dirichlet boundary), a symmetric irreducibly
+// diagonally dominant M-matrix — the paper's Section 5 model problem class.
+func Poisson2D(nx, ny int) *sparse.CSR {
+	n := nx * ny
+	co := sparse.NewCOO(n, n)
+	idx := func(i, j int) int { return i*ny + j }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			r := idx(i, j)
+			co.Append(r, r, 4)
+			if i > 0 {
+				co.Append(r, idx(i-1, j), -1)
+			}
+			if i < nx-1 {
+				co.Append(r, idx(i+1, j), -1)
+			}
+			if j > 0 {
+				co.Append(r, idx(i, j-1), -1)
+			}
+			if j < ny-1 {
+				co.Append(r, idx(i, j+1), -1)
+			}
+		}
+	}
+	return co.ToCSR()
+}
+
+// Poisson3D returns the 7-point Laplacian on an nx×ny×nz grid.
+func Poisson3D(nx, ny, nz int) *sparse.CSR {
+	n := nx * ny * nz
+	co := sparse.NewCOO(n, n)
+	idx := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				r := idx(i, j, k)
+				co.Append(r, r, 6)
+				if i > 0 {
+					co.Append(r, idx(i-1, j, k), -1)
+				}
+				if i < nx-1 {
+					co.Append(r, idx(i+1, j, k), -1)
+				}
+				if j > 0 {
+					co.Append(r, idx(i, j-1, k), -1)
+				}
+				if j < ny-1 {
+					co.Append(r, idx(i, j+1, k), -1)
+				}
+				if k > 0 {
+					co.Append(r, idx(i, j, k-1), -1)
+				}
+				if k < nz-1 {
+					co.Append(r, idx(i, j, k+1), -1)
+				}
+			}
+		}
+	}
+	return co.ToCSR()
+}
+
+// Tridiag returns the tridiagonal Toeplitz matrix with sub-diagonal a, main
+// diagonal b and super-diagonal c.
+func Tridiag(n int, a, b, c float64) *sparse.CSR {
+	co := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			co.Append(i, i-1, a)
+		}
+		co.Append(i, i, b)
+		if i < n-1 {
+			co.Append(i, i+1, c)
+		}
+	}
+	return co.ToCSR()
+}
+
+// sortedKeys returns the keys of a column set in increasing order, so value
+// draws from the seeded RNG happen in a deterministic sequence.
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RandomDominant generates a random strictly diagonally dominant matrix with
+// approximately density·n off-diagonal entries per row; used by the
+// property-based tests over Theorem 1's hypothesis class.
+func RandomDominant(n int, perRow int, margin float64, rng *rand.Rand) *sparse.CSR {
+	if perRow < 1 {
+		perRow = 1
+	}
+	co := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		cols := map[int]bool{}
+		want := perRow
+		if want > n-1 {
+			want = n - 1
+		}
+		for len(cols) < want {
+			j := rng.Intn(n)
+			if j != i {
+				cols[j] = true
+			}
+		}
+		sum := 0.0
+		for _, j := range sortedKeys(cols) {
+			v := rng.NormFloat64()
+			if v == 0 {
+				v = 1
+			}
+			co.Append(i, j, v)
+			sum += math.Abs(v)
+		}
+		sign := 1.0
+		if rng.Intn(2) == 0 {
+			sign = -1
+		}
+		co.Append(i, i, sign*(1+margin)*(sum+0.1))
+	}
+	return co.ToCSR()
+}
+
+// RHSForSolution returns b = A·xtrue for a deterministic smooth xtrue
+// (xtrue[i] = 1 + sin-profile), along with xtrue itself, so every experiment
+// can verify the computed solution against a known exact answer.
+func RHSForSolution(a *sparse.CSR) (b, xtrue []float64) {
+	n := a.Rows
+	xtrue = make([]float64, n)
+	for i := range xtrue {
+		xtrue[i] = 1 + 0.5*math.Sin(float64(i)*0.01)
+	}
+	b = make([]float64, n)
+	var c vec.Counter
+	a.MulVec(b, xtrue, &c)
+	return b, xtrue
+}

@@ -1,0 +1,208 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+func isStrictlyDominant(a *sparse.CSR) bool {
+	for i := 0; i < a.Rows; i++ {
+		diag, off := 0.0, 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.ColInd[p] == i {
+				diag = math.Abs(a.Val[p])
+			} else {
+				off += math.Abs(a.Val[p])
+			}
+		}
+		if diag <= off {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDiagDominantProperties(t *testing.T) {
+	a := DiagDominant(DiagDominantOpts{N: 500, Seed: 1})
+	if a.Rows != 500 || a.Cols != 500 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+	if !isStrictlyDominant(a) {
+		t.Fatal("matrix not strictly diagonally dominant")
+	}
+	// Irreducibility couplings: every row touches i-1 and i+1.
+	for i := 1; i < a.Rows-1; i++ {
+		if a.At(i, i-1) == 0 || a.At(i, i+1) == 0 {
+			t.Fatalf("row %d missing chain coupling", i)
+		}
+	}
+}
+
+func TestDiagDominantDeterministic(t *testing.T) {
+	a := DiagDominant(DiagDominantOpts{N: 100, Seed: 7})
+	b := DiagDominant(DiagDominantOpts{N: 100, Seed: 7})
+	if !sparse.Equal(a, b) {
+		t.Fatal("same seed produced different matrices")
+	}
+	c := DiagDominant(DiagDominantOpts{N: 100, Seed: 8})
+	if sparse.Equal(a, c) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestDiagDominantMarginControlsDominance(t *testing.T) {
+	tight := DiagDominant(DiagDominantOpts{N: 200, Margin: 0.01, Seed: 2})
+	loose := DiagDominant(DiagDominantOpts{N: 200, Margin: 2.0, Seed: 2})
+	ratio := func(a *sparse.CSR) float64 {
+		worst := 0.0
+		for i := 0; i < a.Rows; i++ {
+			diag, off := 0.0, 0.0
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				if a.ColInd[p] == i {
+					diag = math.Abs(a.Val[p])
+				} else {
+					off += math.Abs(a.Val[p])
+				}
+			}
+			if r := off / diag; r > worst {
+				worst = r
+			}
+		}
+		return worst
+	}
+	if ratio(tight) < ratio(loose) {
+		t.Fatalf("tight margin ratio %v should exceed loose %v", ratio(tight), ratio(loose))
+	}
+	if ratio(tight) < 0.9 {
+		t.Fatalf("margin 0.01 should give off/diag near 1, got %v", ratio(tight))
+	}
+}
+
+func TestDiagDominantBandRespected(t *testing.T) {
+	a := DiagDominant(DiagDominantOpts{N: 300, Band: 4, Seed: 3})
+	if bw := a.Bandwidth(); bw > 4 {
+		t.Fatalf("bandwidth %d exceeds requested band 4", bw)
+	}
+}
+
+func TestCageLikeProperties(t *testing.T) {
+	n := 1000
+	a := CageLike(n, 5)
+	if a.Rows != n {
+		t.Fatalf("rows = %d", a.Rows)
+	}
+	if !isStrictlyDominant(a) {
+		t.Fatal("cage-like matrix not strictly dominant")
+	}
+	avg := float64(a.NNZ()) / float64(n)
+	if avg < 8 || avg > 20 {
+		t.Fatalf("average nnz/row = %v, want cage-like 8..20", avg)
+	}
+	// I - P form: unit diagonal, non-positive off-diagonals.
+	for i := 0; i < n; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.ColInd[p] == i {
+				if a.Val[p] != 1 {
+					t.Fatalf("diagonal at %d is %v, want 1", i, a.Val[p])
+				}
+			} else if a.Val[p] > 0 {
+				t.Fatalf("positive off-diagonal at (%d,%d)", i, a.ColInd[p])
+			}
+		}
+	}
+}
+
+func TestCageLikeDeterministic(t *testing.T) {
+	if !sparse.Equal(CageLike(200, 1), CageLike(200, 1)) {
+		t.Fatal("CageLike not deterministic")
+	}
+}
+
+func TestPoisson2DStructure(t *testing.T) {
+	a := Poisson2D(4, 5)
+	if a.Rows != 20 {
+		t.Fatalf("rows = %d, want 20", a.Rows)
+	}
+	// Symmetric, diagonal 4, row sums non-negative (boundary rows positive).
+	tr := a.Transpose()
+	if !sparse.Equal(a, tr) {
+		t.Fatal("Poisson2D not symmetric")
+	}
+	for i := 0; i < a.Rows; i++ {
+		if a.At(i, i) != 4 {
+			t.Fatalf("diagonal %v at %d", a.At(i, i), i)
+		}
+		sum := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			sum += a.Val[p]
+		}
+		if sum < 0 {
+			t.Fatalf("row %d sum %v < 0", i, sum)
+		}
+	}
+}
+
+func TestPoisson3DStructure(t *testing.T) {
+	a := Poisson3D(3, 4, 5)
+	if a.Rows != 60 {
+		t.Fatalf("rows = %d, want 60", a.Rows)
+	}
+	if !sparse.Equal(a, a.Transpose()) {
+		t.Fatal("Poisson3D not symmetric")
+	}
+	// Interior row has 7 entries.
+	found := false
+	for i := 0; i < a.Rows; i++ {
+		if a.RowPtr[i+1]-a.RowPtr[i] == 7 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no interior 7-point row found")
+	}
+}
+
+func TestTridiag(t *testing.T) {
+	a := Tridiag(5, -1, 2, -3)
+	if a.At(2, 1) != -1 || a.At(2, 2) != 2 || a.At(2, 3) != -3 {
+		t.Fatal("wrong tridiagonal entries")
+	}
+	if a.NNZ() != 13 {
+		t.Fatalf("nnz = %d, want 13", a.NNZ())
+	}
+}
+
+func TestRandomDominantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		a := RandomDominant(n, 1+rng.Intn(6), 0.2, rng)
+		return a.Rows == n && isStrictlyDominant(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRHSForSolution(t *testing.T) {
+	a := Poisson2D(6, 6)
+	b, xtrue := RHSForSolution(a)
+	if len(b) != a.Rows || len(xtrue) != a.Rows {
+		t.Fatal("wrong lengths")
+	}
+	// Verify b = A·xtrue.
+	y := make([]float64, a.Rows)
+	var c vec.Counter
+	a.MulVec(y, xtrue, &c)
+	for i := range y {
+		if math.Abs(y[i]-b[i]) > 1e-12 {
+			t.Fatalf("b[%d] mismatch", i)
+		}
+	}
+}

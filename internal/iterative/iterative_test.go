@@ -1,0 +1,228 @@
+package iterative
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+	"repro/internal/splu"
+	"repro/internal/vec"
+)
+
+func TestJacobiConverges(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 200, Seed: 1})
+	b, xtrue := gen.RHSForSolution(a)
+	x := make([]float64, a.Rows)
+	var c vec.Counter
+	res, err := Jacobi(a, x, b, 1e-10, 10000, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xtrue[i]) > 1e-7*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xtrue[i])
+		}
+	}
+	if c.Flops() <= 0 {
+		t.Fatal("no flops charged")
+	}
+}
+
+func TestJacobiZeroDiagonal(t *testing.T) {
+	co := sparse.NewCOO(2, 2)
+	co.Append(0, 1, 1)
+	co.Append(1, 0, 1)
+	var c vec.Counter
+	x := make([]float64, 2)
+	if _, err := Jacobi(co.ToCSR(), x, []float64{1, 1}, 1e-8, 10, &c); err == nil {
+		t.Fatal("zero diagonal accepted")
+	}
+}
+
+func TestJacobiNoConvergence(t *testing.T) {
+	a := gen.Tridiag(50, -3, 1, -3) // point Jacobi diverges
+	b := make([]float64, 50)
+	b[0] = 1
+	x := make([]float64, 50)
+	var c vec.Counter
+	_, err := Jacobi(a, x, b, 1e-10, 30, &c)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestBlockJacobiConverges(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 300, Seed: 2})
+	b, xtrue := gen.RHSForSolution(a)
+	x := make([]float64, a.Rows)
+	var c vec.Counter
+	res, err := BlockJacobi(a, UniformBlocks(a.Rows, 4), &splu.SparseLU{}, x, b, 1e-10, 10000, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xtrue[i]) > 1e-7*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xtrue[i])
+		}
+	}
+	// Block Jacobi must need fewer sweeps than point Jacobi.
+	xj := make([]float64, a.Rows)
+	pj, err := Jacobi(a, xj, b, 1e-10, 10000, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= pj.Iterations {
+		t.Fatalf("block Jacobi %d sweeps, point Jacobi %d", res.Iterations, pj.Iterations)
+	}
+}
+
+func TestBlockJacobiSingleBlockIsDirect(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 80, Seed: 3})
+	b, xtrue := gen.RHSForSolution(a)
+	x := make([]float64, a.Rows)
+	var c vec.Counter
+	res, err := BlockJacobi(a, UniformBlocks(a.Rows, 1), &splu.SparseLU{}, x, b, 1e-10, 10, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("single block took %d sweeps", res.Iterations)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xtrue[i]) > 1e-8*(1+math.Abs(xtrue[i])) {
+			t.Fatal("wrong solution")
+		}
+	}
+}
+
+func TestUniformBlocks(t *testing.T) {
+	s := UniformBlocks(10, 3)
+	if len(s) != 4 || s[0] != 0 || s[3] != 10 {
+		t.Fatalf("blocks = %v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for too many blocks")
+		}
+	}()
+	UniformBlocks(2, 3)
+}
+
+func TestPowerMethodKnownMatrix(t *testing.T) {
+	// Diagonal matrix: spectral radius equals the largest |entry|.
+	d := []float64{0.3, -0.9, 0.5}
+	apply := func(y, x []float64) {
+		for i := range x {
+			y[i] = d[i] * x[i]
+		}
+	}
+	rho, ok := PowerMethod(3, apply, 2000, 1e-12)
+	if !ok {
+		t.Fatal("power method did not stabilize")
+	}
+	if math.Abs(rho-0.9) > 1e-6 {
+		t.Fatalf("rho = %v, want 0.9", rho)
+	}
+}
+
+func TestPowerMethodZeroOperator(t *testing.T) {
+	apply := func(y, x []float64) { vec.Zero(y) }
+	rho, ok := PowerMethod(4, apply, 100, 1e-10)
+	if !ok || rho != 0 {
+		t.Fatalf("rho = %v ok=%v, want 0 true", rho, ok)
+	}
+}
+
+func TestSplittingOperatorContractiveForDominant(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 120, Seed: 7})
+	var c vec.Counter
+	apply, err := SplittingOperator(a, 30, 60, &splu.SparseLU{}, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, _ := PowerMethod(a.Rows, apply, 3000, 1e-10)
+	if rho >= 1 {
+		t.Fatalf("rho = %v, want < 1 for dominant matrix", rho)
+	}
+}
+
+func TestAbsSplittingOperatorDominatesPlain(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 60, Seed: 8})
+	var c vec.Counter
+	plain, err := SplittingOperator(a, 20, 40, &splu.SparseLU{}, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := AbsSplittingOperator(a, 20, 40, &splu.SparseLU{}, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, _ := PowerMethod(a.Rows, plain, 3000, 1e-10)
+	ra, _ := PowerMethod(a.Rows, abs, 3000, 1e-10)
+	if ra < rp-1e-8 {
+		t.Fatalf("rho(|T|)=%v < rho(T)=%v, impossible", ra, rp)
+	}
+	if ra >= 1 {
+		t.Fatalf("rho(|T|)=%v, want < 1 (Theorem 1 asynchronous condition)", ra)
+	}
+}
+
+// Property: the splitting operator satisfies the fixed-point equation
+// x* = T x* + M⁻¹ b at the true solution.
+func TestSplittingFixedPointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(40)
+		a := gen.RandomDominant(n, 3, 0.4, rng)
+		b, xtrue := gen.RHSForSolution(a)
+		r0 := rng.Intn(n / 2)
+		r1 := r0 + 1 + rng.Intn(n-r0-1)
+		var c vec.Counter
+		apply, err := SplittingOperator(a, r0, r1, &splu.SparseLU{}, &c)
+		if err != nil {
+			return false
+		}
+		// Tx* + M⁻¹b should equal x*. Compute M⁻¹b via the operator pieces:
+		// build it by applying to zero with b folded in manually:
+		// y = T·x* ; then residual check x* − y should equal M⁻¹ b.
+		y := make([]float64, n)
+		apply(y, xtrue)
+		// Verify A(x*) = b ⟺ M x* − N x* = b ⟺ x* − T x* = M⁻¹ b.
+		// We check M(x* − y) = b.
+		diffv := make([]float64, n)
+		vec.Sub(diffv, xtrue, y, &c)
+		// M·diffv: block rows from A, point diagonal elsewhere.
+		mt := make([]float64, n)
+		diag := a.Diagonal()
+		for i := 0; i < n; i++ {
+			if i >= r0 && i < r1 {
+				s := 0.0
+				for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+					j := a.ColInd[p]
+					if j >= r0 && j < r1 {
+						s += a.Val[p] * diffv[j]
+					}
+				}
+				mt[i] = s
+			} else {
+				mt[i] = diag[i] * diffv[i]
+			}
+		}
+		for i := range mt {
+			if math.Abs(mt[i]-b[i]) > 1e-6*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

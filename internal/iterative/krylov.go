@@ -1,0 +1,119 @@
+package iterative
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// CG solves A·x = b for symmetric positive definite A with the conjugate
+// gradient method, overwriting x (initial guess). It stops when the
+// residual 2-norm drops below tol·‖b‖₂. CG represents the "iterative class"
+// of solvers the paper's introduction contrasts with direct methods.
+func CG(a *sparse.CSR, x, b []float64, tol float64, maxIter int, c *vec.Counter) (Result, error) {
+	n := a.Rows
+	if a.Cols != n || len(x) != n || len(b) != n {
+		panic("iterative: CG shape mismatch")
+	}
+	r := make([]float64, n)
+	a.MulVec(r, x, c)
+	vec.Sub(r, b, r, c)
+	p := vec.Clone(r)
+	ap := make([]float64, n)
+	rr := vec.Dot(r, r, c)
+	bnorm := vec.Norm2(b, c)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	for k := 1; k <= maxIter; k++ {
+		if math.Sqrt(rr) <= tol*bnorm {
+			return Result{Iterations: k - 1, Diff: math.Sqrt(rr)}, nil
+		}
+		a.MulVec(ap, p, c)
+		pap := vec.Dot(p, ap, c)
+		if pap <= 0 {
+			return Result{Iterations: k}, fmt.Errorf("iterative: CG breakdown (matrix not SPD): pᵀAp = %v", pap)
+		}
+		alpha := rr / pap
+		vec.Axpy(alpha, p, x, c)
+		vec.Axpy(-alpha, ap, r, c)
+		rrNew := vec.Dot(r, r, c)
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		c.Add(2 * float64(n))
+		rr = rrNew
+		if !vec.AllFinite(x) {
+			return Result{Iterations: k}, fmt.Errorf("iterative: CG diverged at iteration %d", k)
+		}
+	}
+	return Result{Iterations: maxIter, Diff: math.Sqrt(rr)}, ErrNoConvergence
+}
+
+// BiCGSTAB solves A·x = b for general nonsymmetric A with the stabilized
+// bi-conjugate gradient method, overwriting x. It stops when the residual
+// 2-norm drops below tol·‖b‖₂.
+func BiCGSTAB(a *sparse.CSR, x, b []float64, tol float64, maxIter int, c *vec.Counter) (Result, error) {
+	n := a.Rows
+	if a.Cols != n || len(x) != n || len(b) != n {
+		panic("iterative: BiCGSTAB shape mismatch")
+	}
+	r := make([]float64, n)
+	a.MulVec(r, x, c)
+	vec.Sub(r, b, r, c)
+	rhat := vec.Clone(r)
+	p := make([]float64, n)
+	v := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	bnorm := vec.Norm2(b, c)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	for k := 1; k <= maxIter; k++ {
+		if vec.Norm2(r, c) <= tol*bnorm {
+			return Result{Iterations: k - 1, Diff: vec.Norm2(r, c)}, nil
+		}
+		rhoNew := vec.Dot(rhat, r, c)
+		if rhoNew == 0 {
+			return Result{Iterations: k}, fmt.Errorf("iterative: BiCGSTAB breakdown (rho = 0)")
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		c.Add(4 * float64(n))
+		a.MulVec(v, p, c)
+		den := vec.Dot(rhat, v, c)
+		if den == 0 {
+			return Result{Iterations: k}, fmt.Errorf("iterative: BiCGSTAB breakdown (rhatᵀv = 0)")
+		}
+		alpha = rhoNew / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		c.Add(2 * float64(n))
+		a.MulVec(t, s, c)
+		tt := vec.Dot(t, t, c)
+		if tt == 0 {
+			vec.Axpy(alpha, p, x, c)
+			copy(r, s)
+			continue
+		}
+		omega = vec.Dot(t, s, c) / tt
+		for i := range x {
+			x[i] += alpha*p[i] + omega*s[i]
+			r[i] = s[i] - omega*t[i]
+		}
+		c.Add(6 * float64(n))
+		rho = rhoNew
+		if !vec.AllFinite(x) {
+			return Result{Iterations: k}, fmt.Errorf("iterative: BiCGSTAB diverged at iteration %d", k)
+		}
+	}
+	return Result{Iterations: maxIter, Diff: vec.Norm2(r, c)}, ErrNoConvergence
+}

@@ -1,0 +1,104 @@
+package iterative
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+func TestCGOnPoisson(t *testing.T) {
+	a := gen.Poisson2D(20, 20)
+	b, xtrue := gen.RHSForSolution(a)
+	x := make([]float64, a.Rows)
+	var c vec.Counter
+	res, err := CG(a, x, b, 1e-10, 5000, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xtrue[i]) > 1e-6*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xtrue[i])
+		}
+	}
+	// CG on an SPD n-dim system converges in at most n steps; on Poisson
+	// far fewer.
+	if res.Iterations >= a.Rows {
+		t.Fatalf("CG took %d iterations on n=%d", res.Iterations, a.Rows)
+	}
+}
+
+func TestCGNonSPDBreaksDown(t *testing.T) {
+	// Indefinite matrix: pᵀAp goes non-positive.
+	co := sparse.NewCOO(2, 2)
+	co.Append(0, 0, 1)
+	co.Append(1, 1, -1)
+	x := make([]float64, 2)
+	var c vec.Counter
+	if _, err := CG(co.ToCSR(), x, []float64{1, 1}, 1e-10, 100, &c); err == nil {
+		t.Fatal("indefinite matrix accepted by CG")
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := gen.Poisson2D(5, 5)
+	x := make([]float64, a.Rows)
+	var c vec.Counter
+	res, err := CG(a, x, make([]float64, a.Rows), 1e-12, 100, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("zero rhs took %d iterations", res.Iterations)
+	}
+}
+
+func TestBiCGSTABOnNonsymmetric(t *testing.T) {
+	a := gen.CageLike(400, 8)
+	b, xtrue := gen.RHSForSolution(a)
+	x := make([]float64, a.Rows)
+	var c vec.Counter
+	res, err := BiCGSTAB(a, x, b, 1e-12, 5000, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xtrue[i]) > 1e-6*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xtrue[i])
+		}
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestBiCGSTABOnDominant(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 500, Seed: 13})
+	b, xtrue := gen.RHSForSolution(a)
+	x := make([]float64, a.Rows)
+	var c vec.Counter
+	if _, err := BiCGSTAB(a, x, b, 1e-12, 5000, &c); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xtrue[i]) > 1e-6*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] wrong", i)
+		}
+	}
+}
+
+func TestKrylovCap(t *testing.T) {
+	a := gen.Poisson2D(15, 15)
+	b, _ := gen.RHSForSolution(a)
+	x := make([]float64, a.Rows)
+	var c vec.Counter
+	if _, err := CG(a, x, b, 1e-14, 2, &c); err == nil {
+		t.Fatal("capped CG reported convergence")
+	}
+	x2 := make([]float64, a.Rows)
+	if _, err := BiCGSTAB(a, x2, b, 1e-14, 1, &c); err == nil {
+		t.Fatal("capped BiCGSTAB reported convergence")
+	}
+}

@@ -1,0 +1,60 @@
+package iterative
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// GaussSeidel solves A·x = b with the Gauss–Seidel sweep (forward order),
+// overwriting x. It stops when the successive-iterate difference drops
+// below tol in the infinity norm.
+func GaussSeidel(a *sparse.CSR, x, b []float64, tol float64, maxIter int, c *vec.Counter) (Result, error) {
+	return SOR(a, x, b, 1.0, tol, maxIter, c)
+}
+
+// SOR solves A·x = b with successive over-relaxation, factor omega in
+// (0, 2). omega = 1 is Gauss–Seidel.
+func SOR(a *sparse.CSR, x, b []float64, omega, tol float64, maxIter int, c *vec.Counter) (Result, error) {
+	n := a.Rows
+	if a.Cols != n || len(x) != n || len(b) != n {
+		panic("iterative: SOR shape mismatch")
+	}
+	if omega <= 0 || omega >= 2 {
+		return Result{}, fmt.Errorf("iterative: SOR omega %v outside (0,2)", omega)
+	}
+	diag := a.Diagonal()
+	for i, d := range diag {
+		if d == 0 {
+			return Result{}, fmt.Errorf("iterative: zero diagonal at row %d", i)
+		}
+	}
+	for k := 1; k <= maxIter; k++ {
+		diff := 0.0
+		for i := 0; i < n; i++ {
+			s := b[i]
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				j := a.ColInd[p]
+				if j != i {
+					s -= a.Val[p] * x[j]
+				}
+			}
+			xNew := (1-omega)*x[i] + omega*s/diag[i]
+			if d := xNew - x[i]; d > diff {
+				diff = d
+			} else if -d > diff {
+				diff = -d
+			}
+			x[i] = xNew
+		}
+		c.Add(2*float64(a.NNZ()) + 4*float64(n))
+		if !vec.AllFinite(x) {
+			return Result{Iterations: k}, fmt.Errorf("iterative: SOR diverged at iteration %d", k)
+		}
+		if diff <= tol {
+			return Result{Iterations: k, Diff: diff}, nil
+		}
+	}
+	return Result{Iterations: maxIter}, ErrNoConvergence
+}

@@ -1,0 +1,92 @@
+package iterative
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/vec"
+)
+
+func TestGaussSeidelConverges(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 200, Seed: 12})
+	b, xtrue := gen.RHSForSolution(a)
+	x := make([]float64, a.Rows)
+	var c vec.Counter
+	res, err := GaussSeidel(a, x, b, 1e-10, 10000, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xtrue[i]) > 1e-7*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xtrue[i])
+		}
+	}
+	// Gauss–Seidel needs no more sweeps than Jacobi on a dominant matrix.
+	xj := make([]float64, a.Rows)
+	jac, err := Jacobi(a, xj, b, 1e-10, 10000, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > jac.Iterations {
+		t.Fatalf("GS took %d sweeps, Jacobi %d", res.Iterations, jac.Iterations)
+	}
+}
+
+func TestSORRelaxationHelps(t *testing.T) {
+	// On the 1-D Laplacian, over-relaxation beats plain Gauss–Seidel.
+	a := gen.Tridiag(100, -1, 2, -1)
+	b, _ := gen.RHSForSolution(a)
+	run := func(omega float64) int {
+		x := make([]float64, a.Rows)
+		var c vec.Counter
+		res, err := SOR(a, x, b, omega, 1e-8, 100000, &c)
+		if err != nil {
+			t.Fatalf("omega %v: %v", omega, err)
+		}
+		return res.Iterations
+	}
+	gs := run(1.0)
+	sor := run(1.9)
+	if sor >= gs {
+		t.Fatalf("SOR(1.9) %d sweeps not below GS %d", sor, gs)
+	}
+}
+
+func TestSORInvalidOmega(t *testing.T) {
+	a := gen.Tridiag(10, -1, 2, -1)
+	x := make([]float64, 10)
+	var c vec.Counter
+	for _, w := range []float64{0, -0.5, 2, 2.5} {
+		if _, err := SOR(a, x, make([]float64, 10), w, 1e-8, 10, &c); err == nil {
+			t.Fatalf("omega %v accepted", w)
+		}
+	}
+}
+
+func TestSORZeroDiagonal(t *testing.T) {
+	a := gen.Tridiag(10, -1, 2, -1)
+	for p := a.RowPtr[3]; p < a.RowPtr[4]; p++ {
+		if a.ColInd[p] == 3 {
+			a.Val[p] = 0
+		}
+	}
+	x := make([]float64, 10)
+	var c vec.Counter
+	if _, err := SOR(a, x, make([]float64, 10), 1, 1e-8, 10, &c); err == nil {
+		t.Fatal("zero diagonal accepted")
+	}
+}
+
+func TestSORDivergenceDetected(t *testing.T) {
+	a := gen.Tridiag(40, -3, 1, -3)
+	b := make([]float64, 40)
+	b[0] = 1
+	x := make([]float64, 40)
+	var c vec.Counter
+	_, err := SOR(a, x, b, 1.0, 1e-10, 100000, &c)
+	if err == nil || errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want explicit divergence", err)
+	}
+}

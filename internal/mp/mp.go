@@ -1,0 +1,359 @@
+// Package mp provides a rank-based, MPI-like message passing interface on
+// top of the vgrid simulator: point-to-point sends/receives (blocking and
+// non-blocking), broadcast, barrier, reductions and gathers. It is the
+// communication substrate for both the multisplitting solvers (the paper's
+// MPI/Corba layers) and the distributed LU baseline.
+package mp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vgrid"
+)
+
+// Wildcards re-exported for convenience.
+const (
+	AnySource = vgrid.AnySource
+	AnyTag    = vgrid.AnyTag
+)
+
+// internalTagBase separates collective-operation traffic from user tags.
+// User tags must stay below this value.
+const internalTagBase = 1 << 20
+
+const (
+	tagBarrierIn = internalTagBase + iota
+	tagBarrierOut
+	tagReduceIn
+	tagReduceOut
+	tagBcast
+	tagGather
+)
+
+// msgOverheadBytes models per-message envelope cost.
+const msgOverheadBytes = 64
+
+// Comm is one rank's endpoint of a communicator.
+type Comm struct {
+	rank  int
+	procs []*vgrid.Proc
+	p     *vgrid.Proc
+
+	// Tree switches the collectives (Barrier, Allreduce, Bcast) from the
+	// flat rank-0 star to binomial trees: O(log P) depth instead of O(P)
+	// messages through one endpoint, as real MPI implementations do. All
+	// ranks must agree on the setting.
+	Tree bool
+}
+
+// parent/children of rank r in the binary collective tree rooted at 0.
+func (c *Comm) treeParent() int { return (c.rank - 1) / 2 }
+
+func (c *Comm) treeChildren() []int {
+	var out []int
+	for _, ch := range []int{2*c.rank + 1, 2*c.rank + 2} {
+		if ch < c.Size() {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// Launch spawns one process per host and runs body on each with a Comm of
+// matching rank. It must be called before engine.Run.
+func Launch(e *vgrid.Engine, hosts []*vgrid.Host, name string, body func(c *Comm) error) []*vgrid.Proc {
+	n := len(hosts)
+	procs := make([]*vgrid.Proc, n)
+	for r := 0; r < n; r++ {
+		r := r
+		procs[r] = e.Spawn(hosts[r], fmt.Sprintf("%s-%d", name, r), func(p *vgrid.Proc) error {
+			return body(&Comm{rank: r, procs: procs, p: p})
+		})
+	}
+	return procs
+}
+
+// Rank returns this process's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.procs) }
+
+// Proc exposes the underlying simulated process (clock, compute, memory).
+func (c *Comm) Proc() *vgrid.Proc { return c.p }
+
+// Compute charges flops of local work.
+func (c *Comm) Compute(flops float64) { c.p.Compute(flops) }
+
+// Now returns the local virtual time.
+func (c *Comm) Now() float64 { return c.p.Now() }
+
+func (c *Comm) checkTag(tag int) {
+	if tag < 0 || tag >= internalTagBase {
+		panic(fmt.Sprintf("mp: user tag %d out of range [0,%d)", tag, internalTagBase))
+	}
+}
+
+func (c *Comm) checkRank(r int) {
+	if r < 0 || r >= len(c.procs) {
+		panic(fmt.Sprintf("mp: rank %d out of range [0,%d)", r, len(c.procs)))
+	}
+}
+
+// SendFloats sends a copy of data to rank dst with the given tag.
+func (c *Comm) SendFloats(dst, tag int, data []float64) error {
+	c.checkTag(tag)
+	c.checkRank(dst)
+	cp := append([]float64(nil), data...)
+	return c.p.Send(c.procs[dst], tag, cp, 8*len(cp)+msgOverheadBytes)
+}
+
+// SendInts sends a copy of an int slice.
+func (c *Comm) SendInts(dst, tag int, data []int) error {
+	c.checkTag(tag)
+	c.checkRank(dst)
+	cp := append([]int(nil), data...)
+	return c.p.Send(c.procs[dst], tag, cp, 8*len(cp)+msgOverheadBytes)
+}
+
+// Signal sends an empty control message.
+func (c *Comm) Signal(dst, tag int) error {
+	c.checkTag(tag)
+	c.checkRank(dst)
+	return c.p.Send(c.procs[dst], tag, nil, msgOverheadBytes)
+}
+
+// Packet is a received message with its metadata.
+type Packet struct {
+	From    int
+	Tag     int
+	Floats  []float64
+	Ints    []int
+	Arrival float64
+}
+
+func toPacket(m *vgrid.Message) *Packet {
+	pk := &Packet{From: m.From, Tag: m.Tag, Arrival: m.Arrival}
+	switch v := m.Payload.(type) {
+	case nil:
+	case []float64:
+		pk.Floats = v
+	case []int:
+		pk.Ints = v
+	default:
+		panic(fmt.Sprintf("mp: unexpected payload type %T", m.Payload))
+	}
+	return pk
+}
+
+// Recv blocks until a message matching (src, tag) arrives.
+func (c *Comm) Recv(src, tag int) *Packet {
+	if src != AnySource {
+		c.checkRank(src)
+	}
+	return toPacket(c.p.Recv(src, tag))
+}
+
+// TryRecv returns a matching already-arrived message or nil.
+func (c *Comm) TryRecv(src, tag int) *Packet {
+	if src != AnySource {
+		c.checkRank(src)
+	}
+	m := c.p.TryRecv(src, tag)
+	if m == nil {
+		return nil
+	}
+	return toPacket(m)
+}
+
+// DrainLatest consumes every already-arrived message matching (src, tag)
+// and returns the most recently sent one (nil if none). The asynchronous
+// multisplitting driver uses it to adopt only the freshest neighbor iterate.
+func (c *Comm) DrainLatest(src, tag int) *Packet {
+	var last *Packet
+	for {
+		m := c.TryRecv(src, tag)
+		if m == nil {
+			return last
+		}
+		last = m
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	if c.Tree {
+		_, err := c.treeAllreduce(0, OpSum)
+		return err
+	}
+	if c.rank == 0 {
+		for i := 1; i < n; i++ {
+			c.p.Recv(AnySource, tagBarrierIn)
+		}
+		for i := 1; i < n; i++ {
+			if err := c.p.Send(c.procs[i], tagBarrierOut, nil, msgOverheadBytes); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.p.Send(c.procs[0], tagBarrierIn, nil, msgOverheadBytes); err != nil {
+		return err
+	}
+	c.p.Recv(0, tagBarrierOut)
+	return nil
+}
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+	OpAnd // treats values as booleans: zero is false
+)
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	case OpAnd:
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	default:
+		panic("mp: unknown op")
+	}
+}
+
+// Allreduce combines one value per rank with op and returns the result on
+// every rank.
+func (c *Comm) Allreduce(v float64, op Op) (float64, error) {
+	n := c.Size()
+	if n == 1 {
+		return v, nil
+	}
+	if c.Tree {
+		return c.treeAllreduce(v, op)
+	}
+	if c.rank == 0 {
+		acc := v
+		for i := 1; i < n; i++ {
+			m := c.p.Recv(AnySource, tagReduceIn)
+			acc = op.apply(acc, m.Payload.([]float64)[0])
+		}
+		for i := 1; i < n; i++ {
+			if err := c.p.Send(c.procs[i], tagReduceOut, []float64{acc}, 8+msgOverheadBytes); err != nil {
+				return 0, err
+			}
+		}
+		return acc, nil
+	}
+	if err := c.p.Send(c.procs[0], tagReduceIn, []float64{v}, 8+msgOverheadBytes); err != nil {
+		return 0, err
+	}
+	m := c.p.Recv(0, tagReduceOut)
+	return m.Payload.([]float64)[0], nil
+}
+
+// AllreduceBool returns the logical AND across ranks.
+func (c *Comm) AllreduceBool(v bool) (bool, error) {
+	x := 0.0
+	if v {
+		x = 1
+	}
+	r, err := c.Allreduce(x, OpAnd)
+	return r != 0, err
+}
+
+// treeAllreduce reduces up the binary tree and broadcasts the result down.
+func (c *Comm) treeAllreduce(v float64, op Op) (float64, error) {
+	acc := v
+	for _, ch := range c.treeChildren() {
+		m := c.p.Recv(ch, tagReduceIn)
+		acc = op.apply(acc, m.Payload.([]float64)[0])
+	}
+	if c.rank != 0 {
+		if err := c.p.Send(c.procs[c.treeParent()], tagReduceIn, []float64{acc}, 8+msgOverheadBytes); err != nil {
+			return 0, err
+		}
+		m := c.p.Recv(c.treeParent(), tagReduceOut)
+		acc = m.Payload.([]float64)[0]
+	}
+	for _, ch := range c.treeChildren() {
+		if err := c.p.Send(c.procs[ch], tagReduceOut, []float64{acc}, 8+msgOverheadBytes); err != nil {
+			return 0, err
+		}
+	}
+	return acc, nil
+}
+
+// treeBcast pushes data down the binary tree rooted at rank 0.
+func (c *Comm) treeBcast(data []float64) ([]float64, error) {
+	if c.rank != 0 {
+		m := c.p.Recv(c.treeParent(), tagBcast)
+		data = m.Payload.([]float64)
+	}
+	for _, ch := range c.treeChildren() {
+		cp := append([]float64(nil), data...)
+		if err := c.p.Send(c.procs[ch], tagBcast, cp, 8*len(cp)+msgOverheadBytes); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// Bcast sends data from root to every rank; every rank returns the slice.
+func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
+	c.checkRank(root)
+	if c.Size() == 1 {
+		return data, nil
+	}
+	if c.Tree && root == 0 {
+		return c.treeBcast(data)
+	}
+	if c.rank == root {
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			cp := append([]float64(nil), data...)
+			if err := c.p.Send(c.procs[i], tagBcast, cp, 8*len(cp)+msgOverheadBytes); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	m := c.p.Recv(root, tagBcast)
+	return m.Payload.([]float64), nil
+}
+
+// Gather collects each rank's slice at root, returned indexed by rank (nil
+// on non-root ranks).
+func (c *Comm) Gather(root int, data []float64) ([][]float64, error) {
+	c.checkRank(root)
+	n := c.Size()
+	if c.rank != root {
+		cp := append([]float64(nil), data...)
+		return nil, c.p.Send(c.procs[root], tagGather, cp, 8*len(cp)+msgOverheadBytes)
+	}
+	out := make([][]float64, n)
+	out[root] = data
+	for i := 0; i < n-1; i++ {
+		m := c.p.Recv(AnySource, tagGather)
+		out[m.From] = m.Payload.([]float64)
+	}
+	return out, nil
+}

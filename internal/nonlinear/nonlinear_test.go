@@ -1,0 +1,213 @@
+package nonlinear
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/sparse"
+	"repro/internal/splu"
+	"repro/internal/vec"
+	"repro/internal/vgrid"
+)
+
+// cubicProblem builds A·x + x³ = b with a manufactured solution (the
+// monotone nonlinearity class of the companion transport paper).
+func cubicProblem(n int, seed int64) (*Problem, []float64) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: n, Seed: seed})
+	xtrue := make([]float64, n)
+	for i := range xtrue {
+		xtrue[i] = 0.5 + 0.4*math.Sin(float64(i)*0.05)
+	}
+	b := make([]float64, n)
+	var c vec.Counter
+	a.MulVec(b, xtrue, &c)
+	for i := range b {
+		b[i] += xtrue[i] * xtrue[i] * xtrue[i]
+	}
+	return &Problem{
+		A: a,
+		Phi: Diagonal{
+			Phi:  func(i int, v float64) float64 { return v * v * v },
+			DPhi: func(i int, v float64) float64 { return 3 * v * v },
+		},
+		B: b,
+	}, xtrue
+}
+
+func TestNewtonSequentialCubic(t *testing.T) {
+	p, xtrue := cubicProblem(500, 1)
+	var c vec.Counter
+	res, err := SolveSequential(p, &splu.SparseLU{}, Options{NewtonTol: 1e-10}, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-xtrue[i]) > 1e-7*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], xtrue[i])
+		}
+	}
+	// Newton on a smooth monotone problem: a handful of outer steps.
+	if res.NewtonIterations > 12 {
+		t.Fatalf("Newton took %d iterations", res.NewtonIterations)
+	}
+	if res.InnerIterations <= res.NewtonIterations {
+		t.Fatalf("inner iterations %d implausible", res.InnerIterations)
+	}
+}
+
+func TestNewtonLinearProblemOneStep(t *testing.T) {
+	// φ = 0: Newton must converge in one step (plus the residual check).
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 200, Seed: 2})
+	b, xtrue := gen.RHSForSolution(a)
+	p := &Problem{
+		A: a,
+		Phi: Diagonal{
+			Phi:  func(int, float64) float64 { return 0 },
+			DPhi: func(int, float64) float64 { return 0 },
+		},
+		B: b,
+	}
+	var c vec.Counter
+	res, err := SolveSequential(p, &splu.SparseLU{}, Options{NewtonTol: 1e-9}, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewtonIterations > 2 {
+		t.Fatalf("linear problem took %d Newton steps", res.NewtonIterations)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-xtrue[i]) > 1e-7 {
+			t.Fatal("wrong solution")
+		}
+	}
+}
+
+func TestNewtonQuadraticConvergence(t *testing.T) {
+	// Residuals along the Newton path should collapse fast: starting from
+	// zero, reaching 1e-10 within ~8 steps on this smooth problem.
+	p, _ := cubicProblem(300, 3)
+	var c vec.Counter
+	res, err := SolveSequential(p, &splu.SparseLU{}, Options{NewtonTol: 1e-10}, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewtonIterations > 8 {
+		t.Fatalf("convergence too slow: %d steps", res.NewtonIterations)
+	}
+	if res.Residual > 1e-10 {
+		t.Fatalf("final residual %v", res.Residual)
+	}
+}
+
+func TestNewtonMaxIterations(t *testing.T) {
+	p, _ := cubicProblem(100, 4)
+	var c vec.Counter
+	_, err := SolveSequential(p, &splu.SparseLU{}, Options{NewtonTol: 1e-14, MaxNewton: 1}, &c)
+	if !errors.Is(err, ErrNewtonNoConvergence) {
+		t.Fatalf("err = %v, want ErrNewtonNoConvergence", err)
+	}
+}
+
+func TestNewtonDistributed(t *testing.T) {
+	p, xtrue := cubicProblem(600, 5)
+	newPlat := func() (*vgrid.Platform, []*vgrid.Host) {
+		pl := vgrid.NewPlatform()
+		var hosts []*vgrid.Host
+		var nics []*vgrid.Link
+		for i := 0; i < 4; i++ {
+			hosts = append(hosts, pl.AddHost(string(rune('a'+i)), 1e9, 0))
+			nics = append(nics, vgrid.NewLink(string(rune('a'+i)), 25e-6, 1.25e7))
+		}
+		for i := range hosts {
+			for j := i + 1; j < len(hosts); j++ {
+				pl.SetRoute(hosts[i], hosts[j], nics[i], nics[j])
+			}
+		}
+		return pl, hosts
+	}
+	res, err := SolveDistributed(newPlat, p, Options{
+		NewtonTol: 1e-9,
+		Inner:     core.Options{Tol: 1e-11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-xtrue[i]) > 1e-6*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], xtrue[i])
+		}
+	}
+	if res.Time <= 0 {
+		t.Fatal("no virtual time accumulated")
+	}
+}
+
+func TestNewtonDistributedAsyncInner(t *testing.T) {
+	p, xtrue := cubicProblem(600, 6)
+	newPlat := func() (*vgrid.Platform, []*vgrid.Host) {
+		pl := vgrid.NewPlatform()
+		var hosts []*vgrid.Host
+		var nics []*vgrid.Link
+		for i := 0; i < 3; i++ {
+			hosts = append(hosts, pl.AddHost(string(rune('a'+i)), 1e9, 0))
+			nics = append(nics, vgrid.NewLink(string(rune('a'+i)), 25e-6, 1.25e7))
+		}
+		for i := range hosts {
+			for j := i + 1; j < len(hosts); j++ {
+				pl.SetRoute(hosts[i], hosts[j], nics[i], nics[j])
+			}
+		}
+		return pl, hosts
+	}
+	res, err := SolveDistributed(newPlat, p, Options{
+		NewtonTol: 1e-8,
+		Inner:     core.Options{Tol: 1e-10, Async: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-xtrue[i]) > 1e-5*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], xtrue[i])
+		}
+	}
+}
+
+func TestJacobianStructuralZeroDiagonal(t *testing.T) {
+	// A has a structurally missing diagonal entry; the Jacobian must still
+	// place φ' there.
+	co := sparseNoDiag()
+	p := &Problem{
+		A: co,
+		Phi: Diagonal{
+			Phi:  func(i int, v float64) float64 { return 5 * v },
+			DPhi: func(i int, v float64) float64 { return 5 },
+		},
+		B: []float64{1, 2},
+	}
+	var c vec.Counter
+	j := p.Jacobian([]float64{0, 0}, &c)
+	if j.At(0, 0) != 5 {
+		t.Fatalf("J(0,0) = %v, want 5", j.At(0, 0))
+	}
+}
+
+func TestResidualAtSolutionIsZero(t *testing.T) {
+	p, xtrue := cubicProblem(50, 7)
+	var c vec.Counter
+	r := make([]float64, 50)
+	if got := p.Residual(r, xtrue, &c); got > 1e-10 {
+		t.Fatalf("residual at solution = %v", got)
+	}
+}
+
+func sparseNoDiag() *sparse.CSR {
+	co := sparse.NewCOO(2, 2)
+	co.Append(0, 1, 1)
+	co.Append(1, 0, 1)
+	co.Append(1, 1, 4)
+	return co.ToCSR()
+}

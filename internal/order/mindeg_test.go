@@ -1,0 +1,59 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func TestMinDegreeIsPermutation(t *testing.T) {
+	a := gen.Poisson2D(9, 8)
+	p := MinDegree(a)
+	if !sparse.IsPerm(p) {
+		t.Fatalf("not a permutation: %v", p)
+	}
+}
+
+func TestMinDegreePicksLowDegreeFirst(t *testing.T) {
+	// A star graph: the leaves have degree 1, the hub degree n-1. Minimum
+	// degree must eliminate every leaf before the hub.
+	n := 10
+	co := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		co.Append(i, i, 4)
+		if i > 0 {
+			co.Append(0, i, -1)
+			co.Append(i, 0, -1)
+		}
+	}
+	p := MinDegree(co.ToCSR())
+	// Once only the hub and one leaf remain they tie at degree 1, so the
+	// hub may go second-to-last — but never earlier.
+	if p[0] < n-2 {
+		t.Fatalf("hub eliminated at position %d, want one of the last two", p[0])
+	}
+}
+
+func TestMinDegreeSingleAndEmpty(t *testing.T) {
+	if p := MinDegree(sparse.Identity(1)); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("MinDegree(1x1) = %v", p)
+	}
+	if p := MinDegree(sparse.Identity(5)); !sparse.IsPerm(p) {
+		t.Fatalf("diagonal matrix: %v", p)
+	}
+}
+
+func TestMinDegreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		a := gen.RandomDominant(n, 1+rng.Intn(5), 0.3, rng)
+		return sparse.IsPerm(MinDegree(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// Add returns alpha·A + beta·B for equally-shaped matrices.
+func Add(alpha float64, a *CSR, beta float64, b *CSR, c *vec.Counter) *CSR {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("sparse: Add shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	co := NewCOO(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			co.Append(i, a.ColInd[p], alpha*a.Val[p])
+		}
+		for p := b.RowPtr[i]; p < b.RowPtr[i+1]; p++ {
+			co.Append(i, b.ColInd[p], beta*b.Val[p])
+		}
+	}
+	c.Add(float64(a.NNZ() + b.NNZ()))
+	return co.ToCSR()
+}
+
+// Scale returns alpha·A as a new matrix.
+func Scale(alpha float64, a *CSR, c *vec.Counter) *CSR {
+	out := a.Clone()
+	for i := range out.Val {
+		out.Val[i] *= alpha
+	}
+	c.Add(float64(a.NNZ()))
+	return out
+}
+
+// Mul returns the sparse matrix product A·B (Gustavson's row-by-row
+// algorithm with a dense accumulator).
+func Mul(a, b *CSR, c *vec.Counter) *CSR {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: Mul shape mismatch %dx%d times %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	rowPtr := make([]int, a.Rows+1)
+	var colInd []int
+	var val []float64
+	acc := make([]float64, b.Cols)
+	mark := make([]int, b.Cols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	flops := 0.0
+	for i := 0; i < a.Rows; i++ {
+		var cols []int
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			k := a.ColInd[p]
+			av := a.Val[p]
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				j := b.ColInd[q]
+				if mark[j] != i {
+					mark[j] = i
+					acc[j] = 0
+					cols = append(cols, j)
+				}
+				acc[j] += av * b.Val[q]
+				flops += 2
+			}
+		}
+		sortInts(cols)
+		for _, j := range cols {
+			colInd = append(colInd, j)
+			val = append(val, acc[j])
+		}
+		rowPtr[i+1] = len(val)
+	}
+	c.Add(flops)
+	return &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: rowPtr, ColInd: colInd, Val: val}
+}
+
+// sortInts is a small insertion sort (rows are short and nearly sorted).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

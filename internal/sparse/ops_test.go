@@ -1,0 +1,124 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+func TestAdd(t *testing.T) {
+	a := sampleCSR(t)
+	var c vec.Counter
+	sum := Add(1, a, 1, a, &c)
+	if sum.At(0, 0) != 2 || sum.At(2, 1) != 10 {
+		t.Fatalf("A+A wrong: %v %v", sum.At(0, 0), sum.At(2, 1))
+	}
+	diff := Add(1, a, -1, a, &c)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if diff.At(i, j) != 0 {
+				t.Fatalf("A-A nonzero at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestAddShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var c vec.Counter
+	Add(1, Identity(2), 1, Identity(3), &c)
+}
+
+func TestScaleOp(t *testing.T) {
+	a := sampleCSR(t)
+	var c vec.Counter
+	s := Scale(2, a, &c)
+	if s.At(2, 2) != 12 {
+		t.Fatalf("2A wrong: %v", s.At(2, 2))
+	}
+	if a.At(2, 2) != 6 {
+		t.Fatal("Scale modified input")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := sampleCSR(t)
+	var c vec.Counter
+	if !Equal(Mul(a, Identity(3), &c), a) {
+		t.Fatal("A·I != A")
+	}
+	if !Equal(Mul(Identity(3), a, &c), a) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	// [1 2; 0 3]·[0 1; 1 0] = [2 1; 3 0]
+	a := NewCOO(2, 2)
+	a.Append(0, 0, 1)
+	a.Append(0, 1, 2)
+	a.Append(1, 1, 3)
+	b := NewCOO(2, 2)
+	b.Append(0, 1, 1)
+	b.Append(1, 0, 1)
+	var c vec.Counter
+	m := Mul(a.ToCSR(), b.ToCSR(), &c)
+	want := [][]float64{{2, 1}, {3, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if m.At(i, j) != want[i][j] {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var c vec.Counter
+	Mul(Identity(2), Identity(3), &c)
+}
+
+// Property: (A·B)·x == A·(B·x) for random sparse matrices.
+func TestMulAssociatesWithMulVec(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(15)
+		k := 1 + rng.Intn(15)
+		n := 1 + rng.Intn(15)
+		a := randomCSR(rng, m, k, rng.Intn(60))
+		b := randomCSR(rng, k, n, rng.Intn(60))
+		var c vec.Counter
+		ab := Mul(a, b, &c)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, m)
+		ab.MulVec(y1, x, &c)
+		bx := make([]float64, k)
+		b.MulVec(bx, x, &c)
+		y2 := make([]float64, m)
+		a.MulVec(y2, bx, &c)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-9*(1+math.Abs(y2[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,514 @@
+// Package sparse implements the sparse matrix formats (COO, CSR, CSC) and
+// the structural operations the solvers are built on: sparse matrix-vector
+// products, sub-matrix extraction for band decompositions, permutations,
+// transposition and format conversion.
+//
+// All matrices hold float64 entries with 0-based indices. Kernels that do
+// floating-point work take a *vec.Counter so the simulated grid can charge
+// compute time proportional to the arithmetic actually performed.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// COO is a coordinate-format (triplet) matrix used as a builder. Duplicate
+// entries are summed when converting to CSR/CSC.
+type COO struct {
+	Rows, Cols int
+	I, J       []int
+	V          []float64
+}
+
+// NewCOO returns an empty COO matrix with the given shape.
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic("sparse: negative dimension")
+	}
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Append adds entry (i, j, v). It panics if the index is out of range.
+func (c *COO) Append(i, j int, v float64) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("sparse: COO index (%d,%d) out of range %dx%d", i, j, c.Rows, c.Cols))
+	}
+	c.I = append(c.I, i)
+	c.J = append(c.J, j)
+	c.V = append(c.V, v)
+}
+
+// NNZ returns the number of stored triplets (duplicates counted).
+func (c *COO) NNZ() int { return len(c.V) }
+
+// ToCSR converts the triplets to CSR, summing duplicates and dropping
+// explicit zeros produced by the summation only if they were duplicates
+// (singleton explicit zeros are kept, matching MatrixMarket round-trips).
+func (c *COO) ToCSR() *CSR {
+	rows, cols := c.Rows, c.Cols
+	count := make([]int, rows+1)
+	for _, i := range c.I {
+		count[i+1]++
+	}
+	for i := 0; i < rows; i++ {
+		count[i+1] += count[i]
+	}
+	rowPtr := make([]int, rows+1)
+	copy(rowPtr, count)
+	colInd := make([]int, len(c.V))
+	val := make([]float64, len(c.V))
+	next := make([]int, rows)
+	for i := range next {
+		next[i] = rowPtr[i]
+	}
+	for k, i := range c.I {
+		p := next[i]
+		colInd[p] = c.J[k]
+		val[p] = c.V[k]
+		next[i] = p + 1
+	}
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColInd: colInd, Val: val}
+	m.sortRows()
+	m.sumDuplicates()
+	return m
+}
+
+// ToCSC converts the triplets to CSC via CSR.
+func (c *COO) ToCSC() *CSC { return c.ToCSR().ToCSC() }
+
+// CSR is a compressed sparse row matrix. Column indices within each row are
+// kept sorted and duplicate-free by every constructor in this package.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int // length Rows+1
+	ColInd     []int // length NNZ
+	Val        []float64
+}
+
+// NewCSR builds a CSR matrix from raw components after validating them.
+func NewCSR(rows, cols int, rowPtr, colInd []int, val []float64) (*CSR, error) {
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("sparse: rowPtr length %d, want %d", len(rowPtr), rows+1)
+	}
+	if len(colInd) != len(val) {
+		return nil, fmt.Errorf("sparse: colInd/val length mismatch %d != %d", len(colInd), len(val))
+	}
+	if rowPtr[0] != 0 || rowPtr[rows] != len(val) {
+		return nil, fmt.Errorf("sparse: rowPtr bounds [%d,%d], want [0,%d]", rowPtr[0], rowPtr[rows], len(val))
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return nil, fmt.Errorf("sparse: rowPtr not monotone at row %d", i)
+		}
+		if rowPtr[i+1] < 0 || rowPtr[i+1] > len(val) {
+			return nil, fmt.Errorf("sparse: rowPtr[%d]=%d outside [0,%d]", i+1, rowPtr[i+1], len(val))
+		}
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			if colInd[p] < 0 || colInd[p] >= cols {
+				return nil, fmt.Errorf("sparse: column %d out of range at row %d", colInd[p], i)
+			}
+			if p > rowPtr[i] && colInd[p] <= colInd[p-1] {
+				return nil, fmt.Errorf("sparse: row %d columns not strictly sorted", i)
+			}
+		}
+	}
+	return &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColInd: colInd, Val: val}, nil
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Clone returns a deep copy of m.
+func (m *CSR) Clone() *CSR {
+	return &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColInd: append([]int(nil), m.ColInd...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+}
+
+func (m *CSR) sortRows() {
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		row := rowView{m.ColInd[lo:hi], m.Val[lo:hi]}
+		if !sort.IsSorted(row) {
+			sort.Sort(row)
+		}
+	}
+}
+
+type rowView struct {
+	ind []int
+	val []float64
+}
+
+func (r rowView) Len() int           { return len(r.ind) }
+func (r rowView) Less(i, j int) bool { return r.ind[i] < r.ind[j] }
+func (r rowView) Swap(i, j int) {
+	r.ind[i], r.ind[j] = r.ind[j], r.ind[i]
+	r.val[i], r.val[j] = r.val[j], r.val[i]
+}
+
+// sumDuplicates merges adjacent equal column indices (rows must be sorted).
+func (m *CSR) sumDuplicates() {
+	out := 0
+	newPtr := make([]int, m.Rows+1)
+	for i := 0; i < m.Rows; i++ {
+		newPtr[i] = out
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for p := lo; p < hi; {
+			j := m.ColInd[p]
+			v := m.Val[p]
+			p++
+			for p < hi && m.ColInd[p] == j {
+				v += m.Val[p]
+				p++
+			}
+			m.ColInd[out] = j
+			m.Val[out] = v
+			out++
+		}
+	}
+	newPtr[m.Rows] = out
+	m.RowPtr = newPtr
+	m.ColInd = m.ColInd[:out]
+	m.Val = m.Val[:out]
+}
+
+// At returns the entry at (i, j), zero when not stored. It panics on an
+// out-of-range index. Cost is O(log nnz(row)).
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("sparse: At(%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	ind := m.ColInd[lo:hi]
+	k := sort.SearchInts(ind, j)
+	if k < len(ind) && ind[k] == j {
+		return m.Val[lo+k]
+	}
+	return 0
+}
+
+// MulVec computes y = A*x. len(x) must be Cols and len(y) must be Rows.
+func (m *CSR) MulVec(y, x []float64, c *vec.Counter) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("sparse: MulVec shape: A is %dx%d, len(x)=%d len(y)=%d", m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p] * x[m.ColInd[p]]
+		}
+		y[i] = s
+	}
+	c.Add(2 * float64(m.NNZ()))
+}
+
+// MulVecSub computes y -= A*x (the "BLoc = BSub − Dep·X" update in the
+// multisplitting iteration).
+func (m *CSR) MulVecSub(y, x []float64, c *vec.Counter) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("sparse: MulVecSub shape: A is %dx%d, len(x)=%d len(y)=%d", m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p] * x[m.ColInd[p]]
+		}
+		y[i] -= s
+	}
+	c.Add(2 * float64(m.NNZ()))
+}
+
+// Submatrix extracts the dense index block rows [r0,r1) × cols [c0,c1) as a
+// new CSR matrix with shape (r1-r0)×(c1-c0).
+func (m *CSR) Submatrix(r0, r1, c0, c1 int) *CSR {
+	if r0 < 0 || r1 > m.Rows || r0 > r1 || c0 < 0 || c1 > m.Cols || c0 > c1 {
+		panic(fmt.Sprintf("sparse: Submatrix [%d:%d,%d:%d) out of range %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	rows := r1 - r0
+	rowPtr := make([]int, rows+1)
+	nnz := 0
+	for i := r0; i < r1; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		ind := m.ColInd[lo:hi]
+		a := sort.SearchInts(ind, c0)
+		b := sort.SearchInts(ind, c1)
+		nnz += b - a
+		rowPtr[i-r0+1] = nnz
+	}
+	colInd := make([]int, nnz)
+	val := make([]float64, nnz)
+	out := 0
+	for i := r0; i < r1; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		ind := m.ColInd[lo:hi]
+		a := lo + sort.SearchInts(ind, c0)
+		b := lo + sort.SearchInts(ind, c1)
+		for p := a; p < b; p++ {
+			colInd[out] = m.ColInd[p] - c0
+			val[out] = m.Val[p]
+			out++
+		}
+	}
+	return &CSR{Rows: rows, Cols: c1 - c0, RowPtr: rowPtr, ColInd: colInd, Val: val}
+}
+
+// SelectColumns extracts the columns listed in cols (which must be strictly
+// increasing) across rows [r0,r1), producing an (r1-r0)×len(cols) matrix
+// whose column k corresponds to original column cols[k].
+func (m *CSR) SelectColumns(r0, r1 int, cols []int) *CSR {
+	if r0 < 0 || r1 > m.Rows || r0 > r1 {
+		panic("sparse: SelectColumns row range out of bounds")
+	}
+	for k := 1; k < len(cols); k++ {
+		if cols[k] <= cols[k-1] {
+			panic("sparse: SelectColumns columns not strictly increasing")
+		}
+	}
+	if len(cols) > 0 && (cols[0] < 0 || cols[len(cols)-1] >= m.Cols) {
+		panic("sparse: SelectColumns column out of range")
+	}
+	newCol := make(map[int]int, len(cols))
+	for k, j := range cols {
+		newCol[j] = k
+	}
+	rows := r1 - r0
+	rowPtr := make([]int, rows+1)
+	var colInd []int
+	var val []float64
+	for i := r0; i < r1; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if k, ok := newCol[m.ColInd[p]]; ok {
+				colInd = append(colInd, k)
+				val = append(val, m.Val[p])
+			}
+		}
+		rowPtr[i-r0+1] = len(val)
+	}
+	return &CSR{Rows: rows, Cols: len(cols), RowPtr: rowPtr, ColInd: colInd, Val: val}
+}
+
+// ColumnsUsed returns the sorted distinct original column indices, within
+// [c0,c1), that carry at least one nonzero in rows [r0,r1). This is how the
+// multisplitting decomposition computes its true dependency sets.
+func (m *CSR) ColumnsUsed(r0, r1, c0, c1 int) []int {
+	seen := make(map[int]bool)
+	for i := r0; i < r1; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		ind := m.ColInd[lo:hi]
+		a := sort.SearchInts(ind, c0)
+		b := sort.SearchInts(ind, c1)
+		for p := a; p < b; p++ {
+			seen[ind[p]] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for j := range seen {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Transpose returns the transpose of m as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{Rows: m.Cols, Cols: m.Rows}
+	t.RowPtr = make([]int, m.Cols+1)
+	for _, j := range m.ColInd {
+		t.RowPtr[j+1]++
+	}
+	for j := 0; j < m.Cols; j++ {
+		t.RowPtr[j+1] += t.RowPtr[j]
+	}
+	t.ColInd = make([]int, m.NNZ())
+	t.Val = make([]float64, m.NNZ())
+	next := make([]int, m.Cols)
+	copy(next, t.RowPtr[:m.Cols])
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			j := m.ColInd[p]
+			q := next[j]
+			t.ColInd[q] = i
+			t.Val[q] = m.Val[p]
+			next[j] = q + 1
+		}
+	}
+	return t
+}
+
+// ToCSC converts to compressed sparse column format.
+func (m *CSR) ToCSC() *CSC {
+	t := m.Transpose()
+	return &CSC{Rows: m.Rows, Cols: m.Cols, ColPtr: t.RowPtr, RowInd: t.ColInd, Val: t.Val}
+}
+
+// Permute returns P·A·Qᵀ where rowPerm and colPerm give, for each original
+// index, its new position: new[rowPerm[i]][colPerm[j]] = old[i][j]. A nil
+// permutation means identity.
+func (m *CSR) Permute(rowPerm, colPerm []int) *CSR {
+	if rowPerm != nil && len(rowPerm) != m.Rows {
+		panic("sparse: Permute row permutation size mismatch")
+	}
+	if colPerm != nil && len(colPerm) != m.Cols {
+		panic("sparse: Permute column permutation size mismatch")
+	}
+	co := NewCOO(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		ni := i
+		if rowPerm != nil {
+			ni = rowPerm[i]
+		}
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			nj := m.ColInd[p]
+			if colPerm != nil {
+				nj = colPerm[nj]
+			}
+			co.Append(ni, nj, m.Val[p])
+		}
+	}
+	return co.ToCSR()
+}
+
+// Diagonal returns the main diagonal as a dense slice of length min(Rows,Cols).
+func (m *CSR) Diagonal() []float64 {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d
+}
+
+// Bandwidth returns the maximum |i-j| over stored entries (0 for empty).
+func (m *CSR) Bandwidth() int {
+	bw := 0
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			d := m.ColInd[p] - i
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// String summarizes the matrix shape for debugging.
+func (m *CSR) String() string {
+	return fmt.Sprintf("CSR{%dx%d, nnz=%d}", m.Rows, m.Cols, m.NNZ())
+}
+
+// CSC is a compressed sparse column matrix, the natural input format for the
+// left-looking sparse LU factorization.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int
+	RowInd     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSC) NNZ() int { return len(m.Val) }
+
+// ToCSR converts back to row-major compressed format.
+func (m *CSC) ToCSR() *CSR {
+	asRow := &CSR{Rows: m.Cols, Cols: m.Rows, RowPtr: m.ColPtr, ColInd: m.RowInd, Val: m.Val}
+	return asRow.Transpose()
+}
+
+// Clone returns a deep copy of m.
+func (m *CSC) Clone() *CSC {
+	return &CSC{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		ColPtr: append([]int(nil), m.ColPtr...),
+		RowInd: append([]int(nil), m.RowInd...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+}
+
+// MulVec computes y = A*x for a CSC matrix.
+func (m *CSC) MulVec(y, x []float64, c *vec.Counter) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("sparse: CSC MulVec shape: A is %dx%d, len(x)=%d len(y)=%d", m.Rows, m.Cols, len(x), len(y)))
+	}
+	vec.Zero(y)
+	for j := 0; j < m.Cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			y[m.RowInd[p]] += m.Val[p] * xj
+		}
+	}
+	c.Add(2 * float64(m.NNZ()))
+}
+
+// Identity returns the n×n identity matrix in CSR form.
+func Identity(n int) *CSR {
+	rowPtr := make([]int, n+1)
+	colInd := make([]int, n)
+	val := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = i + 1
+		colInd[i] = i
+		val[i] = 1
+	}
+	return &CSR{Rows: n, Cols: n, RowPtr: rowPtr, ColInd: colInd, Val: val}
+}
+
+// Equal reports whether a and b have identical shape, pattern and values.
+func Equal(a, b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for p := range a.ColInd {
+		if a.ColInd[p] != b.ColInd[p] || a.Val[p] != b.Val[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// InversePerm returns the inverse of permutation p (q with q[p[i]] = i).
+func InversePerm(p []int) []int {
+	q := make([]int, len(p))
+	for i, v := range p {
+		if v < 0 || v >= len(p) {
+			panic("sparse: invalid permutation")
+		}
+		q[v] = i
+	}
+	return q
+}
+
+// IsPerm reports whether p is a valid permutation of 0..len(p)-1.
+func IsPerm(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

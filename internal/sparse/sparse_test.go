@@ -1,0 +1,328 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+func sampleCSR(t *testing.T) *CSR {
+	t.Helper()
+	// [ 1 0 2 ]
+	// [ 0 3 0 ]
+	// [ 4 5 6 ]
+	co := NewCOO(3, 3)
+	co.Append(0, 0, 1)
+	co.Append(0, 2, 2)
+	co.Append(1, 1, 3)
+	co.Append(2, 0, 4)
+	co.Append(2, 1, 5)
+	co.Append(2, 2, 6)
+	return co.ToCSR()
+}
+
+func TestCOOToCSRBasic(t *testing.T) {
+	m := sampleCSR(t)
+	if m.NNZ() != 6 {
+		t.Fatalf("nnz = %d, want 6", m.NNZ())
+	}
+	if m.At(0, 0) != 1 || m.At(0, 2) != 2 || m.At(1, 1) != 3 || m.At(2, 1) != 5 {
+		t.Fatal("wrong entries after conversion")
+	}
+	if m.At(0, 1) != 0 || m.At(1, 0) != 0 {
+		t.Fatal("missing entries should read as zero")
+	}
+}
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	co := NewCOO(2, 2)
+	co.Append(0, 0, 1)
+	co.Append(0, 0, 2.5)
+	co.Append(1, 1, 4)
+	m := co.ToCSR()
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 after duplicate merge", m.NNZ())
+	}
+	if m.At(0, 0) != 3.5 {
+		t.Fatalf("summed duplicate = %v, want 3.5", m.At(0, 0))
+	}
+}
+
+func TestCOOAppendOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCOO(2, 2).Append(2, 0, 1)
+}
+
+func TestNewCSRValidation(t *testing.T) {
+	if _, err := NewCSR(2, 2, []int{0, 1}, []int{0}, []float64{1}); err == nil {
+		t.Fatal("short rowPtr accepted")
+	}
+	if _, err := NewCSR(2, 2, []int{0, 1, 3}, []int{0}, []float64{1}); err == nil {
+		t.Fatal("rowPtr/val bound mismatch accepted")
+	}
+	if _, err := NewCSR(2, 2, []int{0, 3, 2}, []int{0, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("non-monotone / out-of-bounds rowPtr accepted")
+	}
+	if _, err := NewCSR(1, 1, []int{0, 1}, []int{5}, []float64{1}); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	if _, err := NewCSR(1, 2, []int{0, 2}, []int{1, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("unsorted columns accepted")
+	}
+	m, err := NewCSR(2, 2, []int{0, 1, 2}, []int{0, 1}, []float64{1, 2})
+	if err != nil || m.At(1, 1) != 2 {
+		t.Fatalf("valid CSR rejected: %v", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := sampleCSR(t)
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	var c vec.Counter
+	m.MulVec(y, x, &c)
+	want := []float64{7, 6, 32}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	if c.Flops() != 12 {
+		t.Fatalf("flops = %v, want 12", c.Flops())
+	}
+}
+
+func TestMulVecSub(t *testing.T) {
+	m := sampleCSR(t)
+	x := []float64{1, 2, 3}
+	y := []float64{10, 10, 40}
+	var c vec.Counter
+	m.MulVecSub(y, x, &c)
+	want := []float64{3, 4, 8}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := sampleCSR(t)
+	s := m.Submatrix(1, 3, 0, 2)
+	if s.Rows != 2 || s.Cols != 2 {
+		t.Fatalf("shape %dx%d, want 2x2", s.Rows, s.Cols)
+	}
+	if s.At(0, 1) != 3 || s.At(1, 0) != 4 || s.At(1, 1) != 5 {
+		t.Fatal("wrong submatrix entries")
+	}
+	if s.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", s.NNZ())
+	}
+	empty := m.Submatrix(0, 0, 0, 3)
+	if empty.Rows != 0 || empty.NNZ() != 0 {
+		t.Fatal("empty submatrix not empty")
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	m := sampleCSR(t)
+	s := m.SelectColumns(0, 3, []int{0, 2})
+	if s.Rows != 3 || s.Cols != 2 {
+		t.Fatalf("shape %dx%d", s.Rows, s.Cols)
+	}
+	if s.At(0, 0) != 1 || s.At(0, 1) != 2 || s.At(2, 0) != 4 || s.At(2, 1) != 6 {
+		t.Fatal("wrong selected entries")
+	}
+	if s.At(1, 0) != 0 || s.At(1, 1) != 0 {
+		t.Fatal("row 1 should have no selected entries")
+	}
+}
+
+func TestColumnsUsed(t *testing.T) {
+	m := sampleCSR(t)
+	got := m.ColumnsUsed(0, 2, 0, 3)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("ColumnsUsed = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ColumnsUsed = %v, want %v", got, want)
+		}
+	}
+	got = m.ColumnsUsed(1, 2, 0, 3)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("ColumnsUsed row1 = %v, want [1]", got)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := sampleCSR(t)
+	tt := m.Transpose().Transpose()
+	if !Equal(m, tt) {
+		t.Fatal("double transpose differs from original")
+	}
+	tr := m.Transpose()
+	if tr.At(0, 2) != 4 || tr.At(2, 0) != 2 {
+		t.Fatal("transpose has wrong entries")
+	}
+}
+
+func TestCSCConversionRoundTrip(t *testing.T) {
+	m := sampleCSR(t)
+	back := m.ToCSC().ToCSR()
+	if !Equal(m, back) {
+		t.Fatal("CSR->CSC->CSR changed the matrix")
+	}
+}
+
+func TestCSCMulVecMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomCSR(rng, 20, 15, 60)
+	csc := m.ToCSC()
+	x := make([]float64, 15)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, 20)
+	y2 := make([]float64, 20)
+	var c vec.Counter
+	m.MulVec(y1, x, &c)
+	csc.MulVec(y2, x, &c)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatalf("CSR and CSC MulVec disagree at %d: %v vs %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestPermute(t *testing.T) {
+	m := sampleCSR(t)
+	rowPerm := []int{2, 0, 1} // old row 0 -> new row 2, etc.
+	p := m.Permute(rowPerm, nil)
+	if p.At(2, 0) != 1 || p.At(2, 2) != 2 || p.At(0, 1) != 3 {
+		t.Fatal("row permutation wrong")
+	}
+	colPerm := []int{1, 2, 0}
+	q := m.Permute(nil, colPerm)
+	if q.At(0, 1) != 1 || q.At(0, 0) != 2 || q.At(1, 2) != 3 {
+		t.Fatal("column permutation wrong")
+	}
+	// Identity permutations preserve the matrix.
+	id := []int{0, 1, 2}
+	if !Equal(m, m.Permute(id, id)) {
+		t.Fatal("identity permutation changed the matrix")
+	}
+}
+
+func TestDiagonalAndBandwidth(t *testing.T) {
+	m := sampleCSR(t)
+	d := m.Diagonal()
+	if d[0] != 1 || d[1] != 3 || d[2] != 6 {
+		t.Fatalf("diagonal = %v", d)
+	}
+	if bw := m.Bandwidth(); bw != 2 {
+		t.Fatalf("bandwidth = %d, want 2", bw)
+	}
+	if bw := Identity(5).Bandwidth(); bw != 0 {
+		t.Fatalf("identity bandwidth = %d", bw)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	var c vec.Counter
+	id.MulVec(y, x, &c)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("identity MulVec changed vector")
+		}
+	}
+}
+
+func TestPermHelpers(t *testing.T) {
+	p := []int{2, 0, 1}
+	if !IsPerm(p) {
+		t.Fatal("valid permutation rejected")
+	}
+	if IsPerm([]int{0, 0, 1}) || IsPerm([]int{0, 3, 1}) {
+		t.Fatal("invalid permutation accepted")
+	}
+	inv := InversePerm(p)
+	for i := range p {
+		if inv[p[i]] != i {
+			t.Fatalf("inverse wrong: %v", inv)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := sampleCSR(t)
+	cl := m.Clone()
+	cl.Val[0] = 99
+	if m.Val[0] == 99 {
+		t.Fatal("CSR Clone aliases values")
+	}
+	csc := m.ToCSC()
+	cc := csc.Clone()
+	cc.Val[0] = 77
+	if csc.Val[0] == 77 {
+		t.Fatal("CSC Clone aliases values")
+	}
+}
+
+func randomCSR(rng *rand.Rand, rows, cols, nnz int) *CSR {
+	co := NewCOO(rows, cols)
+	for k := 0; k < nnz; k++ {
+		co.Append(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+	}
+	return co.ToCSR()
+}
+
+// Property: (A+A)ᵀ round trips, submatrix of the whole equals the original,
+// and MulVec distributes over scaling.
+func TestCSRProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(30)
+		cols := 1 + rng.Intn(30)
+		m := randomCSR(rng, rows, cols, rng.Intn(100))
+		if !Equal(m, m.Submatrix(0, rows, 0, cols)) {
+			return false
+		}
+		if !Equal(m, m.Transpose().Transpose()) {
+			return false
+		}
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, rows)
+		y2 := make([]float64, rows)
+		var c vec.Counter
+		m.MulVec(y1, x, &c)
+		x2 := make([]float64, cols)
+		for i := range x {
+			x2[i] = 2 * x[i]
+		}
+		m.MulVec(y2, x2, &c)
+		for i := range y1 {
+			if math.Abs(2*y1[i]-y2[i]) > 1e-9*(1+math.Abs(y2[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+package splu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+func solveCheck(t *testing.T, d Direct, a *sparse.CSR, tol float64) {
+	t.Helper()
+	b, xtrue := gen.RHSForSolution(a)
+	var c vec.Counter
+	f, err := d.Factor(a, &c)
+	if err != nil {
+		t.Fatalf("%s Factor: %v", d.Name(), err)
+	}
+	x := make([]float64, a.Rows)
+	f.Solve(x, b, &c)
+	for i := range x {
+		if math.Abs(x[i]-xtrue[i]) > tol*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("%s: x[%d] = %v, want %v", d.Name(), i, x[i], xtrue[i])
+		}
+	}
+	if f.FactorFlops() < 0 {
+		t.Fatalf("%s: negative factor flops", d.Name())
+	}
+	if f.Bytes() <= 0 {
+		t.Fatalf("%s: non-positive Bytes", d.Name())
+	}
+}
+
+func TestSparseLUPoisson(t *testing.T) {
+	a := gen.Poisson2D(12, 13)
+	solveCheck(t, &SparseLU{}, a, 1e-8)
+}
+
+func TestSparseLUNaturalOrder(t *testing.T) {
+	a := gen.Poisson2D(8, 8)
+	solveCheck(t, &SparseLU{Order: OrderNatural}, a, 1e-8)
+}
+
+func TestSparseLUMinDegreeOrder(t *testing.T) {
+	a := gen.Poisson2D(14, 14)
+	solveCheck(t, &SparseLU{Order: OrderMinDegree}, a, 1e-8)
+}
+
+func TestMinDegreeReducesFillOnPoisson(t *testing.T) {
+	a := gen.Poisson2D(20, 20)
+	fill := func(o Ordering) int {
+		var c vec.Counter
+		f, err := (&SparseLU{Order: o}).Factor(a, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, u := f.(*sparseFactors).NNZFactors()
+		return l + u
+	}
+	natural := fill(OrderNatural)
+	md := fill(OrderMinDegree)
+	if md >= natural {
+		t.Fatalf("minimum degree fill %d not below natural %d", md, natural)
+	}
+}
+
+func TestSparseLUDiagDominant(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 300, Seed: 5})
+	solveCheck(t, &SparseLU{}, a, 1e-8)
+}
+
+func TestSparseLUCageLike(t *testing.T) {
+	a := gen.CageLike(400, 9)
+	solveCheck(t, &SparseLU{}, a, 1e-8)
+}
+
+func TestSparseLUNeedsPivoting(t *testing.T) {
+	// Zero diagonal forces off-diagonal pivots.
+	co := sparse.NewCOO(3, 3)
+	co.Append(0, 1, 2)
+	co.Append(0, 2, 1)
+	co.Append(1, 0, 3)
+	co.Append(1, 2, -1)
+	co.Append(2, 0, 1)
+	co.Append(2, 1, 1)
+	a := co.ToCSR()
+	solveCheck(t, &SparseLU{Order: OrderNatural}, a, 1e-10)
+}
+
+func TestSparseLUSingular(t *testing.T) {
+	co := sparse.NewCOO(2, 2)
+	co.Append(0, 0, 1)
+	co.Append(1, 0, 2)
+	var c vec.Counter
+	if _, err := (&SparseLU{}).Factor(co.ToCSR(), &c); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestSparseLUNonSquare(t *testing.T) {
+	co := sparse.NewCOO(2, 3)
+	var c vec.Counter
+	if _, err := (&SparseLU{}).Factor(co.ToCSR(), &c); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestSparseLUOneByOne(t *testing.T) {
+	co := sparse.NewCOO(1, 1)
+	co.Append(0, 0, 4)
+	var c vec.Counter
+	f, err := (&SparseLU{}).Factor(co.ToCSR(), &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 1)
+	f.Solve(x, []float64{8}, &c)
+	if x[0] != 2 {
+		t.Fatalf("x = %v, want 2", x[0])
+	}
+}
+
+func TestSparseLUThresholdPivoting(t *testing.T) {
+	// With a relaxed threshold the diagonal is kept when large enough;
+	// result must still be accurate on a dominant matrix.
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 200, Seed: 11})
+	solveCheck(t, &SparseLU{PivotTol: 0.1}, a, 1e-8)
+}
+
+func TestSparseLUChargesFlops(t *testing.T) {
+	a := gen.Poisson2D(10, 10)
+	var c vec.Counter
+	f, err := (&SparseLU{}).Factor(a, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Flops() <= 0 || c.Flops() != f.FactorFlops() {
+		t.Fatalf("counter %v vs factor flops %v", c.Flops(), f.FactorFlops())
+	}
+	before := c.Flops()
+	x := make([]float64, a.Rows)
+	b := make([]float64, a.Rows)
+	f.Solve(x, b, &c)
+	if c.Flops() <= before {
+		t.Fatal("Solve charged no flops")
+	}
+}
+
+func TestSparseLUFillCounts(t *testing.T) {
+	a := gen.Poisson2D(15, 15)
+	var c vec.Counter
+	f, err := (&SparseLU{}).Factor(a, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := f.(*sparseFactors)
+	lnz, unz := sf.NNZFactors()
+	if lnz < a.NNZ()/2 || unz < a.NNZ()/2 {
+		t.Fatalf("factors suspiciously sparse: lnz=%d unz=%d, nnz(A)=%d", lnz, unz, a.NNZ())
+	}
+}
+
+func TestCholeskySolverOnPoisson(t *testing.T) {
+	a := gen.Poisson2D(8, 8)
+	solveCheck(t, CholeskySolver{}, a, 1e-9)
+}
+
+func TestCholeskySolverRejectsNonSPD(t *testing.T) {
+	a := gen.CageLike(30, 2) // nonsymmetric
+	var c vec.Counter
+	if _, err := (CholeskySolver{}).Factor(a, &c); err == nil {
+		t.Fatal("nonsymmetric matrix accepted by Cholesky")
+	}
+}
+
+func TestCholeskyInMultisplittingPosition(t *testing.T) {
+	// The Cholesky solver plugs into the Direct seam like any other.
+	solvers := []Direct{CholeskySolver{}, &SparseLU{}}
+	a := gen.Poisson2D(10, 10)
+	b, _ := gen.RHSForSolution(a)
+	var sols [][]float64
+	for _, d := range solvers {
+		var c vec.Counter
+		f, err := d.Factor(a, &c)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		x := make([]float64, a.Rows)
+		f.Solve(x, b, &c)
+		sols = append(sols, x)
+	}
+	for i := range sols[0] {
+		if math.Abs(sols[0][i]-sols[1][i]) > 1e-7 {
+			t.Fatalf("cholesky and sparse LU disagree at %d", i)
+		}
+	}
+}
+
+func TestDenseSolver(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 60, Seed: 3})
+	solveCheck(t, DenseSolver{}, a, 1e-8)
+}
+
+func TestBandSolverPlain(t *testing.T) {
+	a := gen.Tridiag(100, -1, 4, -1)
+	solveCheck(t, BandSolver{}, a, 1e-9)
+}
+
+func TestBandSolverWithReorder(t *testing.T) {
+	n := 80
+	a := gen.Tridiag(n, -1, 4, -1)
+	rng := rand.New(rand.NewSource(8))
+	shuffle := rng.Perm(n)
+	scrambled := a.Permute(shuffle, shuffle)
+	solveCheck(t, BandSolver{Reorder: true}, scrambled, 1e-9)
+}
+
+func TestAllSolversAgree(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 90, Band: 5, Seed: 21})
+	b, _ := gen.RHSForSolution(a)
+	solvers := []Direct{&SparseLU{}, DenseSolver{}, BandSolver{}}
+	sols := make([][]float64, len(solvers))
+	for si, d := range solvers {
+		var c vec.Counter
+		f, err := d.Factor(a, &c)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		x := make([]float64, a.Rows)
+		f.Solve(x, b, &c)
+		sols[si] = x
+	}
+	for si := 1; si < len(sols); si++ {
+		for i := range sols[0] {
+			if math.Abs(sols[0][i]-sols[si][i]) > 1e-7 {
+				t.Fatalf("solver %s disagrees with %s at %d: %v vs %v",
+					solvers[si].Name(), solvers[0].Name(), i, sols[si][i], sols[0][i])
+			}
+		}
+	}
+}
+
+// Property: sparse LU solves random strictly dominant systems to high accuracy.
+func TestSparseLUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		a := gen.RandomDominant(n, 1+rng.Intn(6), 0.2, rng)
+		b, xtrue := gen.RHSForSolution(a)
+		var c vec.Counter
+		fct, err := (&SparseLU{}).Factor(a, &c)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		fct.Solve(x, b, &c)
+		for i := range x {
+			if math.Abs(x[i]-xtrue[i]) > 1e-6*(1+math.Abs(xtrue[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Repeated solves with one factorization must all be correct (the
+// multisplitting iteration relies on this, paper Remark 4).
+func TestFactorOnceSolveMany(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 150, Seed: 33})
+	var c vec.Counter
+	f, err := (&SparseLU{}).Factor(a, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		xtrue := make([]float64, a.Rows)
+		for i := range xtrue {
+			xtrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, a.Rows)
+		a.MulVec(b, xtrue, &c)
+		x := make([]float64, a.Rows)
+		f.Solve(x, b, &c)
+		for i := range x {
+			if math.Abs(x[i]-xtrue[i]) > 1e-7*(1+math.Abs(xtrue[i])) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xtrue[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package vgrid
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TraceEvent is one structured simulator event captured by a Recorder.
+type TraceEvent struct {
+	Time float64
+	Proc string
+	Kind string // "send", "recv", "done"
+	Text string
+}
+
+// Recorder captures structured trace events. Attach with Engine.Record; the
+// zero value is ready to use.
+type Recorder struct {
+	Events []TraceEvent
+}
+
+// Record attaches a recorder to the engine's trace hook. It must be called
+// before Run. The textual Trace hook, if any, is replaced.
+func (e *Engine) Record(rec *Recorder) {
+	e.Trace = func(line string) {
+		ev, ok := parseTraceLine(line)
+		if ok {
+			rec.Events = append(rec.Events, ev)
+		}
+	}
+}
+
+// parseTraceLine converts the engine's "t=<time> <proc> <kind> ..." lines.
+func parseTraceLine(line string) (TraceEvent, bool) {
+	var ev TraceEvent
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "t=") {
+		return ev, false
+	}
+	if _, err := fmt.Sscanf(fields[0], "t=%f", &ev.Time); err != nil {
+		return ev, false
+	}
+	ev.Proc = fields[1]
+	ev.Kind = fields[2]
+	ev.Text = strings.Join(fields[3:], " ")
+	return ev, true
+}
+
+// Summary aggregates the recorded events per process.
+type TraceSummary struct {
+	Proc       string
+	Sends      int
+	Recvs      int
+	FirstEvent float64
+	LastEvent  float64
+}
+
+// Summaries returns per-process aggregates sorted by process name.
+func (r *Recorder) Summaries() []TraceSummary {
+	byProc := map[string]*TraceSummary{}
+	for _, ev := range r.Events {
+		s := byProc[ev.Proc]
+		if s == nil {
+			s = &TraceSummary{Proc: ev.Proc, FirstEvent: ev.Time}
+			byProc[ev.Proc] = s
+		}
+		switch ev.Kind {
+		case "send":
+			s.Sends++
+		case "recv":
+			s.Recvs++
+		}
+		if ev.Time < s.FirstEvent {
+			s.FirstEvent = ev.Time
+		}
+		if ev.Time > s.LastEvent {
+			s.LastEvent = ev.Time
+		}
+	}
+	out := make([]TraceSummary, 0, len(byProc))
+	for _, s := range byProc {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Proc < out[j].Proc })
+	return out
+}
+
+// WriteTimeline renders a coarse per-process activity timeline: one row per
+// process, with event density bucketed into width columns over the run.
+func (r *Recorder) WriteTimeline(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	if len(r.Events) == 0 {
+		_, err := fmt.Fprintln(w, "(no events recorded)")
+		return err
+	}
+	tmax := 0.0
+	procs := map[string][]float64{}
+	for _, ev := range r.Events {
+		procs[ev.Proc] = append(procs[ev.Proc], ev.Time)
+		if ev.Time > tmax {
+			tmax = ev.Time
+		}
+	}
+	if tmax == 0 {
+		tmax = 1
+	}
+	names := make([]string, 0, len(procs))
+	nameW := 0
+	for n := range procs {
+		names = append(names, n)
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	sort.Strings(names)
+	marks := []byte(" .:+*#")
+	for _, n := range names {
+		buckets := make([]int, width)
+		for _, t := range procs[n] {
+			b := int(t / tmax * float64(width-1))
+			buckets[b]++
+		}
+		row := make([]byte, width)
+		for i, cnt := range buckets {
+			lvl := cnt
+			if lvl >= len(marks) {
+				lvl = len(marks) - 1
+			}
+			row[i] = marks[lvl]
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", nameW, n, string(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  0%s%.4gs\n", nameW, "", strings.Repeat(" ", width-len(fmt.Sprintf("%.4gs", tmax))), tmax)
+	return err
+}

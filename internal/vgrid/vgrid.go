@@ -1,0 +1,610 @@
+// Package vgrid is a conservative discrete-event simulator of a grid
+// computing platform: hosts with a compute speed (flop/s) and a memory
+// capacity, connected by links with latency, bandwidth and serialization
+// contention. It plays the role of the paper's physical clusters
+// (cluster1/2/3): numerical kernels execute for real inside simulated
+// processes and charge their counted flop cost to a virtual clock, while
+// messages cost latency plus bytes over the route's bottleneck bandwidth.
+//
+// Simulated processes are goroutines, but exactly one runs at a time: every
+// simulator primitive (Compute, Send, Recv, TryRecv, Sleep, Alloc) yields to
+// the scheduler, which always resumes the process with the smallest next
+// event time. Because a process can only create future events at or after
+// its own clock, this order is causally safe and fully deterministic.
+package vgrid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrOutOfMemory is returned by Proc.Alloc when the host memory would be
+// exceeded; the experiments map it to the paper's "nem" table entries.
+var ErrOutOfMemory = errors.New("vgrid: not enough memory")
+
+// ErrDeadlock is returned by Engine.Run when every live process is blocked
+// on a receive that can never be satisfied.
+var ErrDeadlock = errors.New("vgrid: deadlock: all processes blocked")
+
+// Host is a machine in the platform.
+type Host struct {
+	ID    int
+	Name  string
+	Speed float64 // flop/s
+	// Memory is the capacity in bytes; 0 means unlimited.
+	Memory int64
+
+	used int64
+}
+
+// Sharing selects how a link divides its bandwidth among concurrent
+// transfers.
+type Sharing int
+
+const (
+	// SharingFIFO serializes transfers: each waits for the link to be free
+	// (store-and-forward switches, default).
+	SharingFIFO Sharing = iota
+	// SharingFair divides the bandwidth among concurrent transfers, in the
+	// manner of TCP flows on a shared path: a transfer starting while k
+	// others are active proceeds at bandwidth/(k+1) for its whole duration
+	// (a processor-sharing approximation, evaluated at start time).
+	SharingFair
+)
+
+// Link is a network resource with contention: concurrent transfers either
+// queue behind each other (FIFO) or share the bandwidth (Fair).
+type Link struct {
+	Name      string
+	Latency   float64 // seconds
+	Bandwidth float64 // bytes/s
+	// Mode selects the contention model (default SharingFIFO).
+	Mode Sharing
+
+	nextFree   float64
+	activeEnds []float64 // fair mode: end times of in-flight transfers
+	// BytesCarried accumulates the traffic that crossed this link, for the
+	// communication-volume reports.
+	BytesCarried int64
+}
+
+// fairShare returns the bandwidth share for a transfer starting at now and
+// records tentative membership; the caller registers the actual end time.
+func (l *Link) fairShare(now float64) float64 {
+	live := l.activeEnds[:0]
+	for _, e := range l.activeEnds {
+		if e > now {
+			live = append(live, e)
+		}
+	}
+	l.activeEnds = live
+	return l.Bandwidth / float64(len(l.activeEnds)+1)
+}
+
+// Platform describes hosts and the routes between them.
+type Platform struct {
+	Hosts  []*Host
+	routes map[[2]int][]*Link
+	// loopback cost for messages a host sends to itself.
+	loopLatency   float64
+	loopBandwidth float64
+}
+
+// NewPlatform returns an empty platform. Loopback transfers cost 1 µs
+// latency at 1 GB/s unless changed with SetLoopback.
+func NewPlatform() *Platform {
+	return &Platform{
+		routes:        make(map[[2]int][]*Link),
+		loopLatency:   1e-6,
+		loopBandwidth: 1e9,
+	}
+}
+
+// AddHost registers a host and returns it.
+func (pl *Platform) AddHost(name string, speed float64, memory int64) *Host {
+	if speed <= 0 {
+		panic("vgrid: host speed must be positive")
+	}
+	h := &Host{ID: len(pl.Hosts), Name: name, Speed: speed, Memory: memory}
+	pl.Hosts = append(pl.Hosts, h)
+	return h
+}
+
+// NewLink creates a link resource (not yet on any route).
+func NewLink(name string, latency, bandwidth float64) *Link {
+	if bandwidth <= 0 {
+		panic("vgrid: link bandwidth must be positive")
+	}
+	return &Link{Name: name, Latency: latency, Bandwidth: bandwidth}
+}
+
+// SetRoute declares the link sequence used by messages from a to b and,
+// symmetrically, from b to a.
+func (pl *Platform) SetRoute(a, b *Host, links ...*Link) {
+	if len(links) == 0 {
+		panic("vgrid: route needs at least one link")
+	}
+	pl.routes[[2]int{a.ID, b.ID}] = links
+	rev := make([]*Link, len(links))
+	for i, l := range links {
+		rev[len(links)-1-i] = l
+	}
+	pl.routes[[2]int{b.ID, a.ID}] = rev
+}
+
+// SetLoopback sets the cost of same-host transfers.
+func (pl *Platform) SetLoopback(latency, bandwidth float64) {
+	pl.loopLatency = latency
+	pl.loopBandwidth = bandwidth
+}
+
+// Route returns the links from a to b, or nil for loopback.
+func (pl *Platform) Route(a, b *Host) ([]*Link, error) {
+	if a.ID == b.ID {
+		return nil, nil
+	}
+	links, ok := pl.routes[[2]int{a.ID, b.ID}]
+	if !ok {
+		return nil, fmt.Errorf("vgrid: no route %s -> %s", a.Name, b.Name)
+	}
+	return links, nil
+}
+
+// Message is a payload in flight or delivered to a process mailbox.
+type Message struct {
+	From, To int // process ids
+	Tag      int
+	Payload  any
+	Bytes    int
+	SentAt   float64
+	Arrival  float64
+	seq      int64
+}
+
+const (
+	// AnySource matches messages from every sender in Recv/TryRecv.
+	AnySource = -1
+	// AnyTag matches every message tag in Recv/TryRecv.
+	AnyTag = -1
+)
+
+type procState int
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is a simulated process. All methods must be called from within the
+// process's own body function.
+type Proc struct {
+	ID   int
+	Name string
+
+	eng     *Engine
+	host    *Host
+	clock   float64
+	state   procState
+	resume  chan struct{}
+	mailbox []*Message
+	// matcher is set while blocked in Recv.
+	matchSrc, matchTag int
+	err                error
+	allocated          int64
+
+	// Stats.
+	FlopsDone     float64
+	BytesSent     int64
+	MsgsSent      int64
+	ComputeTime   float64
+	BlockedTime   float64
+	lastBlockedAt float64
+}
+
+// Engine runs a set of processes over a platform.
+type Engine struct {
+	Platform *Platform
+	procs    []*Proc
+	yieldCh  chan *Proc
+	seq      int64
+	started  bool
+	// Trace, when non-nil, receives one line per scheduling event.
+	Trace func(string)
+	now   float64
+}
+
+// NewEngine creates an engine for the platform.
+func NewEngine(pl *Platform) *Engine {
+	return &Engine{Platform: pl, yieldCh: make(chan *Proc)}
+}
+
+// Spawn registers a process on a host with a body function. Must be called
+// before Run.
+func (e *Engine) Spawn(h *Host, name string, body func(p *Proc) error) *Proc {
+	if e.started {
+		panic("vgrid: Spawn after Run")
+	}
+	p := &Proc{
+		ID:     len(e.procs),
+		Name:   name,
+		eng:    e,
+		host:   h,
+		resume: make(chan struct{}),
+		state:  stateReady,
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		err := safeBody(body, p)
+		p.err = err
+		p.state = stateDone
+		// Release any memory the process still holds.
+		p.host.used -= p.allocated
+		p.allocated = 0
+		e.yieldCh <- p
+	}()
+	return p
+}
+
+func safeBody(body func(p *Proc) error, p *Proc) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("vgrid: process %s panicked: %v", p.Name, r)
+		}
+	}()
+	return body(p)
+}
+
+// Run executes the simulation until every process finishes. It returns the
+// final virtual time and the first process error (all process errors are
+// available via Errors).
+func (e *Engine) Run() (float64, error) {
+	if e.started {
+		panic("vgrid: Run called twice")
+	}
+	e.started = true
+	for {
+		p, resumeAt, deliver := e.pickNext()
+		if p == nil {
+			break
+		}
+		if p.state == stateBlocked {
+			p.BlockedTime += resumeAt - p.lastBlockedAt
+		}
+		p.clock = resumeAt
+		if resumeAt > e.now {
+			e.now = resumeAt
+		}
+		p.state = stateRunning
+		if deliver != nil && e.Trace != nil {
+			e.Trace(fmt.Sprintf("t=%.6f %s recv from=%d tag=%d bytes=%d", resumeAt, p.Name, deliver.From, deliver.Tag, deliver.Bytes))
+		}
+		p.resume <- struct{}{}
+		q := <-e.yieldCh
+		if q.state == stateDone && e.Trace != nil {
+			e.Trace(fmt.Sprintf("t=%.6f %s done err=%v", q.clock, q.Name, q.err))
+		}
+	}
+	// Check for deadlock: any process not done means nobody was runnable.
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state != stateDone {
+			blocked = append(blocked, p.Name)
+		}
+	}
+	if len(blocked) > 0 {
+		if err := e.firstError(); err != nil {
+			// A failed process is the likely root cause of the stall;
+			// report (and wrap) it rather than the secondary deadlock.
+			return e.now, fmt.Errorf("%w (then deadlock: %s)", err, strings.Join(blocked, ", "))
+		}
+		return e.now, fmt.Errorf("%w: %s", ErrDeadlock, strings.Join(blocked, ", "))
+	}
+	return e.now, e.firstError()
+}
+
+func (e *Engine) firstError() error {
+	for _, p := range e.procs {
+		if p.err != nil {
+			return fmt.Errorf("process %s: %w", p.Name, p.err)
+		}
+	}
+	return nil
+}
+
+// Errors returns the per-process errors after Run (nil entries for success).
+func (e *Engine) Errors() []error {
+	errs := make([]error, len(e.procs))
+	for i, p := range e.procs {
+		errs[i] = p.err
+	}
+	return errs
+}
+
+// Now returns the engine's high-water virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// pickNext selects the process with the earliest next event. For a blocked
+// process the next event is the earliest matching message arrival (clamped
+// to its clock); ready processes resume at their own clock.
+func (e *Engine) pickNext() (best *Proc, at float64, msg *Message) {
+	at = math.Inf(1)
+	var bestMsg *Message
+	for _, p := range e.procs {
+		switch p.state {
+		case stateReady:
+			if p.clock < at || (p.clock == at && better(p, best)) {
+				best, at, bestMsg = p, p.clock, nil
+			}
+		case stateBlocked:
+			m := p.earliestMatch()
+			if m == nil {
+				continue
+			}
+			t := math.Max(p.clock, m.Arrival)
+			if t < at || (t == at && better(p, best)) {
+				best, at, bestMsg = p, t, m
+			}
+		}
+	}
+	return best, at, bestMsg
+}
+
+func better(p, cur *Proc) bool { return cur == nil || p.ID < cur.ID }
+
+func (p *Proc) earliestMatch() *Message {
+	var best *Message
+	for _, m := range p.mailbox {
+		if !matches(m, p.matchSrc, p.matchTag) {
+			continue
+		}
+		if best == nil || m.Arrival < best.Arrival || (m.Arrival == best.Arrival && m.seq < best.seq) {
+			best = m
+		}
+	}
+	return best
+}
+
+func matches(m *Message, src, tag int) bool {
+	return (src == AnySource || m.From == src) && (tag == AnyTag || m.Tag == tag)
+}
+
+// yield parks the process until the scheduler resumes it.
+func (p *Proc) yield() {
+	p.eng.yieldCh <- p
+	<-p.resume
+}
+
+// Host returns the host the process runs on.
+func (p *Proc) Host() *Host { return p.host }
+
+// Done reports whether the process body has returned. It is safe to read
+// from other simulated processes (the engine is single-threaded).
+func (p *Proc) Done() bool { return p.state == stateDone }
+
+// Now returns the process's local virtual clock in seconds.
+func (p *Proc) Now() float64 { return p.clock }
+
+// Compute charges flops of work at the host's speed and advances the clock.
+func (p *Proc) Compute(flops float64) {
+	if flops < 0 {
+		panic("vgrid: negative flops")
+	}
+	dt := flops / p.host.Speed
+	p.clock += dt
+	p.ComputeTime += dt
+	p.FlopsDone += flops
+	p.state = stateReady
+	p.yield()
+}
+
+// Sleep advances the clock by dt seconds without doing work.
+func (p *Proc) Sleep(dt float64) {
+	if dt < 0 {
+		panic("vgrid: negative sleep")
+	}
+	p.clock += dt
+	p.state = stateReady
+	p.yield()
+}
+
+// Send transmits a payload of the given size to the destination process.
+// The sender is occupied while pushing the bytes onto the first link; the
+// message then arrives after the route latency. Transfers serialize on every
+// link of the route (contention). Payloads are delivered by reference: the
+// sender must not mutate the payload afterwards (mp copies for safety).
+func (p *Proc) Send(dst *Proc, tag int, payload any, bytes int) error {
+	if bytes < 0 {
+		panic("vgrid: negative message size")
+	}
+	e := p.eng
+	links, err := e.Platform.Route(p.host, dst.host)
+	if err != nil {
+		return err
+	}
+	var latency, pushTime float64
+	start := p.clock
+	if links == nil {
+		latency = e.Platform.loopLatency
+		pushTime = float64(bytes) / e.Platform.loopBandwidth
+	} else {
+		// FIFO links serialize: the transfer begins when every one is free.
+		for _, l := range links {
+			latency += l.Latency
+			if l.Mode == SharingFIFO && l.nextFree > start {
+				start = l.nextFree
+			}
+		}
+		// Effective rate: the bottleneck across FIFO bandwidths and fair
+		// shares evaluated at the start instant.
+		bw := math.Inf(1)
+		for _, l := range links {
+			cap := l.Bandwidth
+			if l.Mode == SharingFair {
+				cap = l.fairShare(start)
+			}
+			if cap < bw {
+				bw = cap
+			}
+		}
+		pushTime = float64(bytes) / bw
+		for _, l := range links {
+			if l.Mode == SharingFIFO {
+				l.nextFree = start + pushTime
+			} else {
+				l.activeEnds = append(l.activeEnds, start+pushTime)
+			}
+			l.BytesCarried += int64(bytes)
+		}
+	}
+	arrival := start + pushTime + latency
+	e.seq++
+	m := &Message{
+		From:    p.ID,
+		To:      dst.ID,
+		Tag:     tag,
+		Payload: payload,
+		Bytes:   bytes,
+		SentAt:  p.clock,
+		Arrival: arrival,
+		seq:     e.seq,
+	}
+	dst.mailbox = append(dst.mailbox, m)
+	if e.Trace != nil {
+		e.Trace(fmt.Sprintf("t=%.6f %s send to=%s tag=%d bytes=%d arrive=%.6f", p.clock, p.Name, dst.Name, tag, bytes, arrival))
+	}
+	p.BytesSent += int64(bytes)
+	p.MsgsSent++
+	// The sender is busy until its bytes are on the wire.
+	p.clock = start + pushTime
+	p.state = stateReady
+	p.yield()
+	return nil
+}
+
+// Recv blocks until a message matching (src, tag) arrives; use AnySource or
+// AnyTag as wildcards. The clock advances to the arrival time.
+func (p *Proc) Recv(src, tag int) *Message {
+	p.matchSrc, p.matchTag = src, tag
+	p.state = stateBlocked
+	p.lastBlockedAt = p.clock
+	p.yield()
+	// The scheduler resumed us at the arrival time of the earliest match.
+	m := p.earliestMatch()
+	if m == nil {
+		panic("vgrid: resumed blocked process without matching message")
+	}
+	p.removeMessage(m)
+	return m
+}
+
+// TryRecv returns the earliest matching message that has already arrived at
+// the process's current clock, or nil. It synchronizes with the scheduler so
+// the answer is causally exact.
+func (p *Proc) TryRecv(src, tag int) *Message {
+	// Park at the current clock so every earlier event is finalized.
+	p.state = stateReady
+	p.yield()
+	var best *Message
+	for _, m := range p.mailbox {
+		if !matches(m, src, tag) || m.Arrival > p.clock {
+			continue
+		}
+		if best == nil || m.Arrival < best.Arrival || (m.Arrival == best.Arrival && m.seq < best.seq) {
+			best = m
+		}
+	}
+	if best != nil {
+		p.removeMessage(best)
+	}
+	return best
+}
+
+func (p *Proc) removeMessage(m *Message) {
+	for i, q := range p.mailbox {
+		if q == m {
+			p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
+			return
+		}
+	}
+	panic("vgrid: message vanished from mailbox")
+}
+
+// Pending reports how many mailbox messages match (src, tag) and have
+// arrived by the current clock. Like TryRecv it synchronizes first.
+func (p *Proc) Pending(src, tag int) int {
+	p.state = stateReady
+	p.yield()
+	n := 0
+	for _, m := range p.mailbox {
+		if matches(m, src, tag) && m.Arrival <= p.clock {
+			n++
+		}
+	}
+	return n
+}
+
+// Alloc reserves bytes of host memory, shared with every process on the
+// host. It fails with ErrOutOfMemory when the capacity would be exceeded.
+func (p *Proc) Alloc(bytes int64) error {
+	if bytes < 0 {
+		panic("vgrid: negative allocation")
+	}
+	h := p.host
+	if h.Memory > 0 && h.used+bytes > h.Memory {
+		return fmt.Errorf("%w: host %s: %d used + %d requested > %d capacity",
+			ErrOutOfMemory, h.Name, h.used, bytes, h.Memory)
+	}
+	h.used += bytes
+	p.allocated += bytes
+	return nil
+}
+
+// Free releases bytes previously reserved with Alloc.
+func (p *Proc) Free(bytes int64) {
+	if bytes < 0 || bytes > p.allocated {
+		panic(fmt.Sprintf("vgrid: bad free of %d (allocated %d)", bytes, p.allocated))
+	}
+	p.allocated -= bytes
+	p.host.used -= bytes
+}
+
+// Allocated returns the bytes this process currently holds.
+func (p *Proc) Allocated() int64 { return p.allocated }
+
+// HostMemoryInUse returns the total bytes allocated on the host.
+func (h *Host) HostMemoryInUse() int64 { return h.used }
+
+// Stats summarizes per-process accounting after a run.
+type Stats struct {
+	Name        string
+	Clock       float64
+	Flops       float64
+	ComputeTime float64
+	BlockedTime float64
+	BytesSent   int64
+	MsgsSent    int64
+}
+
+// Stats returns per-process statistics, sorted by process id.
+func (e *Engine) Stats() []Stats {
+	out := make([]Stats, len(e.procs))
+	for i, p := range e.procs {
+		out[i] = Stats{
+			Name:        p.Name,
+			Clock:       p.clock,
+			Flops:       p.FlopsDone,
+			ComputeTime: p.ComputeTime,
+			BlockedTime: p.BlockedTime,
+			BytesSent:   p.BytesSent,
+			MsgsSent:    p.MsgsSent,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

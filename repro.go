@@ -1,0 +1,120 @@
+// Package repro is a Go reproduction of "Parallelization of direct
+// algorithms using multisplitting methods in grid environments" (Bahi &
+// Couturier, IPDPS 2005): multisplitting-direct linear solvers — the
+// original system Ax = b is split into overlapping band subsystems, each
+// direct-solved independently per processor, iterating with coarse-grained
+// boundary exchanges — together with every substrate the paper's evaluation
+// needs: a sequential sparse LU (the SuperLU stand-in), a distributed
+// static-pivoting LU baseline (the SuperLU_DIST stand-in), a conservative
+// discrete-event grid simulator with the paper's three cluster testbeds,
+// and the full experiment harness for its tables and figure.
+//
+// This package is a facade over the internal packages; the common entry
+// points are re-exported here so a downstream user needs a single import:
+//
+//	plt := repro.Cluster1(4, repro.MemUnlimited)
+//	res, err := repro.Solve(plt.Platform, plt.Hosts, a, b, repro.Options{Tol: 1e-8})
+//
+// See the examples/ directory for runnable scenarios, cmd/msexp for the
+// paper's tables, and DESIGN.md for the system inventory.
+package repro
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dslu"
+	"repro/internal/gen"
+	"repro/internal/mmio"
+	"repro/internal/sparse"
+	"repro/internal/splu"
+	"repro/internal/vec"
+	"repro/internal/vgrid"
+)
+
+// Matrix is a compressed sparse row matrix (see internal/sparse).
+type Matrix = sparse.CSR
+
+// COO is a coordinate-format builder for Matrix.
+type COO = sparse.COO
+
+// NewCOO returns an empty coordinate builder.
+func NewCOO(rows, cols int) *COO { return sparse.NewCOO(rows, cols) }
+
+// Counter accumulates flop counts for the simulator's compute charging.
+type Counter = vec.Counter
+
+// Options configures a multisplitting solve (see internal/core.Options).
+type Options = core.Options
+
+// Result reports a multisplitting solve.
+type Result = core.Result
+
+// Weighting schemes for the E_lk matrices of the algorithmic model.
+const (
+	// WeightOwner is the block-Jacobi / multisubdomain-Schwarz choice.
+	WeightOwner = core.WeightOwner
+	// WeightAverage is the O'Leary–White / additive-Schwarz choice.
+	WeightAverage = core.WeightAverage
+)
+
+// Solve runs the multisplitting-direct solver over the given simulated
+// hosts and returns the assembled solution with timing statistics.
+func Solve(pl *vgrid.Platform, hosts []*vgrid.Host, a *Matrix, b []float64, opt Options) (*Result, error) {
+	return core.Solve(pl, hosts, a, b, opt)
+}
+
+// SolveSequential runs the synchronous multisplitting fixed point
+// in-process (no simulated grid) over the given decomposition.
+func SolveSequential(a *Matrix, b []float64, d *core.Decomposition, solver splu.Direct, tol float64, maxIter int, c *Counter) (*core.SeqResult, error) {
+	return core.SolveSequential(a, b, d, solver, tol, maxIter, c)
+}
+
+// NewDecomposition splits n unknowns into nb bands with the given overlap.
+func NewDecomposition(n, nb, overlap int, scheme core.WeightScheme) (*core.Decomposition, error) {
+	return core.NewDecomposition(n, nb, overlap, scheme)
+}
+
+// DSLUSolve runs the distributed static-pivoting LU baseline.
+func DSLUSolve(pl *vgrid.Platform, hosts []*vgrid.Host, a *Matrix, b []float64, opt dslu.Options) (*dslu.Result, error) {
+	return dslu.Solve(pl, hosts, a, b, opt)
+}
+
+// SparseLU is the sequential Gilbert–Peierls sparse LU (SuperLU stand-in).
+type SparseLU = splu.SparseLU
+
+// Platform is a simulated cluster with its hosts.
+type Platform = cluster.Platform
+
+// MemUnlimited disables per-host memory accounting in the cluster builders.
+const MemUnlimited int64 = -1
+
+// Cluster1 builds the paper's 20-machine homogeneous cluster (first n
+// machines).
+func Cluster1(n int, mem int64) *Platform { return cluster.Cluster1(n, mem) }
+
+// Cluster2 builds the paper's 8-machine heterogeneous cluster.
+func Cluster2(mem int64) *Platform { return cluster.Cluster2(mem) }
+
+// Cluster3 builds the paper's two-site distant cluster (7 + 3 machines).
+func Cluster3(mem int64) *Platform { return cluster.Cluster3(mem) }
+
+// DiagDominantOpts configures the diagonally dominant generator.
+type DiagDominantOpts = gen.DiagDominantOpts
+
+// DiagDominant generates the paper's diagonally dominant test matrices.
+func DiagDominant(o DiagDominantOpts) *Matrix { return gen.DiagDominant(o) }
+
+// CageLike generates a synthetic stand-in for the UF cage matrices.
+func CageLike(n int, seed int64) *Matrix { return gen.CageLike(n, seed) }
+
+// Poisson2D returns the 5-point Laplacian on an nx×ny grid.
+func Poisson2D(nx, ny int) *Matrix { return gen.Poisson2D(nx, ny) }
+
+// RHSForSolution manufactures b = A·xtrue with a known smooth xtrue.
+func RHSForSolution(a *Matrix) (b, xtrue []float64) { return gen.RHSForSolution(a) }
+
+// ReadMatrixFile loads a MatrixMarket file.
+func ReadMatrixFile(path string) (*Matrix, error) { return mmio.ReadMatrixFile(path) }
+
+// WriteMatrixFile stores a matrix in MatrixMarket format.
+func WriteMatrixFile(path string, m *Matrix) error { return mmio.WriteMatrixFile(path, m) }

@@ -1,0 +1,73 @@
+package repro_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	repro "repro"
+	"repro/internal/dslu"
+	"repro/internal/splu"
+)
+
+func dsluOptions() dslu.Options { return dslu.Options{} }
+
+// TestFacadeEndToEnd exercises the public facade the way the README's
+// quickstart does: generate, persist, reload, solve on a simulated cluster,
+// verify.
+func TestFacadeEndToEnd(t *testing.T) {
+	a := repro.DiagDominant(repro.DiagDominantOpts{N: 600, Band: 10, PerRow: 6, Margin: 0.5, Seed: 4})
+	path := filepath.Join(t.TempDir(), "a.mtx")
+	if err := repro.WriteMatrixFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.ReadMatrixFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, xtrue := repro.RHSForSolution(back)
+	plt := repro.Cluster1(4, repro.MemUnlimited)
+	res, err := repro.Solve(plt.Platform, plt.Hosts, back, b, repro.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-xtrue[i]) > 1e-7*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], xtrue[i])
+		}
+	}
+}
+
+func TestFacadeSequential(t *testing.T) {
+	a := repro.Poisson2D(12, 12)
+	b, xtrue := repro.RHSForSolution(a)
+	dec, err := repro.NewDecomposition(a.Rows, 3, 6, repro.WeightOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c repro.Counter
+	res, err := repro.SolveSequential(a, b, dec, &splu.SparseLU{}, 1e-10, 50000, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-xtrue[i]) > 1e-6*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] wrong", i)
+		}
+	}
+}
+
+func TestFacadeDSLU(t *testing.T) {
+	a := repro.CageLike(300, 5)
+	b, xtrue := repro.RHSForSolution(a)
+	plt := repro.Cluster2(repro.MemUnlimited)
+	res, err := repro.DSLUSolve(plt.Platform, plt.Hosts, a, b, dsluOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-xtrue[i]) > 1e-7*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] wrong", i)
+		}
+	}
+}
