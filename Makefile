@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race vet bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The worker pool runs compute segments on real OS threads, so the race
+# detector is part of the verified loop, not an optional extra.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+verify: build vet test race

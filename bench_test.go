@@ -5,13 +5,16 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	repro "repro"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/splu"
 	"repro/internal/vec"
+	"repro/internal/vgrid"
 )
 
 const benchScale = 64
@@ -137,5 +140,35 @@ func BenchmarkDistributedLU(b *testing.B) {
 		if _, err := repro.DSLUSolve(plt.Platform, plt.Hosts, a, rhs, dsluOptions()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineWorkers measures real wall-clock scaling of the simulation
+// itself: the same 8-band multisplitting solve with the per-iteration
+// compute segments executed by 1, 2 and 4 worker threads. The virtual
+// result (trace, solution, iteration counts) is identical for every worker
+// count; only the host-machine time changes.
+func BenchmarkEngineWorkers(b *testing.B) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 20000, Band: 120, PerRow: 10, Margin: 0.002, Negative: true, Seed: 100})
+	rhs, _ := gen.RHSForSolution(a)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plt := repro.Cluster1(8, repro.MemUnlimited)
+				e := vgrid.NewEngine(plt.Platform)
+				e.SetWorkers(workers)
+				pend, err := core.Launch(e, plt.Hosts, a, rhs, core.Options{Tol: 1e-8, Overlap: 40})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+				pend.Finish()
+				if !pend.Result().Converged {
+					b.Fatal("did not converge")
+				}
+			}
+		})
 	}
 }

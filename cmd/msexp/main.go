@@ -26,13 +26,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	plot := flag.Bool("plot", false, "render figure3 as an ASCII plot (in addition to the table)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	workers := flag.Int("workers", 0, "worker threads for compute segments (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 
 	var progress io.Writer
 	if !*quiet {
 		progress = os.Stderr
 	}
-	cfg := experiments.Config{Scale: *scale, Progress: progress}
+	cfg := experiments.Config{Scale: *scale, Progress: progress, Workers: *workers}
 
 	names := flag.Args()
 	if len(names) == 0 {

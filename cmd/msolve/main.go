@@ -38,6 +38,7 @@ func main() {
 		tol        = flag.Float64("tol", 1e-8, "successive-iterate accuracy")
 		cond       = flag.Bool("cond", false, "estimate the 1-norm condition number before solving")
 		trace      = flag.Bool("trace", false, "print a per-processor activity timeline after the solve")
+		workers    = flag.Int("workers", 0, "worker threads for compute segments (0 = GOMAXPROCS); results are identical for any value")
 		outPath    = flag.String("o", "", "write the solution vector to this file")
 	)
 	flag.Parse()
@@ -45,13 +46,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *schemeName, *solverName, *clusterTyp, *tol, *cond, *trace, *outPath); err != nil {
+	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *schemeName, *solverName, *clusterTyp, *tol, *cond, *trace, *workers, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "msolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(matrixPath, rhsPath string, procs, overlap int, async bool, schemeName, solverName, clusterTyp string, tol float64, cond, trace bool, outPath string) error {
+func run(matrixPath, rhsPath string, procs, overlap int, async bool, schemeName, solverName, clusterTyp string, tol float64, cond, trace bool, workers int, outPath string) error {
 	a, err := mmio.ReadMatrixAuto(matrixPath)
 	if err != nil {
 		return err
@@ -134,6 +135,9 @@ func run(matrixPath, rhsPath string, procs, overlap int, async bool, schemeName,
 	}
 
 	e := vgrid.NewEngine(plt.Platform)
+	if workers > 0 {
+		e.SetWorkers(workers)
+	}
 	var rec *vgrid.Recorder
 	if trace {
 		rec = &vgrid.Recorder{}

@@ -3,19 +3,15 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sort"
+	"io"
 
-	"repro/internal/detect"
 	"repro/internal/mp"
+	"repro/internal/simctx"
 	"repro/internal/sparse"
 	"repro/internal/splu"
 	"repro/internal/vec"
 	"repro/internal/vgrid"
 )
-
-// debugAsync enables iteration-level tracing of the asynchronous driver.
-var debugAsync = false
 
 // Solver message tags (detect reserves tags from 1<<18 upward).
 const (
@@ -88,6 +84,11 @@ type Options struct {
 	// Values above 1 are incompatible with Balance, MaxStale and
 	// UseResidual. Default 1.
 	BandsPerProc int
+	// Trace, when non-nil, receives iteration-level diagnostics from the
+	// asynchronous driver (one line per iteration per rank). It replaces
+	// the old package-level debug switch; pass os.Stderr to get the former
+	// behavior.
+	Trace io.Writer
 }
 
 func (o *Options) withDefaults() Options {
@@ -130,6 +131,10 @@ type Result struct {
 	BytesSent int64
 	// MsgsSent totals solver messages across ranks.
 	MsgsSent int64
+	// TotalFlops is the summed arithmetic work over all ranks, merged from
+	// the per-rank counters through an atomic aggregation point (safe under
+	// the parallel scheduler).
+	TotalFlops float64
 }
 
 // Pending is a solve registered on an engine; read the Result after the
@@ -138,6 +143,11 @@ type Pending struct {
 	res   Result
 	procs []*vgrid.Proc
 	done  bool
+	// total aggregates per-rank flop counts. Counters are single-owner
+	// (see vec.Counter); this is the one cross-process meeting point, so it
+	// must be the atomic vec.Total even though rank bodies are serialized
+	// today — compute segments may finish on worker threads.
+	total vec.Total
 }
 
 // Result returns the solve outcome; it panics if the engine has not run.
@@ -145,6 +155,7 @@ func (p *Pending) Result() *Result {
 	if !p.done {
 		panic("core: Result read before the engine ran")
 	}
+	p.res.TotalFlops = p.total.Value()
 	return &p.res
 }
 
@@ -162,6 +173,31 @@ func (p *Pending) Running() bool {
 // Finish marks the result readable. Call it after the engine has run; it is
 // needed when ranks failed (e.g. out of memory) before filling the result.
 func (p *Pending) Finish() { p.done = true }
+
+// finishRank records one rank's run statistics. Plain writes are safe: rank
+// bodies execute serially under the engine even when compute segments run on
+// worker threads; only the flop total crosses goroutines and goes through
+// the atomic Total.
+func (p *Pending) finishRank(c *mp.Comm, ctx *simctx.Ctx, iter int, factTime float64, converged bool) {
+	rank := c.Rank()
+	p.res.IterationsPerRank[rank] = iter
+	if iter > p.res.Iterations {
+		p.res.Iterations = iter
+	}
+	if factTime > p.res.FactorTime {
+		p.res.FactorTime = factTime
+	}
+	if rank == 0 {
+		p.res.Converged = converged
+	}
+	p.res.BytesSent += c.Proc().BytesSent
+	p.res.MsgsSent += c.Proc().MsgsSent
+	if end := c.Now(); end > p.res.Time {
+		p.res.Time = end
+	}
+	p.total.MergeCounter(ctx.Counter)
+	p.done = true
+}
 
 // Launch registers the multisplitting solver on the engine, one rank per
 // host (one band per processor, the simple variant of Section 2; see paper
@@ -220,8 +256,7 @@ func Launch(e *vgrid.Engine, hosts []*vgrid.Host, a *sparse.CSR, b []float64, op
 		return msRank(c, a, b, d, o, pend)
 	})
 	// Mark the pending result complete when the engine finishes: the last
-	// rank to return fills the aggregate fields (single-threaded engine, so
-	// plain writes are safe).
+	// rank to return fills the aggregate fields.
 	return pend, nil
 }
 
@@ -245,402 +280,6 @@ func Solve(pl *vgrid.Platform, hosts []*vgrid.Host, a *sparse.CSR, b []float64, 
 		return res, ErrNoConvergence
 	}
 	return res, nil
-}
-
-// segment describes an exchange between two ranks: which local positions of
-// the sender map to which dependency slots (with weights) of the receiver.
-type inSegment struct {
-	from    int
-	pos     []int     // positions in depCols
-	weights []float64 // E weight applied to each received value
-}
-
-type outSegment struct {
-	to  int
-	loc []int // local indices (global j − Lo) to ship
-}
-
-// msRank is the body of Algorithm 1 executed by every rank.
-func msRank(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o Options, pend *Pending) error {
-	c.Tree = o.TreeCollectives
-	rank := c.Rank()
-	band := d.Bands[rank]
-	cnt := &vec.Counter{}
-	charged := 0.0
-	charge := func() {
-		if f := cnt.Flops(); f > charged {
-			c.Compute(f - charged)
-			charged = f
-		}
-	}
-
-	// --- Initialization: load and factor the band (paper step 1 + Remark 4).
-	sub := a.Submatrix(band.Lo, band.Hi, band.Lo, band.Hi)
-	left := a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
-	right := a.ColumnsUsed(band.Lo, band.Hi, band.Hi, d.N)
-	depCols := append(append([]int{}, left...), right...)
-	depMat := a.SelectColumns(band.Lo, band.Hi, depCols)
-	bSub := vec.Clone(bGlob[band.Lo:band.Hi])
-
-	if o.TrackMemory {
-		if err := c.Proc().Alloc(csrBytes(sub) + csrBytes(depMat) + 8*int64(band.Size())); err != nil {
-			return err
-		}
-	}
-	factStart := c.Now()
-	solver := o.Solver
-	if o.SolverPerRank != nil && o.SolverPerRank[rank] != nil {
-		solver = o.SolverPerRank[rank]
-	}
-	fact, err := solver.Factor(sub, cnt)
-	if err != nil {
-		return fmt.Errorf("rank %d: %w", rank, err)
-	}
-	charge()
-	factTime := c.Now() - factStart
-	if o.TrackMemory {
-		if err := c.Proc().Alloc(fact.Bytes()); err != nil {
-			return err
-		}
-	}
-
-	// --- Communication plan: who contributes to my dependencies, and which
-	// of my components do the others depend on (DependsOnMe of Algorithm 1).
-	var ins []inSegment
-	{
-		byFrom := map[int]*inSegment{}
-		for i, j := range depCols {
-			for _, k := range d.Contributors(j) {
-				seg := byFrom[k]
-				if seg == nil {
-					seg = &inSegment{from: k}
-					byFrom[k] = seg
-				}
-				seg.pos = append(seg.pos, i)
-				seg.weights = append(seg.weights, d.Weight(k, j))
-			}
-		}
-		froms := make([]int, 0, len(byFrom))
-		for k := range byFrom {
-			froms = append(froms, k)
-		}
-		sort.Ints(froms)
-		for _, k := range froms {
-			ins = append(ins, *byFrom[k])
-		}
-	}
-	var outs []outSegment
-	for m := 0; m < d.L(); m++ {
-		if m == rank {
-			continue
-		}
-		mb := d.Bands[m]
-		mLeft := a.ColumnsUsed(mb.Lo, mb.Hi, 0, mb.Lo)
-		mRight := a.ColumnsUsed(mb.Lo, mb.Hi, mb.Hi, d.N)
-		var loc []int
-		for _, j := range append(append([]int{}, mLeft...), mRight...) {
-			if band.Contains(j) && d.Weight(rank, j) > 0 {
-				loc = append(loc, j-band.Lo)
-			}
-		}
-		if len(loc) > 0 {
-			outs = append(outs, outSegment{to: m, loc: loc})
-		}
-	}
-
-	// --- Iteration state.
-	xSub := make([]float64, band.Size())
-	xPrev := make([]float64, band.Size())
-	rhs := make([]float64, band.Size())
-	z := make([]float64, len(depCols)) // weighted dependency values (zero start)
-	sendBuf := make([]float64, 0, band.Size()+2)
-
-	// Messages carry a two-slot header before the data: the sender's own
-	// iteration version and, for the specific receiver, the highest version
-	// of the *receiver's* data the sender has incorporated so far (the
-	// causal echo). The asynchronous detection uses the echo to require a
-	// full round trip of stabilized data before declaring local
-	// convergence, which is what keeps detection sound when messages
-	// pipeline over high-latency links.
-	const hdr = 2
-	segIndexByRank := map[int]int{}
-	for si, seg := range ins {
-		segIndexByRank[seg.from] = si
-	}
-	verIncorporated := make([]float64, len(ins)) // latest version seen per contributor
-	echoFrom := make([]float64, len(ins))        // highest own version echoed back
-
-	// lastRecv[k] holds the last values received from segment k so z can be
-	// updated incrementally under the weighting scheme.
-	lastRecv := make([][]float64, len(ins))
-	for i, seg := range ins {
-		lastRecv[i] = make([]float64, len(seg.pos))
-	}
-	applySeg := func(si int, pk *mp.Packet) {
-		seg := ins[si]
-		vals := pk.Floats[hdr:]
-		verIncorporated[si] = pk.Floats[0]
-		if refl := pk.Floats[1]; refl < 0 {
-			// The sender does not depend on us: no echo is possible, the
-			// round-trip criterion is vacuously satisfied for this channel.
-			echoFrom[si] = math.Inf(1)
-		} else if refl > echoFrom[si] {
-			echoFrom[si] = refl
-		}
-		for i, pos := range seg.pos {
-			z[pos] += seg.weights[i] * (vals[i] - lastRecv[si][i])
-			lastRecv[si][i] = vals[i]
-		}
-		cnt.Add(3 * float64(len(seg.pos)))
-	}
-
-	var det detect.Detector
-	if o.Async {
-		det, err = detect.New(o.Detector, c)
-		if err != nil {
-			return err
-		}
-	}
-	// freshSeen tracks, per contributor, whether new data arrived since the
-	// last complete exchange round; async convergence evidence only counts
-	// on complete rounds (see below).
-	freshSeen := make([]bool, len(ins))
-
-	iter := 0
-	converged := false
-	aborted := false
-	stableRuns := 0
-	stableStart := 0 // first iteration of the current stable streak
-	staleCount := make([]int, len(ins))
-	rtmp := make([]float64, band.Size())
-	// residual computes the true band residual ‖BSub − Dep·z − ASub·XSub‖∞
-	// against the *current* dependency values.
-	residual := func() float64 {
-		copy(rtmp, bSub)
-		if len(depCols) > 0 {
-			depMat.MulVecSub(rtmp, z, cnt)
-		}
-		sub.MulVecSub(rtmp, xSub, cnt)
-		return vec.NormInf(rtmp, cnt)
-	}
-
-	for iter < o.MaxIter {
-		iter++
-		// Computation (step 2): BLoc = BSub − Dep·z, solve the subsystem.
-		copy(rhs, bSub)
-		if len(depCols) > 0 {
-			depMat.MulVecSub(rhs, z, cnt)
-		}
-		fact.Solve(xSub, rhs, cnt)
-		if !vec.AllFinite(xSub) {
-			return fmt.Errorf("rank %d: %w at iteration %d", rank, ErrDiverged, iter)
-		}
-		diff := vec.DiffNormInf(xSub, xPrev, cnt)
-		copy(xPrev, xSub)
-		charge()
-
-		// Data exchange (step 3): ship my components to their dependents.
-		for _, seg := range outs {
-			sendBuf = sendBuf[:0]
-			refl := -1.0
-			if si, ok := segIndexByRank[seg.to]; ok {
-				refl = verIncorporated[si]
-			}
-			sendBuf = append(sendBuf, float64(iter), refl)
-			for _, li := range seg.loc {
-				sendBuf = append(sendBuf, xSub[li])
-			}
-			if err := c.SendFloats(seg.to, tagX, sendBuf); err != nil {
-				return err
-			}
-		}
-
-		if !o.Async {
-			// Synchronous: wait for every contributor's fresh values.
-			for si, seg := range ins {
-				pk := c.Recv(seg.from, tagX)
-				applySeg(si, pk)
-			}
-			crit := diff
-			if o.UseResidual {
-				crit = residual()
-			}
-			charge()
-			// Convergence detection (step 4), synchronous flavor.
-			gd, err := c.Allreduce(crit, mp.OpMax)
-			if err != nil {
-				return err
-			}
-			if gd <= o.Tol {
-				converged = true
-				break
-			}
-			continue
-		}
-
-		// Asynchronous: adopt the freshest arrived values, never block —
-		// except under a staleness bound (partial asynchronism), where a
-		// rank pauses for data older than MaxStale iterations.
-		for si, seg := range ins {
-			if pk := c.DrainLatest(seg.from, tagX); pk != nil {
-				applySeg(si, pk)
-				freshSeen[si] = true
-				staleCount[si] = 0
-			} else {
-				staleCount[si]++
-			}
-		}
-		if o.MaxStale > 0 {
-			stop, abort, err := waitForStale(c, ins, o, det, staleCount, freshSeen, applySeg)
-			if err != nil {
-				return err
-			}
-			if stop {
-				converged = true
-				break
-			}
-			if abort {
-				aborted = true
-				break
-			}
-		}
-		charge()
-		// Local convergence evidence only accumulates on complete exchange
-		// rounds — iterations by which every contributor (including the
-		// slowest cross-site channel) has delivered fresh data since the
-		// last counted round. Quiet iterations are trivially stationary and
-		// say nothing about global convergence; counting them causes the
-		// premature detections the paper's ref [4] protocol is careful to
-		// avoid.
-		roundComplete := true
-		for _, f := range freshSeen {
-			if !f {
-				roundComplete = false
-				break
-			}
-		}
-		crit := diff
-		if o.UseResidual {
-			crit = residual()
-			charge()
-		}
-		switch {
-		case crit > o.Tol:
-			stableRuns = 0
-			stableStart = iter
-		case roundComplete:
-			stableRuns++
-		}
-		if roundComplete {
-			for i := range freshSeen {
-				freshSeen[i] = false
-			}
-		}
-		// Causal round-trip criterion: this rank's data from iteration
-		// stableStart (the first stable one) must have been incorporated by
-		// every mutual dependent and echoed back, proving the stabilized
-		// values survived a full information round trip.
-		localOK := stableRuns >= o.Smooth
-		for si := range ins {
-			if echoFrom[si] < float64(stableStart) {
-				localOK = false
-				break
-			}
-		}
-		if debugAsync {
-			fmt.Printf("DBG rank=%d iter=%d t=%.5f diff=%.3e round=%v stable=%d localOK=%v\n", rank, iter, c.Now(), diff, roundComplete, stableRuns, localOK)
-		}
-		stop, err := det.Step(localOK)
-		if err != nil {
-			return err
-		}
-		if stop {
-			converged = true
-			break
-		}
-		if pk := c.TryRecv(mp.AnySource, tagAbort); pk != nil {
-			aborted = true
-			break
-		}
-	}
-	if !converged && !aborted && o.Async {
-		// Hit the cap: tell everyone to stop so the run terminates.
-		for m := 0; m < c.Size(); m++ {
-			if m != rank {
-				if err := c.Signal(m, tagAbort); err != nil {
-					return err
-				}
-			}
-		}
-	}
-
-	// Assemble the solution from the owned segments at rank 0.
-	owned := xSub[band.Start-band.Lo : band.End-band.Lo]
-	if rank != 0 {
-		if err := c.SendFloats(0, tagGather, owned); err != nil {
-			return err
-		}
-	} else {
-		x := make([]float64, d.N)
-		copy(x[band.Start:band.End], owned)
-		for m := 1; m < d.L(); m++ {
-			pk := c.Recv(m, tagGather)
-			mb := d.Bands[m]
-			copy(x[mb.Start:mb.End], pk.Floats)
-		}
-		pend.res.X = x
-	}
-
-	// Aggregate run statistics (plain writes: the engine is single-threaded).
-	pend.res.IterationsPerRank[rank] = iter
-	if iter > pend.res.Iterations {
-		pend.res.Iterations = iter
-	}
-	if factTime > pend.res.FactorTime {
-		pend.res.FactorTime = factTime
-	}
-	if rank == 0 {
-		pend.res.Converged = converged
-	}
-	pend.res.BytesSent += c.Proc().BytesSent
-	pend.res.MsgsSent += c.Proc().MsgsSent
-	if end := c.Now(); end > pend.res.Time {
-		pend.res.Time = end
-	}
-	pend.done = true
-	return nil
-}
-
-// waitForStale enforces the partial-asynchronism bound: for every
-// contributor whose data has been stale for more than MaxStale iterations,
-// poll until fresh data arrives, staying responsive to the detection
-// protocol and abort messages. It reports (stop, abort, err).
-func waitForStale(c *mp.Comm, ins []inSegment, o Options, det detect.Detector, staleCount []int, freshSeen []bool, applySeg func(int, *mp.Packet)) (bool, bool, error) {
-	const pollInterval = 1e-4 // virtual seconds between polls
-	for si, seg := range ins {
-		for staleCount[si] > o.MaxStale {
-			if pk := c.DrainLatest(seg.from, tagX); pk != nil {
-				applySeg(si, pk)
-				freshSeen[si] = true
-				staleCount[si] = 0
-				break
-			}
-			c.Proc().Sleep(pollInterval)
-			if det != nil {
-				stop, err := det.Step(false)
-				if err != nil {
-					return false, false, err
-				}
-				if stop {
-					return true, false, nil
-				}
-			}
-			if pk := c.TryRecv(mp.AnySource, tagAbort); pk != nil {
-				return false, true, nil
-			}
-		}
-	}
-	return false, false, nil
 }
 
 func csrBytes(m *sparse.CSR) int64 {

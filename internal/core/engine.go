@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/mp"
+	"repro/internal/simctx"
+	"repro/internal/sparse"
+	"repro/internal/splu"
+	"repro/internal/vec"
+)
+
+// msgHdr is the two-slot message header preceding the exchanged values: the
+// sender's own iteration version and, for the specific receiver, the highest
+// version of the *receiver's* data the sender has incorporated so far (the
+// causal echo). The asynchronous detection uses the echo to require a full
+// round trip of stabilized data before declaring local convergence, which is
+// what keeps detection sound when messages pipeline over high-latency links.
+const msgHdr = 2
+
+// segment descriptions for an exchange between two ranks: which local
+// positions of the sender map to which dependency slots (with weights) of
+// the receiver.
+type inSegment struct {
+	from    int
+	pos     []int     // positions in depCols
+	weights []float64 // E weight applied to each received value
+}
+
+type outSegment struct {
+	to  int
+	loc []int // local indices (global j − Lo) to ship
+}
+
+// rankState is one rank's full solver state for the band engine: the
+// factored subsystem, the communication plan and the iteration vectors. The
+// engine loop (msRank) drives it through an exchangePolicy and a stopper.
+type rankState struct {
+	c    *mp.Comm
+	ctx  *simctx.Ctx
+	o    Options
+	rank int
+	d    *Decomposition
+	band Band
+
+	sub     *sparse.CSR
+	depMat  *sparse.CSR
+	depCols []int
+	fact    splu.Factorization
+	bSub    []float64
+	xSub    []float64
+	xPrev   []float64
+	rhs     []float64
+	z       []float64 // weighted dependency values (zero start)
+
+	// stepFlops is the analytic cost of one computation step (SpMV against
+	// the dependency columns + triangular solves + difference norm); it is
+	// exact, so declaring it up front leaves nothing for Charge to reconcile.
+	stepFlops float64
+
+	ins             []inSegment
+	outs            []outSegment
+	segIndexByRank  map[int]int
+	verIncorporated []float64 // latest version seen per contributor
+	echoFrom        []float64 // highest own version echoed back
+	// lastRecv[k] holds the last values received from segment k so z can be
+	// updated incrementally under the weighting scheme.
+	lastRecv [][]float64
+
+	// freshSeen tracks, per contributor, whether new data arrived since the
+	// last complete exchange round; async convergence evidence only counts
+	// on complete rounds (see asyncPolicy).
+	freshSeen  []bool
+	staleCount []int
+	sendBuf    []float64
+
+	iter        int
+	diff        float64 // successive-iterate difference of the last step
+	stableRuns  int
+	stableStart int // first iteration of the current stable streak
+}
+
+// newRankState loads and factors the rank's band (paper step 1 + Remark 4)
+// and builds the communication plan (DependsOnMe of Algorithm 1). It returns
+// the state and the factorization time.
+func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d *Decomposition, o Options) (*rankState, float64, error) {
+	rank := c.Rank()
+	band := d.Bands[rank]
+	st := &rankState{c: c, ctx: ctx, o: o, rank: rank, d: d, band: band}
+
+	// --- Initialization: load and factor the band.
+	st.sub = a.Submatrix(band.Lo, band.Hi, band.Lo, band.Hi)
+	left := a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
+	right := a.ColumnsUsed(band.Lo, band.Hi, band.Hi, d.N)
+	st.depCols = append(append([]int{}, left...), right...)
+	st.depMat = a.SelectColumns(band.Lo, band.Hi, st.depCols)
+	st.bSub = vec.Clone(bGlob[band.Lo:band.Hi])
+
+	if err := ctx.Alloc(csrBytes(st.sub) + csrBytes(st.depMat) + 8*int64(band.Size())); err != nil {
+		return nil, 0, err
+	}
+	factStart := c.Now()
+	solver := o.Solver
+	if o.SolverPerRank != nil && o.SolverPerRank[rank] != nil {
+		solver = o.SolverPerRank[rank]
+	}
+	// The factorization's cost depends on the fill it discovers, so it is a
+	// deferred segment: it runs on the worker pool (overlapping the other
+	// ranks' factorizations) and its counted flops are charged on completion.
+	var fact splu.Factorization
+	var factErr error
+	c.ComputeDeferred(func() float64 {
+		fact, factErr = solver.Factor(st.sub, ctx.Cnt())
+		return ctx.Counter.Flops() - ctx.Charged
+	})
+	if factErr != nil {
+		return nil, 0, fmt.Errorf("rank %d: %w", rank, factErr)
+	}
+	st.fact = fact
+	factTime := c.Now() - factStart
+	if err := ctx.Alloc(fact.Bytes()); err != nil {
+		return nil, 0, err
+	}
+
+	// --- Communication plan: who contributes to my dependencies, and which
+	// of my components do the others depend on.
+	byFrom := map[int]*inSegment{}
+	for i, j := range st.depCols {
+		for _, k := range d.Contributors(j) {
+			seg := byFrom[k]
+			if seg == nil {
+				seg = &inSegment{from: k}
+				byFrom[k] = seg
+			}
+			seg.pos = append(seg.pos, i)
+			seg.weights = append(seg.weights, d.Weight(k, j))
+		}
+	}
+	froms := make([]int, 0, len(byFrom))
+	for k := range byFrom {
+		froms = append(froms, k)
+	}
+	sort.Ints(froms)
+	for _, k := range froms {
+		st.ins = append(st.ins, *byFrom[k])
+	}
+	for m := 0; m < d.L(); m++ {
+		if m == rank {
+			continue
+		}
+		mb := d.Bands[m]
+		mLeft := a.ColumnsUsed(mb.Lo, mb.Hi, 0, mb.Lo)
+		mRight := a.ColumnsUsed(mb.Lo, mb.Hi, mb.Hi, d.N)
+		var loc []int
+		for _, j := range append(append([]int{}, mLeft...), mRight...) {
+			if band.Contains(j) && d.Weight(rank, j) > 0 {
+				loc = append(loc, j-band.Lo)
+			}
+		}
+		if len(loc) > 0 {
+			st.outs = append(st.outs, outSegment{to: m, loc: loc})
+		}
+	}
+
+	// --- Iteration state.
+	st.xSub = make([]float64, band.Size())
+	st.xPrev = make([]float64, band.Size())
+	st.rhs = make([]float64, band.Size())
+	st.z = make([]float64, len(st.depCols))
+	st.sendBuf = make([]float64, 0, band.Size()+msgHdr)
+	st.segIndexByRank = map[int]int{}
+	for si, seg := range st.ins {
+		st.segIndexByRank[seg.from] = si
+	}
+	st.verIncorporated = make([]float64, len(st.ins))
+	st.echoFrom = make([]float64, len(st.ins))
+	st.lastRecv = make([][]float64, len(st.ins))
+	for i, seg := range st.ins {
+		st.lastRecv[i] = make([]float64, len(seg.pos))
+	}
+	st.freshSeen = make([]bool, len(st.ins))
+	st.staleCount = make([]int, len(st.ins))
+
+	// SpMV counts 2·nnz, the triangular solves a factor-determined constant,
+	// the difference norm 2·n — all exact integers, so the declared cost
+	// matches the counted flops bit for bit.
+	st.stepFlops = 2*float64(st.depMat.NNZ()) + fact.SolveFlops() + 2*float64(band.Size())
+	return st, factTime, nil
+}
+
+// applySeg incorporates a received segment: incremental z update under the
+// weighting scheme plus version/echo bookkeeping.
+func (st *rankState) applySeg(si int, pk *mp.Packet) {
+	seg := st.ins[si]
+	vals := pk.Floats[msgHdr:]
+	st.verIncorporated[si] = pk.Floats[0]
+	if refl := pk.Floats[1]; refl < 0 {
+		// The sender does not depend on us: no echo is possible, the
+		// round-trip criterion is vacuously satisfied for this channel.
+		st.echoFrom[si] = math.Inf(1)
+	} else if refl > st.echoFrom[si] {
+		st.echoFrom[si] = refl
+	}
+	for i, pos := range seg.pos {
+		st.z[pos] += seg.weights[i] * (vals[i] - st.lastRecv[si][i])
+		st.lastRecv[si][i] = vals[i]
+	}
+	st.ctx.Counter.Add(3 * float64(len(seg.pos)))
+}
+
+// iterate runs the computation step (step 2): BLoc = BSub − Dep·z, solve the
+// subsystem, measure the successive-iterate difference. The whole step is a
+// pure compute segment with an analytically known cost, so it is declared up
+// front and its arithmetic overlaps other ranks' segments on the worker pool.
+func (st *rankState) iterate() error {
+	diverged := false
+	st.c.ComputeSeg(st.stepFlops, func() {
+		cnt := st.ctx.Counter
+		copy(st.rhs, st.bSub)
+		if len(st.depCols) > 0 {
+			st.depMat.MulVecSub(st.rhs, st.z, cnt)
+		}
+		st.fact.Solve(st.xSub, st.rhs, cnt)
+		if !vec.AllFinite(st.xSub) {
+			diverged = true
+			return
+		}
+		st.diff = vec.DiffNormInf(st.xSub, st.xPrev, cnt)
+		copy(st.xPrev, st.xSub)
+	})
+	if diverged {
+		return fmt.Errorf("rank %d: %w at iteration %d", st.rank, ErrDiverged, st.iter)
+	}
+	return nil
+}
+
+// ship sends this rank's boundary components to their dependents (step 3).
+func (st *rankState) ship() error {
+	for _, seg := range st.outs {
+		st.sendBuf = st.sendBuf[:0]
+		refl := -1.0
+		if si, ok := st.segIndexByRank[seg.to]; ok {
+			refl = st.verIncorporated[si]
+		}
+		st.sendBuf = append(st.sendBuf, float64(st.iter), refl)
+		for _, li := range seg.loc {
+			st.sendBuf = append(st.sendBuf, st.xSub[li])
+		}
+		if err := st.c.SendFloats(seg.to, tagX, st.sendBuf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// msRank is the body of Algorithm 1 executed by every rank: one engine loop
+// — iterate, ship, exchange — parameterized by the exchange policy
+// (synchronous barrier, asynchronous freshest-drain, or bounded staleness)
+// and the stopping criterion (successive iterate or true residual).
+func msRank(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o Options, pend *Pending) error {
+	c.Tree = o.TreeCollectives
+	ctx := simctx.New()
+	ctx.Trace = o.Trace
+	if o.TrackMemory {
+		ctx.Mem = c.Proc()
+	}
+	c.AttachCtx(ctx)
+
+	st, factTime, err := newRankState(c, ctx, a, bGlob, d, o)
+	if err != nil {
+		return err
+	}
+
+	var det detect.Detector
+	if o.Async {
+		det, err = detect.New(o.Detector, c)
+		if err != nil {
+			return err
+		}
+	}
+	policy := newExchangePolicy(o, det)
+	stop := newStopper(o)
+
+	converged := false
+	aborted := false
+	for st.iter < o.MaxIter {
+		st.iter++
+		if err := st.iterate(); err != nil {
+			return err
+		}
+		if err := st.ship(); err != nil {
+			return err
+		}
+		out, err := policy.exchange(st, stop)
+		if err != nil {
+			return err
+		}
+		if out == outConverged {
+			converged = true
+			break
+		}
+		if out == outAborted {
+			aborted = true
+			break
+		}
+	}
+	if !converged && !aborted && o.Async {
+		// Hit the cap: tell everyone to stop so the run terminates.
+		for m := 0; m < c.Size(); m++ {
+			if m != st.rank {
+				if err := c.Signal(m, tagAbort); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Assemble the solution from the owned segments at rank 0.
+	band := st.band
+	owned := st.xSub[band.Start-band.Lo : band.End-band.Lo]
+	if st.rank != 0 {
+		if err := c.SendFloats(0, tagGather, owned); err != nil {
+			return err
+		}
+	} else {
+		x := make([]float64, d.N)
+		copy(x[band.Start:band.End], owned)
+		for m := 1; m < d.L(); m++ {
+			pk := c.Recv(m, tagGather)
+			mb := d.Bands[m]
+			copy(x[mb.Start:mb.End], pk.Floats)
+		}
+		pend.res.X = x
+	}
+
+	pend.finishRank(c, ctx, st.iter, factTime, converged)
+	return nil
+}

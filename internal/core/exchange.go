@@ -1,0 +1,179 @@
+package core
+
+import (
+	"repro/internal/detect"
+	"repro/internal/mp"
+)
+
+// outcome is an exchange policy's verdict for the current iteration.
+type outcome int
+
+const (
+	outContinue  outcome = iota // keep iterating
+	outConverged                // global stop decided (detection or Allreduce)
+	outAborted                  // another rank hit the iteration cap
+)
+
+// exchangePolicy is the pluggable communication strategy of the engine loop:
+// how a rank obtains its neighbours' updates and how the global stopping
+// decision is reached. The three implementations reproduce the paper's
+// synchronous and asynchronous variants plus the bounded-staleness middle
+// ground.
+type exchangePolicy interface {
+	exchange(st *rankState, stop stopper) (outcome, error)
+}
+
+func newExchangePolicy(o Options, det detect.Detector) exchangePolicy {
+	switch {
+	case !o.Async:
+		return syncPolicy{}
+	case o.MaxStale > 0:
+		return &boundedStalePolicy{asyncPolicy{det: det}, o.MaxStale}
+	default:
+		return &asyncPolicy{det: det}
+	}
+}
+
+// syncPolicy: blocking receive from every contributor, then a max-Allreduce
+// on the local criterion — the classical synchronous multisplitting round.
+type syncPolicy struct{}
+
+func (syncPolicy) exchange(st *rankState, stop stopper) (outcome, error) {
+	for si, seg := range st.ins {
+		pk := st.c.Recv(seg.from, tagX)
+		st.applySeg(si, pk)
+	}
+	crit := stop.crit(st)
+	st.c.Charge()
+	global, err := st.c.Allreduce(crit, mp.OpMax)
+	if err != nil {
+		return 0, err
+	}
+	if global <= st.o.Tol {
+		return outConverged, nil
+	}
+	return outContinue, nil
+}
+
+// asyncPolicy: drain the freshest pending update per contributor without
+// blocking, then feed local stability evidence to the termination detector.
+// Evidence only counts on complete rounds (fresh data from every contributor
+// since the last round) and only once every contributor has echoed back data
+// at least as new as the start of the current stable streak — the causal
+// round-trip criterion that keeps detection sound under message pipelining.
+type asyncPolicy struct {
+	det detect.Detector
+}
+
+func (ap *asyncPolicy) exchange(st *rankState, stop stopper) (outcome, error) {
+	ap.drain(st)
+	return ap.finish(st, stop)
+}
+
+func (ap *asyncPolicy) drain(st *rankState) {
+	for si, seg := range st.ins {
+		if pk := st.c.DrainLatest(seg.from, tagX); pk != nil {
+			st.applySeg(si, pk)
+			st.freshSeen[si] = true
+			st.staleCount[si] = 0
+		} else {
+			st.staleCount[si]++
+		}
+	}
+}
+
+func (ap *asyncPolicy) finish(st *rankState, stop stopper) (outcome, error) {
+	st.c.Charge()
+	roundComplete := true
+	for _, f := range st.freshSeen {
+		if !f {
+			roundComplete = false
+			break
+		}
+	}
+	crit := stop.crit(st)
+	st.c.Charge()
+	switch {
+	case crit > st.o.Tol:
+		st.stableRuns = 0
+		st.stableStart = st.iter
+	case roundComplete:
+		st.stableRuns++
+	}
+	if roundComplete {
+		for i := range st.freshSeen {
+			st.freshSeen[i] = false
+		}
+	}
+	localOK := st.stableRuns >= st.o.Smooth
+	if localOK {
+		for si := range st.ins {
+			if st.echoFrom[si] < float64(st.stableStart) {
+				localOK = false
+				break
+			}
+		}
+	}
+	st.ctx.Tracef("DBG rank=%d iter=%d t=%.5f crit=%.3e round=%v stable=%d localOK=%v",
+		st.rank, st.iter, st.c.Now(), crit, roundComplete, st.stableRuns, localOK)
+	stopNow, err := ap.det.Step(localOK)
+	if err != nil {
+		return 0, err
+	}
+	if stopNow {
+		return outConverged, nil
+	}
+	if pk := st.c.TryRecv(mp.AnySource, tagAbort); pk != nil {
+		return outAborted, nil
+	}
+	return outContinue, nil
+}
+
+// boundedStalePolicy is asyncPolicy with a partial-synchronism guarantee: if
+// any contributor has produced no fresh data for MaxStale consecutive
+// iterations, the rank polls (virtual-time sleeps) until an update arrives,
+// bounding how far ranks can drift apart.
+type boundedStalePolicy struct {
+	asyncPolicy
+	maxStale int
+}
+
+func (bp *boundedStalePolicy) exchange(st *rankState, stop stopper) (outcome, error) {
+	bp.drain(st)
+	out, err := bp.waitForStale(st)
+	if err != nil || out != outContinue {
+		return out, err
+	}
+	return bp.finish(st, stop)
+}
+
+// waitForStale blocks (in virtual time) on every over-stale contributor.
+// While polling it keeps servicing the detector and the abort channel so a
+// stop decided elsewhere still terminates this rank.
+func (bp *boundedStalePolicy) waitForStale(st *rankState) (outcome, error) {
+	const pollInterval = 1e-4
+	for si, seg := range st.ins {
+		for st.staleCount[si] > bp.maxStale {
+			if pk := st.c.DrainLatest(seg.from, tagX); pk != nil {
+				st.applySeg(si, pk)
+				st.freshSeen[si] = true
+				st.staleCount[si] = 0
+				break
+			}
+			st.c.Proc().Sleep(pollInterval)
+			if bp.det != nil {
+				stopNow, err := bp.det.Step(false)
+				if err != nil {
+					return 0, err
+				}
+				if stopNow {
+					return outConverged, nil
+				}
+			}
+			if pk := st.c.TryRecv(mp.AnySource, tagAbort); pk != nil {
+				return outAborted, nil
+			}
+		}
+	}
+	return outContinue, nil
+}

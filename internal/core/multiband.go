@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/mp"
+	"repro/internal/simctx"
 	"repro/internal/sparse"
 	"repro/internal/vec"
 )
@@ -46,6 +47,7 @@ type mBandState struct {
 type factSolver interface {
 	Solve(x, b []float64, c *vec.Counter)
 	FactorFlops() float64
+	SolveFlops() float64
 	Bytes() int64
 }
 
@@ -60,72 +62,84 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 	nprocs := c.Size()
 	l := d.L()
 	ownerOf := func(bandIdx int) int { return bandIdx % nprocs }
-	cnt := &vec.Counter{}
-	charged := 0.0
-	charge := func() {
-		if f := cnt.Flops(); f > charged {
-			c.Compute(f - charged)
-			charged = f
-		}
+	ctx := simctx.New()
+	ctx.Trace = o.Trace
+	if o.TrackMemory {
+		ctx.Mem = c.Proc()
 	}
+	c.AttachCtx(ctx)
+	cnt := ctx.Counter
 
 	// --- Initialization: factor every owned band, build the segment plan.
+	// All owned bands factor inside one deferred compute segment (the fill —
+	// and so the cost — is unknown up front), which both overlaps other
+	// ranks' factorizations on the worker pool and preserves the single
+	// aggregate charge of the serial driver. Memory is accounted after
+	// collection: Alloc is a simulator call and may not run inside a segment.
 	var owned []*mBandState
+	var allocBytes int64
+	var factErr error
+	var factBand int
 	factStart := c.Now()
-	for k := rank; k < l; k += nprocs {
-		band := d.Bands[k]
-		sub := a.Submatrix(band.Lo, band.Hi, band.Lo, band.Hi)
-		fact, err := o.Solver.Factor(sub, cnt)
-		if err != nil {
-			return fmt.Errorf("rank %d band %d: %w", rank, k, err)
-		}
-		left := a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
-		right := a.ColumnsUsed(band.Lo, band.Hi, band.Hi, d.N)
-		depCols := append(append([]int{}, left...), right...)
-		st := &mBandState{
-			idx:     k,
-			band:    band,
-			fact:    fact,
-			depCols: depCols,
-			depMat:  a.SelectColumns(band.Lo, band.Hi, depCols),
-			bSub:    vec.Clone(bGlob[band.Lo:band.Hi]),
-			z:       make([]float64, len(depCols)),
-			xSub:    make([]float64, band.Size()),
-			xNew:    make([]float64, band.Size()),
-			rhs:     make([]float64, band.Size()),
-		}
-		// Incoming segments: contributors of each dependency column.
-		byFrom := map[int]*mseg{}
-		for i, j := range depCols {
-			for _, kb := range d.Contributors(j) {
-				sg := byFrom[kb]
-				if sg == nil {
-					sg = &mseg{fromBand: kb}
-					byFrom[kb] = sg
+	c.ComputeDeferred(func() float64 {
+		for k := rank; k < l; k += nprocs {
+			band := d.Bands[k]
+			sub := a.Submatrix(band.Lo, band.Hi, band.Lo, band.Hi)
+			fact, err := o.Solver.Factor(sub, cnt)
+			if err != nil {
+				factErr, factBand = err, k
+				break
+			}
+			left := a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
+			right := a.ColumnsUsed(band.Lo, band.Hi, band.Hi, d.N)
+			depCols := append(append([]int{}, left...), right...)
+			st := &mBandState{
+				idx:     k,
+				band:    band,
+				fact:    fact,
+				depCols: depCols,
+				depMat:  a.SelectColumns(band.Lo, band.Hi, depCols),
+				bSub:    vec.Clone(bGlob[band.Lo:band.Hi]),
+				z:       make([]float64, len(depCols)),
+				xSub:    make([]float64, band.Size()),
+				xNew:    make([]float64, band.Size()),
+				rhs:     make([]float64, band.Size()),
+			}
+			// Incoming segments: contributors of each dependency column.
+			byFrom := map[int]*mseg{}
+			for i, j := range depCols {
+				for _, kb := range d.Contributors(j) {
+					sg := byFrom[kb]
+					if sg == nil {
+						sg = &mseg{fromBand: kb}
+						byFrom[kb] = sg
+					}
+					sg.pos = append(sg.pos, i)
+					sg.weights = append(sg.weights, d.Weight(kb, j))
 				}
-				sg.pos = append(sg.pos, i)
-				sg.weights = append(sg.weights, d.Weight(kb, j))
 			}
-		}
-		froms := make([]int, 0, len(byFrom))
-		for kb := range byFrom {
-			froms = append(froms, kb)
-		}
-		sort.Ints(froms)
-		for _, kb := range froms {
-			sg := byFrom[kb]
-			sg.lastRecv = make([]float64, len(sg.pos))
-			st.inSegs = append(st.inSegs, *sg)
-		}
-		owned = append(owned, st)
-		if o.TrackMemory {
-			if err := c.Proc().Alloc(csrBytes(sub) + csrBytes(st.depMat) + fact.Bytes()); err != nil {
-				return err
+			froms := make([]int, 0, len(byFrom))
+			for kb := range byFrom {
+				froms = append(froms, kb)
 			}
+			sort.Ints(froms)
+			for _, kb := range froms {
+				sg := byFrom[kb]
+				sg.lastRecv = make([]float64, len(sg.pos))
+				st.inSegs = append(st.inSegs, *sg)
+			}
+			owned = append(owned, st)
+			allocBytes += csrBytes(sub) + csrBytes(st.depMat) + fact.Bytes()
 		}
+		return cnt.Flops() - ctx.Charged
+	})
+	if factErr != nil {
+		return fmt.Errorf("rank %d band %d: %w", rank, factBand, factErr)
 	}
-	charge()
 	factTime := c.Now() - factStart
+	if err := ctx.Alloc(allocBytes); err != nil {
+		return err
+	}
 
 	// Outgoing segments: for every owned band k, the remote bands that
 	// depend on it (the sender recomputes the receiver's plan from the
@@ -219,27 +233,41 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 	stableStart := 0
 	sendBuf := make([]float64, 0, 64)
 
+	// The per-iteration solve sweep over the owned bands is a pure compute
+	// segment with an analytically known cost, declared up front so the
+	// arithmetic can overlap other ranks' segments on the worker pool.
+	stepFlops := 0.0
+	for _, st := range owned {
+		stepFlops += 2*float64(st.depMat.NNZ()) + st.fact.SolveFlops() + 2*float64(st.band.Size())
+	}
+
 	for iter < o.MaxIter {
 		iter++
 		// Solve every owned band against the previous exchange round.
 		diff := 0.0
-		for _, st := range owned {
-			copy(st.rhs, st.bSub)
-			if len(st.depCols) > 0 {
-				st.depMat.MulVecSub(st.rhs, st.z, cnt)
+		var divergedBand *mBandState
+		c.ComputeSeg(stepFlops, func() {
+			for _, st := range owned {
+				copy(st.rhs, st.bSub)
+				if len(st.depCols) > 0 {
+					st.depMat.MulVecSub(st.rhs, st.z, cnt)
+				}
+				st.fact.Solve(st.xNew, st.rhs, cnt)
+				if !vec.AllFinite(st.xNew) {
+					divergedBand = st
+					return
+				}
+				if dl := vec.DiffNormInf(st.xNew, st.xSub, cnt); dl > diff {
+					diff = dl
+				}
 			}
-			st.fact.Solve(st.xNew, st.rhs, cnt)
-			if !vec.AllFinite(st.xNew) {
-				return fmt.Errorf("rank %d band %d: %w at iteration %d", rank, st.idx, ErrDiverged, iter)
+			for _, st := range owned {
+				copy(st.xSub, st.xNew)
 			}
-			if dl := vec.DiffNormInf(st.xNew, st.xSub, cnt); dl > diff {
-				diff = dl
-			}
+		})
+		if divergedBand != nil {
+			return fmt.Errorf("rank %d band %d: %w at iteration %d", rank, divergedBand.idx, ErrDiverged, iter)
 		}
-		for _, st := range owned {
-			copy(st.xSub, st.xNew)
-		}
-		charge()
 
 		// Ship remote segments.
 		for _, og := range outs {
@@ -306,7 +334,7 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 					}
 				}
 			}
-			charge()
+			c.Charge()
 			gd, err := c.Allreduce(diff, mp.OpMax)
 			if err != nil {
 				return err
@@ -333,7 +361,7 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 				}
 			}
 		}
-		charge()
+		c.Charge()
 		roundComplete := true
 		for _, f := range freshRank {
 			if !f {
@@ -405,21 +433,6 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 		pend.res.X = x
 	}
 
-	pend.res.IterationsPerRank[rank] = iter
-	if iter > pend.res.Iterations {
-		pend.res.Iterations = iter
-	}
-	if factTime > pend.res.FactorTime {
-		pend.res.FactorTime = factTime
-	}
-	if rank == 0 {
-		pend.res.Converged = converged
-	}
-	pend.res.BytesSent += c.Proc().BytesSent
-	pend.res.MsgsSent += c.Proc().MsgsSent
-	if end := c.Now(); end > pend.res.Time {
-		pend.res.Time = end
-	}
-	pend.done = true
+	pend.finishRank(c, ctx, iter, factTime, converged)
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/mp"
 	"repro/internal/order"
+	"repro/internal/simctx"
 	"repro/internal/sparse"
 	"repro/internal/vec"
 	"repro/internal/vgrid"
@@ -260,22 +261,18 @@ func dsluRank(cm *mp.Comm, c *sparse.CSR, w []float64, rcm []int, o Options, pen
 	nb := o.BlockSize
 	nBlocks := (n + nb - 1) / nb
 	ownerOf := func(block int) int { return block % nprocs }
-	cnt := &vec.Counter{}
-	charged := 0.0
-	charge := func() {
-		if f := cnt.Flops(); f > charged {
-			cm.Compute(f - charged)
-			charged = f
-		}
+	ctx := simctx.New()
+	if o.TrackMemory {
+		ctx.Mem = cm.Proc()
 	}
+	cm.AttachCtx(ctx)
+	cnt := ctx.Counter
+	charge := cm.Charge
 	allocated := int64(0)
 	trackAlloc := func(s *rowStore) error {
-		if !o.TrackMemory {
-			return nil
-		}
 		want := s.entries * 24 // value + column index + list slot
 		if want > allocated {
-			if err := cm.Proc().Alloc(want - allocated); err != nil {
+			if err := ctx.Alloc(want - allocated); err != nil {
 				return err
 			}
 			allocated = want

@@ -33,6 +33,10 @@ type Config struct {
 	Scale int
 	// Progress, when non-nil, receives per-run progress lines.
 	Progress io.Writer
+	// Workers bounds the worker-thread pool executing compute segments of
+	// the simulated solver ranks; 0 keeps the engine default (GOMAXPROCS).
+	// Results are identical for any value — only wall-clock time changes.
+	Workers int
 }
 
 func (c Config) scale() int {
@@ -223,7 +227,13 @@ func probeFill(plt *cluster.Platform, a *sparse.CSR, b []float64) (int64, error)
 	return res.FillNNZ, nil
 }
 
-func newEngine(plt *cluster.Platform) *vgrid.Engine { return vgrid.NewEngine(plt.Platform) }
+func (c Config) newEngine(plt *cluster.Platform) *vgrid.Engine {
+	e := vgrid.NewEngine(plt.Platform)
+	if c.Workers > 0 {
+		e.SetWorkers(c.Workers)
+	}
+	return e
+}
 
 func dsluLaunch(e *vgrid.Engine, plt *cluster.Platform, a *sparse.CSR, b []float64) (*dslu.Pending, error) {
 	return dslu.Launch(e, plt.Hosts, a, b, dslu.Options{})
@@ -250,8 +260,8 @@ type msOpts struct {
 	flows   int
 }
 
-func runMS(plt *cluster.Platform, a *sparse.CSR, b []float64, o msOpts) (cell, *core.Result) {
-	e := vgrid.NewEngine(plt.Platform)
+func runMS(cfg Config, plt *cluster.Platform, a *sparse.CSR, b []float64, o msOpts) (cell, *core.Result) {
+	e := cfg.newEngine(plt)
 	pend, err := core.Launch(e, plt.Hosts, a, b, core.Options{
 		Async:       o.async,
 		Overlap:     o.overlap,

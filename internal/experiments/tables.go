@@ -35,9 +35,9 @@ func scalabilityRow(cfg Config, a *sparse.CSR, b []float64, nprocs int, memOverr
 	cfg.logf("table: %d procs, distributed SuperLU", nprocs)
 	d := runDSLU(cluster.Cluster1(nprocs, memOverride), a, b, memOverride != -1)
 	cfg.logf("table: %d procs, sync multisplitting", nprocs)
-	s, _ := runMS(cluster.Cluster1(nprocs, memOverride), a, b, msOpts{track: memOverride != -1})
+	s, _ := runMS(cfg, cluster.Cluster1(nprocs, memOverride), a, b, msOpts{track: memOverride != -1})
 	cfg.logf("table: %d procs, async multisplitting", nprocs)
-	as, _ := runMS(cluster.Cluster1(nprocs, memOverride), a, b, msOpts{async: true, track: memOverride != -1})
+	as, _ := runMS(cfg, cluster.Cluster1(nprocs, memOverride), a, b, msOpts{async: true, track: memOverride != -1})
 	fact := "-"
 	if s.ok {
 		fact = fmtSec(s.fact)
@@ -106,9 +106,9 @@ func Table3(cfg Config) (*Table, error) {
 		cfg.logf("table3: %s on %s, distributed SuperLU", name, cl)
 		d := runDSLU(newPlat(mem), a, b, mem != -1)
 		cfg.logf("table3: %s on %s, sync multisplitting", name, cl)
-		s, _ := runMS(newPlat(mem), a, b, msOpts{track: mem != -1})
+		s, _ := runMS(cfg, newPlat(mem), a, b, msOpts{track: mem != -1})
 		cfg.logf("table3: %s on %s, async multisplitting", name, cl)
-		as, _ := runMS(newPlat(mem), a, b, msOpts{async: true, track: mem != -1})
+		as, _ := runMS(cfg, newPlat(mem), a, b, msOpts{async: true, track: mem != -1})
 		fact := "-"
 		if s.ok {
 			fact = fmtSec(s.fact)
@@ -154,11 +154,11 @@ func Table4(cfg Config) (*Table, error) {
 	}
 	for _, flows := range []int{0, 1, 5, 10} {
 		cfg.logf("table4: %d flows, distributed SuperLU", flows)
-		d := runDSLUPerturbed(cluster.Cluster3(-1), a, b, flows)
+		d := runDSLUPerturbed(cfg, cluster.Cluster3(-1), a, b, flows)
 		cfg.logf("table4: %d flows, sync multisplitting", flows)
-		s, _ := runMS(cluster.Cluster3(-1), a, b, msOpts{flows: flows})
+		s, _ := runMS(cfg, cluster.Cluster3(-1), a, b, msOpts{flows: flows})
 		cfg.logf("table4: %d flows, async multisplitting", flows)
-		as, _ := runMS(cluster.Cluster3(-1), a, b, msOpts{async: true, flows: flows})
+		as, _ := runMS(cfg, cluster.Cluster3(-1), a, b, msOpts{async: true, flows: flows})
 		t.Rows = append(t.Rows, []string{fmt.Sprint(flows), d.timeStr(), s.timeStr(), as.timeStr()})
 	}
 	return t, nil
@@ -181,11 +181,11 @@ func Table4Fair(cfg Config) (*Table, error) {
 	}
 	for _, flows := range []int{0, 1, 5, 10} {
 		cfg.logf("table4fair: %d flows, distributed SuperLU", flows)
-		d := runDSLUPerturbed(cluster.Cluster3(-1).FairWAN(), a, b, flows)
+		d := runDSLUPerturbed(cfg, cluster.Cluster3(-1).FairWAN(), a, b, flows)
 		cfg.logf("table4fair: %d flows, sync multisplitting", flows)
-		s, _ := runMS(cluster.Cluster3(-1).FairWAN(), a, b, msOpts{flows: flows})
+		s, _ := runMS(cfg, cluster.Cluster3(-1).FairWAN(), a, b, msOpts{flows: flows})
 		cfg.logf("table4fair: %d flows, async multisplitting", flows)
-		as, _ := runMS(cluster.Cluster3(-1).FairWAN(), a, b, msOpts{async: true, flows: flows})
+		as, _ := runMS(cfg, cluster.Cluster3(-1).FairWAN(), a, b, msOpts{async: true, flows: flows})
 		t.Rows = append(t.Rows, []string{fmt.Sprint(flows), d.timeStr(), s.timeStr(), as.timeStr()})
 	}
 	return t, nil
@@ -212,8 +212,8 @@ func Figure3(cfg Config) (*Table, error) {
 	for ov := 0; ov <= 5000; ov += 500 {
 		scaled := 2 * ov / cfg.scale()
 		cfg.logf("figure3: overlap %d (scaled %d)", ov, scaled)
-		s, sres := runMS(cluster.Cluster3(-1).ScaleSpeed(speed), a, b, msOpts{overlap: scaled})
-		as, _ := runMS(cluster.Cluster3(-1).ScaleSpeed(speed), a, b, msOpts{async: true, overlap: scaled})
+		s, sres := runMS(cfg, cluster.Cluster3(-1).ScaleSpeed(speed), a, b, msOpts{overlap: scaled})
+		as, _ := runMS(cfg, cluster.Cluster3(-1).ScaleSpeed(speed), a, b, msOpts{async: true, overlap: scaled})
 		iters := "-"
 		fact := "-"
 		if s.ok && sres != nil {
@@ -226,11 +226,11 @@ func Figure3(cfg Config) (*Table, error) {
 }
 
 // runDSLUPerturbed runs the distributed solver under background flows.
-func runDSLUPerturbed(plt *cluster.Platform, a *sparse.CSR, b []float64, flows int) cell {
+func runDSLUPerturbed(cfg Config, plt *cluster.Platform, a *sparse.CSR, b []float64, flows int) cell {
 	if flows == 0 {
 		return runDSLU(plt, a, b, false)
 	}
-	e := newEngine(plt)
+	e := cfg.newEngine(plt)
 	pend, err := dsluLaunch(e, plt, a, b)
 	if err != nil {
 		return cell{note: "err"}

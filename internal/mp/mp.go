@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/simctx"
 	"repro/internal/vgrid"
 )
 
@@ -39,6 +40,7 @@ type Comm struct {
 	rank  int
 	procs []*vgrid.Proc
 	p     *vgrid.Proc
+	ctx   *simctx.Ctx
 
 	// Tree switches the collectives (Barrier, Allreduce, Bcast) from the
 	// flat rank-0 star to binomial trees: O(log P) depth instead of O(P)
@@ -85,6 +87,58 @@ func (c *Comm) Proc() *vgrid.Proc { return c.p }
 
 // Compute charges flops of local work.
 func (c *Comm) Compute(flops float64) { c.p.Compute(flops) }
+
+// AttachCtx installs the rank's solver context; the Charge and ComputeSeg
+// accounting helpers operate on it. The caller (the rank body) builds and
+// owns the Ctx — one per process, never shared.
+func (c *Comm) AttachCtx(ctx *simctx.Ctx) { c.ctx = ctx }
+
+// Ctx returns the attached solver context (nil if none).
+func (c *Comm) Ctx() *simctx.Ctx { return c.ctx }
+
+// Charge converts flops counted since the last charge into virtual compute
+// time: the difference between the context counter and its charged
+// watermark. Work declared through ComputeSeg is already charged; any
+// remainder (e.g. message-application arithmetic, or a segment whose
+// declared cost underestimated the counted work) reconciles here.
+func (c *Comm) Charge() {
+	if c.ctx == nil {
+		return
+	}
+	if f := c.ctx.Counter.Flops(); f > c.ctx.Charged {
+		c.p.Compute(f - c.ctx.Charged)
+		c.ctx.Charged = f
+	}
+}
+
+// ComputeSeg charges flops of declared work up front and runs the segment,
+// overlapping it with other processes' segments on the engine's worker pool
+// (vgrid.Proc.ComputeFunc). The charged watermark advances by the declared
+// cost so a following Charge only pays for work the declaration missed. The
+// segment must not call communicator or simulator primitives and must touch
+// only this rank's state.
+func (c *Comm) ComputeSeg(flops float64, fn func()) {
+	if c.ctx != nil {
+		c.ctx.Charged += flops
+	}
+	c.p.ComputeFunc(flops, fn)
+}
+
+// ComputeDeferred runs fn — a compute phase whose cost is unknowable up
+// front, such as a fill-dependent factorization — on the engine's worker
+// pool and charges the flops it returns when it completes
+// (vgrid.Proc.ComputeDeferred). The charged watermark advances by the
+// measured cost.
+func (c *Comm) ComputeDeferred(fn func() float64) {
+	var measured float64
+	c.p.ComputeDeferred(func() float64 {
+		measured = fn()
+		return measured
+	})
+	if c.ctx != nil {
+		c.ctx.Charged += measured
+	}
+}
 
 // Now returns the local virtual time.
 func (c *Comm) Now() float64 { return c.p.Now() }

@@ -1,0 +1,72 @@
+// Package simctx defines the per-process solver context threaded through the
+// distributed drivers (core, dslu) and their substrates (mp, splu): a flop
+// counter with its charged watermark, an optional iteration tracer and an
+// optional memory accountant. It replaces the previous convention of ad-hoc
+// *vec.Counter arguments plus package-level debug globals, so that several
+// simulated processes — and, under the parallel vgrid scheduler, several OS
+// threads — can run without sharing mutable state.
+//
+// Ownership contract: every simulated process builds exactly one Ctx and is
+// its sole writer, mirroring vec.Counter's single-owner rule. Cross-process
+// aggregation goes through vec.Total (the atomic merge point), never by
+// sharing a Ctx.
+package simctx
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/vec"
+)
+
+// Allocator accounts memory against a capacity; *vgrid.Proc implements it.
+type Allocator interface {
+	Alloc(bytes int64) error
+}
+
+// Ctx carries one simulated process's accounting and diagnostics.
+type Ctx struct {
+	// Counter accumulates the flops of every numerical kernel the process
+	// runs. Single-owner: only this process (or the one compute segment it
+	// has in flight) may touch it.
+	Counter *vec.Counter
+	// Charged is the watermark of Counter flops already converted into
+	// virtual compute time. Work declared up front (mp.Comm.ComputeSeg)
+	// advances it optimistically; mp.Comm.Charge reconciles any remainder.
+	Charged float64
+	// Trace, when non-nil, receives iteration-level diagnostic lines
+	// (the replacement for the old core.debugAsync global).
+	Trace io.Writer
+	// Mem, when non-nil, accounts allocations against the host capacity.
+	Mem Allocator
+}
+
+// New returns a Ctx with a fresh counter and no tracer or accountant.
+func New() *Ctx {
+	return &Ctx{Counter: &vec.Counter{}}
+}
+
+// Cnt returns the flop counter (nil-safe: a nil Ctx counts into the void,
+// like a nil *vec.Counter).
+func (c *Ctx) Cnt() *vec.Counter {
+	if c == nil {
+		return nil
+	}
+	return c.Counter
+}
+
+// Tracef writes one diagnostic line when a tracer is attached.
+func (c *Ctx) Tracef(format string, args ...any) {
+	if c == nil || c.Trace == nil {
+		return
+	}
+	fmt.Fprintf(c.Trace, format+"\n", args...)
+}
+
+// Alloc charges bytes to the memory accountant; a no-op without one.
+func (c *Ctx) Alloc(bytes int64) error {
+	if c == nil || c.Mem == nil {
+		return nil
+	}
+	return c.Mem.Alloc(bytes)
+}

@@ -30,6 +30,12 @@ type Factorization interface {
 	Solve(x, b []float64, c *vec.Counter)
 	// FactorFlops returns the floating-point cost paid by Factor.
 	FactorFlops() float64
+	// SolveFlops returns the exact floating-point cost one Solve call counts.
+	// Unlike the factorization cost it is known analytically once the
+	// factors exist, which lets the iteration drivers declare a solve
+	// segment's cost up front and run the arithmetic concurrently with other
+	// processes (vgrid.Proc.ComputeFunc).
+	SolveFlops() float64
 	// Bytes returns the approximate memory held by the factors.
 	Bytes() int64
 }
@@ -308,6 +314,9 @@ func (f *sparseFactors) Solve(x, b []float64, c *vec.Counter) {
 // FactorFlops implements Factorization.
 func (f *sparseFactors) FactorFlops() float64 { return f.flops }
 
+// SolveFlops implements Factorization.
+func (f *sparseFactors) SolveFlops() float64 { return f.solveFlops }
+
 // Bytes implements Factorization.
 func (f *sparseFactors) Bytes() int64 {
 	entries := int64(len(f.lx) + len(f.ux))
@@ -350,6 +359,7 @@ type denseFact struct {
 
 func (f *denseFact) Solve(x, b []float64, c *vec.Counter) { f.lu.Solve(x, b, c) }
 func (f *denseFact) FactorFlops() float64                 { return f.lu.Flops }
+func (f *denseFact) SolveFlops() float64                  { return 2 * float64(f.n) * float64(f.n) }
 func (f *denseFact) Bytes() int64                         { return int64(f.n) * int64(f.n) * 8 }
 
 // CholeskySolver adapts the dense Cholesky factorization to the Direct
@@ -386,6 +396,7 @@ type cholFact struct {
 
 func (f *cholFact) Solve(x, b []float64, c *vec.Counter) { f.ch.Solve(x, b, c) }
 func (f *cholFact) FactorFlops() float64                 { return f.ch.Flops }
+func (f *cholFact) SolveFlops() float64                  { return 2 * float64(f.n) * float64(f.n) }
 func (f *cholFact) Bytes() int64                         { return int64(f.n) * int64(f.n) * 8 }
 
 // BandSolver adapts the banded LU to the Direct interface. When Reorder is
@@ -450,6 +461,12 @@ func (f *bandFact) Solve(x, b []float64, c *vec.Counter) {
 }
 
 func (f *bandFact) FactorFlops() float64 { return f.lu.Flops }
+
+// SolveFlops mirrors dense.BandLU.Solve's count with kv = kl+ku.
+func (f *bandFact) SolveFlops() float64 {
+	return 2 * float64(f.n) * float64(f.kl+(f.kl+f.ku)+1)
+}
+
 func (f *bandFact) Bytes() int64 {
 	return int64(f.n) * int64(2*f.kl+f.ku+1) * 8
 }

@@ -1,0 +1,48 @@
+package vec
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTotalConcurrentMerge is the regression test for the atomic aggregation
+// point: many goroutines (standing in for process bodies finishing on
+// different OS threads under the parallel scheduler) merge their privately
+// owned Counters into one Total. Run under -race this would flag any
+// non-atomic accumulation.
+func TestTotalConcurrentMerge(t *testing.T) {
+	const (
+		goroutines = 16
+		addsEach   = 1000
+	)
+	var total Total
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &Counter{} // single-owner: local to this goroutine
+			for i := 0; i < addsEach; i++ {
+				c.Add(3)
+			}
+			total.MergeCounter(c)
+		}()
+	}
+	wg.Wait()
+	want := float64(goroutines * addsEach * 3)
+	if got := total.Value(); got != want {
+		t.Fatalf("Total.Value() = %v, want %v", got, want)
+	}
+}
+
+func TestTotalZeroValue(t *testing.T) {
+	var total Total
+	if v := total.Value(); v != 0 {
+		t.Fatalf("zero Total has value %v", v)
+	}
+	total.Merge(1.5)
+	total.Merge(2.5)
+	if v := total.Value(); v != 4 {
+		t.Fatalf("Total.Value() = %v, want 4", v)
+	}
+}

@@ -1,0 +1,186 @@
+package vgrid
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// runComputeScenario spawns nproc processes that alternate declared compute
+// segments with barrier-free sends to their neighbor, records the trace and
+// returns it with the per-process side effects and the end time.
+func runComputeScenario(t *testing.T, workers int, segWall time.Duration) (string, []float64, float64) {
+	t.Helper()
+	const nproc = 4
+	pl := NewPlatform()
+	hosts := make([]*Host, nproc)
+	for i := range hosts {
+		hosts[i] = pl.AddHost("h", 1e9, 0)
+	}
+	e := NewEngine(pl)
+	e.SetWorkers(workers)
+	var sb strings.Builder
+	e.Trace = func(line string) { sb.WriteString(line); sb.WriteByte('\n') }
+
+	results := make([]float64, nproc)
+	for i := 0; i < nproc; i++ {
+		i := i
+		e.Spawn(hosts[i], "p", func(p *Proc) error {
+			acc := float64(i)
+			for it := 0; it < 3; it++ {
+				p.ComputeFunc(1e9*float64(i+1), func() {
+					if segWall > 0 {
+						time.Sleep(segWall)
+					}
+					acc = acc*3 + float64(it)
+				})
+				p.Sleep(0.001)
+			}
+			results[i] = acc
+			return nil
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sb.String(), results, end
+}
+
+// TestComputeFuncDeterministic is the scheduler-level determinism check: the
+// trace, the side effects and the end time must be identical whether the
+// segments run inline (1 worker) or on a pool of 4.
+func TestComputeFuncDeterministic(t *testing.T) {
+	tr1, res1, end1 := runComputeScenario(t, 1, 0)
+	tr4, res4, end4 := runComputeScenario(t, 4, 0)
+	if tr1 != tr4 {
+		t.Fatalf("traces differ between 1 and 4 workers:\n--- 1 worker ---\n%s--- 4 workers ---\n%s", tr1, tr4)
+	}
+	if end1 != end4 {
+		t.Fatalf("end time differs: %v vs %v", end1, end4)
+	}
+	for i := range res1 {
+		if res1[i] != res4[i] {
+			t.Fatalf("proc %d side effect differs: %v vs %v", i, res1[i], res4[i])
+		}
+	}
+}
+
+// TestComputeFuncMatchesCompute: a declared segment must charge exactly the
+// same virtual time as the plain Compute primitive.
+func TestComputeFuncMatchesCompute(t *testing.T) {
+	run := func(useFunc bool) float64 {
+		pl := NewPlatform()
+		h := pl.AddHost("h", 2e9, 0)
+		e := NewEngine(pl)
+		e.Spawn(h, "p", func(p *Proc) error {
+			if useFunc {
+				p.ComputeFunc(4e9, func() {})
+			} else {
+				p.Compute(4e9)
+			}
+			return nil
+		})
+		end, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("Compute end %v != ComputeFunc end %v", a, b)
+	}
+}
+
+// TestComputeFuncOverlap: with several workers, segments of different
+// processes must actually overlap in wall-clock time.
+func TestComputeFuncOverlap(t *testing.T) {
+	const seg = 30 * time.Millisecond
+	start := time.Now()
+	runComputeScenario(t, 1, seg)
+	serial := time.Since(start)
+
+	start = time.Now()
+	runComputeScenario(t, 4, seg)
+	overlapped := time.Since(start)
+
+	// 4 procs × 3 segments × 30 ms = 360 ms serial; fully overlapped is
+	// ~90 ms. Require a clear gap without being flaky on loaded machines.
+	if overlapped >= serial*2/3 {
+		t.Fatalf("no overlap: serial %v, 4 workers %v", serial, overlapped)
+	}
+}
+
+// TestComputeFuncPanic: a panic inside a pooled segment must surface as the
+// owning process's error, same as a panic in the process body.
+func TestComputeFuncPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		pl := NewPlatform()
+		h := pl.AddHost("h", 1e9, 0)
+		e := NewEngine(pl)
+		e.SetWorkers(workers)
+		e.Spawn(h, "boom", func(p *Proc) error {
+			p.ComputeFunc(1e6, func() { panic("segment exploded") })
+			return nil
+		})
+		_, err := e.Run()
+		if err == nil || !strings.Contains(err.Error(), "segment exploded") {
+			t.Fatalf("workers=%d: want segment panic surfaced as error, got %v", workers, err)
+		}
+	}
+}
+
+// TestComputeFuncConcurrencyBound: no more than SetWorkers segments may be
+// in flight at once.
+func TestComputeFuncConcurrencyBound(t *testing.T) {
+	const nproc, workers = 8, 2
+	pl := NewPlatform()
+	hosts := make([]*Host, nproc)
+	for i := range hosts {
+		hosts[i] = pl.AddHost("h", 1e9, 0)
+	}
+	e := NewEngine(pl)
+	e.SetWorkers(workers)
+	var inFlight, peak atomic.Int64
+	for i := 0; i < nproc; i++ {
+		e.Spawn(hosts[i], "p", func(p *Proc) error {
+			p.ComputeFunc(1e9, func() {
+				cur := inFlight.Add(1)
+				for {
+					old := peak.Load()
+					if cur <= old || peak.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				time.Sleep(5 * time.Millisecond)
+				inFlight.Add(-1)
+			})
+			return nil
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Fatalf("segments never overlapped (peak %d)", p)
+	}
+}
+
+func TestSetWorkersAfterRunPanics(t *testing.T) {
+	pl := NewPlatform()
+	pl.AddHost("h", 1e9, 0)
+	e := NewEngine(pl)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetWorkers after Run did not panic")
+		}
+	}()
+	e.SetWorkers(2)
+}

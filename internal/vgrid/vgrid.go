@@ -11,14 +11,24 @@
 // the scheduler, which always resumes the process with the smallest next
 // event time. Because a process can only create future events at or after
 // its own clock, this order is causally safe and fully deterministic.
+//
+// Pure compute segments are the one exception to the single-runner rule:
+// Proc.ComputeFunc charges its declared virtual cost up front and hands the
+// real work to a bounded pool of OS threads (Engine.SetWorkers), so segments
+// of different processes overlap in wall-clock time. The virtual schedule is
+// unchanged — the scheduler commits clock charges in the same conservative
+// order and blocks on a segment's completion before resuming its owner — so
+// traces and results are identical for 1 worker and N workers.
 package vgrid
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ErrOutOfMemory is returned by Proc.Alloc when the host memory would be
@@ -177,6 +187,17 @@ const (
 	stateReady procState = iota
 	stateRunning
 	stateBlocked
+	// stateComputing marks a process inside ComputeFunc: its virtual cost is
+	// already charged (so its next event time is final) while the real work
+	// may still be running on a pool worker. The scheduler treats it like a
+	// ready process and waits for the work only when the process is picked.
+	stateComputing
+	// stateDeferred marks a process inside ComputeDeferred: the segment is
+	// running on a pool worker and its virtual cost is unknown until it
+	// returns, so the process's clock is only a lower bound (charges are
+	// non-negative). The scheduler may not commit to any event at or after
+	// that bound until the true cost has been collected.
+	stateDeferred
 	stateDone
 )
 
@@ -196,6 +217,16 @@ type Proc struct {
 	matchSrc, matchTag int
 	err                error
 	allocated          int64
+	// computing is non-nil while a ComputeFunc segment is in flight on the
+	// worker pool; it is closed by the worker when the segment returns.
+	computing chan struct{}
+	// fnPanic carries a panic recovered on the worker back to the process
+	// goroutine, where it is re-raised so safeBody turns it into an error.
+	fnPanic any
+	// deferredFlops is the measured cost of a ComputeDeferred segment,
+	// written by the worker before computing is closed and charged by the
+	// scheduler at collection time.
+	deferredFlops float64
 
 	// Stats.
 	FlopsDone     float64
@@ -216,11 +247,67 @@ type Engine struct {
 	// Trace, when non-nil, receives one line per scheduling event.
 	Trace func(string)
 	now   float64
+
+	// workers bounds the pool of OS threads executing ComputeFunc segments
+	// concurrently; 1 runs every segment inline (fully serial).
+	workers  int
+	poolOnce sync.Once
+	jobs     chan *computeJob
 }
 
-// NewEngine creates an engine for the platform.
+// NewEngine creates an engine for the platform. Compute segments handed to
+// Proc.ComputeFunc run on up to GOMAXPROCS OS threads; use SetWorkers to
+// change the bound (the virtual schedule is identical either way).
 func NewEngine(pl *Platform) *Engine {
-	return &Engine{Platform: pl, yieldCh: make(chan *Proc)}
+	return &Engine{Platform: pl, yieldCh: make(chan *Proc), workers: runtime.GOMAXPROCS(0)}
+}
+
+// SetWorkers bounds the number of OS threads that execute ComputeFunc
+// segments concurrently (default GOMAXPROCS). n = 1 runs segments inline on
+// the process goroutine. Must be called before Run.
+func (e *Engine) SetWorkers(n int) {
+	if e.started {
+		panic("vgrid: SetWorkers after Run")
+	}
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Workers returns the configured compute-segment concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// computeJob is one ComputeFunc segment queued on the worker pool.
+type computeJob struct {
+	p  *Proc
+	fn func()
+}
+
+func (j *computeJob) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			j.p.fnPanic = r
+		}
+		close(j.p.computing)
+	}()
+	j.fn()
+}
+
+// startPool lazily spins up the worker goroutines on first use. The jobs
+// channel is buffered with one slot per process — a process can have at most
+// one segment in flight — so dispatching never blocks the scheduler.
+func (e *Engine) startPool() {
+	e.poolOnce.Do(func() {
+		e.jobs = make(chan *computeJob, len(e.procs))
+		for i := 0; i < e.workers; i++ {
+			go func() {
+				for j := range e.jobs {
+					j.run()
+				}
+			}()
+		}
+	})
 }
 
 // Spawn registers a process on a host with a body function. Must be called
@@ -268,13 +355,43 @@ func (e *Engine) Run() (float64, error) {
 		panic("vgrid: Run called twice")
 	}
 	e.started = true
+	defer func() {
+		// Stop the worker pool, if one was started. At this point no segment
+		// is in flight: a computing process is always schedulable, so the
+		// loop only exits after every segment has been collected.
+		if e.jobs != nil {
+			close(e.jobs)
+		}
+	}()
 	for {
 		p, resumeAt, deliver := e.pickNext()
 		if p == nil {
 			break
 		}
+		if p.state == stateDeferred {
+			// The pick landed on a deferred segment's dispatch-time lower
+			// bound. Its true resume time needs the measured cost: collect
+			// it, charge, and pick again — another process may now be
+			// earlier. Deterministic regardless of which segments have
+			// physically finished, because every deferred process that could
+			// precede the final pick is resolved before committing.
+			<-p.computing
+			p.computing = nil
+			p.chargeFlops(p.deferredFlops)
+			p.state = stateComputing
+			continue
+		}
 		if p.state == stateBlocked {
 			p.BlockedTime += resumeAt - p.lastBlockedAt
+		}
+		if p.state == stateComputing {
+			// The pick is committed at the pre-charged virtual time; only the
+			// wall clock waits for the segment to finish (ComputeFunc) — a
+			// collected ComputeDeferred segment has already been waited for.
+			if p.computing != nil {
+				<-p.computing
+				p.computing = nil
+			}
 		}
 		p.clock = resumeAt
 		if resumeAt > e.now {
@@ -337,7 +454,10 @@ func (e *Engine) pickNext() (best *Proc, at float64, msg *Message) {
 	var bestMsg *Message
 	for _, p := range e.procs {
 		switch p.state {
-		case stateReady:
+		case stateReady, stateComputing, stateDeferred:
+			// For stateDeferred, p.clock is the dispatch time — a lower
+			// bound on the true resume time; Run resolves the bound before
+			// committing to any later event.
 			if p.clock < at || (p.clock == at && better(p, best)) {
 				best, at, bestMsg = p, p.clock, nil
 			}
@@ -390,8 +510,9 @@ func (p *Proc) Done() bool { return p.state == stateDone }
 // Now returns the process's local virtual clock in seconds.
 func (p *Proc) Now() float64 { return p.clock }
 
-// Compute charges flops of work at the host's speed and advances the clock.
-func (p *Proc) Compute(flops float64) {
+// chargeFlops advances the clock and work statistics by flops at the host's
+// speed, without yielding.
+func (p *Proc) chargeFlops(flops float64) {
 	if flops < 0 {
 		panic("vgrid: negative flops")
 	}
@@ -399,8 +520,80 @@ func (p *Proc) Compute(flops float64) {
 	p.clock += dt
 	p.ComputeTime += dt
 	p.FlopsDone += flops
+}
+
+// Compute charges flops of work at the host's speed and advances the clock.
+func (p *Proc) Compute(flops float64) {
+	p.chargeFlops(flops)
 	p.state = stateReady
 	p.yield()
+}
+
+// ComputeFunc charges flops of declared work up front — advancing the clock
+// exactly as Compute(flops) would — and executes fn, the real arithmetic the
+// declared cost stands for. With more than one worker configured, fn runs on
+// the engine's worker pool while the scheduler proceeds to other processes
+// whose next events are not later, so independent compute segments of
+// different processes overlap in wall-clock time; the scheduler waits for fn
+// before this process resumes, so everything the process observes afterwards
+// is as if fn had run inline. The virtual schedule is identical for any
+// worker count.
+//
+// fn must not call simulator primitives and must touch only process-local
+// state (its owner's vectors, matrices and flop counter): unlike the process
+// body, it is not serialized with other processes' segments.
+func (p *Proc) ComputeFunc(flops float64, fn func()) {
+	p.chargeFlops(flops)
+	if p.eng.workers <= 1 {
+		fn()
+		p.state = stateReady
+		p.yield()
+		return
+	}
+	p.eng.startPool()
+	p.computing = make(chan struct{})
+	p.fnPanic = nil
+	p.state = stateComputing
+	p.eng.jobs <- &computeJob{p: p, fn: fn}
+	p.yield()
+	// The scheduler has already waited for the segment; surface its panic on
+	// the process goroutine so safeBody converts it into a process error.
+	if r := p.fnPanic; r != nil {
+		p.fnPanic = nil
+		panic(r)
+	}
+}
+
+// ComputeDeferred executes fn — a compute phase whose virtual cost cannot be
+// declared up front (e.g. a sparse factorization whose flop count depends on
+// the fill it discovers) — and charges the cost fn returns when it
+// completes, exactly as Compute(fn()) would have. With more than one worker
+// configured, fn runs on the engine's worker pool: until it returns, the
+// process's clock is treated as a lower bound on its next event (charges are
+// non-negative), so the scheduler keeps running other processes with earlier
+// events and resolves the true cost only when this process could be next.
+// The virtual schedule is identical for any worker count.
+//
+// The restrictions on fn are the same as for ComputeFunc: no simulator
+// primitives, process-local state only.
+func (p *Proc) ComputeDeferred(fn func() float64) {
+	if p.eng.workers <= 1 {
+		p.chargeFlops(fn())
+		p.state = stateReady
+		p.yield()
+		return
+	}
+	p.eng.startPool()
+	p.computing = make(chan struct{})
+	p.fnPanic = nil
+	p.deferredFlops = 0
+	p.state = stateDeferred
+	p.eng.jobs <- &computeJob{p: p, fn: func() { p.deferredFlops = fn() }}
+	p.yield()
+	if r := p.fnPanic; r != nil {
+		p.fnPanic = nil
+		panic(r)
+	}
 }
 
 // Sleep advances the clock by dt seconds without doing work.
