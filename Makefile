@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench verify
+.PHONY: all build test race vet bench bench-json bench-json-smoke verify
 
 all: verify
 
@@ -21,4 +21,15 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-verify: build vet test race
+# Machine-readable baseline of the refactorization economy: the Newton
+# factor-vs-refactor comparison (factor-flops metric) plus the engine worker
+# scaling, as JSON.
+bench-json:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkNewtonRefactor|BenchmarkSessionIterate|BenchmarkEngineWorkers' -o BENCH_refactor.json
+
+# One-iteration smoke of the same pipeline, part of verify: proves the
+# benchmarks still run and the parser still understands their output.
+bench-json-smoke:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkNewtonRefactor|BenchmarkSessionIterate' -benchtime 1x -o BENCH_refactor.json
+
+verify: build vet test race bench-json-smoke

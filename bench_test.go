@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/nonlinear"
 	"repro/internal/splu"
 	"repro/internal/vec"
 	"repro/internal/vgrid"
@@ -170,5 +171,95 @@ func BenchmarkEngineWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Refactorization benchmarks (make bench-json → BENCH_refactor.json).
+
+// newtonProblem builds the semilinear benchmark system A·x + x³ = b on a
+// narrow-band sparse matrix (the low-fill regime where refactorization's
+// symbolic savings are largest).
+func newtonProblem(n int) *nonlinear.Problem {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: n, Band: 8, PerRow: 3, Margin: 0.1, Negative: true, Seed: 21})
+	xtrue := make([]float64, n)
+	for i := range xtrue {
+		xtrue[i] = 0.5 + 0.4*float64(i%7)/7
+	}
+	rhs := make([]float64, n)
+	var c vec.Counter
+	a.MulVec(rhs, xtrue, &c)
+	for i := range rhs {
+		rhs[i] += xtrue[i] * xtrue[i] * xtrue[i]
+	}
+	return &nonlinear.Problem{
+		A: a,
+		Phi: nonlinear.Diagonal{
+			Phi:  func(_ int, v float64) float64 { return v * v * v },
+			DPhi: func(_ int, v float64) float64 { return 3 * v * v },
+		},
+		B: rhs,
+	}
+}
+
+// BenchmarkNewtonRefactor runs a full multi-step Newton-multisplitting solve
+// with persistent solver sessions (sub-benchmark "refactor") against the
+// per-step factorization baseline ("factor-each-step"), reporting the
+// deterministic total factorization flops per solve as factor-flops.
+func BenchmarkNewtonRefactor(b *testing.B) {
+	p := newtonProblem(2000)
+	solver := &splu.SparseLU{PivotTol: 0.1}
+	for _, tc := range []struct {
+		name       string
+		noRefactor bool
+	}{
+		{"refactor", false},
+		{"factor-each-step", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var flops float64
+			var c vec.Counter
+			for i := 0; i < b.N; i++ {
+				res, err := nonlinear.SolveSequential(p, solver, nonlinear.Options{
+					NewtonTol:  1e-12,
+					Bands:      4,
+					NoRefactor: tc.noRefactor,
+				}, &c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				flops = res.FactorFlops
+			}
+			b.ReportMetric(flops, "factor-flops")
+		})
+	}
+}
+
+// BenchmarkSessionIterate measures the steady state of a persistent
+// sequential session: values refreshed through the frozen maps, numeric
+// refactorization, and the full fixed-point iteration sweep. The headline
+// number is allocs/op, which must be 0.
+func BenchmarkSessionIterate(b *testing.B) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 2000, Band: 12, PerRow: 5, Margin: 0.1, Negative: true, Seed: 22})
+	rhs, _ := gen.RHSForSolution(a)
+	d, err := core.NewDecomposition(a.Rows, 4, 8, core.WeightOwner)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := core.NewSeqSession(a, d, &splu.SparseLU{PivotTol: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var c vec.Counter
+	if _, err := sess.Resolve(nil, rhs, 1e-10, 100000, &c); err != nil {
+		b.Fatal(err)
+	}
+	v := make([]float64, a.NNZ())
+	copy(v, a.Val)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Resolve(v, rhs, 1e-10, 100000, &c); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

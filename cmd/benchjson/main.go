@@ -1,0 +1,159 @@
+// Command benchjson runs `go test -bench` over a benchmark selection and
+// rewrites the textual output as a JSON report: one record per benchmark with
+// ns/op, B/op, allocs/op and any custom metrics (e.g. factor-flops) keyed by
+// unit. It exists so CI can archive machine-readable benchmark baselines
+// (make bench-json → BENCH_refactor.json) without depending on external
+// benchmark-parsing tooling.
+//
+// Usage:
+//
+//	benchjson [-bench regexp] [-benchtime 1x] [-pkg ./...] [-o out.json]
+//
+// With -o "" the report goes to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result line in JSON form.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	BytesOp    *float64           `json:"bytes_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Package    string   `json:"package,omitempty"`
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark selection regexp (go test -bench)")
+	benchtime := flag.String("benchtime", "", "benchmark duration or iteration count (go test -benchtime)")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("o", "", "output file (empty = stdout)")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n%s", strings.Join(args, " "), err, raw)
+		os.Exit(1)
+	}
+
+	rep, err := Parse(string(raw))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), *out)
+}
+
+// Parse converts `go test -bench` textual output into a Report. Lines it
+// does not recognize are ignored; a benchmark line has the shape
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   1 allocs/op   42 extra-unit
+//
+// where every trailing "<value> <unit>" pair past the iteration count is a
+// metric keyed by its unit.
+func Parse(text string) (*Report, error) {
+	rep := &Report{}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "Benchmark... --- SKIP" line
+		}
+		r := Record{Name: trimProcSuffix(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesOp = &v
+			case "allocs/op":
+				r.AllocsOp = &v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return rep, nil
+}
+
+// trimProcSuffix drops the trailing -<GOMAXPROCS> go test appends to the
+// benchmark name.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkNewtonRefactor/refactor-8         	       3	  12871904 ns/op	    486530 factor-flops	 3167304 B/op	     578 allocs/op
+BenchmarkNewtonRefactor/factor-each-step-8 	       2	  21565314 ns/op	   1354580 factor-flops	16126152 B/op	    3350 allocs/op
+BenchmarkSessionIterate-8                  	     100	   2096852 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	0.053s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Package != "repro" || rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks", len(rep.Benchmarks))
+	}
+	r := rep.Benchmarks[0]
+	if r.Name != "BenchmarkNewtonRefactor/refactor" {
+		t.Fatalf("name %q", r.Name)
+	}
+	if r.Iterations != 3 || r.NsPerOp != 12871904 {
+		t.Fatalf("record: %+v", r)
+	}
+	if r.Metrics["factor-flops"] != 486530 {
+		t.Fatalf("metrics: %+v", r.Metrics)
+	}
+	if r.AllocsOp == nil || *r.AllocsOp != 578 {
+		t.Fatalf("allocs: %+v", r.AllocsOp)
+	}
+	last := rep.Benchmarks[2]
+	if last.Name != "BenchmarkSessionIterate" || *last.AllocsOp != 0 {
+		t.Fatalf("last: %+v", last)
+	}
+	if last.Metrics != nil {
+		t.Fatalf("unexpected metrics: %+v", last.Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse("PASS\nok repro 0.1s\n"); err == nil {
+		t.Fatal("expected error on output with no benchmarks")
+	}
+}

@@ -95,7 +95,9 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 	st.sub = a.Submatrix(band.Lo, band.Hi, band.Lo, band.Hi)
 	left := a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
 	right := a.ColumnsUsed(band.Lo, band.Hi, band.Hi, d.N)
-	st.depCols = append(append([]int{}, left...), right...)
+	st.depCols = make([]int, 0, len(left)+len(right))
+	st.depCols = append(st.depCols, left...)
+	st.depCols = append(st.depCols, right...)
 	st.depMat = a.SelectColumns(band.Lo, band.Hi, st.depCols)
 	st.bSub = vec.Clone(bGlob[band.Lo:band.Hi])
 
@@ -110,6 +112,9 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 	// The factorization's cost depends on the fill it discovers, so it is a
 	// deferred segment: it runs on the worker pool (overlapping the other
 	// ranks' factorizations) and its counted flops are charged on completion.
+	// Reading fact/factErr right after the call is safe: ComputeDeferred's
+	// commit guarantee (see vgrid) is that fn has completed and its writes
+	// are visible before the call returns, for any worker count.
 	var fact splu.Factorization
 	var factErr error
 	c.ComputeDeferred(func() float64 {
@@ -155,7 +160,12 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 		mLeft := a.ColumnsUsed(mb.Lo, mb.Hi, 0, mb.Lo)
 		mRight := a.ColumnsUsed(mb.Lo, mb.Hi, mb.Hi, d.N)
 		var loc []int
-		for _, j := range append(append([]int{}, mLeft...), mRight...) {
+		for _, j := range mLeft {
+			if band.Contains(j) && d.Weight(rank, j) > 0 {
+				loc = append(loc, j-band.Lo)
+			}
+		}
+		for _, j := range mRight {
 			if band.Contains(j) && d.Weight(rank, j) > 0 {
 				loc = append(loc, j-band.Lo)
 			}
@@ -273,8 +283,18 @@ func msRank(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o Opti
 	if err != nil {
 		return err
 	}
+	return msRankRun(st, pend, factTime)
+}
+
+// msRankRun drives an initialized rank state through the engine loop and the
+// final gather. It is shared by the one-shot driver (msRank) and the
+// persistent Session, which rebuilds only the numeric state between calls.
+func msRankRun(st *rankState, pend *Pending, factTime float64) error {
+	c, o := st.c, st.o
+	d := st.d
 
 	var det detect.Detector
+	var err error
 	if o.Async {
 		det, err = detect.New(o.Detector, c)
 		if err != nil {
@@ -336,6 +356,6 @@ func msRank(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o Opti
 		pend.res.X = x
 	}
 
-	pend.finishRank(c, ctx, st.iter, factTime, converged)
+	pend.finishRank(c, st.ctx, st.iter, factTime, converged)
 	return nil
 }

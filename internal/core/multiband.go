@@ -27,6 +27,9 @@ type mseg struct {
 	pos      []int
 	weights  []float64
 	lastRecv []float64
+	// scratch receives the gathered values of an intra-rank apply, sized to
+	// pos once at plan time so the iteration hot path allocates nothing.
+	scratch []float64
 }
 
 // mBandState is one owned band's full solver state.
@@ -92,7 +95,9 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 			}
 			left := a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
 			right := a.ColumnsUsed(band.Lo, band.Hi, band.Hi, d.N)
-			depCols := append(append([]int{}, left...), right...)
+			depCols := make([]int, 0, len(left)+len(right))
+			depCols = append(depCols, left...)
+			depCols = append(depCols, right...)
 			st := &mBandState{
 				idx:     k,
 				band:    band,
@@ -126,6 +131,7 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 			for _, kb := range froms {
 				sg := byFrom[kb]
 				sg.lastRecv = make([]float64, len(sg.pos))
+				sg.scratch = make([]float64, len(sg.pos))
 				st.inSegs = append(st.inSegs, *sg)
 			}
 			owned = append(owned, st)
@@ -159,7 +165,12 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 			bLeft := a.ColumnsUsed(bb.Lo, bb.Hi, 0, bb.Lo)
 			bRight := a.ColumnsUsed(bb.Lo, bb.Hi, bb.Hi, d.N)
 			var loc []int
-			for _, j := range append(append([]int{}, bLeft...), bRight...) {
+			for _, j := range bLeft {
+				if st.band.Contains(j) && d.Weight(st.idx, j) > 0 {
+					loc = append(loc, j-st.band.Lo)
+				}
+			}
+			for _, j := range bRight {
 				if st.band.Contains(j) && d.Weight(st.idx, j) > 0 {
 					loc = append(loc, j-st.band.Lo)
 				}
@@ -231,7 +242,15 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 	aborted := false
 	stableRuns := 0
 	stableStart := 0
-	sendBuf := make([]float64, 0, 64)
+	// One send buffer sized to the largest outgoing segment, reused for every
+	// ship (engine.go's rankState.sendBuf, mirrored here).
+	maxOut := 0
+	for _, og := range outs {
+		if len(og.loc) > maxOut {
+			maxOut = len(og.loc)
+		}
+	}
+	sendBuf := make([]float64, 0, maxOut+msgHdr)
 
 	// The per-iteration solve sweep over the owned bands is a pure compute
 	// segment with an analytically known cost, declared up front so the
@@ -285,18 +304,19 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 				return err
 			}
 		}
-		// Apply intra-rank segments directly.
+		// Apply intra-rank segments directly, gathering into the segment's
+		// preallocated scratch (this runs every iteration: no garbage here).
 		for _, st := range owned {
 			for si := range st.inSegs {
-				src := stByIdx[st.inSegs[si].fromBand]
+				sg := &st.inSegs[si]
+				src := stByIdx[sg.fromBand]
 				if src == nil {
 					continue // remote
 				}
-				vals := make([]float64, len(st.inSegs[si].pos))
-				for i, pos := range st.inSegs[si].pos {
-					vals[i] = src.xSub[st.depCols[pos]-src.band.Lo]
+				for i, pos := range sg.pos {
+					sg.scratch[i] = src.xSub[st.depCols[pos]-src.band.Lo]
 				}
-				applySeg(st, si, vals)
+				applySeg(st, si, sg.scratch)
 			}
 		}
 

@@ -1,0 +1,458 @@
+// Persistent solver sessions: the paper's factor-once economy (Remark 4)
+// lifted to sequences of same-pattern systems. A Newton-multisplitting outer
+// loop solves a Jacobian system whose sparsity never changes; a session keeps
+// every band's symbolic state — submatrices, dependency-column selection,
+// communication plan, buffers and factorization — alive across solves and
+// refreshes only the numeric values, refactorizing through the frozen pattern
+// (splu.Refactorer) instead of factoring from scratch.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mp"
+	"repro/internal/simctx"
+	"repro/internal/sparse"
+	"repro/internal/splu"
+	"repro/internal/vec"
+	"repro/internal/vgrid"
+)
+
+// SeqSession is a persistent sequential multisplitting solver: build once,
+// then Resolve repeatedly against new values of the same-pattern matrix and
+// new right-hand sides. The first Resolve factors every band; later Resolves
+// refresh the extracted band values in place through frozen position maps and
+// refactorize (numeric-only) when the band factorization supports it.
+type SeqSession struct {
+	// NoRefactor forces a full factorization on every Resolve (the per-step
+	// Factor baseline, kept for ablation measurements).
+	NoRefactor bool
+
+	a       *sparse.CSR // pattern template; values refreshed by Resolve
+	d       *Decomposition
+	solver  splu.Direct
+	systems []*bandSystem
+	subMaps [][]int // per band: positions in a.Val feeding sub.Val
+	depMaps [][]int // per band: positions in a.Val feeding depMat.Val
+	subs    []*sparse.CSR
+	// Persistent iteration state, reused across Resolves so the steady-state
+	// iteration allocates nothing.
+	xb, newXb [][]float64
+	z         [][]float64
+	rhs       [][]float64
+	x         []float64 // assembled solution; owned by the session
+	res       SeqResult // returned by Resolve; owned by the session
+	factored  bool
+
+	// FactorFlops accumulates the flops spent factoring and refactorizing
+	// across all Resolves (the quantity the refactorization economy shrinks).
+	FactorFlops float64
+}
+
+// NewSeqSession prepares a sequential session for the pattern of a. The
+// values of a are the initial numeric state; Resolve(nil, …) uses them.
+func NewSeqSession(a *sparse.CSR, d *Decomposition, solver splu.Direct) (*SeqSession, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if a.Rows != a.Cols || a.Rows != d.N {
+		return nil, fmt.Errorf("core: session shape mismatch: A is %dx%d, n=%d", a.Rows, a.Cols, d.N)
+	}
+	if solver == nil {
+		solver = &splu.SparseLU{}
+	}
+	s := &SeqSession{a: a.Clone(), d: d, solver: solver}
+	s.systems = make([]*bandSystem, d.L())
+	s.subMaps = make([][]int, d.L())
+	s.depMaps = make([][]int, d.L())
+	s.subs = make([]*sparse.CSR, d.L())
+	s.xb = make([][]float64, d.L())
+	s.newXb = make([][]float64, d.L())
+	s.z = make([][]float64, d.L())
+	s.rhs = make([][]float64, d.L())
+	for l, band := range d.Bands {
+		sub := s.a.Submatrix(band.Lo, band.Hi, band.Lo, band.Hi)
+		left := s.a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
+		right := s.a.ColumnsUsed(band.Lo, band.Hi, band.Hi, d.N)
+		depCols := make([]int, 0, len(left)+len(right))
+		depCols = append(depCols, left...)
+		depCols = append(depCols, right...)
+		bs := &bandSystem{
+			band:    band,
+			depCols: depCols,
+			depMat:  s.a.SelectColumns(band.Lo, band.Hi, depCols),
+			bSub:    make([]float64, band.Size()),
+		}
+		bs.contributors = make([][]contrib, len(depCols))
+		for i, j := range depCols {
+			for _, k := range d.Contributors(j) {
+				bs.contributors[i] = append(bs.contributors[i], contrib{band: k, weight: d.Weight(k, j)})
+			}
+		}
+		s.systems[l] = bs
+		s.subs[l] = sub
+		s.subMaps[l] = s.a.SubmatrixMap(band.Lo, band.Hi, band.Lo, band.Hi)
+		s.depMaps[l] = s.a.SelectColumnsMap(band.Lo, band.Hi, depCols)
+		s.xb[l] = make([]float64, band.Size())
+		s.newXb[l] = make([]float64, band.Size())
+		s.z[l] = make([]float64, len(depCols))
+		s.rhs[l] = make([]float64, band.Size())
+	}
+	s.x = make([]float64, d.N)
+	return s, nil
+}
+
+// Resolve solves the system with the matrix values newVals (ordered like the
+// template's Val array; nil keeps the previous values) and right-hand side b.
+// The returned SeqResult.X aliases a session-owned buffer that the next
+// Resolve overwrites; callers that keep it across calls must copy it.
+func (s *SeqSession) Resolve(newVals, b []float64, tol float64, maxIter int, c *vec.Counter) (*SeqResult, error) {
+	d := s.d
+	if len(b) != d.N {
+		return nil, fmt.Errorf("core: session rhs length %d, want %d", len(b), d.N)
+	}
+	if newVals != nil {
+		if len(newVals) != s.a.NNZ() {
+			return nil, fmt.Errorf("core: session got %d values for a pattern with %d", len(newVals), s.a.NNZ())
+		}
+		copy(s.a.Val, newVals)
+	}
+
+	// Numeric phase: refresh the extracted blocks through the frozen maps,
+	// then refactor (or factor, first time / baseline / unsupported solver).
+	factStart := c.Flops()
+	for l, bs := range s.systems {
+		sub := s.subs[l]
+		if newVals != nil || !s.factored {
+			for k, p := range s.subMaps[l] {
+				sub.Val[k] = s.a.Val[p]
+			}
+			for k, p := range s.depMaps[l] {
+				bs.depMat.Val[k] = s.a.Val[p]
+			}
+		}
+		rf, canRefactor := bs.fact.(splu.Refactorer)
+		switch {
+		case s.factored && newVals == nil:
+			// Same values: the factors are already current.
+		case s.factored && canRefactor && !s.NoRefactor:
+			if err := rf.Refactor(sub, c); err != nil {
+				return nil, fmt.Errorf("core: band %d refactorization: %w", l, err)
+			}
+		default:
+			fact, err := s.solver.Factor(sub, c)
+			if err != nil {
+				return nil, fmt.Errorf("core: band %d factorization: %w", l, err)
+			}
+			bs.fact = fact
+		}
+		copy(bs.bSub, b[bs.band.Lo:bs.band.Hi])
+	}
+	s.factored = true
+	s.FactorFlops += c.Flops() - factStart
+
+	// Iteration phase: the same fixed-point sweep as SolveSequential, but on
+	// persistent buffers — the steady-state loop performs no allocation.
+	for l := range s.xb {
+		vec.Zero(s.xb[l])
+	}
+	diff := 0.0
+	for iter := 1; iter <= maxIter; iter++ {
+		diff = 0
+		for l, bs := range s.systems {
+			rhs := s.rhs[l]
+			copy(rhs, bs.bSub)
+			if len(bs.depCols) > 0 {
+				z := s.z[l]
+				for i := range bs.depCols {
+					z[i] = 0
+					for _, ct := range bs.contributors[i] {
+						kb := s.systems[ct.band].band
+						z[i] += ct.weight * s.xb[ct.band][bs.depCols[i]-kb.Lo]
+					}
+				}
+				bs.depMat.MulVecSub(rhs, z, c)
+			}
+			bs.fact.Solve(s.newXb[l], rhs, c)
+			if !vec.AllFinite(s.newXb[l]) {
+				return nil, fmt.Errorf("%w: band %d at iteration %d", ErrDiverged, l, iter)
+			}
+			if dl := vec.DiffNormInf(s.newXb[l], s.xb[l], c); dl > diff {
+				diff = dl
+			}
+		}
+		for l := range s.xb {
+			s.xb[l], s.newXb[l] = s.newXb[l], s.xb[l]
+		}
+		if diff <= tol {
+			s.res = SeqResult{X: s.assembleInto(), Iterations: iter, Diff: diff}
+			return &s.res, nil
+		}
+	}
+	s.res = SeqResult{X: s.assembleInto(), Iterations: maxIter, Diff: diff}
+	return &s.res, ErrNoConvergence
+}
+
+// assembleInto combines the band iterates into the session's solution buffer.
+func (s *SeqSession) assembleInto() []float64 {
+	vec.Zero(s.x)
+	for k, bs := range s.systems {
+		for j := bs.band.Lo; j < bs.band.Hi; j++ {
+			if w := s.d.Weight(k, j); w > 0 {
+				s.x[j] += w * s.xb[k][j-bs.band.Lo]
+			}
+		}
+	}
+	return s.x
+}
+
+// Fallbacks sums the pivot-degradation fallbacks across the session's bands.
+func (s *SeqSession) Fallbacks() int {
+	n := 0
+	for _, bs := range s.systems {
+		if rf, ok := bs.fact.(splu.Refactorer); ok {
+			n += rf.Fallbacks()
+		}
+	}
+	return n
+}
+
+// Session is the distributed counterpart of SeqSession: a persistent
+// multisplitting solver over the simulated grid. Engines cannot be re-run, so
+// every Resolve builds a fresh platform and engine from the supplied factory;
+// what persists is each rank's solver state — submatrices, dependency-column
+// selection, communication plan, buffers and factorization. Later Resolves
+// refresh the numeric values through frozen position maps and refactorize as
+// a declared compute segment: the refactor cost is known exactly after the
+// symbolic phase (splu.Refactorer.RefactorFlops), so it schedules like any
+// other declared segment and overlaps across ranks on the worker pool,
+// instead of the measured lower-bound scheduling a deferred factorization
+// needs.
+type Session struct {
+	// Workers sets the engine worker-thread count for every Resolve
+	// (0 = serial). The virtual result is identical for every setting.
+	Workers int
+	// NoRefactor forces a full factorization on every Resolve (per-step
+	// Factor baseline, for ablation).
+	NoRefactor bool
+	// EngineTrace, when set, receives every scheduler event line of every
+	// Resolve's engine (the determinism witness: the stream must be
+	// byte-identical for any Workers setting).
+	EngineTrace func(line string)
+	// FactorFlops accumulates factorization + refactorization flops across
+	// all Resolves and ranks.
+	FactorFlops float64
+
+	newPlatform func() (*vgrid.Platform, []*vgrid.Host)
+	a           *sparse.CSR
+	o           Options
+	d           *Decomposition
+	ranks       []*sessionRank
+}
+
+// sessionRank is the state of one rank that survives across Resolves,
+// together with the frozen maps refreshing its extracted values.
+type sessionRank struct {
+	st     *rankState
+	subMap []int
+	depMap []int
+}
+
+// NewSession prepares a persistent distributed session for the pattern of a.
+// The decomposition is fixed by the first Resolve's host count; options that
+// reshape the decomposition per solve (Balance) or rewrite the matrix
+// (Equilibrate) or multiplex bands (BandsPerProc > 1) are rejected.
+func NewSession(newPlatform func() (*vgrid.Platform, []*vgrid.Host), a *sparse.CSR, opt Options) (*Session, error) {
+	o := opt.withDefaults()
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("core: session needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if o.BandsPerProc > 1 {
+		return nil, errors.New("core: sessions do not support BandsPerProc > 1")
+	}
+	if o.Balance {
+		return nil, errors.New("core: sessions do not support Balance")
+	}
+	if o.Equilibrate {
+		return nil, errors.New("core: sessions do not support Equilibrate")
+	}
+	if newPlatform == nil {
+		return nil, errors.New("core: session needs a platform factory")
+	}
+	return &Session{newPlatform: newPlatform, a: a.Clone(), o: o}, nil
+}
+
+// Resolve solves the system with matrix values newVals (ordered like the
+// template's Val array; nil keeps the previous values) and right-hand side b
+// on a fresh engine, reusing every rank's persistent state.
+func (s *Session) Resolve(newVals, b []float64) (*Result, error) {
+	if len(b) != s.a.Rows {
+		return nil, fmt.Errorf("core: session rhs length %d, want %d", len(b), s.a.Rows)
+	}
+	if newVals != nil {
+		if len(newVals) != s.a.NNZ() {
+			return nil, fmt.Errorf("core: session got %d values for a pattern with %d", len(newVals), s.a.NNZ())
+		}
+		copy(s.a.Val, newVals)
+	}
+	pl, hosts := s.newPlatform()
+	if s.d == nil {
+		if len(hosts) == 0 {
+			return nil, errors.New("core: no hosts")
+		}
+		if s.o.SolverPerRank != nil && len(s.o.SolverPerRank) != len(hosts) {
+			return nil, fmt.Errorf("core: SolverPerRank has %d entries for %d hosts", len(s.o.SolverPerRank), len(hosts))
+		}
+		d, err := NewDecomposition(s.a.Rows, len(hosts), s.o.Overlap, s.o.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		s.d = d
+		s.ranks = make([]*sessionRank, len(hosts))
+	} else if len(hosts) != len(s.ranks) {
+		return nil, fmt.Errorf("core: session built for %d hosts, factory produced %d", len(s.ranks), len(hosts))
+	}
+
+	e := vgrid.NewEngine(pl)
+	if s.Workers > 0 {
+		e.SetWorkers(s.Workers)
+	}
+	if s.EngineTrace != nil {
+		e.Trace = s.EngineTrace
+	}
+	pend := &Pending{}
+	pend.res.IterationsPerRank = make([]int, len(hosts))
+	refresh := newVals != nil
+	mp.Launch(e, hosts, "ms", func(c *mp.Comm) error {
+		return s.rankBody(c, b, refresh, pend)
+	})
+	end, err := e.Run()
+	pend.res.Time = end
+	pend.done = true
+	res := pend.Result()
+	if err != nil {
+		return res, err
+	}
+	if !res.Converged {
+		return res, ErrNoConvergence
+	}
+	return res, nil
+}
+
+// rankBody is the per-Resolve process body: first call builds the rank state
+// (full factorization), later calls rebind the fresh comm/ctx, refresh the
+// numeric values and refactorize. Rank bodies are serialized by the engine,
+// so the writes into s.ranks and s.FactorFlops need no synchronization.
+func (s *Session) rankBody(c *mp.Comm, bGlob []float64, refresh bool, pend *Pending) error {
+	c.Tree = s.o.TreeCollectives
+	ctx := simctx.New()
+	ctx.Trace = s.o.Trace
+	if s.o.TrackMemory {
+		ctx.Mem = c.Proc()
+	}
+	c.AttachCtx(ctx)
+
+	rank := c.Rank()
+	sr := s.ranks[rank]
+	var factTime float64
+	factFlops := ctx.Counter.Flops()
+	if sr == nil {
+		st, ft, err := newRankState(c, ctx, s.a, bGlob, s.d, s.o)
+		if err != nil {
+			return err
+		}
+		band := st.band
+		sr = &sessionRank{
+			st:     st,
+			subMap: s.a.SubmatrixMap(band.Lo, band.Hi, band.Lo, band.Hi),
+			depMap: s.a.SelectColumnsMap(band.Lo, band.Hi, st.depCols),
+		}
+		s.ranks[rank] = sr
+		factTime = ft
+	} else {
+		ft, err := s.refreshRank(sr, c, ctx, bGlob, refresh)
+		if err != nil {
+			return err
+		}
+		factTime = ft
+	}
+	s.FactorFlops += ctx.Counter.Flops() - factFlops
+	return msRankRun(sr.st, pend, factTime)
+}
+
+// refreshRank rebinds a persistent rank to a fresh engine run, refreshes its
+// numeric values through the frozen maps and refactorizes.
+func (s *Session) refreshRank(sr *sessionRank, c *mp.Comm, ctx *simctx.Ctx, bGlob []float64, refresh bool) (float64, error) {
+	st := sr.st
+	st.c, st.ctx = c, ctx
+	band := st.band
+
+	// Reset the iteration state: a Resolve is a new solve from a zero guess,
+	// identical to what a fresh rank would run.
+	vec.Zero(st.xSub)
+	vec.Zero(st.xPrev)
+	vec.Zero(st.z)
+	for i := range st.lastRecv {
+		vec.Zero(st.lastRecv[i])
+		st.verIncorporated[i] = 0
+		st.echoFrom[i] = 0
+		st.freshSeen[i] = false
+		st.staleCount[i] = 0
+	}
+	st.iter, st.diff, st.stableRuns, st.stableStart = 0, 0, 0, 0
+	copy(st.bSub, bGlob[band.Lo:band.Hi])
+
+	// The simulated process is new even though the factors persist in the
+	// driver: account its working set against the fresh host.
+	if err := ctx.Alloc(csrBytes(st.sub) + csrBytes(st.depMat) + 8*int64(band.Size()) + st.fact.Bytes()); err != nil {
+		return 0, err
+	}
+
+	factStart := c.Now()
+	if refresh {
+		for k, p := range sr.subMap {
+			st.sub.Val[k] = s.a.Val[p]
+		}
+		for k, p := range sr.depMap {
+			st.depMat.Val[k] = s.a.Val[p]
+		}
+		rf, canRefactor := st.fact.(splu.Refactorer)
+		if canRefactor && !s.NoRefactor {
+			// The refactor cost is frozen by the symbolic phase, so this is a
+			// declared segment; Charge reconciles the rare pivot-degradation
+			// fallback, which costs a full factorization instead.
+			var refErr error
+			c.ComputeSeg(rf.RefactorFlops(), func() {
+				refErr = rf.Refactor(st.sub, ctx.Cnt())
+			})
+			c.Charge()
+			if refErr != nil {
+				return 0, fmt.Errorf("rank %d: refactorization: %w", st.rank, refErr)
+			}
+		} else {
+			solver := s.o.Solver
+			if s.o.SolverPerRank != nil && s.o.SolverPerRank[st.rank] != nil {
+				solver = s.o.SolverPerRank[st.rank]
+			}
+			var fact splu.Factorization
+			var factErr error
+			c.ComputeDeferred(func() float64 {
+				fact, factErr = solver.Factor(st.sub, ctx.Cnt())
+				return ctx.Counter.Flops() - ctx.Charged
+			})
+			if factErr != nil {
+				return 0, fmt.Errorf("rank %d: %w", st.rank, factErr)
+			}
+			st.fact = fact
+		}
+		// A fallback or re-factor may change the fill, so the per-iteration
+		// declared cost is recomputed.
+		st.stepFlops = 2*float64(st.depMat.NNZ()) + st.fact.SolveFlops() + 2*float64(band.Size())
+	}
+	return c.Now() - factStart, nil
+}

@@ -28,6 +28,33 @@ func FactorCholesky(a *Matrix, c *vec.Counter) (*Cholesky, error) {
 	}
 	n := a.Rows
 	l := NewMatrix(n, n)
+	flops, err := factorCholeskyInto(l, a)
+	if err != nil {
+		return nil, err
+	}
+	c.Add(flops)
+	return &Cholesky{N: n, L: l, Flops: flops}, nil
+}
+
+// Refactor recomputes L from the values of a, overwriting the existing factor
+// in place with no allocation. On error the factor is invalid.
+func (f *Cholesky) Refactor(a *Matrix, c *vec.Counter) error {
+	if a.Rows != f.N || a.Cols != f.N {
+		return errors.New("dense: Cholesky Refactor shape mismatch")
+	}
+	flops, err := factorCholeskyInto(f.L, a)
+	if err != nil {
+		return err
+	}
+	f.Flops = flops
+	c.Add(flops)
+	return nil
+}
+
+// factorCholeskyInto writes the Cholesky factor of a into l's lower triangle.
+// Every lower-triangle entry is overwritten, so l may hold stale factors.
+func factorCholeskyInto(l, a *Matrix) (float64, error) {
+	n := a.Rows
 	flops := 0.0
 	for j := 0; j < n; j++ {
 		s := a.At(j, j)
@@ -37,7 +64,7 @@ func FactorCholesky(a *Matrix, c *vec.Counter) (*Cholesky, error) {
 		}
 		flops += 2 * float64(j)
 		if s <= 0 {
-			return nil, ErrNotSPD
+			return 0, ErrNotSPD
 		}
 		d := math.Sqrt(s)
 		l.Set(j, j, d)
@@ -51,8 +78,7 @@ func FactorCholesky(a *Matrix, c *vec.Counter) (*Cholesky, error) {
 			flops += 2*float64(j) + 1
 		}
 	}
-	c.Add(flops)
-	return &Cholesky{N: n, L: l, Flops: flops}, nil
+	return flops, nil
 }
 
 // Solve computes x with A·x = b.

@@ -99,6 +99,36 @@ func FactorLU(a *Matrix, c *vec.Counter) (*LU, error) {
 	n := a.Rows
 	lu := a.Clone()
 	piv := make([]int, n)
+	flops, err := factorLUInPlace(lu, piv)
+	if err != nil {
+		return nil, err
+	}
+	c.Add(flops)
+	return &LU{N: n, LU: lu, Piv: piv, Flops: flops}, nil
+}
+
+// Refactor recomputes the factorization from the values of a, overwriting the
+// existing factors in place with no allocation. Pivoting is redone from
+// scratch, so the result is bit-identical to a fresh FactorLU(a). On error
+// the factors are invalid and must not be used for solves.
+func (f *LU) Refactor(a *Matrix, c *vec.Counter) error {
+	if a.Rows != f.N || a.Cols != f.N {
+		return fmt.Errorf("dense: Refactor needs %dx%d matrix, got %dx%d", f.N, f.N, a.Rows, a.Cols)
+	}
+	copy(f.LU.Data, a.Data)
+	flops, err := factorLUInPlace(f.LU, f.Piv)
+	if err != nil {
+		return err
+	}
+	f.Flops = flops
+	c.Add(flops)
+	return nil
+}
+
+// factorLUInPlace eliminates lu in place with partial pivoting, filling piv
+// with the source row of each pivotal row. Shared by FactorLU and LU.Refactor.
+func factorLUInPlace(lu *Matrix, piv []int) (float64, error) {
+	n := lu.Rows
 	for i := range piv {
 		piv[i] = i
 	}
@@ -113,7 +143,7 @@ func FactorLU(a *Matrix, c *vec.Counter) (*LU, error) {
 			}
 		}
 		if best == 0 {
-			return nil, ErrSingular
+			return 0, ErrSingular
 		}
 		if p != k {
 			rk, rp := lu.Row(k), lu.Row(p)
@@ -137,8 +167,7 @@ func FactorLU(a *Matrix, c *vec.Counter) (*LU, error) {
 		}
 		flops += float64(n - k - 1)
 	}
-	c.Add(flops)
-	return &LU{N: n, LU: lu, Piv: piv, Flops: flops}, nil
+	return flops, nil
 }
 
 // Solve computes x with A·x = b. b is not modified.
@@ -229,8 +258,43 @@ type BandLU struct {
 // FactorBand factors the band matrix in place (gbtrf-style) and returns the
 // factorization. The receiver is consumed: do not reuse b afterwards.
 func FactorBand(b *Band, c *vec.Counter) (*BandLU, error) {
+	piv := make([]int, b.N)
+	flops, err := factorBandInPlace(b, piv)
+	if err != nil {
+		return nil, err
+	}
+	c.Add(flops)
+	return &BandLU{b: b, piv: piv, Flops: flops}, nil
+}
+
+// Band returns the underlying band storage. Refactor callers zero it, refill
+// it with new values (same pattern) and then call Refactor.
+func (f *BandLU) Band() *Band { return f.b }
+
+// Zero clears the band storage, including the pivot-fill rows.
+func (b *Band) Zero() {
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+}
+
+// Refactor re-runs the banded elimination on the values currently stored in
+// f.Band() — the caller refills them first — reusing the pivot array and
+// allocating nothing. On error the factors are invalid.
+func (f *BandLU) Refactor(c *vec.Counter) error {
+	flops, err := factorBandInPlace(f.b, f.piv)
+	if err != nil {
+		return err
+	}
+	f.Flops = flops
+	c.Add(flops)
+	return nil
+}
+
+// factorBandInPlace is the gbtrf-style elimination shared by FactorBand and
+// BandLU.Refactor.
+func factorBandInPlace(b *Band, piv []int) (float64, error) {
 	n, kl, ku := b.N, b.KL, b.KU
-	piv := make([]int, n)
 	flops := 0.0
 	// Effective upper bandwidth after pivoting grows to kl+ku.
 	kv := kl + ku
@@ -248,7 +312,7 @@ func FactorBand(b *Band, c *vec.Counter) (*BandLU, error) {
 			}
 		}
 		if best == 0 {
-			return nil, ErrSingular
+			return 0, ErrSingular
 		}
 		piv[k] = p
 		jMax := k + kv
@@ -276,8 +340,7 @@ func FactorBand(b *Band, c *vec.Counter) (*BandLU, error) {
 			flops += 2 * float64(jMax-k)
 		}
 	}
-	c.Add(flops)
-	return &BandLU{b: b, piv: piv, Flops: flops}, nil
+	return flops, nil
 }
 
 // at2/set2 access the factored layout where the upper bandwidth is kv=kl+ku.

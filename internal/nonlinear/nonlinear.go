@@ -87,6 +87,68 @@ func (p *Problem) Jacobian(x []float64, c *vec.Counter) *sparse.CSR {
 	return j
 }
 
+// jacTemplate is the persistent Jacobian A + diag(φ'(x)): its pattern — A's
+// pattern with the diagonal made structurally complete (explicit zeros where
+// A lacks a diagonal entry) — is identical for every Newton step, so it is
+// built once and only the values are rewritten per step. The fixed pattern is
+// what lets the inner solver sessions refactorize instead of factoring.
+type jacTemplate struct {
+	j       *sparse.CSR
+	aPos    []int // source position in A.Val per entry of j, or -1 (added diagonal)
+	diagPos []int // position in j.Val of each diagonal entry
+}
+
+func newJacTemplate(a *sparse.CSR) *jacTemplate {
+	n := a.Rows
+	co := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		hasDiag := false
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.ColInd[p] == i {
+				hasDiag = true
+			}
+			co.Append(i, a.ColInd[p], a.Val[p])
+		}
+		if !hasDiag {
+			co.Append(i, i, 0)
+		}
+	}
+	t := &jacTemplate{j: co.ToCSR()}
+	t.aPos = make([]int, t.j.NNZ())
+	t.diagPos = make([]int, n)
+	for i := 0; i < n; i++ {
+		ap := a.RowPtr[i]
+		for p := t.j.RowPtr[i]; p < t.j.RowPtr[i+1]; p++ {
+			jc := t.j.ColInd[p]
+			if jc == i {
+				t.diagPos[i] = p
+			}
+			if ap < a.RowPtr[i+1] && a.ColInd[ap] == jc {
+				t.aPos[p] = ap
+				ap++
+			} else {
+				t.aPos[p] = -1
+			}
+		}
+	}
+	return t
+}
+
+// update rewrites the template values to A + diag(φ'(x)) in place.
+func (t *jacTemplate) update(p *Problem, x []float64, c *vec.Counter) {
+	for q, ap := range t.aPos {
+		if ap >= 0 {
+			t.j.Val[q] = p.A.Val[ap]
+		} else {
+			t.j.Val[q] = 0
+		}
+	}
+	for i, q := range t.diagPos {
+		t.j.Val[q] += p.Phi.DPhi(i, x[i])
+	}
+	c.Add(float64(t.j.Rows))
+}
+
 // Options configures the Newton-multisplitting solver.
 type Options struct {
 	// Inner configures every inner multisplitting solve.
@@ -98,6 +160,10 @@ type Options struct {
 	// Bands is the decomposition width for the sequential driver
 	// (default 4).
 	Bands int
+	// NoRefactor disables the numeric refactorization of the inner solver
+	// sessions, re-factoring every band from scratch on every Newton step
+	// (the pre-session baseline, kept for ablation measurements).
+	NoRefactor bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -127,9 +193,16 @@ type Result struct {
 	// Time accumulates the virtual time of the distributed inner solves
 	// (zero for the sequential driver).
 	Time float64
+	// FactorFlops is the total factorization + refactorization work of the
+	// inner solves (the cost the persistent sessions amortize: one full
+	// factorization per band, then cheap numeric refactors).
+	FactorFlops float64
 }
 
 // SolveSequential runs Newton with sequential multisplitting inner solves.
+// The inner solver is a persistent core.SeqSession: the Jacobian's pattern
+// never changes across Newton steps, so the bands are factored once on the
+// first step and numerically refactorized afterwards.
 func SolveSequential(p *Problem, solver splu.Direct, opt Options, c *vec.Counter) (*Result, error) {
 	o := opt.withDefaults()
 	n := p.A.Rows
@@ -139,9 +212,28 @@ func SolveSequential(p *Problem, solver splu.Direct, opt Options, c *vec.Counter
 	if solver == nil {
 		solver = &splu.SparseLU{}
 	}
+	d, err := core.NewDecomposition(n, min(o.Bands, n), o.Inner.Overlap, o.Inner.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	tpl := newJacTemplate(p.A)
+	sess, err := core.NewSeqSession(tpl.j, d, solver)
+	if err != nil {
+		return nil, err
+	}
+	sess.NoRefactor = o.NoRefactor
+	innerTol := o.Inner.Tol
+	if innerTol == 0 {
+		innerTol = 1e-10
+	}
+	maxIter := o.Inner.MaxIter
+	if maxIter == 0 {
+		maxIter = 100000
+	}
 	x := make([]float64, n)
 	r := make([]float64, n)
 	res := &Result{}
+	defer func() { res.FactorFlops = sess.FactorFlops }()
 	for k := 1; k <= o.MaxNewton; k++ {
 		res.NewtonIterations = k
 		res.Residual = p.Residual(r, x, c)
@@ -149,20 +241,8 @@ func SolveSequential(p *Problem, solver splu.Direct, opt Options, c *vec.Counter
 			res.X = x
 			return res, nil
 		}
-		j := p.Jacobian(x, c)
-		d, err := core.NewDecomposition(n, min(o.Bands, n), o.Inner.Overlap, o.Inner.Scheme)
-		if err != nil {
-			return nil, err
-		}
-		innerTol := o.Inner.Tol
-		if innerTol == 0 {
-			innerTol = 1e-10
-		}
-		maxIter := o.Inner.MaxIter
-		if maxIter == 0 {
-			maxIter = 100000
-		}
-		sr, err := core.SolveSequential(j, r, d, solver, innerTol, maxIter, c)
+		tpl.update(p, x, c)
+		sr, err := sess.Resolve(tpl.j.Val, r, innerTol, maxIter, c)
 		if err != nil {
 			return nil, fmt.Errorf("nonlinear: Newton step %d: %w", k, err)
 		}
@@ -182,7 +262,12 @@ func SolveSequential(p *Problem, solver splu.Direct, opt Options, c *vec.Counter
 
 // SolveDistributed runs Newton with distributed multisplitting inner solves
 // on the given platform builder. Each outer step solves its Jacobian system
-// on a fresh engine (platforms are stateful); the virtual times accumulate.
+// on a fresh engine (platforms are stateful), but the solver state — band
+// submatrices, communication plans, factorizations — persists in a
+// core.Session: after the first step every band refactorizes through its
+// frozen pattern instead of factoring from scratch, and the per-step
+// factorization time in virtual seconds collapses accordingly. The virtual
+// times accumulate.
 func SolveDistributed(newPlatform func() (*vgrid.Platform, []*vgrid.Host), p *Problem, opt Options) (*Result, error) {
 	o := opt.withDefaults()
 	n := p.A.Rows
@@ -190,9 +275,16 @@ func SolveDistributed(newPlatform func() (*vgrid.Platform, []*vgrid.Host), p *Pr
 		return nil, fmt.Errorf("nonlinear: shape mismatch")
 	}
 	var c vec.Counter
+	tpl := newJacTemplate(p.A)
+	sess, err := core.NewSession(newPlatform, tpl.j, o.Inner)
+	if err != nil {
+		return nil, err
+	}
+	sess.NoRefactor = o.NoRefactor
 	x := make([]float64, n)
 	r := make([]float64, n)
 	res := &Result{}
+	defer func() { res.FactorFlops = sess.FactorFlops }()
 	for k := 1; k <= o.MaxNewton; k++ {
 		res.NewtonIterations = k
 		res.Residual = p.Residual(r, x, &c)
@@ -200,9 +292,8 @@ func SolveDistributed(newPlatform func() (*vgrid.Platform, []*vgrid.Host), p *Pr
 			res.X = x
 			return res, nil
 		}
-		j := p.Jacobian(x, &c)
-		pl, hosts := newPlatform()
-		inner, err := core.Solve(pl, hosts, j, r, o.Inner)
+		tpl.update(p, x, &c)
+		inner, err := sess.Resolve(tpl.j.Val, r)
 		if err != nil {
 			return nil, fmt.Errorf("nonlinear: Newton step %d: %w", k, err)
 		}

@@ -211,3 +211,117 @@ func sparseNoDiag() *sparse.CSR {
 	co.Append(1, 1, 4)
 	return co.ToCSR()
 }
+
+// sparseCubicProblem is cubicProblem on a narrow-band sparse matrix — the
+// regime (little fill, symbolic work a large share of factorization) where
+// refactorization pays the most.
+func sparseCubicProblem(n int, seed int64) (*Problem, []float64) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: n, Band: 8, PerRow: 3, Margin: 0.1, Negative: true, Seed: seed})
+	xtrue := make([]float64, n)
+	for i := range xtrue {
+		xtrue[i] = 0.5 + 0.4*math.Sin(float64(i)*0.05)
+	}
+	b := make([]float64, n)
+	var c vec.Counter
+	a.MulVec(b, xtrue, &c)
+	for i := range b {
+		b[i] += xtrue[i] * xtrue[i] * xtrue[i]
+	}
+	return &Problem{
+		A: a,
+		Phi: Diagonal{
+			Phi:  func(_ int, v float64) float64 { return v * v * v },
+			DPhi: func(_ int, v float64) float64 { return 3 * v * v },
+		},
+		B: b,
+	}, xtrue
+}
+
+// TestNewtonRefactorFlopReduction: across a multi-step Newton solve the
+// persistent sessions must cut the total factorization flops at least in
+// half relative to the per-step Factor baseline, without changing the
+// solution or the outer path.
+func TestNewtonRefactorFlopReduction(t *testing.T) {
+	p, xtrue := sparseCubicProblem(600, 11)
+	solver := &splu.SparseLU{PivotTol: 0.1}
+	opt := Options{NewtonTol: 1e-12, Bands: 4}
+	var c1, c2 vec.Counter
+	res, err := SolveSequential(p, solver, opt, &c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optBase := opt
+	optBase.NoRefactor = true
+	base, err := SolveSequential(p, solver, optBase, &c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewtonIterations != base.NewtonIterations {
+		t.Fatalf("outer path changed: %d vs %d Newton steps", res.NewtonIterations, base.NewtonIterations)
+	}
+	if res.NewtonIterations < 5 {
+		t.Fatalf("too few Newton steps (%d) to exercise amortization", res.NewtonIterations)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-xtrue[i]) > 1e-7*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], xtrue[i])
+		}
+	}
+	if res.FactorFlops <= 0 || base.FactorFlops <= 0 {
+		t.Fatalf("FactorFlops not reported: session %v, baseline %v", res.FactorFlops, base.FactorFlops)
+	}
+	if 2*res.FactorFlops > base.FactorFlops {
+		t.Fatalf("refactorization saved less than 2x: session %v, baseline %v (ratio %.2f)",
+			res.FactorFlops, base.FactorFlops, base.FactorFlops/res.FactorFlops)
+	}
+}
+
+// TestNewtonDistributedRefactorFlopReduction: the same economy through the
+// distributed sessions on a simulated grid.
+func TestNewtonDistributedRefactorFlopReduction(t *testing.T) {
+	p, xtrue := sparseCubicProblem(400, 12)
+	opt := Options{
+		NewtonTol: 1e-12,
+		Inner:     core.Options{Tol: 1e-10, Overlap: 8, Solver: &splu.SparseLU{PivotTol: 0.1}},
+	}
+	res, err := SolveDistributed(newLan4, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optBase := opt
+	optBase.NoRefactor = true
+	base, err := SolveDistributed(newLan4, p, optBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if math.Abs(res.X[i]-xtrue[i]) > 1e-6*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], xtrue[i])
+		}
+	}
+	if 2*res.FactorFlops > base.FactorFlops {
+		t.Fatalf("refactorization saved less than 2x: session %v, baseline %v (ratio %.2f)",
+			res.FactorFlops, base.FactorFlops, base.FactorFlops/res.FactorFlops)
+	}
+	if res.Time >= base.Time {
+		t.Fatalf("virtual time did not improve: session %v, baseline %v", res.Time, base.Time)
+	}
+}
+
+// newLan4 builds a fresh 4-host LAN per call (sessions need a new platform
+// for every inner Resolve).
+func newLan4() (*vgrid.Platform, []*vgrid.Host) {
+	pl := vgrid.NewPlatform()
+	var hosts []*vgrid.Host
+	var nics []*vgrid.Link
+	for i := 0; i < 4; i++ {
+		hosts = append(hosts, pl.AddHost(string(rune('a'+i)), 1e9, 0))
+		nics = append(nics, vgrid.NewLink(string(rune('a'+i)), 25e-6, 1.25e7))
+	}
+	for i := range hosts {
+		for j := i + 1; j < len(hosts); j++ {
+			pl.SetRoute(hosts[i], hosts[j], nics[i], nics[j])
+		}
+	}
+	return pl, hosts
+}

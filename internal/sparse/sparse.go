@@ -132,13 +132,40 @@ func (m *CSR) Clone() *CSR {
 	}
 }
 
+// shortRowSort is the row length up to which sortRows uses insertion sort.
+// Rows produced by Submatrix/SelectColumns and banded generators are almost
+// always this short, and the insertion sort is allocation-free whereas
+// sort.Sort boxes the rowView into an interface.
+const shortRowSort = 24
+
 func (m *CSR) sortRows() {
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		row := rowView{m.ColInd[lo:hi], m.Val[lo:hi]}
+		ind := m.ColInd[lo:hi]
+		val := m.Val[lo:hi]
+		if len(ind) <= shortRowSort {
+			insertionSortRow(ind, val)
+			continue
+		}
+		row := rowView{ind, val}
 		if !sort.IsSorted(row) {
 			sort.Sort(row)
 		}
+	}
+}
+
+// insertionSortRow sorts the (ind, val) pairs of one row by index without
+// allocating. Equal indices keep their relative order (stable), preserving
+// sumDuplicates' left-to-right summation order.
+func insertionSortRow(ind []int, val []float64) {
+	for i := 1; i < len(ind); i++ {
+		j, v := ind[i], val[i]
+		k := i - 1
+		for k >= 0 && ind[k] > j {
+			ind[k+1], val[k+1] = ind[k], val[k]
+			k--
+		}
+		ind[k+1], val[k+1] = j, v
 	}
 }
 
@@ -293,6 +320,51 @@ func (m *CSR) SelectColumns(r0, r1 int, cols []int) *CSR {
 		rowPtr[i-r0+1] = len(val)
 	}
 	return &CSR{Rows: rows, Cols: len(cols), RowPtr: rowPtr, ColInd: colInd, Val: val}
+}
+
+// SubmatrixMap returns, for each stored entry of Submatrix(r0, r1, c0, c1)
+// in order, the position of its source value in m.Val. A persistent solver
+// session uses the map to refresh an extracted block's values in place when
+// the parent matrix's values change but its pattern does not:
+//
+//	for k, p := range mp { sub.Val[k] = parent.Val[p] }
+func (m *CSR) SubmatrixMap(r0, r1, c0, c1 int) []int {
+	if r0 < 0 || r1 > m.Rows || r0 > r1 || c0 < 0 || c1 > m.Cols || c0 > c1 {
+		panic(fmt.Sprintf("sparse: SubmatrixMap [%d:%d,%d:%d) out of range %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	var out []int
+	for i := r0; i < r1; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		ind := m.ColInd[lo:hi]
+		a := lo + sort.SearchInts(ind, c0)
+		b := lo + sort.SearchInts(ind, c1)
+		for p := a; p < b; p++ {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SelectColumnsMap is SubmatrixMap's counterpart for SelectColumns: the
+// positions in m.Val of the entries SelectColumns(r0, r1, cols) extracts, in
+// extraction order.
+func (m *CSR) SelectColumnsMap(r0, r1 int, cols []int) []int {
+	if r0 < 0 || r1 > m.Rows || r0 > r1 {
+		panic("sparse: SelectColumnsMap row range out of bounds")
+	}
+	newCol := make(map[int]int, len(cols))
+	for k, j := range cols {
+		newCol[j] = k
+	}
+	var out []int
+	for i := r0; i < r1; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if _, ok := newCol[m.ColInd[p]]; ok {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
 }
 
 // ColumnsUsed returns the sorted distinct original column indices, within

@@ -326,3 +326,75 @@ func TestCSRProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSubmatrixMap(t *testing.T) {
+	a := randomCSR(rand.New(rand.NewSource(77)), 30, 40, 150)
+	r0, r1, c0, c1 := 4, 21, 7, 33
+	sub := a.Submatrix(r0, r1, c0, c1)
+	mp := a.SubmatrixMap(r0, r1, c0, c1)
+	if len(mp) != sub.NNZ() {
+		t.Fatalf("map length %d, submatrix nnz %d", len(mp), sub.NNZ())
+	}
+	// Refreshing through the map must reproduce extraction from new values.
+	b := a.Clone()
+	for p := range b.Val {
+		b.Val[p] = float64(p) + 0.5
+	}
+	want := b.Submatrix(r0, r1, c0, c1)
+	for k, p := range mp {
+		sub.Val[k] = b.Val[p]
+	}
+	if !Equal(sub, want) {
+		t.Fatal("map refresh differs from fresh Submatrix")
+	}
+}
+
+func TestSelectColumnsMap(t *testing.T) {
+	a := randomCSR(rand.New(rand.NewSource(78)), 25, 50, 160)
+	cols := []int{2, 9, 10, 23, 41, 49}
+	r0, r1 := 3, 22
+	sub := a.SelectColumns(r0, r1, cols)
+	mp := a.SelectColumnsMap(r0, r1, cols)
+	if len(mp) != sub.NNZ() {
+		t.Fatalf("map length %d, selection nnz %d", len(mp), sub.NNZ())
+	}
+	b := a.Clone()
+	for p := range b.Val {
+		b.Val[p] = -float64(p) - 1
+	}
+	want := b.SelectColumns(r0, r1, cols)
+	for k, p := range mp {
+		sub.Val[k] = b.Val[p]
+	}
+	if !Equal(sub, want) {
+		t.Fatal("map refresh differs from fresh SelectColumns")
+	}
+}
+
+// Long unsorted rows exercise the sort.Sort fallback; short ones the
+// insertion sort. Both must produce strictly sorted, correctly paired rows.
+func TestSortRowsShortAndLong(t *testing.T) {
+	for _, rowLen := range []int{3, shortRowSort, shortRowSort + 40} {
+		co := NewCOO(2, rowLen)
+		for j := rowLen - 1; j >= 0; j-- {
+			co.Append(0, j, float64(j)*10)
+			co.Append(1, (j*13+5)%rowLen, float64((j*13+5)%rowLen)+0.25)
+		}
+		m := co.ToCSR()
+		for i := 0; i < m.Rows; i++ {
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				j := m.ColInd[p]
+				if p > m.RowPtr[i] && j <= m.ColInd[p-1] {
+					t.Fatalf("rowLen %d: row %d not strictly sorted", rowLen, i)
+				}
+				want := float64(j) * 10
+				if i == 1 {
+					want = float64(j) + 0.25
+				}
+				if m.Val[p] != want {
+					t.Fatalf("rowLen %d: value/index pair broken at (%d,%d): %v", rowLen, i, j, m.Val[p])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Numeric refactorization: recompute factor values through a frozen symbolic
+// structure. This is the KLU-style split the paper's Remark 4 economy extends
+// to sequences of same-pattern systems (Newton-multisplitting): the ordering,
+// reachability sets, L/U pattern, permutations and scratch buffers from the
+// first Factor are reused, so each later factorization is pure arithmetic —
+// no DFS, no reordering, no allocation.
+
+package splu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// Refactorer is an optional capability of a Factorization: recompute the
+// numeric factor values from a matrix with the same shape and sparsity
+// pattern as the one originally factored, reusing the frozen symbolic
+// structure. Obtain it with a type assertion:
+//
+//	if r, ok := fact.(splu.Refactorer); ok { err = r.Refactor(a, c) }
+//
+// All factorizations in this package implement it.
+type Refactorer interface {
+	// Refactor recomputes the factors from the values of a. The pattern of a
+	// must equal the originally factored matrix's pattern; only the values
+	// may differ. On success subsequent Solves use the new values. On error
+	// the factorization is invalid and must be re-Factored before use.
+	Refactor(a *sparse.CSR, c *vec.Counter) error
+	// RefactorFlops returns the cost one Refactor call adds to its Counter.
+	// For the sparse LU it is exact and pattern-determined — known before
+	// any values arrive, so a refactor can be declared as a fixed-cost
+	// compute segment (mp.Comm.ComputeSeg) instead of a measured deferred
+	// one. For the dense-family factorizations the count is value-dependent
+	// (zero multipliers skip work); RefactorFlops then returns the most
+	// recent factorization's cost as the declaration estimate, and callers
+	// reconcile with Charge.
+	RefactorFlops() float64
+	// Fallbacks returns how many Refactor calls hit the pivot-degradation
+	// fallback and re-ran the full factorization.
+	Fallbacks() int
+}
+
+// Refactor implements Refactorer. It scatters the new values through the
+// frozen scatter map (built by finishSymbolic) and re-eliminates column by
+// column in the frozen pivot order. The stored U(:,k) indices are already in
+// topological order and the L columns cover the fill closure, so the single
+// pass reproduces Factor's arithmetic exactly: on unchanged values the
+// factors are bit-identical.
+//
+// Pivot degradation: the frozen pivot of column k is accepted while
+// |piv| >= PivotTol·max|column| (the same threshold Factor pivots with).
+// When new values break that bound — or produce an exact zero — the frozen
+// order is no longer trustworthy, so Refactor falls back to a full Factor
+// with fresh pivoting and adopts its factors in place; Fallbacks() counts
+// these. The fallback charges the full Factor cost instead of refactorFlops.
+func (f *sparseFactors) Refactor(a *sparse.CSR, c *vec.Counter) error {
+	n := f.n
+	if a.Rows != n || a.Cols != n {
+		return fmt.Errorf("splu: Refactor needs %dx%d matrix, got %dx%d", n, n, a.Rows, a.Cols)
+	}
+	if a.NNZ() != len(f.avp) {
+		return fmt.Errorf("splu: Refactor pattern mismatch: %d nnz, factored %d", a.NNZ(), len(f.avp))
+	}
+	x := f.rwork // all-zero between calls; the scatter-clears below keep it so
+	for k := 0; k < n; k++ {
+		// Scatter A's column q[k] into pivotal coordinates.
+		for p := f.acp[k]; p < f.acp[k+1]; p++ {
+			x[f.ari[p]] = a.Val[f.avp[p]]
+		}
+		// Eliminate: stored U rows are in topological order, so every update
+		// into x[jn] lands before jn is consumed. No zero-skips — the cost is
+		// exactly refactorFlops.
+		for p := f.up[k]; p < f.up[k+1]-1; p++ {
+			jn := f.ui[p]
+			xj := x[jn]
+			f.ux[p] = xj
+			x[jn] = 0
+			for pp := f.lp[jn] + 1; pp < f.lp[jn+1]; pp++ {
+				x[f.li[pp]] -= f.lx[pp] * xj
+			}
+		}
+		piv := x[k]
+		x[k] = 0
+		// Degradation check against the subdiagonal of the column.
+		a0 := math.Abs(piv)
+		for p := f.lp[k] + 1; p < f.lp[k+1]; p++ {
+			if t := math.Abs(x[f.li[p]]); t > a0 {
+				a0 = t
+			}
+		}
+		if piv == 0 || a0 == 0 || math.Abs(piv) < a0*f.tol {
+			// Frozen pivot degraded: clear the scratch and re-factor with
+			// fresh pivoting, adopting the new factors in place so callers
+			// holding the Factorization keep a valid handle.
+			for i := range x {
+				x[i] = 0
+			}
+			nf, err := f.opts.Factor(a, c)
+			if err != nil {
+				return err
+			}
+			g := nf.(*sparseFactors)
+			g.fallbacks = f.fallbacks + 1
+			*f = *g
+			return nil
+		}
+		f.ux[f.up[k+1]-1] = piv
+		for p := f.lp[k] + 1; p < f.lp[k+1]; p++ {
+			i := f.li[p]
+			f.lx[p] = x[i] / piv
+			x[i] = 0
+		}
+	}
+	c.Add(f.refactorFlops)
+	return nil
+}
+
+// RefactorFlops implements Refactorer: the exact, pattern-determined numeric
+// cost of one Refactor pass.
+func (f *sparseFactors) RefactorFlops() float64 { return f.refactorFlops }
+
+// Fallbacks implements Refactorer.
+func (f *sparseFactors) Fallbacks() int { return f.fallbacks }
+
+// --- Dense-family refactorers: overwrite the persistent dense image and
+// re-run the elimination in place.
+
+// Refactor implements Refactorer for the dense LU adapter.
+func (f *denseFact) Refactor(a *sparse.CSR, c *vec.Counter) error {
+	if a.Rows != f.n || a.Cols != f.n {
+		return fmt.Errorf("splu: Refactor needs %dx%d matrix, got %dx%d", f.n, f.n, a.Rows, a.Cols)
+	}
+	d := f.scratch
+	for i := range d.Data {
+		d.Data[i] = 0
+	}
+	for i := 0; i < f.n; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			d.Data[i*d.Cols+a.ColInd[p]] = a.Val[p]
+		}
+	}
+	return f.lu.Refactor(d, c)
+}
+
+// RefactorFlops implements Refactorer (value-dependent; see interface doc).
+func (f *denseFact) RefactorFlops() float64 { return f.lu.Flops }
+
+// Fallbacks implements Refactorer: dense LU re-pivots on every Refactor, so
+// there is no degraded state to fall back from.
+func (f *denseFact) Fallbacks() int { return 0 }
+
+// Refactor implements Refactorer for the Cholesky adapter.
+func (f *cholFact) Refactor(a *sparse.CSR, c *vec.Counter) error {
+	if a.Rows != f.n || a.Cols != f.n {
+		return fmt.Errorf("splu: Refactor needs %dx%d matrix, got %dx%d", f.n, f.n, a.Rows, a.Cols)
+	}
+	d := f.scratch
+	for i := range d.Data {
+		d.Data[i] = 0
+	}
+	for i := 0; i < f.n; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			d.Data[i*d.Cols+a.ColInd[p]] = a.Val[p]
+		}
+	}
+	return f.ch.Refactor(d, c)
+}
+
+// RefactorFlops implements Refactorer (value-dependent; see interface doc).
+func (f *cholFact) RefactorFlops() float64 { return f.ch.Flops }
+
+// Fallbacks implements Refactorer.
+func (f *cholFact) Fallbacks() int { return 0 }
+
+// Refactor implements Refactorer for the band adapter: refill the band
+// storage (applying the frozen RCM permutation directly, so no permuted CSR
+// is materialized) and re-run the gbtrf elimination in place.
+func (f *bandFact) Refactor(a *sparse.CSR, c *vec.Counter) error {
+	if a.Rows != f.n || a.Cols != f.n {
+		return fmt.Errorf("splu: Refactor needs %dx%d matrix, got %dx%d", f.n, f.n, a.Rows, a.Cols)
+	}
+	band := f.lu.Band()
+	band.Zero()
+	if f.perm == nil {
+		for i := 0; i < f.n; i++ {
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				band.Set(i, a.ColInd[p], a.Val[p])
+			}
+		}
+	} else {
+		for i := 0; i < f.n; i++ {
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				band.Set(f.perm[i], f.perm[a.ColInd[p]], a.Val[p])
+			}
+		}
+	}
+	return f.lu.Refactor(c)
+}
+
+// RefactorFlops implements Refactorer (value-dependent; see interface doc).
+func (f *bandFact) RefactorFlops() float64 { return f.lu.Flops }
+
+// Fallbacks implements Refactorer.
+func (f *bandFact) Fallbacks() int { return 0 }

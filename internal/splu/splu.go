@@ -28,7 +28,10 @@ var ErrSingular = errors.New("splu: matrix is numerically singular")
 type Factorization interface {
 	// Solve computes x with A·x = b; b is not modified and may alias x.
 	Solve(x, b []float64, c *vec.Counter)
-	// FactorFlops returns the floating-point cost paid by Factor.
+	// FactorFlops returns the cost paid by Factor: the numeric elimination
+	// flops plus the counted symbolic work (ordering, reachability search,
+	// pattern assembly) under the op model documented in DESIGN.md. It
+	// equals the amount Factor added to its Counter.
 	FactorFlops() float64
 	// SolveFlops returns the exact floating-point cost one Solve call counts.
 	// Unlike the factorization cost it is known analytically once the
@@ -77,6 +80,12 @@ func (s *SparseLU) Name() string { return "sparse-lu" }
 
 // sparseFactors holds L, U in compressed-column form with row indices in the
 // pivotal (permuted) numbering, plus the row/column permutations.
+//
+// Beyond the factors themselves it retains the full output of the symbolic
+// phase — the frozen L/U pattern, the pivot order and a scatter map from the
+// input matrix's CSR positions into pivotal coordinates — so that Refactor
+// can recompute the numeric values of a same-pattern matrix without ordering,
+// DFS or allocation (see refactor.go).
 type sparseFactors struct {
 	n          int
 	lp, li     []int
@@ -86,10 +95,36 @@ type sparseFactors struct {
 	pinv       []int // pinv[origRow] = pivotal position
 	q          []int // column k of the factorization is A(:, q[k]); nil = identity
 	flops      float64
+	symFlops   float64
 	solveFlops float64
+
+	// opts is the SparseLU configuration that produced this factorization;
+	// the pivot-degradation fallback re-runs it from scratch.
+	opts SparseLU
+	tol  float64
+
+	// Scatter map for Refactor: entry p of acp[k]..acp[k+1] says that the
+	// input matrix's CSR value at position avp[p] lands at pivotal row
+	// ari[p] of factorization column k.
+	acp, ari, avp []int
+	// refactorFlops is the exact numeric cost of one Refactor call, fully
+	// determined by the frozen pattern (no zero-skips on the refactor path).
+	refactorFlops float64
+	// fallbacks counts Refactor calls that hit the pivot-degradation
+	// fallback and re-ran the full factorization.
+	fallbacks int
+
+	// work is the Solve scratch, rwork the Refactor scatter scratch (held
+	// all-zero between Refactor calls). Separate buffers: Solve leaves work
+	// dirty. Single-owner like the factorization itself.
+	work, rwork []float64
 }
 
-// Factor implements Direct.
+// Factor implements Direct. Besides the numeric elimination flops it counts
+// the symbolic work — ordering, CSC conversion, scatter, DFS reachability,
+// pivot scan and pattern assembly — under the 1-op-per-touch model of
+// DESIGN.md, so the simulated factorization time reflects everything a real
+// factorization does. Refactor (refactor.go) repeats only the numeric part.
 func (s *SparseLU) Factor(a *sparse.CSR, c *vec.Counter) (Factorization, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("splu: need square matrix, got %dx%d", a.Rows, a.Cols)
@@ -99,6 +134,7 @@ func (s *SparseLU) Factor(a *sparse.CSR, c *vec.Counter) (Factorization, error) 
 	if tol <= 0 || tol > 1 {
 		tol = 1.0
 	}
+	sym := 0.0
 	var q []int // q[k] = original column placed at position k
 	if n > 2 {
 		var perm []int // perm[old]=new
@@ -113,9 +149,11 @@ func (s *SparseLU) Factor(a *sparse.CSR, c *vec.Counter) (Factorization, error) 
 			for old, new_ := range perm {
 				q[new_] = old
 			}
+			sym += 2 * float64(a.NNZ()) // ordering pass over the pattern
 		}
 	}
 	ac := a.ToCSC()
+	sym += 2 * float64(a.NNZ()) // transpose to column form
 
 	f := &sparseFactors{
 		n:    n,
@@ -123,6 +161,8 @@ func (s *SparseLU) Factor(a *sparse.CSR, c *vec.Counter) (Factorization, error) 
 		up:   make([]int, n+1),
 		pinv: make([]int, n),
 		q:    q,
+		opts: *s,
+		tol:  tol,
 	}
 	for i := range f.pinv {
 		f.pinv[i] = -1
@@ -141,6 +181,7 @@ func (s *SparseLU) Factor(a *sparse.CSR, c *vec.Counter) (Factorization, error) 
 		lo, hi := ac.ColPtr[col], ac.ColPtr[col+1]
 
 		// Symbolic step: reach of pattern of A(:,col) in the graph of L.
+		// (f.dfs counts its node and edge visits into f.symFlops.)
 		top := n
 		for p := lo; p < hi; p++ {
 			i := ac.RowInd[p]
@@ -149,6 +190,9 @@ func (s *SparseLU) Factor(a *sparse.CSR, c *vec.Counter) (Factorization, error) 
 			}
 			top = f.dfs(i, mark, reach, dstack, pstack, top)
 		}
+		// Reach-set passes below (pivot scan, store/clear) touch each
+		// element twice; the scatter touches each input entry once.
+		sym += float64(hi-lo) + 2*float64(n-top)
 
 		// Numeric step: scatter then eliminate in topological order.
 		for p := lo; p < hi; p++ {
@@ -223,8 +267,68 @@ func (s *SparseLU) Factor(a *sparse.CSR, c *vec.Counter) (Factorization, error) 
 		f.li[p] = f.pinv[f.li[p]]
 	}
 	f.solveFlops = 2 * float64(len(f.lx)+len(f.ux))
-	c.Add(f.flops)
+	sym += float64(len(f.lx) + len(f.ux)) // pattern assembly (one op per stored entry)
+	f.symFlops += sym                     // dfs already accumulated its visits
+	f.finishSymbolic(a)
+	c.Add(f.flops + f.symFlops)
 	return f, nil
+}
+
+// finishSymbolic freezes the symbolic phase's outputs for reuse: the scatter
+// map from the input matrix's CSR layout into pivotal coordinates, the exact
+// numeric cost of one Refactor pass and the solve/refactor scratch buffers.
+func (f *sparseFactors) finishSymbolic(a *sparse.CSR) {
+	n := f.n
+	// qinv[origCol] = factorization column holding it.
+	var qinv []int
+	if f.q != nil {
+		qinv = make([]int, n)
+		for k, old := range f.q {
+			qinv[old] = k
+		}
+	}
+	nnz := a.NNZ()
+	f.acp = make([]int, n+1)
+	f.ari = make([]int, nnz)
+	f.avp = make([]int, nnz)
+	// Counting sort of the CSR entries by factorization column: within each
+	// column, entries appear in increasing original-row order (deterministic).
+	for _, j := range a.ColInd {
+		k := j
+		if qinv != nil {
+			k = qinv[j]
+		}
+		f.acp[k+1]++
+	}
+	for k := 0; k < n; k++ {
+		f.acp[k+1] += f.acp[k]
+	}
+	next := append([]int(nil), f.acp[:n]...)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			k := a.ColInd[p]
+			if qinv != nil {
+				k = qinv[k]
+			}
+			f.ari[next[k]] = f.pinv[i]
+			f.avp[next[k]] = p
+			next[k]++
+		}
+	}
+	// Exact numeric cost of a Refactor pass: the elimination updates walk the
+	// frozen pattern unconditionally (no value-dependent zero skips), so the
+	// cost is known before any values arrive.
+	rf := 0.0
+	for k := 0; k < n; k++ {
+		for p := f.up[k]; p < f.up[k+1]-1; p++ {
+			jn := f.ui[p]
+			rf += 2 * float64(f.lp[jn+1]-f.lp[jn]-1)
+		}
+		rf += float64(f.lp[k+1] - f.lp[k] - 1) // pivot divisions
+	}
+	f.refactorFlops = rf
+	f.work = make([]float64, n)
+	f.rwork = make([]float64, n)
 }
 
 // dfs pushes the reach set of node i (original row numbering) onto the
@@ -238,6 +342,7 @@ func (f *sparseFactors) dfs(i int, mark []bool, reach, dstack, pstack []int, top
 		jn := f.pinv[j]
 		if !mark[j] {
 			mark[j] = true
+			f.symFlops++ // node visit
 			if jn < 0 {
 				pstack[head] = 0
 			} else {
@@ -248,6 +353,7 @@ func (f *sparseFactors) dfs(i int, mark []bool, reach, dstack, pstack []int, top
 		if jn >= 0 {
 			end := f.lp[jn+1]
 			for p := pstack[head]; p < end; p++ {
+				f.symFlops++ // edge scan
 				childPivotal := f.li[p]
 				// During factorization li holds original row indices.
 				child := childPivotal
@@ -270,13 +376,19 @@ func (f *sparseFactors) dfs(i int, mark []bool, reach, dstack, pstack []int, top
 	return top
 }
 
-// Solve implements Factorization.
+// Solve implements Factorization. It is allocation-free: the permuted
+// right-hand side lives in the factorization's scratch buffer, which makes
+// the multisplitting iteration's hot path (one Solve per band per iteration)
+// run without garbage.
 func (f *sparseFactors) Solve(x, b []float64, c *vec.Counter) {
 	n := f.n
 	if len(x) != n || len(b) != n {
 		panic("splu: Solve shape mismatch")
 	}
-	y := make([]float64, n)
+	y := f.work
+	if y == nil {
+		y = make([]float64, n)
+	}
 	// y = P·b.
 	for i := 0; i < n; i++ {
 		y[f.pinv[i]] = b[i]
@@ -311,8 +423,11 @@ func (f *sparseFactors) Solve(x, b []float64, c *vec.Counter) {
 	c.Add(f.solveFlops)
 }
 
-// FactorFlops implements Factorization.
-func (f *sparseFactors) FactorFlops() float64 { return f.flops }
+// FactorFlops implements Factorization: numeric plus counted symbolic work.
+func (f *sparseFactors) FactorFlops() float64 { return f.flops + f.symFlops }
+
+// NumericFlops returns only the numeric elimination cost (diagnostics).
+func (f *sparseFactors) NumericFlops() float64 { return f.flops }
 
 // SolveFlops implements Factorization.
 func (f *sparseFactors) SolveFlops() float64 { return f.solveFlops }
@@ -349,12 +464,15 @@ func (DenseSolver) Factor(a *sparse.CSR, c *vec.Counter) (Factorization, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &denseFact{lu: lu, n: n}, nil
+	return &denseFact{lu: lu, n: n, scratch: d}, nil
 }
 
 type denseFact struct {
 	lu *dense.LU
 	n  int
+	// scratch is the dense image of the input, reused by Refactor so a
+	// numeric re-factorization allocates nothing.
+	scratch *dense.Matrix
 }
 
 func (f *denseFact) Solve(x, b []float64, c *vec.Counter) { f.lu.Solve(x, b, c) }
@@ -386,12 +504,14 @@ func (CholeskySolver) Factor(a *sparse.CSR, c *vec.Counter) (Factorization, erro
 	if err != nil {
 		return nil, err
 	}
-	return &cholFact{ch: ch, n: n}, nil
+	return &cholFact{ch: ch, n: n, scratch: d}, nil
 }
 
 type cholFact struct {
 	ch *dense.Cholesky
 	n  int
+	// scratch is the dense image of the input, reused by Refactor.
+	scratch *dense.Matrix
 }
 
 func (f *cholFact) Solve(x, b []float64, c *vec.Counter) { f.ch.Solve(x, b, c) }
@@ -434,7 +554,12 @@ func (s BandSolver) Factor(a *sparse.CSR, c *vec.Counter) (Factorization, error)
 	if err != nil {
 		return nil, err
 	}
-	return &bandFact{lu: lu, n: m.Rows, kl: bw, ku: bw, perm: perm}, nil
+	f := &bandFact{lu: lu, n: m.Rows, kl: bw, ku: bw, perm: perm}
+	if perm != nil {
+		f.pb = make([]float64, m.Rows)
+		f.px = make([]float64, m.Rows)
+	}
+	return f, nil
 }
 
 type bandFact struct {
@@ -442,6 +567,9 @@ type bandFact struct {
 	n      int
 	kl, ku int
 	perm   []int // symmetric permutation applied before factoring, or nil
+	// pb/px hold the permuted right-hand side and solution so the permuted
+	// Solve path is allocation-free (single-owner, like the factorization).
+	pb, px []float64
 }
 
 func (f *bandFact) Solve(x, b []float64, c *vec.Counter) {
@@ -449,14 +577,12 @@ func (f *bandFact) Solve(x, b []float64, c *vec.Counter) {
 		f.lu.Solve(x, b, c)
 		return
 	}
-	pb := make([]float64, f.n)
 	for i, v := range b {
-		pb[f.perm[i]] = v
+		f.pb[f.perm[i]] = v
 	}
-	px := make([]float64, f.n)
-	f.lu.Solve(px, pb, c)
+	f.lu.Solve(f.px, f.pb, c)
 	for i := range x {
-		x[i] = px[f.perm[i]]
+		x[i] = f.px[f.perm[i]]
 	}
 }
 

@@ -184,3 +184,75 @@ func TestSetWorkersAfterRunPanics(t *testing.T) {
 	}()
 	e.SetWorkers(2)
 }
+
+// TestComputeDeferredCommitsBeforeReturn pins the invariant the solver
+// drivers lean on when they run
+//
+//	c.ComputeDeferred(func() float64 { fact, factErr = solver.Factor(...); ... })
+//	if factErr != nil { ... }
+//
+// reading factErr immediately after the call: by the time ComputeDeferred
+// returns, the deferred fn has fully completed on whatever worker executed
+// it, its writes to process-local state are visible to the process goroutine,
+// and its measured cost has been charged to the clock. The scheduler
+// guarantees this by collecting the segment (<-p.computing) before the
+// process is committed and resumed, never after.
+func TestComputeDeferredCommitsBeforeReturn(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const nproc = 4
+		pl := NewPlatform()
+		hosts := make([]*Host, nproc)
+		for i := range hosts {
+			hosts[i] = pl.AddHost("h", 1e9, 0)
+		}
+		e := NewEngine(pl)
+		e.SetWorkers(workers)
+		var inFlight, peak int32
+		for i := 0; i < nproc; i++ {
+			i := i
+			e.Spawn(hosts[i], "p", func(p *Proc) error {
+				for it := 0; it < 3; it++ {
+					var err error
+					committed := false
+					before := p.Now()
+					cost := 1e9 * float64(i+it+1)
+					p.ComputeDeferred(func() float64 {
+						n := atomic.AddInt32(&inFlight, 1)
+						for {
+							old := atomic.LoadInt32(&peak)
+							if n <= old || atomic.CompareAndSwapInt32(&peak, old, n) {
+								break
+							}
+						}
+						time.Sleep(time.Millisecond)
+						// Process-local writes, like a factorization's
+						// (fact, factErr) pair. Intentionally unsynchronized:
+						// the race detector flags the commit protocol if it
+						// ever lets these races with the read below.
+						err = nil
+						committed = true
+						atomic.AddInt32(&inFlight, -1)
+						return cost
+					})
+					if !committed {
+						t.Errorf("proc %d it %d: deferred fn had not completed when ComputeDeferred returned", i, it)
+					}
+					if err != nil {
+						t.Errorf("proc %d it %d: unexpected err", i, it)
+					}
+					if got := p.Now() - before; got < cost/1e9-1e-9 {
+						t.Errorf("proc %d it %d: cost not charged before return: clock advanced %v, want >= %v", i, it, got, cost/1e9)
+					}
+					p.Sleep(0.0005)
+				}
+				return nil
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if workers > 1 && peak < 2 {
+			t.Logf("workers=%d: deferred segments never overlapped (peak %d); invariant still checked", workers, peak)
+		}
+	}
+}

@@ -576,6 +576,16 @@ func (p *Proc) ComputeFunc(flops float64, fn func()) {
 //
 // The restrictions on fn are the same as for ComputeFunc: no simulator
 // primitives, process-local state only.
+//
+// Commit guarantee: when ComputeDeferred returns, fn has fully completed,
+// its writes to process-local state are visible to the process goroutine and
+// its measured cost has been charged. Callers may therefore read results fn
+// produced — a factorization handle, an error — immediately after the call,
+// with no extra synchronization. The scheduler enforces this by collecting
+// the segment (waiting on p.computing, then charging deferredFlops) before
+// the owning process can be committed and resumed; see Run's stateDeferred
+// branch. TestComputeDeferredCommitsBeforeReturn pins the invariant under
+// the race detector.
 func (p *Proc) ComputeDeferred(fn func() float64) {
 	if p.eng.workers <= 1 {
 		p.chargeFlops(fn())
