@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-json-smoke verify
+.PHONY: all build test race vet bench bench-json bench-json-smoke lint-docs verify
 
 all: verify
 
@@ -32,4 +32,9 @@ bench-json:
 bench-json-smoke:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkNewtonRefactor|BenchmarkSessionIterate' -benchtime 1x -o BENCH_refactor.json
 
-verify: build vet test race bench-json-smoke
+# Fails on any exported identifier of the simulator or the solver core that
+# lacks a doc comment.
+lint-docs:
+	$(GO) run ./cmd/lintdocs internal/vgrid internal/core
+
+verify: build vet lint-docs test race bench-json-smoke

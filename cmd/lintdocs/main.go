@@ -1,0 +1,165 @@
+// Command lintdocs fails when a package exports an undocumented identifier.
+//
+// Usage:
+//
+//	lintdocs DIR [DIR ...]
+//
+// Every non-test Go file of each directory is parsed; exported top-level
+// types, functions, methods, constants and variables must carry a doc
+// comment, as must exported struct fields and interface methods of exported
+// types (an end-of-line comment counts for fields). Violations are printed
+// as file:line diagnostics and the command exits nonzero — `make lint-docs`
+// wires it into the verification suite.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintdocs DIR [DIR ...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		problems, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintdocs:", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		bad += len(problems)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintdocs: %d undocumented exported identifiers\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses every non-test Go file in dir and returns one diagnostic
+// per undocumented exported identifier.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	flag := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s %s is exported but undocumented",
+			filepath.ToSlash(p.Filename), p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					lintFunc(d, flag)
+				case *ast.GenDecl:
+					lintGen(d, flag)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// lintFunc flags undocumented exported functions and methods (methods on
+// unexported receiver types are internal and skipped).
+func lintFunc(d *ast.FuncDecl, flag func(token.Pos, string, string)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	what := "function"
+	name := d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		recv := receiverName(d.Recv.List[0].Type)
+		if recv != "" && !ast.IsExported(recv) {
+			return
+		}
+		what = "method"
+		name = recv + "." + name
+	}
+	flag(d.Name.Pos(), what, name)
+}
+
+// lintGen flags undocumented exported types, constants and variables. A doc
+// comment on the grouped declaration covers every spec in the group; a
+// group without one needs per-spec comments.
+func lintGen(d *ast.GenDecl, flag func(token.Pos, string, string)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+				flag(s.Name.Pos(), "type", s.Name.Name)
+			}
+			if s.Name.IsExported() {
+				lintTypeMembers(s, flag)
+			}
+		case *ast.ValueSpec:
+			kind := "variable"
+			if d.Tok == token.CONST {
+				kind = "constant"
+			}
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					flag(n.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// lintTypeMembers flags undocumented exported struct fields and interface
+// methods of an exported type; an end-of-line comment also counts.
+func lintTypeMembers(s *ast.TypeSpec, flag func(token.Pos, string, string)) {
+	var fields *ast.FieldList
+	what := "struct field"
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		fields = t.Fields
+	case *ast.InterfaceType:
+		fields = t.Methods
+		what = "interface method"
+	default:
+		return
+	}
+	for _, f := range fields.List {
+		if f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, n := range f.Names {
+			if n.IsExported() {
+				flag(n.Pos(), what, s.Name.Name+"."+n.Name)
+			}
+		}
+	}
+}
+
+// receiverName extracts the type identifier of a method receiver.
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.IndexExpr:
+		return receiverName(t.X)
+	}
+	return ""
+}

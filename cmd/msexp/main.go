@@ -5,11 +5,12 @@
 //
 //	msexp [-scale N] [-csv] [-quiet] [experiment ...]
 //
-// Experiments: table1 table2 table3 table4 figure3 (default: all).
-// -scale divides the paper's matrix dimensions (default 16; 8 gives a
+// Experiments: table1 table2 table3 table4 figure3 faultsweep (default:
+// all). -scale divides the paper's matrix dimensions (default 16; 8 gives a
 // closer, slower run; 1 is the paper's exact sizes, only practical for the
 // generated banded matrices). -csv emits comma-separated values instead of
-// aligned text (handy for plotting figure3).
+// aligned text (handy for plotting figure3). -fault-seed reseeds the
+// deterministic fault injection of the faultsweep experiment.
 package main
 
 import (
@@ -27,13 +28,14 @@ func main() {
 	plot := flag.Bool("plot", false, "render figure3 as an ASCII plot (in addition to the table)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	workers := flag.Int("workers", 0, "worker threads for compute segments (0 = GOMAXPROCS); results are identical for any value")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the faultsweep experiment's fault injection (0 = fixed default)")
 	flag.Parse()
 
 	var progress io.Writer
 	if !*quiet {
 		progress = os.Stderr
 	}
-	cfg := experiments.Config{Scale: *scale, Progress: progress, Workers: *workers}
+	cfg := experiments.Config{Scale: *scale, Progress: progress, Workers: *workers, FaultSeed: *faultSeed}
 
 	names := flag.Args()
 	if len(names) == 0 {

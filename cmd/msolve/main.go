@@ -6,9 +6,19 @@
 //	msolve -matrix A.mtx [-rhs b.txt] [-procs N] [-overlap K] [-async]
 //	       [-scheme owner|average] [-solver sparse|dense|band]
 //	       [-cluster cluster1|cluster2|cluster3] [-tol 1e-8] [-o x.txt]
+//	       [-ft] [-drop P] [-drop-link NAME] [-crash host@from:until,...]
+//	       [-fault-seed S]
 //
 // Without -rhs the right-hand side is manufactured as b = A·1 so the exact
 // solution is the all-ones vector and the reported error is meaningful.
+//
+// The fault flags inject deterministic failures into the simulated grid:
+// -drop loses each message crossing -drop-link (default the inter-site
+// "wan" link of cluster3) with probability P, and -crash takes hosts down
+// over virtual-time windows ("until" may be "inf" for a permanent crash).
+// -ft enables the fault-tolerant mode (retransmission, receive timeouts
+// with dead-rank diagnostics, detector refresh); without it the solver runs
+// the plain protocol and shows how it stalls under loss.
 package main
 
 import (
@@ -16,6 +26,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -40,19 +52,72 @@ func main() {
 		trace      = flag.Bool("trace", false, "print a per-processor activity timeline after the solve")
 		workers    = flag.Int("workers", 0, "worker threads for compute segments (0 = GOMAXPROCS); results are identical for any value")
 		outPath    = flag.String("o", "", "write the solution vector to this file")
+		ft         = flag.Bool("ft", false, "enable the fault-tolerant mode (retransmission, timeouts, degraded operation)")
+		drop       = flag.Float64("drop", 0, "drop each message on -drop-link with this probability")
+		dropLink   = flag.String("drop-link", "wan", "name of the link losing messages (cluster3's inter-site link is \"wan\")")
+		crash      = flag.String("crash", "", "crash schedule: comma-separated host@from:until windows in virtual seconds (until may be inf)")
+		faultSeed  = flag.Int64("fault-seed", 42, "seed of the deterministic fault injection")
 	)
 	flag.Parse()
 	if *matrixPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *schemeName, *solverName, *clusterTyp, *tol, *cond, *trace, *workers, *outPath); err != nil {
+	faults := faultSpec{drop: *drop, dropLink: *dropLink, crash: *crash, seed: *faultSeed, ft: *ft}
+	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *schemeName, *solverName, *clusterTyp, *tol, *cond, *trace, *workers, *outPath, faults); err != nil {
 		fmt.Fprintln(os.Stderr, "msolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(matrixPath, rhsPath string, procs, overlap int, async bool, schemeName, solverName, clusterTyp string, tol float64, cond, trace bool, workers int, outPath string) error {
+// faultSpec collects the fault-injection flags.
+type faultSpec struct {
+	drop     float64
+	dropLink string
+	crash    string
+	seed     int64
+	ft       bool
+}
+
+// plan compiles the flags into a vgrid fault plan (nil when no fault was
+// requested).
+func (fs faultSpec) plan() (*vgrid.FaultPlan, error) {
+	if fs.drop == 0 && fs.crash == "" {
+		return nil, nil
+	}
+	fp := vgrid.NewFaultPlan(fs.seed)
+	if fs.drop > 0 {
+		fp.DropOnLink(fs.dropLink, 0, math.Inf(1), fs.drop)
+	}
+	for _, spec := range strings.Split(fs.crash, ",") {
+		if spec == "" {
+			continue
+		}
+		host, window, ok := strings.Cut(spec, "@")
+		if !ok {
+			return nil, fmt.Errorf("crash spec %q: want host@from:until", spec)
+		}
+		fromStr, untilStr, ok := strings.Cut(window, ":")
+		if !ok {
+			return nil, fmt.Errorf("crash spec %q: want host@from:until", spec)
+		}
+		from, err := strconv.ParseFloat(fromStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("crash spec %q: bad start time: %w", spec, err)
+		}
+		until := math.Inf(1)
+		if untilStr != "inf" {
+			until, err = strconv.ParseFloat(untilStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("crash spec %q: bad end time: %w", spec, err)
+			}
+		}
+		fp.CrashHost(host, from, until)
+	}
+	return fp, nil
+}
+
+func run(matrixPath, rhsPath string, procs, overlap int, async bool, schemeName, solverName, clusterTyp string, tol float64, cond, trace bool, workers int, outPath string, faults faultSpec) error {
 	a, err := mmio.ReadMatrixAuto(matrixPath)
 	if err != nil {
 		return err
@@ -138,17 +203,27 @@ func run(matrixPath, rhsPath string, procs, overlap int, async bool, schemeName,
 	if workers > 0 {
 		e.SetWorkers(workers)
 	}
+	plan, err := faults.plan()
+	if err != nil {
+		return err
+	}
+	if plan != nil {
+		e.SetFaultPlan(plan)
+		fmt.Printf("fault injection: seed %d, drop %.3g on %q, crash schedule %q, fault-tolerant %v\n",
+			faults.seed, faults.drop, faults.dropLink, faults.crash, faults.ft)
+	}
 	var rec *vgrid.Recorder
 	if trace {
 		rec = &vgrid.Recorder{}
 		e.Record(rec)
 	}
 	pend, err := core.Launch(e, hosts, a, b, core.Options{
-		Overlap: overlap,
-		Scheme:  scheme,
-		Solver:  solver,
-		Tol:     tol,
-		Async:   async,
+		Overlap:       overlap,
+		Scheme:        scheme,
+		Solver:        solver,
+		Tol:           tol,
+		Async:         async,
+		FaultTolerant: faults.ft,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmall executes the example end to end on a small matrix: the plain
+// synchronous solver must stall under loss while both fault-tolerant
+// variants converge.
+func TestRunSmall(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 600); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	var rows []string
+	for _, l := range lines {
+		if f := strings.Fields(l); len(f) > 0 && strings.HasSuffix(f[0], "%") {
+			rows = append(rows, l)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 drop-rate rows, got %d:\n%s", len(rows), got)
+	}
+	if strings.Contains(rows[0], "stall") {
+		t.Fatalf("fault-free row stalled:\n%s", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if !strings.Contains(r, "stall") {
+			t.Fatalf("lossy row lacks the plain-sync stall:\n%s", r)
+		}
+		if strings.Count(r, "it") != 2 {
+			t.Fatalf("lossy row lacks two converged fault-tolerant cells:\n%s", r)
+		}
+	}
+}

@@ -72,10 +72,15 @@ func (b Band) Owns(j int) bool { return j >= b.Start && j < b.End }
 // with a weighting scheme. The owned cells partition {0..n-1}; the solved
 // ranges may overlap (the subsets J_l of Section 2.1 need not be disjoint).
 type Decomposition struct {
-	N       int
+	// N is the system dimension.
+	N int
+	// Overlap is the number of rows each band extends past its partition
+	// cell on both sides.
 	Overlap int
-	Scheme  WeightScheme
-	Bands   []Band
+	// Scheme selects how overlapping components are weighted.
+	Scheme WeightScheme
+	// Bands lists the per-rank bands, in rank order.
+	Bands []Band
 }
 
 // NewDecomposition splits n unknowns into nb near-equal contiguous bands,

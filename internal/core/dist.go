@@ -89,6 +89,27 @@ type Options struct {
 	// the old package-level debug switch; pass os.Stderr to get the former
 	// behavior.
 	Trace io.Writer
+	// FaultTolerant opts into the degraded operating mode for unreliable
+	// grids (vgrid.FaultPlan): every send is retransmitted with exponential
+	// backoff in virtual time (SendRetries/SendBackoff), the synchronous
+	// driver replaces its blocking boundary receives with timeouts and
+	// fails fast with a diagnostic when a peer is dead (DeadRankTimeout),
+	// and the asynchronous driver periodically refreshes its convergence
+	// detector so detection survives lost protocol messages. Surviving
+	// bands keep iterating while a crashed host is down and pick up its
+	// data again after the restart (the async policy's freshest-iterate
+	// reuse needs no extra machinery for that).
+	FaultTolerant bool
+	// SendRetries is the total number of transmission attempts per message
+	// in fault-tolerant mode (default 4).
+	SendRetries int
+	// SendBackoff is the virtual backoff before the first retransmission,
+	// doubling after each (default 1e-3 s).
+	SendBackoff float64
+	// DeadRankTimeout is the virtual time a fault-tolerant receive waits
+	// before counting one failed attempt against a silent peer; after
+	// SendRetries attempts the peer is declared dead (default 1 s).
+	DeadRankTimeout float64
 }
 
 func (o *Options) withDefaults() Options {
@@ -107,6 +128,15 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.Smooth == 0 {
 		out.Smooth = 3
+	}
+	if out.SendRetries == 0 {
+		out.SendRetries = 4
+	}
+	if out.SendBackoff == 0 {
+		out.SendBackoff = 1e-3
+	}
+	if out.DeadRankTimeout == 0 {
+		out.DeadRankTimeout = 1
 	}
 	return out
 }

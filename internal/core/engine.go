@@ -201,6 +201,44 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 	return st, factTime, nil
 }
 
+// applyFaultOptions arms the communicator's retransmission policy when the
+// degraded mode is on; on a healthy configuration it changes nothing.
+func applyFaultOptions(c *mp.Comm, o Options) {
+	if o.FaultTolerant {
+		c.Retry = mp.RetryPolicy{Attempts: o.SendRetries, Backoff: o.SendBackoff}
+	}
+}
+
+// recvCritical receives a message the protocol cannot progress without (a
+// synchronous boundary exchange, the final gather). In fault-tolerant mode
+// it waits in DeadRankTimeout windows instead of blocking forever and, once
+// the budget is exhausted, diagnoses the silent peer: crashed host, failed
+// process, or plain message loss.
+func (st *rankState) recvCritical(from, tag int, what string) (*mp.Packet, error) {
+	c, o := st.c, st.o
+	if !o.FaultTolerant {
+		return c.Recv(from, tag), nil
+	}
+	for attempt := 1; attempt <= o.SendRetries; attempt++ {
+		if pk := c.RecvTimeout(from, tag, o.DeadRankTimeout); pk != nil {
+			return pk, nil
+		}
+		st.ctx.Faultf("rank %d iter %d: no %s from rank %d after %.3fs (attempt %d/%d)",
+			st.rank, st.iter, what, from, o.DeadRankTimeout, attempt, o.SendRetries)
+	}
+	switch {
+	case c.PeerFailed(from):
+		return nil, fmt.Errorf("rank %d: rank %d appears dead waiting for %s: process failed: %w",
+			st.rank, from, what, c.PeerErr(from))
+	case c.PeerDown(from):
+		return nil, fmt.Errorf("rank %d: rank %d appears dead waiting for %s: its host is down",
+			st.rank, from, what)
+	default:
+		return nil, fmt.Errorf("rank %d: rank %d appears dead waiting for %s: silent for %.3gs",
+			st.rank, from, what, float64(o.SendRetries)*o.DeadRankTimeout)
+	}
+}
+
 // applySeg incorporates a received segment: incremental z update under the
 // weighting scheme plus version/echo bookkeeping.
 func (st *rankState) applySeg(si int, pk *mp.Packet) {
@@ -278,6 +316,7 @@ func msRank(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o Opti
 		ctx.Mem = c.Proc()
 	}
 	c.AttachCtx(ctx)
+	applyFaultOptions(c, o)
 
 	st, factTime, err := newRankState(c, ctx, a, bGlob, d, o)
 	if err != nil {
@@ -349,7 +388,10 @@ func msRankRun(st *rankState, pend *Pending, factTime float64) error {
 		x := make([]float64, d.N)
 		copy(x[band.Start:band.End], owned)
 		for m := 1; m < d.L(); m++ {
-			pk := c.Recv(m, tagGather)
+			pk, err := st.recvCritical(m, tagGather, "solution segment")
+			if err != nil {
+				return err
+			}
 			mb := d.Bands[m]
 			copy(x[mb.Start:mb.End], pk.Floats)
 		}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/detect"
 	"repro/internal/mp"
 )
@@ -40,7 +43,10 @@ type syncPolicy struct{}
 
 func (syncPolicy) exchange(st *rankState, stop stopper) (outcome, error) {
 	for si, seg := range st.ins {
-		pk := st.c.Recv(seg.from, tagX)
+		pk, err := st.recvCritical(seg.from, tagX, "boundary data")
+		if err != nil {
+			return 0, err
+		}
 		st.applySeg(si, pk)
 	}
 	crit := stop.crit(st)
@@ -63,6 +69,13 @@ func (syncPolicy) exchange(st *rankState, stop stopper) (outcome, error) {
 // round-trip criterion that keeps detection sound under message pipelining.
 type asyncPolicy struct {
 	det detect.Detector
+	// lastRefresh is the virtual time of the last detector Refresh in
+	// fault-tolerant mode. The cadence is DeadRankTimeout of virtual time —
+	// far longer than any healthy verification round, so refreshes only ever
+	// abandon rounds that are genuinely stuck on a lost message. Epoch
+	// tagging makes the abandonment safe (stale responses are discarded),
+	// so the cadence trades only detection latency.
+	lastRefresh float64
 }
 
 func (ap *asyncPolicy) exchange(st *rankState, stop stopper) (outcome, error) {
@@ -116,6 +129,13 @@ func (ap *asyncPolicy) finish(st *rankState, stop stopper) (outcome, error) {
 	}
 	st.ctx.Tracef("DBG rank=%d iter=%d t=%.5f crit=%.3e round=%v stable=%d localOK=%v",
 		st.rank, st.iter, st.c.Now(), crit, roundComplete, st.stableRuns, localOK)
+	if st.o.FaultTolerant {
+		if now := st.c.Now(); now-ap.lastRefresh >= st.o.DeadRankTimeout {
+			ap.lastRefresh = now
+			st.ctx.Faultf("rank %d iter %d: detector refresh", st.rank, st.iter)
+			ap.det.Refresh()
+		}
+	}
 	stopNow, err := ap.det.Step(localOK)
 	if err != nil {
 		return 0, err
@@ -149,10 +169,17 @@ func (bp *boundedStalePolicy) exchange(st *rankState, stop stopper) (outcome, er
 
 // waitForStale blocks (in virtual time) on every over-stale contributor.
 // While polling it keeps servicing the detector and the abort channel so a
-// stop decided elsewhere still terminates this rank.
+// stop decided elsewhere still terminates this rank. In fault-tolerant mode
+// the wait is capped at the dead-rank budget (SendRetries × DeadRankTimeout)
+// so a crashed contributor produces a diagnostic instead of a livelock.
 func (bp *boundedStalePolicy) waitForStale(st *rankState) (outcome, error) {
 	const pollInterval = 1e-4
+	maxWait := math.Inf(1)
+	if st.o.FaultTolerant {
+		maxWait = float64(st.o.SendRetries) * st.o.DeadRankTimeout
+	}
 	for si, seg := range st.ins {
+		waited := 0.0
 		for st.staleCount[si] > bp.maxStale {
 			if pk := st.c.DrainLatest(seg.from, tagX); pk != nil {
 				st.applySeg(si, pk)
@@ -160,7 +187,12 @@ func (bp *boundedStalePolicy) waitForStale(st *rankState) (outcome, error) {
 				st.staleCount[si] = 0
 				break
 			}
+			if waited >= maxWait {
+				return 0, fmt.Errorf("rank %d: contributor rank %d over-stale for %.3gs in bounded-staleness mode",
+					st.rank, seg.from, waited)
+			}
 			st.c.Proc().Sleep(pollInterval)
+			waited += pollInterval
 			if bp.det != nil {
 				stopNow, err := bp.det.Step(false)
 				if err != nil {

@@ -20,9 +20,12 @@ var ErrDiverged = errors.New("core: multisplitting iteration diverged")
 
 // SeqResult reports a sequential multisplitting solve.
 type SeqResult struct {
-	X          []float64
+	// X is the assembled solution vector.
+	X []float64
+	// Iterations is the number of fixed-point sweeps performed.
 	Iterations int
-	Diff       float64
+	// Diff is the final successive-iterate difference (∞-norm).
+	Diff float64
 }
 
 // bandSystem is the per-band precomputed subsystem: the factored ASub, the

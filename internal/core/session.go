@@ -356,6 +356,7 @@ func (s *Session) rankBody(c *mp.Comm, bGlob []float64, refresh bool, pend *Pend
 		ctx.Mem = c.Proc()
 	}
 	c.AttachCtx(ctx)
+	applyFaultOptions(c, s.o)
 
 	rank := c.Rank()
 	sr := s.ranks[rank]

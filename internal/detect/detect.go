@@ -26,6 +26,14 @@ type Detector interface {
 	// processes protocol traffic. It returns true when global convergence
 	// has been committed and the process must stop iterating.
 	Step(localConverged bool) (bool, error)
+	// Refresh re-arms the protocol after suspected message loss: state
+	// reports are re-sent and a verification round that has been in flight
+	// implausibly long is abandoned. Verification waves are epoch-tagged,
+	// so responses from an abandoned round can never commit a later one —
+	// Refresh trades only liveness recovery, never safety. A no-op on a
+	// healthy grid beyond re-sending the current state; the fault-tolerant
+	// driver calls it periodically.
+	Refresh()
 	// Name identifies the protocol in experiment reports.
 	Name() string
 }
@@ -48,11 +56,15 @@ type Centralized struct {
 	reportedOnce bool
 
 	// Coordinator state (rank 0 only).
-	state      []bool
-	inVerify   bool
-	vresp      map[int]bool
-	stopped    bool
-	Detections int // completed verification rounds (diagnostics)
+	state    []bool
+	inVerify bool
+	vresp    map[int]bool
+	// epoch numbers the verification rounds; responses carry the epoch of
+	// the round that asked, so a response to an abandoned round is ignored.
+	epoch   int
+	stopped bool
+	// Detections counts completed verification rounds (diagnostics).
+	Detections int
 }
 
 // NewCentralized creates a centralized detector over the communicator.
@@ -66,6 +78,22 @@ func NewCentralized(c *mp.Comm) *Centralized {
 
 // Name implements Detector.
 func (d *Centralized) Name() string { return "centralized" }
+
+// Refresh implements Detector: workers re-send their current state on the
+// next Step (a lost report would otherwise stall detection forever); the
+// coordinator abandons a verification round that is still open, presuming
+// its request or a response was lost. Epoch tagging makes abandonment safe.
+func (d *Centralized) Refresh() {
+	if d.stopped {
+		return
+	}
+	if d.c.Rank() == 0 {
+		d.inVerify = false
+		d.vresp = nil
+		return
+	}
+	d.reportedOnce = false
+}
 
 // Step implements Detector.
 func (d *Centralized) Step(local bool) (bool, error) {
@@ -91,13 +119,15 @@ func (d *Centralized) workerStep(local bool) (bool, error) {
 		d.reportedOnce = true
 		d.lastReported = local
 	}
-	// Answer verification requests with the *current* local state.
+	// Answer verification requests with the *current* local state, echoing
+	// the round epoch so the coordinator can discard answers to rounds it
+	// has already abandoned.
 	for {
 		pk := c.TryRecv(0, tagVerify)
 		if pk == nil {
 			break
 		}
-		if err := c.SendInts(0, tagVResp, []int{boolToInt(local)}); err != nil {
+		if err := c.SendInts(0, tagVResp, []int{boolToInt(local), pk.Ints[0]}); err != nil {
 			return false, err
 		}
 	}
@@ -134,6 +164,9 @@ func (d *Centralized) coordinatorStep(local bool) (bool, error) {
 			if d.vresp == nil { // verification already aborted; drop stale responses
 				continue
 			}
+			if pk.Ints[1] != d.epoch { // answer to an abandoned round
+				continue
+			}
 			d.vresp[pk.From] = pk.Ints[0] != 0
 		}
 		if d.vresp != nil && len(d.vresp) == c.Size()-1 {
@@ -163,9 +196,10 @@ func (d *Centralized) coordinatorStep(local bool) (bool, error) {
 	}
 	if all {
 		d.inVerify = true
+		d.epoch++
 		d.vresp = make(map[int]bool, c.Size()-1)
 		for r := 1; r < c.Size(); r++ {
-			if err := c.Signal(r, tagVerify); err != nil {
+			if err := c.SendInts(r, tagVerify, []int{d.epoch}); err != nil {
 				return false, err
 			}
 		}
@@ -186,18 +220,24 @@ type Decentralized struct {
 	childOK  map[int]bool
 	lastSent int // -1 unsent, else 0/1 last subtree state pushed to parent
 
-	// Verification state.
-	verifying  bool
-	vrespWait  map[int]bool // children we still owe a response
-	vrespOK    bool
-	sawVerify  bool // non-root: a verify wave is in flight below us
-	stopped    bool
+	// Verification state. Waves are epoch-tagged end to end: the root
+	// numbers each round, the number rides the verify messages down and the
+	// responses back up, and every participant ignores traffic from rounds
+	// it is no longer in — which makes abandoning a stalled round (Refresh)
+	// safe under message loss.
+	verifying bool
+	vrespWait map[int]bool // children we still owe a response
+	vrespOK   bool
+	epoch     int // root: last round started; inner: round in flight (curEpoch ≥ 0)
+	curEpoch  int // non-root: epoch of the wave below us, -1 when idle
+	stopped   bool
+	// Detections counts completed verification rounds (diagnostics).
 	Detections int
 }
 
 // NewDecentralized creates a tree-based detector over the communicator.
 func NewDecentralized(c *mp.Comm) *Decentralized {
-	d := &Decentralized{c: c, parent: (c.Rank() - 1) / 2, lastSent: -1, childOK: map[int]bool{}}
+	d := &Decentralized{c: c, parent: (c.Rank() - 1) / 2, lastSent: -1, curEpoch: -1, childOK: map[int]bool{}}
 	for _, ch := range []int{2*c.Rank() + 1, 2*c.Rank() + 2} {
 		if ch < c.Size() {
 			d.children = append(d.children, ch)
@@ -209,6 +249,25 @@ func NewDecentralized(c *mp.Comm) *Decentralized {
 
 // Name implements Detector.
 func (d *Decentralized) Name() string { return "decentralized" }
+
+// Refresh implements Detector: the node re-pushes its subtree state on the
+// next Step, the root abandons a verification round still in flight, and an
+// inner node stuck in a wave (its response, or the stop/resume order, was
+// lost) rejoins the idle state so it can answer the next wave. Epoch tags
+// keep responses from abandoned rounds from committing a later one.
+func (d *Decentralized) Refresh() {
+	if d.stopped {
+		return
+	}
+	d.lastSent = -1
+	if d.isRoot() {
+		d.verifying = false
+		d.vrespWait = nil
+		return
+	}
+	d.curEpoch = -1
+	d.vrespWait = nil
+}
 
 func (d *Decentralized) isRoot() bool { return d.c.Rank() == 0 }
 
@@ -252,29 +311,34 @@ func (d *Decentralized) Step(local bool) (bool, error) {
 		}
 	}
 
-	// Verification wave arriving from the parent: forward down and start
-	// collecting responses.
-	if !d.isRoot() && !d.sawVerify {
+	// Verification wave arriving from the parent: forward down (with the
+	// round epoch) and start collecting responses.
+	if !d.isRoot() && d.curEpoch < 0 {
 		if pk := c.TryRecv(d.parent, tagVerify); pk != nil {
-			d.sawVerify = true
+			d.curEpoch = pk.Ints[0]
 			d.vrespWait = map[int]bool{}
 			d.vrespOK = local
 			for _, ch := range d.children {
 				d.vrespWait[ch] = true
-				if err := c.Signal(ch, tagVerify); err != nil {
+				if err := c.SendInts(ch, tagVerify, []int{d.curEpoch}); err != nil {
 					return false, err
 				}
 			}
 		}
 	}
-	// Collect verification responses from children (both root and inner).
-	if d.sawVerify || d.verifying {
+	// Collect verification responses from children (both root and inner),
+	// ignoring answers to rounds this node is no longer in.
+	if d.curEpoch >= 0 || d.verifying {
+		myEpoch := d.curEpoch
+		if d.isRoot() {
+			myEpoch = d.epoch
+		}
 		for {
 			pk := c.TryRecv(mp.AnySource, tagVResp)
 			if pk == nil {
 				break
 			}
-			if d.vrespWait != nil {
+			if d.vrespWait != nil && pk.Ints[1] == myEpoch {
 				delete(d.vrespWait, pk.From)
 				d.vrespOK = d.vrespOK && pk.Ints[0] != 0
 			}
@@ -295,28 +359,29 @@ func (d *Decentralized) Step(local bool) (bool, error) {
 				}
 				// Failed verification: tell everyone to keep going.
 				for _, ch := range d.children {
-					if err := c.Signal(ch, tagResume); err != nil {
+					if err := c.SendInts(ch, tagResume, []int{d.epoch}); err != nil {
 						return false, err
 					}
 				}
 			} else {
 				// All children answered: push the aggregate up.
 				ok := d.vrespOK && d.local
-				if err := c.SendInts(d.parent, tagVResp, []int{boolToInt(ok)}); err != nil {
+				if err := c.SendInts(d.parent, tagVResp, []int{boolToInt(ok), d.curEpoch}); err != nil {
 					return false, err
 				}
 				d.vrespWait = nil
-				// sawVerify stays set until STOP or RESUME arrives.
+				// curEpoch stays set until STOP or RESUME arrives.
 			}
 		}
 	}
-	// Resume order: clear verification state, forward down.
+	// Resume order for the wave we are in: clear verification state, forward
+	// down. Resumes from rounds already abandoned here are discarded.
 	if !d.isRoot() {
-		if pk := c.TryRecv(d.parent, tagResume); pk != nil {
-			d.sawVerify = false
+		if pk := c.TryRecv(d.parent, tagResume); pk != nil && pk.Ints[0] == d.curEpoch {
+			d.curEpoch = -1
 			d.vrespWait = nil
 			for _, ch := range d.children {
-				if err := c.Signal(ch, tagResume); err != nil {
+				if err := c.SendInts(ch, tagResume, pk.Ints); err != nil {
 					return false, err
 				}
 			}
@@ -334,11 +399,12 @@ func (d *Decentralized) Step(local bool) (bool, error) {
 	// Root launches a verification wave when its subtree looks converged.
 	if d.isRoot() && !d.verifying && d.subtreeOK() {
 		d.verifying = true
+		d.epoch++
 		d.vrespWait = map[int]bool{}
 		d.vrespOK = true
 		for _, ch := range d.children {
 			d.vrespWait[ch] = true
-			if err := c.Signal(ch, tagVerify); err != nil {
+			if err := c.SendInts(ch, tagVerify, []int{d.epoch}); err != nil {
 				return false, err
 			}
 		}

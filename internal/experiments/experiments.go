@@ -37,6 +37,10 @@ type Config struct {
 	// the simulated solver ranks; 0 keeps the engine default (GOMAXPROCS).
 	// Results are identical for any value — only wall-clock time changes.
 	Workers int
+	// FaultSeed seeds the deterministic fault injection of the fault-sweep
+	// experiment; 0 selects a fixed default so results are reproducible
+	// without configuration.
+	FaultSeed int64
 }
 
 func (c Config) scale() int {

@@ -191,6 +191,50 @@ func TestFigure3Shape(t *testing.T) {
 	}
 }
 
+func TestFaultSweepShape(t *testing.T) {
+	tab, err := FaultSweep(Config{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(faultSweepDrops)+1 {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(faultSweepDrops)+1)
+	}
+	// Fault-free row: every variant converges (cells numeric and
+	// residual-verified by the runner).
+	clean := tab.Rows[0]
+	parse(t, clean[1])
+	parse(t, clean[2])
+	asyncClean := parse(t, clean[3])
+	itersClean := parse(t, clean[4])
+	for _, row := range tab.Rows[1 : len(faultSweepDrops)] {
+		// Drop rows: the plain synchronous solver stalls on the first lost
+		// blocking message; retransmission and the fault-tolerant async
+		// variant both still converge.
+		if row[1] != "stall" {
+			t.Fatalf("%s: plain sync = %q, want stall", row[0], row[1])
+		}
+		parse(t, row[2])
+		parse(t, row[3])
+		// Bounded iteration inflation: drops cost extra iterations, not
+		// divergence.
+		if iters := parse(t, row[4]); iters > 50*itersClean {
+			t.Fatalf("%s: async iterations exploded: %v vs %v clean", row[0], iters, itersClean)
+		}
+	}
+	// Crash/restart row: only the fault-tolerant asynchronous solver rides
+	// through the outage; sync variants stall or report the dead rank.
+	crash := tab.Rows[len(tab.Rows)-1]
+	if crash[1] != "stall" && crash[1] != "dead" {
+		t.Fatalf("crash row: plain sync = %q", crash[1])
+	}
+	if crash[2] != "stall" && crash[2] != "dead" {
+		t.Fatalf("crash row: sync+retry = %q", crash[2])
+	}
+	if tm := parse(t, crash[3]); tm < asyncClean {
+		t.Logf("note: crashed async run (%v) faster than clean (%v)", tm, asyncClean)
+	}
+}
+
 func TestTableFormatting(t *testing.T) {
 	tab := &Table{
 		ID:     "T",
@@ -219,7 +263,7 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"table1", "1", "table2", "table3", "table4", "figure3", "fig3"} {
+	for _, name := range []string{"table1", "1", "table2", "table3", "table4", "figure3", "fig3", "faultsweep", "faults"} {
 		if _, err := ByName(name); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -227,7 +271,7 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown name accepted")
 	}
-	if len(All()) != 5 {
+	if len(All()) != 6 {
 		t.Fatalf("All() has %d entries", len(All()))
 	}
 }

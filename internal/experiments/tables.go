@@ -269,6 +269,8 @@ func ByName(name string) (func(Config) (*Table, error), error) {
 		return Table4Fair, nil
 	case "figure3", "fig3":
 		return Figure3, nil
+	case "faultsweep", "faults":
+		return FaultSweep, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
 	}
@@ -288,5 +290,6 @@ func All() []struct {
 		{"table3", Table3},
 		{"table4", Table4},
 		{"figure3", Figure3},
+		{"faultsweep", FaultSweep},
 	}
 }

@@ -35,6 +35,22 @@ const (
 // msgOverheadBytes models per-message envelope cost.
 const msgOverheadBytes = 64
 
+// RetryPolicy configures retransmission for unreliable grids: every send is
+// attempted up to Attempts times, sleeping Backoff virtual seconds before the
+// first retry and doubling after each. The simulator's omniscient delivery
+// verdict (vgrid.Proc.SendFate) stands in for an acknowledgment protocol, so
+// retries fire only for messages that were actually lost and the virtual
+// clock pays only the backoff — no ack traffic is simulated. The zero value
+// means a single attempt (fire and forget, the healthy-grid default).
+type RetryPolicy struct {
+	// Attempts is the total number of transmission attempts (≥ 1; 0 and 1
+	// both mean no retries).
+	Attempts int
+	// Backoff is the virtual sleep before the first retry, doubling after
+	// each subsequent one.
+	Backoff float64
+}
+
 // Comm is one rank's endpoint of a communicator.
 type Comm struct {
 	rank  int
@@ -47,6 +63,12 @@ type Comm struct {
 	// messages through one endpoint, as real MPI implementations do. All
 	// ranks must agree on the setting.
 	Tree bool
+	// Retry is the retransmission policy applied to every send, point-to-
+	// point and collective alike (default: single attempt).
+	Retry RetryPolicy
+	// Undelivered counts messages this rank gave up on after exhausting the
+	// retry budget (diagnostics; only a fault plan can make it non-zero).
+	Undelivered int
 }
 
 // parent/children of rank r in the binary collective tree rooted at 0.
@@ -155,12 +177,43 @@ func (c *Comm) checkRank(r int) {
 	}
 }
 
+// xsend is the single transmission funnel: every Comm send — point-to-point,
+// collective or protocol traffic — goes through it, so the retry policy
+// covers them all. A message still lost after the last attempt is dropped
+// silently (counted in Undelivered): loss is a simulated condition for the
+// solver to tolerate, not a Go error.
+func (c *Comm) xsend(dst *vgrid.Proc, tag int, payload any, bytes int) error {
+	attempts := c.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := c.Retry.Backoff
+	for i := 0; ; i++ {
+		delivered, err := c.p.SendFate(dst, tag, payload, bytes)
+		if err != nil {
+			return err
+		}
+		if delivered {
+			return nil
+		}
+		if i == attempts-1 {
+			c.Undelivered++
+			c.ctx.Faultf("rank %d: message tag=%d to %s lost after %d attempts", c.rank, tag, dst.Name, attempts)
+			return nil
+		}
+		if backoff > 0 {
+			c.p.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
 // SendFloats sends a copy of data to rank dst with the given tag.
 func (c *Comm) SendFloats(dst, tag int, data []float64) error {
 	c.checkTag(tag)
 	c.checkRank(dst)
 	cp := append([]float64(nil), data...)
-	return c.p.Send(c.procs[dst], tag, cp, 8*len(cp)+msgOverheadBytes)
+	return c.xsend(c.procs[dst], tag, cp, 8*len(cp)+msgOverheadBytes)
 }
 
 // SendInts sends a copy of an int slice.
@@ -168,14 +221,14 @@ func (c *Comm) SendInts(dst, tag int, data []int) error {
 	c.checkTag(tag)
 	c.checkRank(dst)
 	cp := append([]int(nil), data...)
-	return c.p.Send(c.procs[dst], tag, cp, 8*len(cp)+msgOverheadBytes)
+	return c.xsend(c.procs[dst], tag, cp, 8*len(cp)+msgOverheadBytes)
 }
 
 // Signal sends an empty control message.
 func (c *Comm) Signal(dst, tag int) error {
 	c.checkTag(tag)
 	c.checkRank(dst)
-	return c.p.Send(c.procs[dst], tag, nil, msgOverheadBytes)
+	return c.xsend(c.procs[dst], tag, nil, msgOverheadBytes)
 }
 
 // Packet is a received message with its metadata.
@@ -235,6 +288,39 @@ func (c *Comm) DrainLatest(src, tag int) *Packet {
 	}
 }
 
+// RecvTimeout blocks like Recv but for at most timeout virtual seconds,
+// returning nil once the deadline passes with no matching message. The
+// fault-tolerant drivers use it to tell a slow peer from a dead one.
+func (c *Comm) RecvTimeout(src, tag int, timeout float64) *Packet {
+	if src != AnySource {
+		c.checkRank(src)
+	}
+	m := c.p.RecvTimeout(src, tag, timeout)
+	if m == nil {
+		return nil
+	}
+	return toPacket(m)
+}
+
+// PeerDown reports whether rank r's host is inside a fault-plan outage
+// window right now (at this rank's clock).
+func (c *Comm) PeerDown(r int) bool {
+	c.checkRank(r)
+	return c.procs[r].DownAt(c.p.Now())
+}
+
+// PeerFailed reports whether rank r's process has terminated with an error.
+func (c *Comm) PeerFailed(r int) bool {
+	c.checkRank(r)
+	return c.procs[r].Done() && c.procs[r].Err() != nil
+}
+
+// PeerErr returns rank r's process error (nil while running or on success).
+func (c *Comm) PeerErr(r int) error {
+	c.checkRank(r)
+	return c.procs[r].Err()
+}
+
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() error {
 	n := c.Size()
@@ -250,13 +336,13 @@ func (c *Comm) Barrier() error {
 			c.p.Recv(AnySource, tagBarrierIn)
 		}
 		for i := 1; i < n; i++ {
-			if err := c.p.Send(c.procs[i], tagBarrierOut, nil, msgOverheadBytes); err != nil {
+			if err := c.xsend(c.procs[i], tagBarrierOut, nil, msgOverheadBytes); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := c.p.Send(c.procs[0], tagBarrierIn, nil, msgOverheadBytes); err != nil {
+	if err := c.xsend(c.procs[0], tagBarrierIn, nil, msgOverheadBytes); err != nil {
 		return err
 	}
 	c.p.Recv(0, tagBarrierOut)
@@ -309,13 +395,13 @@ func (c *Comm) Allreduce(v float64, op Op) (float64, error) {
 			acc = op.apply(acc, m.Payload.([]float64)[0])
 		}
 		for i := 1; i < n; i++ {
-			if err := c.p.Send(c.procs[i], tagReduceOut, []float64{acc}, 8+msgOverheadBytes); err != nil {
+			if err := c.xsend(c.procs[i], tagReduceOut, []float64{acc}, 8+msgOverheadBytes); err != nil {
 				return 0, err
 			}
 		}
 		return acc, nil
 	}
-	if err := c.p.Send(c.procs[0], tagReduceIn, []float64{v}, 8+msgOverheadBytes); err != nil {
+	if err := c.xsend(c.procs[0], tagReduceIn, []float64{v}, 8+msgOverheadBytes); err != nil {
 		return 0, err
 	}
 	m := c.p.Recv(0, tagReduceOut)
@@ -340,14 +426,14 @@ func (c *Comm) treeAllreduce(v float64, op Op) (float64, error) {
 		acc = op.apply(acc, m.Payload.([]float64)[0])
 	}
 	if c.rank != 0 {
-		if err := c.p.Send(c.procs[c.treeParent()], tagReduceIn, []float64{acc}, 8+msgOverheadBytes); err != nil {
+		if err := c.xsend(c.procs[c.treeParent()], tagReduceIn, []float64{acc}, 8+msgOverheadBytes); err != nil {
 			return 0, err
 		}
 		m := c.p.Recv(c.treeParent(), tagReduceOut)
 		acc = m.Payload.([]float64)[0]
 	}
 	for _, ch := range c.treeChildren() {
-		if err := c.p.Send(c.procs[ch], tagReduceOut, []float64{acc}, 8+msgOverheadBytes); err != nil {
+		if err := c.xsend(c.procs[ch], tagReduceOut, []float64{acc}, 8+msgOverheadBytes); err != nil {
 			return 0, err
 		}
 	}
@@ -362,7 +448,7 @@ func (c *Comm) treeBcast(data []float64) ([]float64, error) {
 	}
 	for _, ch := range c.treeChildren() {
 		cp := append([]float64(nil), data...)
-		if err := c.p.Send(c.procs[ch], tagBcast, cp, 8*len(cp)+msgOverheadBytes); err != nil {
+		if err := c.xsend(c.procs[ch], tagBcast, cp, 8*len(cp)+msgOverheadBytes); err != nil {
 			return nil, err
 		}
 	}
@@ -384,7 +470,7 @@ func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 				continue
 			}
 			cp := append([]float64(nil), data...)
-			if err := c.p.Send(c.procs[i], tagBcast, cp, 8*len(cp)+msgOverheadBytes); err != nil {
+			if err := c.xsend(c.procs[i], tagBcast, cp, 8*len(cp)+msgOverheadBytes); err != nil {
 				return nil, err
 			}
 		}
@@ -401,7 +487,7 @@ func (c *Comm) Gather(root int, data []float64) ([][]float64, error) {
 	n := c.Size()
 	if c.rank != root {
 		cp := append([]float64(nil), data...)
-		return nil, c.p.Send(c.procs[root], tagGather, cp, 8*len(cp)+msgOverheadBytes)
+		return nil, c.xsend(c.procs[root], tagGather, cp, 8*len(cp)+msgOverheadBytes)
 	}
 	out := make([][]float64, n)
 	out[root] = data

@@ -39,6 +39,10 @@ type Ctx struct {
 	Trace io.Writer
 	// Mem, when non-nil, accounts allocations against the host capacity.
 	Mem Allocator
+	// Faults counts the fault-handling events this process recorded through
+	// Faultf: exhausted retransmission budgets, receive timeouts, dead-rank
+	// verdicts, detector refreshes. Zero on a healthy grid.
+	Faults int
 }
 
 // New returns a Ctx with a fresh counter and no tracer or accountant.
@@ -61,6 +65,18 @@ func (c *Ctx) Tracef(format string, args ...any) {
 		return
 	}
 	fmt.Fprintf(c.Trace, format+"\n", args...)
+}
+
+// Faultf records one fault-handling event: it bumps the Faults counter and
+// writes the line (prefixed "FAULT") to the tracer, so faulted runs show
+// drops, timeouts and degraded-mode decisions inline with the iteration
+// diagnostics. Nil-safe like Tracef.
+func (c *Ctx) Faultf(format string, args ...any) {
+	if c == nil {
+		return
+	}
+	c.Faults++
+	c.Tracef("FAULT "+format, args...)
 }
 
 // Alloc charges bytes to the memory accountant; a no-op without one.

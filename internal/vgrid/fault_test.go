@@ -1,0 +1,351 @@
+package vgrid
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// faultTestPlatform builds two 3-host sites joined by a shared "wan" link.
+func faultTestPlatform() (*Platform, []*Host) {
+	pl := NewPlatform()
+	var hosts []*Host
+	var nics []*Link
+	for i := 0; i < 6; i++ {
+		site := "s1"
+		if i >= 3 {
+			site = "s2"
+		}
+		hosts = append(hosts, pl.AddHost(site+"-"+string(rune('a'+i)), 1e9, 0))
+		nics = append(nics, NewLink("nic"+string(rune('a'+i)), 25e-6, 1.25e7))
+	}
+	wan := NewLink("wan", 5e-3, 2.5e6)
+	for i := range hosts {
+		for j := i + 1; j < len(hosts); j++ {
+			if (i < 3) == (j < 3) {
+				pl.SetRoute(hosts[i], hosts[j], nics[i], nics[j])
+			} else {
+				pl.SetRoute(hosts[i], hosts[j], nics[i], wan, nics[j])
+			}
+		}
+	}
+	return pl, hosts
+}
+
+// runFaultScenario runs a cross-site message/compute workload under the given
+// fault plan and returns the full trace, the per-process receive counts and
+// the end time.
+func runFaultScenario(t *testing.T, workers int, plan *FaultPlan) (string, []int, float64) {
+	t.Helper()
+	pl, hosts := faultTestPlatform()
+	e := NewEngine(pl)
+	e.SetWorkers(workers)
+	if plan != nil {
+		e.SetFaultPlan(plan)
+	}
+	var sb strings.Builder
+	e.Trace = func(line string) { sb.WriteString(line); sb.WriteByte('\n') }
+
+	const nproc = 6
+	received := make([]int, nproc)
+	procs := make([]*Proc, nproc)
+	for i := 0; i < nproc; i++ {
+		i := i
+		procs[i] = e.Spawn(hosts[i], "p", func(p *Proc) error {
+			acc := 0.0
+			for it := 0; it < 20; it++ {
+				p.ComputeFunc(5e7, func() { acc = acc*1.5 + float64(it) })
+				if it%5 == 0 {
+					p.ComputeDeferred(func() float64 { acc *= 1.01; return 2e7 })
+				}
+				peer := procs[(i+3)%nproc]
+				if _, err := p.SendFate(peer, 7, nil, 10000); err != nil {
+					return err
+				}
+				for p.TryRecv(AnySource, 7) != nil {
+					received[i]++
+				}
+				p.Sleep(1e-3)
+			}
+			return nil
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sb.String(), received, end
+}
+
+func fullFaultPlan() *FaultPlan {
+	return NewFaultPlan(42).
+		DropOnLink("wan", 0, math.Inf(1), 0.2).
+		DegradeLink("wan", 0.3, 0.8, 10, 0.1).
+		CrashHost("s1-b", 0.5, 0.9)
+}
+
+// TestFaultPlanDeterministicAcrossWorkers extends the scheduler determinism
+// invariant to faulted runs: drops, outages and degradation windows charge
+// the virtual clock only, so the trace, the side effects and the end time
+// must be byte-identical for 1 and 4 workers.
+func TestFaultPlanDeterministicAcrossWorkers(t *testing.T) {
+	tr1, rc1, end1 := runFaultScenario(t, 1, fullFaultPlan())
+	tr4, rc4, end4 := runFaultScenario(t, 4, fullFaultPlan())
+	if tr1 != tr4 {
+		t.Fatalf("faulted traces differ between 1 and 4 workers:\n--- 1 worker ---\n%s--- 4 workers ---\n%s", tr1, tr4)
+	}
+	if end1 != end4 {
+		t.Fatalf("end time differs: %v vs %v", end1, end4)
+	}
+	for i := range rc1 {
+		if rc1[i] != rc4[i] {
+			t.Fatalf("proc %d receive count differs: %d vs %d", i, rc1[i], rc4[i])
+		}
+	}
+	if !strings.Contains(tr1, " drop ") || !strings.Contains(tr1, "reason=loss") {
+		t.Fatal("no drop events in the faulted trace")
+	}
+	if !strings.Contains(tr1, "s1-b crash") || !strings.Contains(tr1, "s1-b restart") {
+		t.Fatalf("crash/restart events missing from trace:\n%s", tr1)
+	}
+}
+
+// TestZeroFaultPlanIdenticalToNoPlan: installing an empty plan must not
+// perturb the schedule in any way — the trace is byte-identical to a run
+// with no plan at all.
+func TestZeroFaultPlanIdenticalToNoPlan(t *testing.T) {
+	trNone, rcNone, endNone := runFaultScenario(t, 2, nil)
+	trZero, rcZero, endZero := runFaultScenario(t, 2, NewFaultPlan(99))
+	if trNone != trZero {
+		t.Fatalf("zero-fault plan perturbed the trace:\n--- no plan ---\n%s--- zero plan ---\n%s", trNone, trZero)
+	}
+	if endNone != endZero {
+		t.Fatalf("end time differs: %v vs %v", endNone, endZero)
+	}
+	for i := range rcNone {
+		if rcNone[i] != rcZero[i] {
+			t.Fatalf("proc %d receive count differs: %d vs %d", i, rcNone[i], rcZero[i])
+		}
+	}
+}
+
+// TestDropOnLinkRate: with a 30% drop rule, the realized loss fraction over
+// many sends must be near 30%, and every send is either delivered or traced
+// as dropped.
+func TestDropOnLinkRate(t *testing.T) {
+	pl := NewPlatform()
+	a := pl.AddHost("a", 1e9, 0)
+	b := pl.AddHost("b", 1e9, 0)
+	pl.SetRoute(a, b, NewLink("lossy", 1e-5, 1e9))
+	e := NewEngine(pl)
+	e.SetFaultPlan(NewFaultPlan(3).DropOnLink("lossy", 0, math.Inf(1), 0.3))
+	drops := 0
+	e.Trace = func(line string) {
+		if strings.Contains(line, " drop ") {
+			drops++
+		}
+	}
+	const total = 2000
+	delivered := 0
+	e.Spawn(a, "sender", func(p *Proc) error {
+		dst := e.procs[1]
+		for i := 0; i < total; i++ {
+			ok, err := p.SendFate(dst, 1, nil, 8)
+			if err != nil {
+				return err
+			}
+			if ok {
+				delivered++
+			}
+		}
+		return nil
+	})
+	e.Spawn(b, "sink", func(p *Proc) error {
+		p.Sleep(1)
+		for p.TryRecv(AnySource, AnyTag) != nil {
+		}
+		return nil
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered+drops != total {
+		t.Fatalf("delivered %d + dropped %d != %d sent", delivered, drops, total)
+	}
+	frac := float64(drops) / total
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("realized drop rate %.3f far from 0.3", frac)
+	}
+}
+
+// TestHostOutagePausesWork: work in flight freezes with the host and resumes
+// on restart, so a 1 s compute spanning a 0.5 s outage finishes at 1.5 s.
+func TestHostOutagePausesWork(t *testing.T) {
+	pl := NewPlatform()
+	h := pl.AddHost("h", 1e9, 0)
+	e := NewEngine(pl)
+	e.SetFaultPlan(NewFaultPlan(1).CrashHost("h", 0.3, 0.8))
+	e.Spawn(h, "p", func(p *Proc) error {
+		p.Compute(1e9)
+		return nil
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-1.5) > 1e-12 {
+		t.Fatalf("end = %v, want 1.5 (1 s work + 0.5 s outage)", end)
+	}
+}
+
+// TestSendToDownHostDropped: a message whose arrival falls inside the
+// destination's outage window is lost, and SendFate reports it.
+func TestSendToDownHostDropped(t *testing.T) {
+	pl := NewPlatform()
+	a := pl.AddHost("a", 1e9, 0)
+	b := pl.AddHost("b", 1e9, 0)
+	pl.SetRoute(a, b, NewLink("l", 1e-4, 1e9))
+	e := NewEngine(pl)
+	e.SetFaultPlan(NewFaultPlan(1).CrashHost("b", 0, 2))
+	var early, late bool
+	e.Spawn(a, "sender", func(p *Proc) error {
+		dst := e.procs[1]
+		early, _ = p.SendFate(dst, 1, nil, 8) // arrives ~1e-4, b is down
+		p.Sleep(3)
+		late, _ = p.SendFate(dst, 1, nil, 8) // arrives ~3.0001, b is back
+		return nil
+	})
+	e.Spawn(b, "recv", func(p *Proc) error {
+		m := p.Recv(AnySource, AnyTag)
+		if m.Arrival < 2 {
+			t.Errorf("received a message that should have been dropped (arrival %v)", m.Arrival)
+		}
+		return nil
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if early {
+		t.Fatal("send into the outage window reported delivered")
+	}
+	if !late {
+		t.Fatal("send after restart reported lost")
+	}
+}
+
+// TestRecvTimeout: the deadline fires in virtual time when no match arrives,
+// and a message beating the deadline is delivered normally.
+func TestRecvTimeout(t *testing.T) {
+	pl := NewPlatform()
+	a := pl.AddHost("a", 1e9, 0)
+	b := pl.AddHost("b", 1e9, 0)
+	pl.SetRoute(a, b, NewLink("l", 5e-3, 1e9))
+	e := NewEngine(pl)
+	e.Spawn(a, "sender", func(p *Proc) error {
+		p.Sleep(0.01)
+		return p.Send(e.procs[1], 1, nil, 8)
+	})
+	e.Spawn(b, "recv", func(p *Proc) error {
+		if m := p.RecvTimeout(AnySource, 1, 0.001); m != nil {
+			t.Error("timeout receive returned a message before any was sent")
+		}
+		if now := p.Now(); math.Abs(now-0.001) > 1e-12 {
+			t.Errorf("clock after timeout = %v, want 0.001", now)
+		}
+		m := p.RecvTimeout(AnySource, 1, 10)
+		if m == nil {
+			t.Error("receive with a generous deadline missed the message")
+		}
+		return nil
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinkDegradationWindow: inside the window the transfer pays the scaled
+// latency and bandwidth; outside it the link is healthy again.
+func TestLinkDegradationWindow(t *testing.T) {
+	pl := NewPlatform()
+	a := pl.AddHost("a", 1e9, 0)
+	b := pl.AddHost("b", 1e9, 0)
+	pl.SetRoute(a, b, NewLink("l", 1e-3, 1e6))
+	e := NewEngine(pl)
+	// During [0, 1): latency ×10, bandwidth ×0.1.
+	e.SetFaultPlan(NewFaultPlan(1).DegradeLink("l", 0, 1, 10, 0.1))
+	var slow, fast float64
+	e.Spawn(a, "sender", func(p *Proc) error {
+		dst := e.procs[1]
+		if err := p.Send(dst, 1, nil, 1000); err != nil {
+			return err
+		}
+		m1 := p.Now() // push time at degraded bandwidth
+		p.Sleep(2 - m1)
+		if err := p.Send(dst, 2, nil, 1000); err != nil {
+			return err
+		}
+		fast = p.Now() - 2
+		slow = m1
+		return nil
+	})
+	e.Spawn(b, "recv", func(p *Proc) error {
+		m := p.Recv(AnySource, 1)
+		if want := 0.01 + 0.01; math.Abs(m.Arrival-want) > 1e-9 {
+			t.Errorf("degraded arrival = %v, want %v (10 ms push + 10 ms latency)", m.Arrival, want)
+		}
+		m = p.Recv(AnySource, 2)
+		if want := 2 + 0.001 + 0.001; math.Abs(m.Arrival-want) > 1e-9 {
+			t.Errorf("healthy arrival = %v, want %v", m.Arrival, want)
+		}
+		return nil
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if slow <= fast*5 {
+		t.Fatalf("degraded push %v not clearly slower than healthy %v", slow, fast)
+	}
+}
+
+// TestPermanentCrashDiagnostic: a rank waiting on a permanently crashed host
+// surfaces as a deadlock with the dead host called out.
+func TestPermanentCrashDiagnostic(t *testing.T) {
+	pl := NewPlatform()
+	a := pl.AddHost("a", 1e9, 0)
+	b := pl.AddHost("b", 1e9, 0)
+	pl.SetRoute(a, b, NewLink("l", 1e-4, 1e9))
+	e := NewEngine(pl)
+	e.SetFaultPlan(NewFaultPlan(1).CrashHost("b", 0.5, math.Inf(1)))
+	e.Spawn(a, "waiter", func(p *Proc) error {
+		p.Recv(AnySource, 1) // never satisfied: the sender dies first
+		return nil
+	})
+	e.Spawn(b, "victim", func(p *Proc) error {
+		p.Sleep(1) // resumes inside the permanent outage: never
+		return p.Send(e.procs[0], 1, nil, 8)
+	})
+	_, err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "victim (host down)") {
+		t.Fatalf("want deadlock naming the downed host, got %v", err)
+	}
+}
+
+// TestFaultPlanUnknownNames: referencing a host or link the platform does not
+// have fails loudly at Run.
+func TestFaultPlanUnknownNames(t *testing.T) {
+	for _, plan := range []*FaultPlan{
+		NewFaultPlan(1).CrashHost("nope", 0, 1),
+		NewFaultPlan(1).DropOnLink("nope", 0, 1, 0.5),
+	} {
+		pl := NewPlatform()
+		a := pl.AddHost("a", 1e9, 0)
+		b := pl.AddHost("b", 1e9, 0)
+		pl.SetRoute(a, b, NewLink("l", 1e-4, 1e9))
+		e := NewEngine(pl)
+		e.SetFaultPlan(plan)
+		e.Spawn(a, "p", func(p *Proc) error { return nil })
+		if _, err := e.Run(); err == nil || !strings.Contains(err.Error(), "unknown") {
+			t.Fatalf("want unknown-name error, got %v", err)
+		}
+	}
+}

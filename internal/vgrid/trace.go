@@ -9,15 +9,21 @@ import (
 
 // TraceEvent is one structured simulator event captured by a Recorder.
 type TraceEvent struct {
+	// Time is the virtual instant of the event.
 	Time float64
+	// Proc is the process name (or the host name for crash/restart events).
 	Proc string
-	Kind string // "send", "recv", "done"
+	// Kind is the event type: "send", "recv", "done", and under a fault
+	// plan "drop", "crash", "restart".
+	Kind string
+	// Text is the remainder of the trace line (key=value details).
 	Text string
 }
 
 // Recorder captures structured trace events. Attach with Engine.Record; the
 // zero value is ready to use.
 type Recorder struct {
+	// Events holds every parsed trace event, in scheduling order.
 	Events []TraceEvent
 }
 
@@ -48,13 +54,20 @@ func parseTraceLine(line string) (TraceEvent, bool) {
 	return ev, true
 }
 
-// Summary aggregates the recorded events per process.
+// TraceSummary aggregates the recorded events per process.
 type TraceSummary struct {
-	Proc       string
-	Sends      int
-	Recvs      int
+	// Proc is the process (or host) the row aggregates.
+	Proc string
+	// Sends and Recvs count delivered message events.
+	Sends int
+	// Recvs counts received message events.
+	Recvs int
+	// Drops counts messages this process sent that a fault plan lost.
+	Drops int
+	// FirstEvent and LastEvent bound the process's recorded activity.
 	FirstEvent float64
-	LastEvent  float64
+	// LastEvent is the time of the last recorded event.
+	LastEvent float64
 }
 
 // Summaries returns per-process aggregates sorted by process name.
@@ -71,6 +84,8 @@ func (r *Recorder) Summaries() []TraceSummary {
 			s.Sends++
 		case "recv":
 			s.Recvs++
+		case "drop":
+			s.Drops++
 		}
 		if ev.Time < s.FirstEvent {
 			s.FirstEvent = ev.Time

@@ -41,7 +41,9 @@ var ErrDeadlock = errors.New("vgrid: deadlock: all processes blocked")
 
 // Host is a machine in the platform.
 type Host struct {
-	ID    int
+	// ID is the host's index in the platform's Hosts slice.
+	ID int
+	// Name identifies the host in traces and fault plans.
 	Name  string
 	Speed float64 // flop/s
 	// Memory is the capacity in bytes; 0 means unlimited.
@@ -68,6 +70,7 @@ const (
 // Link is a network resource with contention: concurrent transfers either
 // queue behind each other (FIFO) or share the bandwidth (Fair).
 type Link struct {
+	// Name identifies the link in traces and fault plans.
 	Name      string
 	Latency   float64 // seconds
 	Bandwidth float64 // bytes/s
@@ -96,6 +99,7 @@ func (l *Link) fairShare(now float64) float64 {
 
 // Platform describes hosts and the routes between them.
 type Platform struct {
+	// Hosts lists every machine, indexed by Host.ID.
 	Hosts  []*Host
 	routes map[[2]int][]*Link
 	// loopback cost for messages a host sends to itself.
@@ -166,12 +170,17 @@ func (pl *Platform) Route(a, b *Host) ([]*Link, error) {
 // Message is a payload in flight or delivered to a process mailbox.
 type Message struct {
 	From, To int // process ids
-	Tag      int
-	Payload  any
-	Bytes    int
-	SentAt   float64
-	Arrival  float64
-	seq      int64
+	// Tag is the application-level channel selector matched by Recv.
+	Tag int
+	// Payload is the application data carried by the message.
+	Payload any
+	// Bytes is the simulated wire size charged to the links.
+	Bytes int
+	// SentAt is the virtual time the sender initiated the transfer.
+	SentAt float64
+	// Arrival is the virtual time the message reaches the destination mailbox.
+	Arrival float64
+	seq     int64
 }
 
 const (
@@ -204,7 +213,10 @@ const (
 // Proc is a simulated process. All methods must be called from within the
 // process's own body function.
 type Proc struct {
-	ID   int
+	// ID is the process's index in the engine's spawn order (and its address
+	// for messages).
+	ID int
+	// Name identifies the process in traces and diagnostics.
 	Name string
 
 	eng     *Engine
@@ -215,7 +227,10 @@ type Proc struct {
 	mailbox []*Message
 	// matcher is set while blocked in Recv.
 	matchSrc, matchTag int
-	err                error
+	// matchDeadline bounds a blocked receive in virtual time: +Inf for a
+	// plain Recv, the timeout instant for RecvTimeout.
+	matchDeadline float64
+	err           error
 	allocated          int64
 	// computing is non-nil while a ComputeFunc segment is in flight on the
 	// worker pool; it is closed by the worker when the segment returns.
@@ -228,17 +243,23 @@ type Proc struct {
 	// scheduler at collection time.
 	deferredFlops float64
 
-	// Stats.
-	FlopsDone     float64
-	BytesSent     int64
-	MsgsSent      int64
-	ComputeTime   float64
+	// FlopsDone counts the virtual floating-point work charged so far.
+	FlopsDone float64
+	// BytesSent counts the simulated bytes this process sent (drops included:
+	// the sender pays for lost messages too).
+	BytesSent int64
+	// MsgsSent counts the messages this process sent, delivered or not.
+	MsgsSent int64
+	// ComputeTime accumulates the virtual time spent in compute segments.
+	ComputeTime float64
+	// BlockedTime accumulates the virtual time spent blocked in Recv.
 	BlockedTime   float64
 	lastBlockedAt float64
 }
 
 // Engine runs a set of processes over a platform.
 type Engine struct {
+	// Platform is the simulated grid the processes run on.
 	Platform *Platform
 	procs    []*Proc
 	yieldCh  chan *Proc
@@ -247,6 +268,8 @@ type Engine struct {
 	// Trace, when non-nil, receives one line per scheduling event.
 	Trace func(string)
 	now   float64
+	// faults is the resolved fault-injection plan (nil for a healthy grid).
+	faults *faultState
 
 	// workers bounds the pool of OS threads executing ComputeFunc segments
 	// concurrently; 1 runs every segment inline (fully serial).
@@ -317,12 +340,13 @@ func (e *Engine) Spawn(h *Host, name string, body func(p *Proc) error) *Proc {
 		panic("vgrid: Spawn after Run")
 	}
 	p := &Proc{
-		ID:     len(e.procs),
-		Name:   name,
-		eng:    e,
-		host:   h,
-		resume: make(chan struct{}),
-		state:  stateReady,
+		ID:            len(e.procs),
+		Name:          name,
+		eng:           e,
+		host:          h,
+		resume:        make(chan struct{}),
+		state:         stateReady,
+		matchDeadline: math.Inf(1),
 	}
 	e.procs = append(e.procs, p)
 	go func() {
@@ -355,6 +379,11 @@ func (e *Engine) Run() (float64, error) {
 		panic("vgrid: Run called twice")
 	}
 	e.started = true
+	if e.faults != nil {
+		if err := e.faults.resolve(e.Platform); err != nil {
+			return 0, err
+		}
+	}
 	defer func() {
 		// Stop the worker pool, if one was started. At this point no segment
 		// is in flight: a computing process is always schedulable, so the
@@ -397,6 +426,9 @@ func (e *Engine) Run() (float64, error) {
 		if resumeAt > e.now {
 			e.now = resumeAt
 		}
+		if e.faults != nil && e.Trace != nil {
+			e.faults.emit(e.now, e.Trace)
+		}
 		p.state = stateRunning
 		if deliver != nil && e.Trace != nil {
 			e.Trace(fmt.Sprintf("t=%.6f %s recv from=%d tag=%d bytes=%d", resumeAt, p.Name, deliver.From, deliver.Tag, deliver.Bytes))
@@ -411,7 +443,11 @@ func (e *Engine) Run() (float64, error) {
 	var blocked []string
 	for _, p := range e.procs {
 		if p.state != stateDone {
-			blocked = append(blocked, p.Name)
+			name := p.Name
+			if e.faults != nil && math.IsInf(e.faults.wake(p.host, p.clock), 1) {
+				name += " (host down)"
+			}
+			blocked = append(blocked, name)
 		}
 	}
 	if len(blocked) > 0 {
@@ -448,28 +484,43 @@ func (e *Engine) Now() float64 { return e.now }
 
 // pickNext selects the process with the earliest next event. For a blocked
 // process the next event is the earliest matching message arrival (clamped
-// to its clock); ready processes resume at their own clock.
+// to its clock) or its receive deadline, whichever comes first; ready
+// processes resume at their own clock. Under a fault plan every candidate
+// time is clamped past the outage windows of the process's host; a process
+// whose host never returns is unschedulable.
 func (e *Engine) pickNext() (best *Proc, at float64, msg *Message) {
 	at = math.Inf(1)
 	var bestMsg *Message
 	for _, p := range e.procs {
+		var t float64
+		var dm *Message
 		switch p.state {
 		case stateReady, stateComputing, stateDeferred:
 			// For stateDeferred, p.clock is the dispatch time — a lower
 			// bound on the true resume time; Run resolves the bound before
 			// committing to any later event.
-			if p.clock < at || (p.clock == at && better(p, best)) {
-				best, at, bestMsg = p, p.clock, nil
-			}
+			t = p.clock
 		case stateBlocked:
-			m := p.earliestMatch()
-			if m == nil {
+			t = p.matchDeadline
+			if m := p.earliestMatch(); m != nil {
+				if ta := math.Max(p.clock, m.Arrival); ta <= t {
+					t, dm = ta, m
+				}
+			}
+			if math.IsInf(t, 1) {
 				continue
 			}
-			t := math.Max(p.clock, m.Arrival)
-			if t < at || (t == at && better(p, best)) {
-				best, at, bestMsg = p, t, m
+		default:
+			continue
+		}
+		if e.faults != nil {
+			t = e.faults.wake(p.host, t)
+			if math.IsInf(t, 1) {
+				continue
 			}
+		}
+		if t < at || (t == at && better(p, best)) {
+			best, at, bestMsg = p, t, dm
 		}
 	}
 	return best, at, bestMsg
@@ -507,17 +558,36 @@ func (p *Proc) Host() *Host { return p.host }
 // from other simulated processes (the engine is single-threaded).
 func (p *Proc) Done() bool { return p.state == stateDone }
 
+// Err returns the process body's error (nil while running or on success).
+// Like Done it is safe to read from other simulated processes, so a peer can
+// diagnose why a rank went silent.
+func (p *Proc) Err() error { return p.err }
+
+// DownAt reports whether the process's host is inside a fault-plan outage
+// window at virtual time t (false without a plan). Peers use it to tell a
+// crashed host apart from a slow or lossy one.
+func (p *Proc) DownAt(t float64) bool {
+	fs := p.eng.faults
+	return fs != nil && fs.down(p.host, t)
+}
+
 // Now returns the process's local virtual clock in seconds.
 func (p *Proc) Now() float64 { return p.clock }
 
 // chargeFlops advances the clock and work statistics by flops at the host's
-// speed, without yielding.
+// speed, without yielding. Under a fault plan the work pauses across outage
+// windows of the host (warm restart), so the clock advances by the work time
+// plus any overlapping downtime.
 func (p *Proc) chargeFlops(flops float64) {
 	if flops < 0 {
 		panic("vgrid: negative flops")
 	}
 	dt := flops / p.host.Speed
-	p.clock += dt
+	if fs := p.eng.faults; fs != nil {
+		p.clock = fs.busyEnd(p.host, p.clock, dt)
+	} else {
+		p.clock += dt
+	}
 	p.ComputeTime += dt
 	p.FlopsDone += flops
 }
@@ -621,24 +691,51 @@ func (p *Proc) Sleep(dt float64) {
 // message then arrives after the route latency. Transfers serialize on every
 // link of the route (contention). Payloads are delivered by reference: the
 // sender must not mutate the payload afterwards (mp copies for safety).
+// Under a fault plan the message may be silently lost (see SendFate).
 func (p *Proc) Send(dst *Proc, tag int, payload any, bytes int) error {
+	_, err := p.SendFate(dst, tag, payload, bytes)
+	return err
+}
+
+// SendFate is Send with the simulator's omniscient delivery verdict: it
+// reports whether the message was actually deposited in the destination's
+// mailbox. Under a fault plan a message is lost when it would arrive while
+// the destination host is down, or when a link on the route drops it (a
+// seeded per-message coin flip). The sender pays the full transmission cost
+// either way — it cannot observe the loss in virtual time, only in the
+// returned verdict, which retry layers (mp) use in place of an acknowledgment
+// protocol. The error return is reserved for configuration problems (no
+// route), not for losses.
+func (p *Proc) SendFate(dst *Proc, tag int, payload any, bytes int) (delivered bool, err error) {
 	if bytes < 0 {
 		panic("vgrid: negative message size")
 	}
 	e := p.eng
+	fs := e.faults
 	links, err := e.Platform.Route(p.host, dst.host)
 	if err != nil {
-		return err
+		return false, err
 	}
 	var latency, pushTime float64
 	start := p.clock
+	if fs != nil {
+		// A sender acting right at an outage boundary starts once its host
+		// is back up; fault windows are sampled at this initiation instant.
+		start = fs.wake(p.host, start)
+	}
+	t0 := start
 	if links == nil {
 		latency = e.Platform.loopLatency
 		pushTime = float64(bytes) / e.Platform.loopBandwidth
 	} else {
 		// FIFO links serialize: the transfer begins when every one is free.
 		for _, l := range links {
-			latency += l.Latency
+			lat := l.Latency
+			if fs != nil {
+				latF, _ := fs.linkFactors(l, t0)
+				lat *= latF
+			}
+			latency += lat
 			if l.Mode == SharingFIFO && l.nextFree > start {
 				start = l.nextFree
 			}
@@ -650,6 +747,10 @@ func (p *Proc) Send(dst *Proc, tag int, payload any, bytes int) error {
 			cap := l.Bandwidth
 			if l.Mode == SharingFair {
 				cap = l.fairShare(start)
+			}
+			if fs != nil {
+				_, bwF := fs.linkFactors(l, t0)
+				cap *= bwF
 			}
 			if cap < bw {
 				bw = cap
@@ -667,19 +768,36 @@ func (p *Proc) Send(dst *Proc, tag int, payload any, bytes int) error {
 	}
 	arrival := start + pushTime + latency
 	e.seq++
-	m := &Message{
-		From:    p.ID,
-		To:      dst.ID,
-		Tag:     tag,
-		Payload: payload,
-		Bytes:   bytes,
-		SentAt:  p.clock,
-		Arrival: arrival,
-		seq:     e.seq,
+	dropReason := ""
+	if fs != nil {
+		if fs.down(dst.host, arrival) {
+			dropReason = "down"
+		} else {
+			for _, l := range links {
+				if pr := fs.dropProb(l, t0); pr > 0 && dropU01(fs.plan.Seed, l.Name, e.seq) < pr {
+					dropReason = "loss"
+					break
+				}
+			}
+		}
 	}
-	dst.mailbox = append(dst.mailbox, m)
-	if e.Trace != nil {
-		e.Trace(fmt.Sprintf("t=%.6f %s send to=%s tag=%d bytes=%d arrive=%.6f", p.clock, p.Name, dst.Name, tag, bytes, arrival))
+	if dropReason == "" {
+		m := &Message{
+			From:    p.ID,
+			To:      dst.ID,
+			Tag:     tag,
+			Payload: payload,
+			Bytes:   bytes,
+			SentAt:  p.clock,
+			Arrival: arrival,
+			seq:     e.seq,
+		}
+		dst.mailbox = append(dst.mailbox, m)
+		if e.Trace != nil {
+			e.Trace(fmt.Sprintf("t=%.6f %s send to=%s tag=%d bytes=%d arrive=%.6f", p.clock, p.Name, dst.Name, tag, bytes, arrival))
+		}
+	} else if e.Trace != nil {
+		e.Trace(fmt.Sprintf("t=%.6f %s drop to=%s tag=%d bytes=%d reason=%s", p.clock, p.Name, dst.Name, tag, bytes, dropReason))
 	}
 	p.BytesSent += int64(bytes)
 	p.MsgsSent++
@@ -687,13 +805,14 @@ func (p *Proc) Send(dst *Proc, tag int, payload any, bytes int) error {
 	p.clock = start + pushTime
 	p.state = stateReady
 	p.yield()
-	return nil
+	return dropReason == "", nil
 }
 
 // Recv blocks until a message matching (src, tag) arrives; use AnySource or
 // AnyTag as wildcards. The clock advances to the arrival time.
 func (p *Proc) Recv(src, tag int) *Message {
 	p.matchSrc, p.matchTag = src, tag
+	p.matchDeadline = math.Inf(1)
 	p.state = stateBlocked
 	p.lastBlockedAt = p.clock
 	p.yield()
@@ -701,6 +820,29 @@ func (p *Proc) Recv(src, tag int) *Message {
 	m := p.earliestMatch()
 	if m == nil {
 		panic("vgrid: resumed blocked process without matching message")
+	}
+	p.removeMessage(m)
+	return m
+}
+
+// RecvTimeout blocks like Recv but for at most timeout virtual seconds: it
+// returns the earliest matching message, or nil once the deadline passes
+// with no match available. On timeout the clock stands at the deadline
+// (clamped past any outage of the process's own host), so callers can retry
+// in a loop without consuming wall-clock time.
+func (p *Proc) RecvTimeout(src, tag int, timeout float64) *Message {
+	if timeout < 0 {
+		panic("vgrid: negative timeout")
+	}
+	p.matchSrc, p.matchTag = src, tag
+	p.matchDeadline = p.clock + timeout
+	p.state = stateBlocked
+	p.lastBlockedAt = p.clock
+	p.yield()
+	p.matchDeadline = math.Inf(1)
+	m := p.earliestMatch()
+	if m == nil || m.Arrival > p.clock {
+		return nil
 	}
 	p.removeMessage(m)
 	return m
@@ -785,13 +927,20 @@ func (h *Host) HostMemoryInUse() int64 { return h.used }
 
 // Stats summarizes per-process accounting after a run.
 type Stats struct {
-	Name        string
-	Clock       float64
-	Flops       float64
+	// Name is the process name.
+	Name string
+	// Clock is the process's final virtual time.
+	Clock float64
+	// Flops is the total virtual floating-point work charged.
+	Flops float64
+	// ComputeTime is the virtual time spent in compute segments.
 	ComputeTime float64
+	// BlockedTime is the virtual time spent blocked in Recv.
 	BlockedTime float64
-	BytesSent   int64
-	MsgsSent    int64
+	// BytesSent is the total simulated bytes sent.
+	BytesSent int64
+	// MsgsSent is the total messages sent.
+	MsgsSent int64
 }
 
 // Stats returns per-process statistics, sorted by process id.
