@@ -11,9 +11,12 @@ test:
 	$(GO) test ./...
 
 # The worker pool runs compute segments on real OS threads, so the race
-# detector is part of the verified loop, not an optional extra.
+# detector is part of the verified loop, not an optional extra. The focused
+# second run pins the observability determinism contract (byte-identical
+# exports for 1 vs N workers) under the race detector.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 -run 'TestObsDeterministicAcrossWorkers' ./internal/obs
 
 vet:
 	$(GO) vet ./...
@@ -22,19 +25,21 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Machine-readable baseline of the refactorization economy: the Newton
-# factor-vs-refactor comparison (factor-flops metric) plus the engine worker
-# scaling, as JSON.
+# factor-vs-refactor comparison (factor-flops metric), the engine worker
+# scaling, and the observed per-phase solver breakdown
+# (factor/refactor flops, bytes moved, wait share), as JSON.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench 'BenchmarkNewtonRefactor|BenchmarkSessionIterate|BenchmarkEngineWorkers' -o BENCH_refactor.json
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkNewtonRefactor|BenchmarkSessionIterate|BenchmarkEngineWorkers|BenchmarkSolverPhases' -o BENCH_refactor.json
 
 # One-iteration smoke of the same pipeline, part of verify: proves the
 # benchmarks still run and the parser still understands their output.
 bench-json-smoke:
-	$(GO) run ./cmd/benchjson -bench 'BenchmarkNewtonRefactor|BenchmarkSessionIterate' -benchtime 1x -o BENCH_refactor.json
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkNewtonRefactor|BenchmarkSessionIterate|BenchmarkSolverPhases' -benchtime 1x -o BENCH_refactor.json
 
-# Fails on any exported identifier of the simulator or the solver core that
-# lacks a doc comment.
+# Fails on any exported identifier of the simulator, the solver core, the
+# observability layer or the messaging/context plumbing that lacks a doc
+# comment.
 lint-docs:
-	$(GO) run ./cmd/lintdocs internal/vgrid internal/core
+	$(GO) run ./cmd/lintdocs internal/vgrid internal/core internal/obs internal/mp internal/simctx
 
 verify: build vet lint-docs test race bench-json-smoke

@@ -13,6 +13,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/nonlinear"
+	"repro/internal/obs"
 	"repro/internal/splu"
 	"repro/internal/vec"
 	"repro/internal/vgrid"
@@ -262,4 +263,68 @@ func BenchmarkSessionIterate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// phaseBreakdown aggregates an observed run into the per-phase numbers the
+// benchjson breakdown fields carry: factorization and refactorization flops,
+// wire bytes moved, and the share of host time spent blocked in receives.
+func phaseBreakdown(rec *obs.Recorder) (factor, refactor, bytesMoved, waitShare float64) {
+	var wait, busy float64
+	for _, s := range rec.Spans() {
+		switch s.Cat {
+		case obs.CatFact:
+			factor += s.Flops
+		case obs.CatRefact:
+			refactor += s.Flops
+		case obs.CatNet:
+			bytesMoved += float64(s.Bytes)
+		}
+		switch s.Cat {
+		case obs.CatCompute, obs.CatSend, obs.CatWait, obs.CatSleep:
+			busy += s.End - s.Start
+			if s.Cat == obs.CatWait {
+				wait += s.End - s.Start
+			}
+		}
+	}
+	if busy > 0 {
+		waitShare = wait / busy
+	}
+	return factor, refactor, bytesMoved, waitShare
+}
+
+// BenchmarkSolverPhases runs one persistent-session solve pair — a full
+// factorization, then a numeric refactorization through the frozen pattern —
+// with the observability layer attached, and reports the per-phase breakdown
+// benchjson lifts into its breakdown fields (deterministic virtual-clock
+// numbers, so they double as a regression baseline).
+func BenchmarkSolverPhases(b *testing.B) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 4000, Band: 12, PerRow: 5, Margin: 0.1, Negative: true, Seed: 22})
+	rhs, _ := gen.RHSForSolution(a)
+	newPlat := func() (*vgrid.Platform, []*vgrid.Host) {
+		plt := repro.Cluster1(4, repro.MemUnlimited)
+		return plt.Platform, plt.Hosts
+	}
+	v := make([]float64, a.NNZ())
+	copy(v, a.Val)
+	var factor, refactor, bytesMoved, waitShare float64
+	for i := 0; i < b.N; i++ {
+		sess, err := core.NewSession(newPlat, a, core.Options{Tol: 1e-8, Overlap: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := &obs.Recorder{}
+		sess.Obs = rec
+		if _, err := sess.Resolve(nil, rhs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Resolve(v, rhs); err != nil {
+			b.Fatal(err)
+		}
+		factor, refactor, bytesMoved, waitShare = phaseBreakdown(rec)
+	}
+	b.ReportMetric(factor, "factor-flops")
+	b.ReportMetric(refactor, "refactor-flops")
+	b.ReportMetric(bytesMoved, "bytes-moved")
+	b.ReportMetric(waitShare, "wait-share")
 }

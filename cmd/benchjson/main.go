@@ -1,9 +1,11 @@
 // Command benchjson runs `go test -bench` over a benchmark selection and
 // rewrites the textual output as a JSON report: one record per benchmark with
-// ns/op, B/op, allocs/op and any custom metrics (e.g. factor-flops) keyed by
-// unit. It exists so CI can archive machine-readable benchmark baselines
-// (make bench-json → BENCH_refactor.json) without depending on external
-// benchmark-parsing tooling.
+// ns/op, B/op, allocs/op and any custom metrics keyed by unit. The per-phase
+// solver units (factor-flops, refactor-flops, bytes-moved, wait-share) are
+// lifted into a structured "breakdown" object. It exists so CI can archive
+// machine-readable benchmark baselines (make bench-json →
+// BENCH_refactor.json) without depending on external benchmark-parsing
+// tooling.
 //
 // Usage:
 //
@@ -29,7 +31,42 @@ type Record struct {
 	NsPerOp    float64            `json:"ns_per_op"`
 	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
 	BytesOp    *float64           `json:"bytes_per_op,omitempty"`
+	Breakdown  *Breakdown         `json:"breakdown,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Breakdown is the per-phase solver breakdown, lifted out of the generic
+// metric map when a benchmark reports the recognized units (factor-flops,
+// refactor-flops, bytes-moved, wait-share).
+type Breakdown struct {
+	FactorFlops   *float64 `json:"factor_flops,omitempty"`
+	RefactorFlops *float64 `json:"refactor_flops,omitempty"`
+	BytesMoved    *float64 `json:"bytes_moved,omitempty"`
+	WaitShare     *float64 `json:"wait_share,omitempty"`
+}
+
+// breakdownSlot returns the Breakdown field a metric unit lifts into, or nil
+// for generic metrics; the Breakdown is allocated on the first recognized
+// unit.
+func (r *Record) breakdownSlot(unit string) **float64 {
+	switch unit {
+	case "factor-flops", "refactor-flops", "bytes-moved", "wait-share":
+	default:
+		return nil
+	}
+	if r.Breakdown == nil {
+		r.Breakdown = &Breakdown{}
+	}
+	switch unit {
+	case "factor-flops":
+		return &r.Breakdown.FactorFlops
+	case "refactor-flops":
+		return &r.Breakdown.RefactorFlops
+	case "bytes-moved":
+		return &r.Breakdown.BytesMoved
+	default:
+		return &r.Breakdown.WaitShare
+	}
 }
 
 // Report is the top-level JSON document.
@@ -133,6 +170,11 @@ func Parse(text string) (*Report, error) {
 			case "allocs/op":
 				r.AllocsOp = &v
 			default:
+				if slot := r.breakdownSlot(unit); slot != nil {
+					vv := v
+					*slot = &vv
+					continue
+				}
 				if r.Metrics == nil {
 					r.Metrics = map[string]float64{}
 				}

@@ -9,6 +9,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
 BenchmarkNewtonRefactor/refactor-8         	       3	  12871904 ns/op	    486530 factor-flops	 3167304 B/op	     578 allocs/op
 BenchmarkNewtonRefactor/factor-each-step-8 	       2	  21565314 ns/op	   1354580 factor-flops	16126152 B/op	    3350 allocs/op
 BenchmarkSessionIterate-8                  	     100	   2096852 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSolverPhases-8                    	       1	  21922938 ns/op	     80624 bytes-moved	    982900 factor-flops	    447923 refactor-flops	         0.3282 wait-share	   42 extra-unit
 PASS
 ok  	repro	0.053s
 `
@@ -21,7 +22,7 @@ func TestParse(t *testing.T) {
 	if rep.Package != "repro" || rep.Goos != "linux" || rep.Goarch != "amd64" {
 		t.Fatalf("header: %+v", rep)
 	}
-	if len(rep.Benchmarks) != 3 {
+	if len(rep.Benchmarks) != 4 {
 		t.Fatalf("got %d benchmarks", len(rep.Benchmarks))
 	}
 	r := rep.Benchmarks[0]
@@ -31,18 +32,32 @@ func TestParse(t *testing.T) {
 	if r.Iterations != 3 || r.NsPerOp != 12871904 {
 		t.Fatalf("record: %+v", r)
 	}
-	if r.Metrics["factor-flops"] != 486530 {
-		t.Fatalf("metrics: %+v", r.Metrics)
+	if r.Breakdown == nil || r.Breakdown.FactorFlops == nil || *r.Breakdown.FactorFlops != 486530 {
+		t.Fatalf("factor-flops not lifted into breakdown: %+v", r.Breakdown)
+	}
+	if r.Metrics != nil {
+		t.Fatalf("lifted unit left in metrics: %+v", r.Metrics)
 	}
 	if r.AllocsOp == nil || *r.AllocsOp != 578 {
 		t.Fatalf("allocs: %+v", r.AllocsOp)
 	}
-	last := rep.Benchmarks[2]
-	if last.Name != "BenchmarkSessionIterate" || *last.AllocsOp != 0 {
-		t.Fatalf("last: %+v", last)
+	sess := rep.Benchmarks[2]
+	if sess.Name != "BenchmarkSessionIterate" || *sess.AllocsOp != 0 {
+		t.Fatalf("session record: %+v", sess)
 	}
-	if last.Metrics != nil {
-		t.Fatalf("unexpected metrics: %+v", last.Metrics)
+	if sess.Metrics != nil || sess.Breakdown != nil {
+		t.Fatalf("unexpected metrics: %+v %+v", sess.Metrics, sess.Breakdown)
+	}
+	ph := rep.Benchmarks[3]
+	bd := ph.Breakdown
+	if bd == nil || bd.FactorFlops == nil || bd.RefactorFlops == nil || bd.BytesMoved == nil || bd.WaitShare == nil {
+		t.Fatalf("phase breakdown incomplete: %+v", bd)
+	}
+	if *bd.RefactorFlops != 447923 || *bd.BytesMoved != 80624 || *bd.WaitShare != 0.3282 {
+		t.Fatalf("phase breakdown values: %+v", bd)
+	}
+	if ph.Metrics["extra-unit"] != 42 {
+		t.Fatalf("generic metric lost: %+v", ph.Metrics)
 	}
 }
 

@@ -5,12 +5,18 @@
 //
 //	msexp [-scale N] [-csv] [-quiet] [experiment ...]
 //
-// Experiments: table1 table2 table3 table4 figure3 faultsweep (default:
-// all). -scale divides the paper's matrix dimensions (default 16; 8 gives a
-// closer, slower run; 1 is the paper's exact sizes, only practical for the
-// generated banded matrices). -csv emits comma-separated values instead of
-// aligned text (handy for plotting figure3). -fault-seed reseeds the
-// deterministic fault injection of the faultsweep experiment.
+// Experiments: table1 table2 table3 table4 figure3 faultsweep utilization
+// (default: all). -scale divides the paper's matrix dimensions (default 16;
+// 8 gives a closer, slower run; 1 is the paper's exact sizes, only practical
+// for the generated banded matrices). -csv emits comma-separated values
+// instead of aligned text (handy for plotting figure3). -fault-seed reseeds
+// the deterministic fault injection of the faultsweep experiment.
+//
+// The utilization experiment honours the observability flags: -trace-json
+// PREFIX writes a Perfetto trace per run to PREFIX-<cluster>-<solver>.json,
+// -metrics-out PREFIX writes PREFIX-<cluster>-<solver>.metrics.{json,csv},
+// and -critical-path appends each run's top critical-path segments to the
+// table's notes.
 package main
 
 import (
@@ -29,13 +35,19 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	workers := flag.Int("workers", 0, "worker threads for compute segments (0 = GOMAXPROCS); results are identical for any value")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the faultsweep experiment's fault injection (0 = fixed default)")
+	traceJSON := flag.String("trace-json", "", "utilization: write a Perfetto trace per run to PREFIX-<cluster>-<solver>.json")
+	metricsOut := flag.String("metrics-out", "", "utilization: write per-run metrics to PREFIX-<cluster>-<solver>.metrics.{json,csv}")
+	critPath := flag.Bool("critical-path", false, "utilization: append each run's top critical-path segments to the table notes")
 	flag.Parse()
 
 	var progress io.Writer
 	if !*quiet {
 		progress = os.Stderr
 	}
-	cfg := experiments.Config{Scale: *scale, Progress: progress, Workers: *workers, FaultSeed: *faultSeed}
+	cfg := experiments.Config{
+		Scale: *scale, Progress: progress, Workers: *workers, FaultSeed: *faultSeed,
+		TraceJSON: *traceJSON, MetricsOut: *metricsOut, CriticalPath: *critPath,
+	}
 
 	names := flag.Args()
 	if len(names) == 0 {

@@ -7,10 +7,18 @@
 //	       [-scheme owner|average] [-solver sparse|dense|band]
 //	       [-cluster cluster1|cluster2|cluster3] [-tol 1e-8] [-o x.txt]
 //	       [-ft] [-drop P] [-drop-link NAME] [-crash host@from:until,...]
-//	       [-fault-seed S]
+//	       [-fault-seed S] [-trace-json out.json] [-metrics-out PREFIX]
+//	       [-critical-path]
 //
 // Without -rhs the right-hand side is manufactured as b = A·1 so the exact
 // solution is the all-ones vector and the reported error is meaningful.
+//
+// The observability flags profile the run on the virtual clock: -trace-json
+// writes a Chrome trace-event file loadable in Perfetto (ui.perfetto.dev),
+// -metrics-out writes per-host utilization, per-link traffic and convergence
+// series as PREFIX.metrics.json/.csv, and -critical-path prints the makespan
+// decomposed into compute/network/wait along the run's critical path. All
+// outputs are deterministic for any -workers value.
 //
 // The fault flags inject deterministic failures into the simulated grid:
 // -drop loses each message crossing -drop-link (default the inter-site
@@ -24,6 +32,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -32,6 +41,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/mmio"
+	"repro/internal/obs"
 	"repro/internal/splu"
 	"repro/internal/vec"
 	"repro/internal/vgrid"
@@ -52,6 +62,9 @@ func main() {
 		trace      = flag.Bool("trace", false, "print a per-processor activity timeline after the solve")
 		workers    = flag.Int("workers", 0, "worker threads for compute segments (0 = GOMAXPROCS); results are identical for any value")
 		outPath    = flag.String("o", "", "write the solution vector to this file")
+		traceJSON  = flag.String("trace-json", "", "write a Chrome trace-event JSON (open in Perfetto / chrome://tracing) of the run to this file")
+		metricsOut = flag.String("metrics-out", "", "write utilization/convergence metrics to PREFIX.metrics.json and PREFIX.metrics.csv")
+		critPath   = flag.Bool("critical-path", false, "print the critical-path decomposition of the makespan after the solve")
 		ft         = flag.Bool("ft", false, "enable the fault-tolerant mode (retransmission, timeouts, degraded operation)")
 		drop       = flag.Float64("drop", 0, "drop each message on -drop-link with this probability")
 		dropLink   = flag.String("drop-link", "wan", "name of the link losing messages (cluster3's inter-site link is \"wan\")")
@@ -64,10 +77,65 @@ func main() {
 		os.Exit(2)
 	}
 	faults := faultSpec{drop: *drop, dropLink: *dropLink, crash: *crash, seed: *faultSeed, ft: *ft}
-	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *schemeName, *solverName, *clusterTyp, *tol, *cond, *trace, *workers, *outPath, faults); err != nil {
+	ospec := obsSpec{traceJSON: *traceJSON, metricsOut: *metricsOut, critPath: *critPath}
+	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *schemeName, *solverName, *clusterTyp, *tol, *cond, *trace, *workers, *outPath, faults, ospec); err != nil {
 		fmt.Fprintln(os.Stderr, "msolve:", err)
 		os.Exit(1)
 	}
+}
+
+// obsSpec collects the observability flags.
+type obsSpec struct {
+	traceJSON  string
+	metricsOut string
+	critPath   bool
+}
+
+// enabled reports whether any observability output was requested.
+func (ospec obsSpec) enabled() bool {
+	return ospec.traceJSON != "" || ospec.metricsOut != "" || ospec.critPath
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// export writes the requested artifacts from a finished run: the Perfetto
+// trace, the metrics pair (JSON + CSV) and the critical-path report.
+func (ospec obsSpec) export(rec *obs.Recorder, makespan float64) error {
+	if ospec.traceJSON != "" {
+		if err := writeFile(ospec.traceJSON, func(w io.Writer) error {
+			return obs.WriteTraceJSON(w, rec)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", ospec.traceJSON)
+	}
+	if ospec.metricsOut != "" {
+		m := obs.ComputeMetrics(rec, makespan)
+		if err := writeFile(ospec.metricsOut+".metrics.json", m.WriteJSON); err != nil {
+			return err
+		}
+		if err := writeFile(ospec.metricsOut+".metrics.csv", m.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s.metrics.{json,csv}\n", ospec.metricsOut)
+	}
+	if ospec.critPath {
+		if cp := obs.CriticalPath(rec); cp != nil {
+			cp.Fprint(os.Stdout, 10)
+		}
+	}
+	return nil
 }
 
 // faultSpec collects the fault-injection flags.
@@ -117,7 +185,7 @@ func (fs faultSpec) plan() (*vgrid.FaultPlan, error) {
 	return fp, nil
 }
 
-func run(matrixPath, rhsPath string, procs, overlap int, async bool, schemeName, solverName, clusterTyp string, tol float64, cond, trace bool, workers int, outPath string, faults faultSpec) error {
+func run(matrixPath, rhsPath string, procs, overlap int, async bool, schemeName, solverName, clusterTyp string, tol float64, cond, trace bool, workers int, outPath string, faults faultSpec, ospec obsSpec) error {
 	a, err := mmio.ReadMatrixAuto(matrixPath)
 	if err != nil {
 		return err
@@ -217,6 +285,11 @@ func run(matrixPath, rhsPath string, procs, overlap int, async bool, schemeName,
 		rec = &vgrid.Recorder{}
 		e.Record(rec)
 	}
+	var orec *obs.Recorder
+	if ospec.enabled() {
+		orec = &obs.Recorder{}
+		e.Observe(orec)
+	}
 	pend, err := core.Launch(e, hosts, a, b, core.Options{
 		Overlap:       overlap,
 		Scheme:        scheme,
@@ -233,6 +306,13 @@ func run(matrixPath, rhsPath string, procs, overlap int, async bool, schemeName,
 		return err
 	}
 	pend.Finish()
+	if orec != nil {
+		// Export before the convergence verdict: a stalled run is exactly
+		// the kind the profile should explain.
+		if err := ospec.export(orec, e.Now()); err != nil {
+			return err
+		}
+	}
 	res := pend.Result()
 	if !res.Converged {
 		return core.ErrNoConvergence

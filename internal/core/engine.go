@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/mp"
+	"repro/internal/obs"
 	"repro/internal/simctx"
 	"repro/internal/sparse"
 	"repro/internal/splu"
@@ -105,6 +106,7 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 		return nil, 0, err
 	}
 	factStart := c.Now()
+	factFlops0 := ctx.Counter.Flops()
 	solver := o.Solver
 	if o.SolverPerRank != nil && o.SolverPerRank[rank] != nil {
 		solver = o.SolverPerRank[rank]
@@ -126,6 +128,10 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 	}
 	st.fact = fact
 	factTime := c.Now() - factStart
+	if sc := ctx.Observe(); sc != nil {
+		sc.Span(obs.Span{Cat: obs.CatFact, Name: "factor",
+			Start: factStart, End: c.Now(), Flops: ctx.Counter.Flops() - factFlops0})
+	}
 	if err := ctx.Alloc(fact.Bytes()); err != nil {
 		return nil, 0, err
 	}
@@ -312,6 +318,7 @@ func msRank(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o Opti
 	c.Tree = o.TreeCollectives
 	ctx := simctx.New()
 	ctx.Trace = o.Trace
+	ctx.Obs = obs.NewScope(c.Proc().Obs(), c.Proc().Name)
 	if o.TrackMemory {
 		ctx.Mem = c.Proc()
 	}
@@ -347,6 +354,7 @@ func msRankRun(st *rankState, pend *Pending, factTime float64) error {
 	aborted := false
 	for st.iter < o.MaxIter {
 		st.iter++
+		iterStart := c.Now()
 		if err := st.iterate(); err != nil {
 			return err
 		}
@@ -356,6 +364,10 @@ func msRankRun(st *rankState, pend *Pending, factTime float64) error {
 		out, err := policy.exchange(st, stop)
 		if err != nil {
 			return err
+		}
+		if sc := st.ctx.Observe(); sc != nil {
+			sc.Span(obs.Span{Cat: obs.CatIter, Name: "iter", Iter: st.iter,
+				Start: iterStart, End: c.Now()})
 		}
 		if out == outConverged {
 			converged = true

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/mp"
+	"repro/internal/obs"
 )
 
 // outcome is an exchange policy's verdict for the current iteration.
@@ -51,6 +52,9 @@ func (syncPolicy) exchange(st *rankState, stop stopper) (outcome, error) {
 	}
 	crit := stop.crit(st)
 	st.c.Charge()
+	if sc := st.ctx.Observe(); sc != nil {
+		sc.Sample(stop.series(), st.c.Now(), crit)
+	}
 	global, err := st.c.Allreduce(crit, mp.OpMax)
 	if err != nil {
 		return 0, err
@@ -106,6 +110,9 @@ func (ap *asyncPolicy) finish(st *rankState, stop stopper) (outcome, error) {
 	}
 	crit := stop.crit(st)
 	st.c.Charge()
+	if sc := st.ctx.Observe(); sc != nil {
+		sc.Sample(stop.series(), st.c.Now(), crit)
+	}
 	switch {
 	case crit > st.o.Tol:
 		st.stableRuns = 0
@@ -133,6 +140,11 @@ func (ap *asyncPolicy) finish(st *rankState, stop stopper) (outcome, error) {
 		if now := st.c.Now(); now-ap.lastRefresh >= st.o.DeadRankTimeout {
 			ap.lastRefresh = now
 			st.ctx.Faultf("rank %d iter %d: detector refresh", st.rank, st.iter)
+			if sc := st.ctx.Observe(); sc != nil {
+				sc.Span(obs.Span{Cat: obs.CatDetect, Name: "detector-refresh",
+					Start: now, End: now, Iter: st.iter})
+				sc.Count("detector_refresh", 1)
+			}
 			ap.det.Refresh()
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/mp"
+	"repro/internal/obs"
 	"repro/internal/simctx"
 	"repro/internal/sparse"
 	"repro/internal/splu"
@@ -241,6 +242,10 @@ type Session struct {
 	// Resolve's engine (the determinism witness: the stream must be
 	// byte-identical for any Workers setting).
 	EngineTrace func(line string)
+	// Obs, when set, is attached to every Resolve's engine; spans of
+	// successive Resolves accumulate (each on its own virtual timeline
+	// starting at zero).
+	Obs *obs.Recorder
 	// FactorFlops accumulates factorization + refactorization flops across
 	// all Resolves and ranks.
 	FactorFlops float64
@@ -325,6 +330,9 @@ func (s *Session) Resolve(newVals, b []float64) (*Result, error) {
 	if s.EngineTrace != nil {
 		e.Trace = s.EngineTrace
 	}
+	if s.Obs != nil {
+		e.Observe(s.Obs)
+	}
 	pend := &Pending{}
 	pend.res.IterationsPerRank = make([]int, len(hosts))
 	refresh := newVals != nil
@@ -352,6 +360,7 @@ func (s *Session) rankBody(c *mp.Comm, bGlob []float64, refresh bool, pend *Pend
 	c.Tree = s.o.TreeCollectives
 	ctx := simctx.New()
 	ctx.Trace = s.o.Trace
+	ctx.Obs = obs.NewScope(c.Proc().Obs(), c.Proc().Name)
 	if s.o.TrackMemory {
 		ctx.Mem = c.Proc()
 	}
@@ -423,6 +432,7 @@ func (s *Session) refreshRank(sr *sessionRank, c *mp.Comm, ctx *simctx.Ctx, bGlo
 			st.depMat.Val[k] = s.a.Val[p]
 		}
 		rf, canRefactor := st.fact.(splu.Refactorer)
+		refactFlops0 := ctx.Counter.Flops()
 		if canRefactor && !s.NoRefactor {
 			// The refactor cost is frozen by the symbolic phase, so this is a
 			// declared segment; Charge reconciles the rare pivot-degradation
@@ -434,6 +444,10 @@ func (s *Session) refreshRank(sr *sessionRank, c *mp.Comm, ctx *simctx.Ctx, bGlo
 			c.Charge()
 			if refErr != nil {
 				return 0, fmt.Errorf("rank %d: refactorization: %w", st.rank, refErr)
+			}
+			if sc := ctx.Observe(); sc != nil {
+				sc.Span(obs.Span{Cat: obs.CatRefact, Name: "refactor",
+					Start: factStart, End: c.Now(), Flops: ctx.Counter.Flops() - refactFlops0})
 			}
 		} else {
 			solver := s.o.Solver
@@ -450,6 +464,10 @@ func (s *Session) refreshRank(sr *sessionRank, c *mp.Comm, ctx *simctx.Ctx, bGlo
 				return 0, fmt.Errorf("rank %d: %w", st.rank, factErr)
 			}
 			st.fact = fact
+			if sc := ctx.Observe(); sc != nil {
+				sc.Span(obs.Span{Cat: obs.CatFact, Name: "factor",
+					Start: factStart, End: c.Now(), Flops: ctx.Counter.Flops() - refactFlops0})
+			}
 		}
 		// A fallback or re-factor may change the fill, so the per-iteration
 		// declared cost is recomputed.

@@ -6,9 +6,11 @@ import (
 
 // stopper produces the scalar convergence criterion a rank compares against
 // Tol each iteration. Two strategies: the paper's cheap successive-iterate
-// difference, and the more expensive true band residual.
+// difference, and the more expensive true band residual. series names the
+// criterion in the observability exports ("diff" or "residual").
 type stopper interface {
 	crit(st *rankState) float64
+	series() string
 }
 
 func newStopper(o Options) stopper {
@@ -23,6 +25,8 @@ func newStopper(o Options) stopper {
 type iterateStopper struct{}
 
 func (iterateStopper) crit(st *rankState) float64 { return st.diff }
+
+func (iterateStopper) series() string { return "diff" }
 
 // residualStopper evaluates ‖BSub − Dep·z − ASub·XSub‖∞ — the genuine local
 // residual of the band equation given the current dependency values.
@@ -42,3 +46,5 @@ func (r *residualStopper) crit(st *rankState) float64 {
 	st.sub.MulVecSub(r.rtmp, st.xSub, cnt)
 	return vec.NormInf(r.rtmp, cnt)
 }
+
+func (*residualStopper) series() string { return "residual" }

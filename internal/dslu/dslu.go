@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/mp"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/simctx"
 	"repro/internal/sparse"
@@ -262,10 +263,12 @@ func dsluRank(cm *mp.Comm, c *sparse.CSR, w []float64, rcm []int, o Options, pen
 	nBlocks := (n + nb - 1) / nb
 	ownerOf := func(block int) int { return block % nprocs }
 	ctx := simctx.New()
+	ctx.Obs = obs.NewScope(cm.Proc().Obs(), cm.Proc().Name)
 	if o.TrackMemory {
 		ctx.Mem = cm.Proc()
 	}
 	cm.AttachCtx(ctx)
+	factStart := cm.Now()
 	cnt := ctx.Counter
 	charge := cm.Charge
 	allocated := int64(0)
@@ -403,6 +406,10 @@ func dsluRank(cm *mp.Comm, c *sparse.CSR, w []float64, rcm []int, o Options, pen
 		charge()
 	}
 	factEnd := cm.Now()
+	if sc := ctx.Observe(); sc != nil {
+		sc.Span(obs.Span{Cat: obs.CatFact, Name: "factor",
+			Start: factStart, End: factEnd, Flops: cnt.Flops()})
+	}
 
 	// --- Forward solve: L y = w, streaming y blocks in ascending order.
 	y := make([]float64, n)
@@ -452,6 +459,12 @@ func dsluRank(cm *mp.Comm, c *sparse.CSR, w []float64, rcm []int, o Options, pen
 			}
 		}
 		charge()
+	}
+
+	fsolveEnd := cm.Now()
+	if sc := ctx.Observe(); sc != nil {
+		sc.Span(obs.Span{Cat: obs.CatPhase, Name: "fsolve",
+			Start: factEnd, End: fsolveEnd})
 	}
 
 	// --- Back substitution: U x = y, streaming x blocks in descending order.
@@ -511,6 +524,11 @@ func dsluRank(cm *mp.Comm, c *sparse.CSR, w []float64, rcm []int, o Options, pen
 			}
 		}
 		charge()
+	}
+
+	if sc := ctx.Observe(); sc != nil {
+		sc.Span(obs.Span{Cat: obs.CatPhase, Name: "bsolve",
+			Start: fsolveEnd, End: cm.Now()})
 	}
 
 	// --- Gather the solution (undo the RCM permutation) at rank 0.

@@ -41,6 +41,16 @@ type Config struct {
 	// experiment; 0 selects a fixed default so results are reproducible
 	// without configuration.
 	FaultSeed int64
+	// TraceJSON, when non-empty, makes observability-aware experiments (the
+	// utilization table) write a Perfetto trace per run to
+	// <TraceJSON>-<cluster>-<solver>.json.
+	TraceJSON string
+	// MetricsOut, when non-empty, writes per-run metrics to
+	// <MetricsOut>-<cluster>-<solver>.metrics.{json,csv}.
+	MetricsOut string
+	// CriticalPath adds each run's top critical-path segments to the
+	// utilization table's notes.
+	CriticalPath bool
 }
 
 func (c Config) scale() int {

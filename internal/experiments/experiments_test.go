@@ -263,7 +263,7 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"table1", "1", "table2", "table3", "table4", "figure3", "fig3", "faultsweep", "faults"} {
+	for _, name := range []string{"table1", "1", "table2", "table3", "table4", "figure3", "fig3", "faultsweep", "faults", "utilization", "util"} {
 		if _, err := ByName(name); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -271,7 +271,7 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown name accepted")
 	}
-	if len(All()) != 6 {
+	if len(All()) != 7 {
 		t.Fatalf("All() has %d entries", len(All()))
 	}
 }

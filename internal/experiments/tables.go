@@ -271,6 +271,8 @@ func ByName(name string) (func(Config) (*Table, error), error) {
 		return Figure3, nil
 	case "faultsweep", "faults":
 		return FaultSweep, nil
+	case "utilization", "util":
+		return Utilization, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
 	}
@@ -291,5 +293,6 @@ func All() []struct {
 		{"table4", Table4},
 		{"figure3", Figure3},
 		{"faultsweep", FaultSweep},
+		{"utilization", Utilization},
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/simctx"
 	"repro/internal/vgrid"
 )
@@ -199,10 +200,15 @@ func (c *Comm) xsend(dst *vgrid.Proc, tag int, payload any, bytes int) error {
 		if i == attempts-1 {
 			c.Undelivered++
 			c.ctx.Faultf("rank %d: message tag=%d to %s lost after %d attempts", c.rank, tag, dst.Name, attempts)
+			c.ctx.Observe().Count("undelivered", 1)
 			return nil
 		}
+		c.ctx.Observe().Count("retries", 1)
 		if backoff > 0 {
+			t0 := c.p.Now()
 			c.p.Sleep(backoff)
+			c.ctx.Observe().Span(obs.Span{Cat: obs.CatRetry, Name: "retry",
+				Start: t0, End: c.p.Now(), To: dst.Name, Tag: tag, Bytes: int64(bytes)})
 			backoff *= 2
 		}
 	}
@@ -233,10 +239,15 @@ func (c *Comm) Signal(dst, tag int) error {
 
 // Packet is a received message with its metadata.
 type Packet struct {
-	From    int
-	Tag     int
-	Floats  []float64
-	Ints    []int
+	// From is the sender's rank.
+	From int
+	// Tag is the application message tag.
+	Tag int
+	// Floats is the payload when the message carried a float vector.
+	Floats []float64
+	// Ints is the payload when the message carried an int vector.
+	Ints []int
+	// Arrival is the virtual time the message reached the mailbox.
 	Arrival float64
 }
 

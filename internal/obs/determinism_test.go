@@ -1,0 +1,117 @@
+package obs_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/vgrid"
+)
+
+// observedSolve runs a small multisplitting solve on cluster1 with a recorder
+// attached and returns every observability export plus the engine's textual
+// trace and end time.
+func observedSolve(t *testing.T, workers int, async bool, attach bool) (exports [3][]byte, engineTrace string, rec *obs.Recorder, end float64) {
+	t.Helper()
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 600, Band: 40, PerRow: 8, Margin: 0.05, Negative: true, Seed: 77})
+	b, _ := gen.RHSForSolution(a)
+	plt := cluster.Cluster1(4, -1)
+	e := vgrid.NewEngine(plt.Platform)
+	e.SetWorkers(workers)
+	var sb strings.Builder
+	e.Trace = func(line string) { sb.WriteString(line); sb.WriteByte('\n') }
+	if attach {
+		rec = &obs.Recorder{}
+		e.Observe(rec)
+	}
+	pend, err := core.Launch(e, plt.Hosts, a, b, core.Options{Tol: 1e-8, Overlap: 10, Async: async})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err = e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pend.Finish()
+	if !pend.Result().Converged {
+		t.Fatal("solve did not converge")
+	}
+	if attach {
+		var trace, mj, mc bytes.Buffer
+		if err := obs.WriteTraceJSON(&trace, rec); err != nil {
+			t.Fatal(err)
+		}
+		m := obs.ComputeMetrics(rec, end)
+		if err := m.WriteJSON(&mj); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteCSV(&mc); err != nil {
+			t.Fatal(err)
+		}
+		exports = [3][]byte{trace.Bytes(), mj.Bytes(), mc.Bytes()}
+	}
+	return exports, sb.String(), rec, end
+}
+
+// TestObsDeterministicAcrossWorkers: with observability on, every export —
+// the Perfetto trace JSON, the metrics JSON and the metrics CSV — must be
+// byte-identical whether the compute segments run serially or on a pool of 4
+// worker threads.
+func TestObsDeterministicAcrossWorkers(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		name := "sync"
+		if async {
+			name = "async"
+		}
+		t.Run(name, func(t *testing.T) {
+			e1, tr1, _, _ := observedSolve(t, 1, async, true)
+			e4, tr4, _, _ := observedSolve(t, 4, async, true)
+			if tr1 != tr4 {
+				t.Fatal("engine traces diverge between worker counts")
+			}
+			labels := []string{"trace JSON", "metrics JSON", "metrics CSV"}
+			for i := range e1 {
+				if !bytes.Equal(e1[i], e4[i]) {
+					t.Fatalf("%s differs between 1 and 4 workers", labels[i])
+				}
+			}
+		})
+	}
+}
+
+// TestObsCriticalPathSumsToMakespan: the profiler's compute+network+wait
+// decomposition must cover the walk's makespan within 1% (it is exact by
+// construction; the gate leaves float headroom).
+func TestObsCriticalPathSumsToMakespan(t *testing.T) {
+	_, _, rec, end := observedSolve(t, 1, false, true)
+	cp := obs.CriticalPath(rec)
+	if cp == nil {
+		t.Fatal("no critical path from an instrumented run")
+	}
+	sum := cp.Compute + cp.Network + cp.Wait
+	if math.Abs(sum-cp.Makespan) > 0.01*cp.Makespan {
+		t.Fatalf("decomposition %g vs makespan %g off by more than 1%%", sum, cp.Makespan)
+	}
+	if cp.Makespan > end {
+		t.Fatalf("critical-path makespan %g exceeds engine end %g", cp.Makespan, end)
+	}
+}
+
+// TestObsOffLeavesSimulationUnchanged: attaching a recorder must not perturb
+// the simulation — the engine's textual trace (every scheduling decision and
+// virtual timestamp) is byte-identical with and without observability.
+func TestObsOffLeavesSimulationUnchanged(t *testing.T) {
+	_, trOff, _, endOff := observedSolve(t, 1, false, false)
+	_, trOn, _, endOn := observedSolve(t, 1, false, true)
+	if trOff != trOn {
+		t.Fatal("observability changed the engine trace")
+	}
+	if endOff != endOn {
+		t.Fatalf("observability changed the end time: %g vs %g", endOff, endOn)
+	}
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// HostUtil is the virtual-time budget of one process track over a run:
+// where its makespan went, split by span category, plus the derived
+// utilization (busy share of the makespan).
+type HostUtil struct {
+	// Track is the process name.
+	Track string `json:"track"`
+	// Compute is the virtual time spent in charged compute segments.
+	Compute float64 `json:"compute"`
+	// Send is the sender-side virtual time spent queueing and pushing.
+	Send float64 `json:"send"`
+	// Wait is the virtual time spent blocked in receives.
+	Wait float64 `json:"wait"`
+	// Sleep is the virtual time spent in explicit sleeps (incl. backoff).
+	Sleep float64 `json:"sleep"`
+	// Idle is the uncovered remainder of the makespan.
+	Idle float64 `json:"idle"`
+	// Flops is the total arithmetic work charged on the track.
+	Flops float64 `json:"flops"`
+	// Utilization is (Compute+Send)/makespan — the busy share.
+	Utilization float64 `json:"utilization"`
+}
+
+// LinkStat aggregates one link's traffic over a run.
+type LinkStat struct {
+	// Link is the link name.
+	Link string `json:"link"`
+	// Bytes is the total wire bytes pushed through the link.
+	Bytes float64 `json:"bytes"`
+	// Msgs is the number of messages routed over the link.
+	Msgs float64 `json:"msgs"`
+	// QueueDelay is the accumulated queueing delay behind earlier transfers.
+	QueueDelay float64 `json:"queue_delay"`
+}
+
+// SeriesPoint is one (virtual time, value) observation of a series.
+type SeriesPoint struct {
+	// T is the virtual time of the observation.
+	T float64 `json:"t"`
+	// V is the observed value.
+	V float64 `json:"v"`
+}
+
+// Series is one metric time series on one track (e.g. rank 3's residual).
+type Series struct {
+	// Series is the metric name.
+	Series string `json:"series"`
+	// Track is the emitting rank or resource.
+	Track string `json:"track"`
+	// Points are the observations in virtual-time order.
+	Points []SeriesPoint `json:"points"`
+}
+
+// Metrics is the aggregate view of a recorded run: per-host utilization,
+// per-link traffic, counter totals and convergence series.
+type Metrics struct {
+	// Makespan is the run's end-to-end virtual time.
+	Makespan float64 `json:"makespan"`
+	// Hosts holds per-process utilization rows sorted by track name.
+	Hosts []HostUtil `json:"hosts"`
+	// Links holds per-link traffic rows sorted by link name.
+	Links []LinkStat `json:"links"`
+	// Counters holds the remaining accumulator totals (retries, faults, ...).
+	Counters []CounterTotal `json:"counters"`
+	// Series holds the convergence/metric time series.
+	Series []Series `json:"series"`
+}
+
+// Link-stat counter names emitted by the simulator; ComputeMetrics folds
+// these into Metrics.Links instead of the generic Counters list.
+const (
+	// CntLinkBytes accumulates wire bytes per link.
+	CntLinkBytes = "link_bytes"
+	// CntLinkMsgs accumulates routed messages per link.
+	CntLinkMsgs = "link_msgs"
+	// CntLinkQueue accumulates queueing delay per link.
+	CntLinkQueue = "link_queue"
+)
+
+// ComputeMetrics aggregates a recorder into Metrics. makespan is the run's
+// end-to-end virtual time (Engine.Now after Run); host idle time is measured
+// against it. Net spans and solver overlays do not contribute to host budgets
+// — only the tiling host-level categories do.
+func ComputeMetrics(r *Recorder, makespan float64) *Metrics {
+	m := &Metrics{Makespan: makespan}
+	hosts := map[string]*HostUtil{}
+	for _, s := range r.Spans() {
+		var slot *float64
+		h := hosts[s.Track]
+		switch s.Cat {
+		case CatCompute, CatSend, CatWait, CatSleep:
+			if h == nil {
+				h = &HostUtil{Track: s.Track}
+				hosts[s.Track] = h
+			}
+		default:
+			continue
+		}
+		switch s.Cat {
+		case CatCompute:
+			slot = &h.Compute
+		case CatSend:
+			slot = &h.Send
+		case CatWait:
+			slot = &h.Wait
+		case CatSleep:
+			slot = &h.Sleep
+		}
+		*slot += s.End - s.Start
+		h.Flops += s.Flops
+	}
+	for _, h := range hosts {
+		h.Idle = makespan - h.Compute - h.Send - h.Wait - h.Sleep
+		if h.Idle < 0 {
+			h.Idle = 0
+		}
+		if makespan > 0 {
+			h.Utilization = (h.Compute + h.Send) / makespan
+		}
+		m.Hosts = append(m.Hosts, *h)
+	}
+	sort.Slice(m.Hosts, func(i, j int) bool { return m.Hosts[i].Track < m.Hosts[j].Track })
+
+	links := map[string]*LinkStat{}
+	linkOf := func(track string) *LinkStat {
+		l := links[track]
+		if l == nil {
+			l = &LinkStat{Link: track}
+			links[track] = l
+		}
+		return l
+	}
+	for _, c := range r.Counters() {
+		switch c.Name {
+		case CntLinkBytes:
+			linkOf(c.Track).Bytes = c.Value
+		case CntLinkMsgs:
+			linkOf(c.Track).Msgs = c.Value
+		case CntLinkQueue:
+			linkOf(c.Track).QueueDelay = c.Value
+		default:
+			m.Counters = append(m.Counters, c)
+		}
+	}
+	for _, l := range links {
+		m.Links = append(m.Links, *l)
+	}
+	sort.Slice(m.Links, func(i, j int) bool { return m.Links[i].Link < m.Links[j].Link })
+
+	var cur *Series
+	for _, sp := range r.Samples() {
+		if cur == nil || cur.Series != sp.Series || cur.Track != sp.Track {
+			m.Series = append(m.Series, Series{Series: sp.Series, Track: sp.Track})
+			cur = &m.Series[len(m.Series)-1]
+		}
+		cur.Points = append(cur.Points, SeriesPoint{T: sp.T, V: sp.V})
+	}
+	return m
+}
+
+// WriteJSON writes the metrics as indented JSON (deterministic: struct field
+// order and sorted slices).
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteCSV writes the metrics in long form: one section per table
+// (hosts/links/counters/series), each with a header row. Numbers use %g so
+// the output round-trips exactly.
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table,track,field,value\n")
+	fmt.Fprintf(&b, "run,,makespan,%g\n", m.Makespan)
+	for _, h := range m.Hosts {
+		fmt.Fprintf(&b, "host,%s,compute,%g\n", h.Track, h.Compute)
+		fmt.Fprintf(&b, "host,%s,send,%g\n", h.Track, h.Send)
+		fmt.Fprintf(&b, "host,%s,wait,%g\n", h.Track, h.Wait)
+		fmt.Fprintf(&b, "host,%s,sleep,%g\n", h.Track, h.Sleep)
+		fmt.Fprintf(&b, "host,%s,idle,%g\n", h.Track, h.Idle)
+		fmt.Fprintf(&b, "host,%s,flops,%g\n", h.Track, h.Flops)
+		fmt.Fprintf(&b, "host,%s,utilization,%g\n", h.Track, h.Utilization)
+	}
+	for _, l := range m.Links {
+		fmt.Fprintf(&b, "link,%s,bytes,%g\n", l.Link, l.Bytes)
+		fmt.Fprintf(&b, "link,%s,msgs,%g\n", l.Link, l.Msgs)
+		fmt.Fprintf(&b, "link,%s,queue_delay,%g\n", l.Link, l.QueueDelay)
+	}
+	for _, c := range m.Counters {
+		fmt.Fprintf(&b, "counter,%s,%s,%g\n", c.Track, c.Name, c.Value)
+	}
+	for _, s := range m.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "series,%s,%s@%g,%g\n", s.Track, s.Series, p.T, p.V)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,290 @@
+// Package obs is the virtual-time observability layer of the simulated grid:
+// a span/metric recorder fed from the simulator's scheduler commit points and
+// from the solver drivers, with exporters for Chrome trace-event JSON
+// (Perfetto / chrome://tracing), utilization and convergence metrics
+// (JSON/CSV) and a critical-path profiler that decomposes the end-to-end
+// makespan into compute, network and wait time.
+//
+// Everything is measured on the virtual clock, never the wall clock, so the
+// recorded data inherits the simulator's determinism contract: a run with
+// observability enabled produces byte-identical exports for any worker-thread
+// count. Two rules make that hold:
+//
+//   - Emission points are serialized. Spans and samples are only emitted
+//     while the emitting goroutine is the unique runner (a process between
+//     resume and yield, or the scheduler between picks), so the per-track
+//     emission order is the process's own program order.
+//   - Exports sort. The one cross-track ordering that may differ between
+//     worker counts — when a deferred compute segment's charge is collected —
+//     is erased by sorting every export on (Start, Track, per-track index), a
+//     total order independent of the global emission interleaving.
+//
+// With no recorder attached the instrumented code paths cost one nil check.
+package obs
+
+import "sort"
+
+// Span categories. Host-level categories (compute, send, wait, sleep, mark)
+// tile each process's track without overlap; net spans live on the shared
+// network track and may overlap (they are exported as async events); solver
+// categories (fact, refact, iter, phase, retry, detect) live on per-rank
+// "solver:" tracks overlaying the host timeline.
+const (
+	// CatCompute is a charged compute segment on a process track.
+	CatCompute = "compute"
+	// CatSend is the sender-side occupancy of a message (queueing + push).
+	CatSend = "send"
+	// CatNet is a message transfer in flight (wire start to arrival).
+	CatNet = "net"
+	// CatWait is a blocked receive (block instant to resume instant).
+	CatWait = "wait"
+	// CatSleep is a virtual-time sleep (includes retry backoff).
+	CatSleep = "sleep"
+	// CatMark is an instantaneous platform event (host crash/restart).
+	CatMark = "mark"
+	// CatFact is a band factorization phase.
+	CatFact = "fact"
+	// CatRefact is a numeric refactorization through a frozen pattern.
+	CatRefact = "refact"
+	// CatIter is one solver iteration (compute + ship + exchange).
+	CatIter = "iter"
+	// CatPhase is a coarse driver phase (e.g. dslu forward/backward solve).
+	CatPhase = "phase"
+	// CatRetry is a retransmission backoff window.
+	CatRetry = "retry"
+	// CatDetect is a convergence-detector event (verification wave, refresh).
+	CatDetect = "detect"
+)
+
+// Span is one interval (or instant, Start == End) of virtual time on a named
+// track, with the attributes the exporters and the critical-path profiler
+// need. Zero-valued attributes mean "not applicable" and are omitted from
+// exports.
+type Span struct {
+	// Track names the timeline row: a process name, "net", a link name, or a
+	// "solver:<rank>" overlay.
+	Track string
+	// Cat is the span category (one of the Cat* constants).
+	Cat string
+	// Name is the display label.
+	Name string
+	// Start is the span's first instant in virtual seconds.
+	Start float64
+	// End is the span's last instant in virtual seconds (== Start for
+	// instantaneous events).
+	End float64
+	// Flops is the arithmetic work charged inside the span.
+	Flops float64
+	// Bytes is the wire size for send/net spans.
+	Bytes int64
+	// From is the sending process for net spans and the source of the
+	// delivered message for wait spans.
+	From string
+	// To is the destination process for send/net spans.
+	To string
+	// Link names the route (link names joined by '+') for net spans.
+	Link string
+	// Tag is the application message tag for send/net/wait spans.
+	Tag int
+	// Iter is the solver iteration number for iteration-scoped spans.
+	Iter int
+	// Seq is the engine-global message sequence number for net spans.
+	Seq int64
+	// Cause is the sequence number of the message whose arrival ended a wait
+	// span (0 when the wait ended without a delivery, e.g. a timeout).
+	Cause int64
+	// Queue is the link-queueing delay inside a send/net span.
+	Queue float64
+	// Note carries free-form detail (e.g. the drop reason of a lost message).
+	Note string
+
+	idx int64 // per-recorder emission index (per-track order witness)
+}
+
+// SamplePoint is one metric observation: a named series on a track at a
+// virtual instant.
+type SamplePoint struct {
+	// Series is the metric name (e.g. "residual", "diff").
+	Series string
+	// Track is the emitting rank or resource.
+	Track string
+	// T is the virtual time of the observation.
+	T float64
+	// V is the observed value.
+	V float64
+
+	idx int64
+}
+
+// CounterTotal is the final value of a named accumulator on a track.
+type CounterTotal struct {
+	// Name is the counter name (e.g. "retries", "link_bytes").
+	Name string
+	// Track is the counted rank or resource.
+	Track string
+	// Value is the accumulated total.
+	Value float64
+}
+
+type countKey struct {
+	name, track string
+}
+
+// Recorder collects spans, samples and counters from an engine run. The zero
+// value is ready to use; a nil *Recorder is a valid no-op sink (every method
+// checks). A Recorder must only be fed from serialized emission points (see
+// the package comment); it is not otherwise goroutine-safe.
+type Recorder struct {
+	spans   []Span
+	samples []SamplePoint
+	counts  map[countKey]float64
+	nextIdx int64
+}
+
+// Span records one span. Zero-duration spans with no cause and no flops are
+// kept too (instantaneous marks); the caller decides what is worth emitting.
+func (r *Recorder) Span(s Span) {
+	if r == nil {
+		return
+	}
+	s.idx = r.nextIdx
+	r.nextIdx++
+	r.spans = append(r.spans, s)
+}
+
+// Sample records one metric observation.
+func (r *Recorder) Sample(series, track string, t, v float64) {
+	if r == nil {
+		return
+	}
+	r.samples = append(r.samples, SamplePoint{Series: series, Track: track, T: t, V: v, idx: r.nextIdx})
+	r.nextIdx++
+}
+
+// Count adds n to the named accumulator on the track.
+func (r *Recorder) Count(name, track string, n float64) {
+	if r == nil {
+		return
+	}
+	if r.counts == nil {
+		r.counts = map[countKey]float64{}
+	}
+	r.counts[countKey{name, track}] += n
+}
+
+// Enabled reports whether the recorder actually collects (false for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Spans returns every recorded span sorted by (Start, Track, emission
+// index) — the deterministic export order (see the package comment).
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.idx < b.idx
+	})
+	return out
+}
+
+// Samples returns every recorded observation sorted by (Series, Track, T,
+// emission index).
+func (r *Recorder) Samples() []SamplePoint {
+	if r == nil {
+		return nil
+	}
+	out := make([]SamplePoint, len(r.samples))
+	copy(out, r.samples)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Series != b.Series {
+			return a.Series < b.Series
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		return a.idx < b.idx
+	})
+	return out
+}
+
+// Counters returns the accumulator totals sorted by (Name, Track).
+func (r *Recorder) Counters() []CounterTotal {
+	if r == nil {
+		return nil
+	}
+	out := make([]CounterTotal, 0, len(r.counts))
+	for k, v := range r.counts {
+		out = append(out, CounterTotal{Name: k.name, Track: k.track, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Track < out[j].Track
+	})
+	return out
+}
+
+// Scope is a per-process emitting handle: a recorder plus the process's
+// identity, threaded through the solver drivers beside their counter and
+// tracer (simctx.Ctx.Obs). A nil *Scope is a valid no-op. Spans emitted
+// through a scope default to the process's "solver:<name>" overlay track, so
+// driver-level phases never collide with the simulator's host-level spans;
+// samples and counters carry the plain process name.
+type Scope struct {
+	rec  *Recorder
+	name string
+}
+
+// NewScope returns an emitting handle for the named process, or nil when the
+// recorder is nil (observability off).
+func NewScope(rec *Recorder, name string) *Scope {
+	if rec == nil {
+		return nil
+	}
+	return &Scope{rec: rec, name: name}
+}
+
+// Enabled reports whether the scope actually emits (false for nil).
+func (sc *Scope) Enabled() bool { return sc != nil }
+
+// Span records a span, placing it on the scope's "solver:<name>" track when
+// the span names no track of its own.
+func (sc *Scope) Span(s Span) {
+	if sc == nil {
+		return
+	}
+	if s.Track == "" {
+		s.Track = "solver:" + sc.name
+	}
+	sc.rec.Span(s)
+}
+
+// Sample records a metric observation on the scope's process track.
+func (sc *Scope) Sample(series string, t, v float64) {
+	if sc == nil {
+		return
+	}
+	sc.rec.Sample(series, sc.name, t, v)
+}
+
+// Count adds n to the named accumulator on the scope's process track.
+func (sc *Scope) Count(name string, n float64) {
+	if sc == nil {
+		return
+	}
+	sc.rec.Count(name, sc.name, n)
+}

@@ -16,11 +16,14 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/vec"
 )
 
 // Allocator accounts memory against a capacity; *vgrid.Proc implements it.
 type Allocator interface {
+	// Alloc charges bytes against the capacity; it fails when the budget is
+	// exhausted.
 	Alloc(bytes int64) error
 }
 
@@ -43,6 +46,10 @@ type Ctx struct {
 	// Faultf: exhausted retransmission budgets, receive timeouts, dead-rank
 	// verdicts, detector refreshes. Zero on a healthy grid.
 	Faults int
+	// Obs, when non-nil, receives solver-level observability data on the
+	// virtual clock: factorization/iteration spans, residual samples, retry
+	// counters. Nil means observability is off (zero overhead).
+	Obs *obs.Scope
 }
 
 // New returns a Ctx with a fresh counter and no tracer or accountant.
@@ -77,6 +84,15 @@ func (c *Ctx) Faultf(format string, args ...any) {
 	}
 	c.Faults++
 	c.Tracef("FAULT "+format, args...)
+}
+
+// Observe returns the observability scope (nil-safe: nil when the Ctx is nil
+// or observability is off; a nil *obs.Scope is itself a valid no-op emitter).
+func (c *Ctx) Observe() *obs.Scope {
+	if c == nil {
+		return nil
+	}
+	return c.Obs
 }
 
 // Alloc charges bytes to the memory accountant; a no-op without one.

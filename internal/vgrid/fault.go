@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // HostOutage is a crash/restart window for one host: every process on the
@@ -289,14 +291,22 @@ func (fs *faultState) dropProb(l *Link, t float64) float64 {
 	return 1 - keep
 }
 
-// emit writes every plan event with time ≤ now into the trace, in the fixed
-// (time, host, kind) order. Deterministic: the engine's high-water time
-// takes the same sequence of values for any worker count.
-func (fs *faultState) emit(now float64, trace func(string)) {
+// emit writes every plan event with time ≤ now into the trace and/or the
+// observability recorder (either may be nil), in the fixed (time, host, kind)
+// order. Deterministic: the engine's high-water time takes the same sequence
+// of values for any worker count.
+func (fs *faultState) emit(now float64, trace func(string), rec *obs.Recorder) {
 	for fs.emitted < len(fs.events) && fs.events[fs.emitted].time <= now {
 		ev := fs.events[fs.emitted]
 		fs.emitted++
-		trace(fmt.Sprintf("t=%.6f %s %s", ev.time, ev.host, ev.kind))
+		if trace != nil {
+			trace(fmt.Sprintf("t=%.6f %s %s", ev.time, ev.host, ev.kind))
+		}
+		if rec != nil {
+			rec.Span(obs.Span{Track: ev.host, Cat: obs.CatMark, Name: ev.kind,
+				Start: ev.time, End: ev.time})
+			rec.Count("fault_"+ev.kind, ev.host, 1)
+		}
 	}
 }
 

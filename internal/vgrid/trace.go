@@ -58,13 +58,19 @@ func parseTraceLine(line string) (TraceEvent, bool) {
 type TraceSummary struct {
 	// Proc is the process (or host) the row aggregates.
 	Proc string
-	// Sends and Recvs count delivered message events.
+	// Sends counts messages this process sent that reached a mailbox.
 	Sends int
 	// Recvs counts received message events.
 	Recvs int
 	// Drops counts messages this process sent that a fault plan lost.
 	Drops int
-	// FirstEvent and LastEvent bound the process's recorded activity.
+	// Crashes counts fault-plan crash events of this host.
+	Crashes int
+	// Restarts counts fault-plan restart events of this host.
+	Restarts int
+	// Dones counts process-completion events (0 or 1 per process).
+	Dones int
+	// FirstEvent is the time of the first recorded event.
 	FirstEvent float64
 	// LastEvent is the time of the last recorded event.
 	LastEvent float64
@@ -86,6 +92,12 @@ func (r *Recorder) Summaries() []TraceSummary {
 			s.Recvs++
 		case "drop":
 			s.Drops++
+		case "crash":
+			s.Crashes++
+		case "restart":
+			s.Restarts++
+		case "done":
+			s.Dones++
 		}
 		if ev.Time < s.FirstEvent {
 			s.FirstEvent = ev.Time
@@ -151,6 +163,13 @@ func (r *Recorder) WriteTimeline(w io.Writer, width int) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "%-*s  0%s%.4gs\n", nameW, "", strings.Repeat(" ", width-len(fmt.Sprintf("%.4gs", tmax))), tmax)
+	// The axis label right-aligns tmax under the row end; when the formatted
+	// value is wider than the timeline itself the padding clamps to zero
+	// (strings.Repeat panics on a negative count).
+	pad := width - len(fmt.Sprintf("%.4gs", tmax))
+	if pad < 0 {
+		pad = 0
+	}
+	_, err := fmt.Fprintf(w, "%-*s  0%s%.4gs\n", nameW, "", strings.Repeat(" ", pad), tmax)
 	return err
 }

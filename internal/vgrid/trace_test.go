@@ -90,6 +90,61 @@ func TestTimelineRendering(t *testing.T) {
 	}
 }
 
+func TestSummariesFaultEvents(t *testing.T) {
+	rec := &Recorder{Events: []TraceEvent{
+		{Time: 0.5, Proc: "host-0", Kind: "crash"},
+		{Time: 1.0, Proc: "host-0", Kind: "restart"},
+		{Time: 1.5, Proc: "host-0", Kind: "crash"},
+		{Time: 2.0, Proc: "worker-1", Kind: "done"},
+	}}
+	sums := rec.Summaries()
+	byProc := map[string]TraceSummary{}
+	for _, s := range sums {
+		byProc[s.Proc] = s
+	}
+	h := byProc["host-0"]
+	if h.Crashes != 2 || h.Restarts != 1 {
+		t.Fatalf("host-0 crashes=%d restarts=%d, want 2/1", h.Crashes, h.Restarts)
+	}
+	if byProc["worker-1"].Dones != 1 {
+		t.Fatalf("worker-1 dones = %d, want 1", byProc["worker-1"].Dones)
+	}
+}
+
+func TestTimelineGolden(t *testing.T) {
+	rec := &Recorder{Events: []TraceEvent{
+		{Time: 0, Proc: "a", Kind: "send"},
+		{Time: 0.5, Proc: "a", Kind: "send"},
+		{Time: 1, Proc: "b", Kind: "recv"},
+		{Time: 2, Proc: "b", Kind: "done"},
+	}}
+	var buf bytes.Buffer
+	if err := rec.WriteTimeline(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	want := "a |. .       |\n" +
+		"b |    .    .|\n" +
+		"   0        2s\n"
+	if buf.String() != want {
+		t.Fatalf("timeline mismatch:\ngot:\n%swant:\n%s", buf.String(), want)
+	}
+}
+
+func TestTimelineClampsAxisPad(t *testing.T) {
+	// A time whose %.4g rendering is wider than the timeline itself used to
+	// drive strings.Repeat with a negative count and panic.
+	rec := &Recorder{Events: []TraceEvent{
+		{Time: 1.234e+100, Proc: "p", Kind: "send"},
+	}}
+	var buf bytes.Buffer
+	if err := rec.WriteTimeline(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1.234e+100") {
+		t.Fatalf("axis label missing:\n%s", buf.String())
+	}
+}
+
 func TestTimelineEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	if err := (&Recorder{}).WriteTimeline(&buf, 20); err != nil {

@@ -29,6 +29,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // ErrOutOfMemory is returned by Proc.Alloc when the host memory would be
@@ -270,6 +272,9 @@ type Engine struct {
 	now   float64
 	// faults is the resolved fault-injection plan (nil for a healthy grid).
 	faults *faultState
+	// obs, when non-nil, receives virtual-time spans from the scheduler's
+	// commit points (compute, send, transfer, wait, sleep, fault marks).
+	obs *obs.Recorder
 
 	// workers bounds the pool of OS threads executing ComputeFunc segments
 	// concurrently; 1 runs every segment inline (fully serial).
@@ -300,6 +305,23 @@ func (e *Engine) SetWorkers(n int) {
 
 // Workers returns the configured compute-segment concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// Observe attaches an observability recorder: every scheduler commit point
+// emits a virtual-time span into it (compute segments, sender pushes,
+// in-flight transfers, blocked waits, sleeps, crash/restart marks). Must be
+// called before Run; pass nil to detach. Independent of the textual Trace
+// hook — attaching a recorder never changes the engine's trace output or its
+// virtual schedule, and the recorded data is identical for any worker count.
+func (e *Engine) Observe(rec *obs.Recorder) {
+	if e.started {
+		panic("vgrid: Observe after Run")
+	}
+	e.obs = rec
+}
+
+// Obs returns the attached observability recorder (nil when observability is
+// off). Drivers use it to build per-process emission scopes.
+func (e *Engine) Obs() *obs.Recorder { return e.obs }
 
 // computeJob is one ComputeFunc segment queued on the worker pool.
 type computeJob struct {
@@ -412,6 +434,17 @@ func (e *Engine) Run() (float64, error) {
 		}
 		if p.state == stateBlocked {
 			p.BlockedTime += resumeAt - p.lastBlockedAt
+			if e.obs != nil && (resumeAt > p.lastBlockedAt || deliver != nil) {
+				s := obs.Span{Track: p.Name, Cat: obs.CatWait, Name: "wait",
+					Start: p.lastBlockedAt, End: resumeAt}
+				if deliver != nil {
+					s.Cause = deliver.seq
+					s.From = e.procs[deliver.From].Name
+					s.Tag = deliver.Tag
+					s.Bytes = int64(deliver.Bytes)
+				}
+				e.obs.Span(s)
+			}
 		}
 		if p.state == stateComputing {
 			// The pick is committed at the pre-charged virtual time; only the
@@ -426,8 +459,8 @@ func (e *Engine) Run() (float64, error) {
 		if resumeAt > e.now {
 			e.now = resumeAt
 		}
-		if e.faults != nil && e.Trace != nil {
-			e.faults.emit(e.now, e.Trace)
+		if e.faults != nil && (e.Trace != nil || e.obs != nil) {
+			e.faults.emit(e.now, e.Trace, e.obs)
 		}
 		p.state = stateRunning
 		if deliver != nil && e.Trace != nil {
@@ -574,6 +607,10 @@ func (p *Proc) DownAt(t float64) bool {
 // Now returns the process's local virtual clock in seconds.
 func (p *Proc) Now() float64 { return p.clock }
 
+// Obs returns the engine's observability recorder (nil when observability is
+// off). Solver drivers wrap it in a per-rank obs.Scope.
+func (p *Proc) Obs() *obs.Recorder { return p.eng.obs }
+
 // chargeFlops advances the clock and work statistics by flops at the host's
 // speed, without yielding. Under a fault plan the work pauses across outage
 // windows of the host (warm restart), so the clock advances by the work time
@@ -582,6 +619,7 @@ func (p *Proc) chargeFlops(flops float64) {
 	if flops < 0 {
 		panic("vgrid: negative flops")
 	}
+	start := p.clock
 	dt := flops / p.host.Speed
 	if fs := p.eng.faults; fs != nil {
 		p.clock = fs.busyEnd(p.host, p.clock, dt)
@@ -590,6 +628,12 @@ func (p *Proc) chargeFlops(flops float64) {
 	}
 	p.ComputeTime += dt
 	p.FlopsDone += flops
+	// Serialized emission point: either the process goroutine is the unique
+	// runner, or the scheduler is collecting a deferred segment's charge.
+	if o := p.eng.obs; o != nil && p.clock > start {
+		o.Span(obs.Span{Track: p.Name, Cat: obs.CatCompute, Name: "compute",
+			Start: start, End: p.clock, Flops: flops})
+	}
 }
 
 // Compute charges flops of work at the host's speed and advances the clock.
@@ -681,6 +725,10 @@ func (p *Proc) Sleep(dt float64) {
 	if dt < 0 {
 		panic("vgrid: negative sleep")
 	}
+	if o := p.eng.obs; o != nil && dt > 0 {
+		o.Span(obs.Span{Track: p.Name, Cat: obs.CatSleep, Name: "sleep",
+			Start: p.clock, End: p.clock + dt})
+	}
 	p.clock += dt
 	p.state = stateReady
 	p.yield()
@@ -758,6 +806,17 @@ func (p *Proc) SendFate(dst *Proc, tag int, payload any, bytes int) (delivered b
 		}
 		pushTime = float64(bytes) / bw
 		for _, l := range links {
+			if o := e.obs; o != nil {
+				qd := 0.0
+				if l.Mode == SharingFIFO && l.nextFree > t0 {
+					// nextFree still holds the pre-update value, so this is
+					// the time the message waited behind earlier transfers.
+					qd = l.nextFree - t0
+				}
+				o.Count(obs.CntLinkBytes, l.Name, float64(bytes))
+				o.Count(obs.CntLinkMsgs, l.Name, 1)
+				o.Count(obs.CntLinkQueue, l.Name, qd)
+			}
 			if l.Mode == SharingFIFO {
 				l.nextFree = start + pushTime
 			} else {
@@ -798,6 +857,27 @@ func (p *Proc) SendFate(dst *Proc, tag int, payload any, bytes int) (delivered b
 		}
 	} else if e.Trace != nil {
 		e.Trace(fmt.Sprintf("t=%.6f %s drop to=%s tag=%d bytes=%d reason=%s", p.clock, p.Name, dst.Name, tag, bytes, dropReason))
+	}
+	if o := e.obs; o != nil {
+		route := "loopback"
+		if links != nil {
+			parts := make([]string, len(links))
+			for i, l := range links {
+				parts[i] = l.Name
+			}
+			route = strings.Join(parts, "+")
+		}
+		o.Span(obs.Span{Track: p.Name, Cat: obs.CatSend, Name: "send",
+			Start: p.clock, End: start + pushTime, Bytes: int64(bytes),
+			To: dst.Name, Tag: tag, Queue: start - t0})
+		net := obs.Span{Track: "net", Cat: obs.CatNet, Name: p.Name + ">" + dst.Name,
+			Start: start, End: arrival, Bytes: int64(bytes), From: p.Name,
+			To: dst.Name, Link: route, Tag: tag, Seq: e.seq, Queue: start - t0}
+		if dropReason != "" {
+			net.Note = dropReason
+			o.Count("msg_drops", p.Name, 1)
+		}
+		o.Span(net)
 	}
 	p.BytesSent += int64(bytes)
 	p.MsgsSent++
