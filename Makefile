@@ -12,11 +12,14 @@ test:
 
 # The worker pool runs compute segments on real OS threads, so the race
 # detector is part of the verified loop, not an optional extra. The focused
-# second run pins the observability determinism contract (byte-identical
-# exports for 1 vs N workers) under the race detector.
+# second runs pin the observability determinism contract (byte-identical
+# exports for 1 vs N workers) and the communication-plan equivalence
+# contract (byte-identical iterates and traces for the gateway exchange)
+# under the race detector.
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 -run 'TestObsDeterministicAcrossWorkers' ./internal/obs
+	$(GO) test -race -count=2 -run 'TestGatewaySyncByteIdentical|TestGatewayWorkersDeterministic' ./internal/core
 
 vet:
 	$(GO) vet ./...
@@ -26,20 +29,21 @@ bench:
 
 # Machine-readable baseline of the refactorization economy: the Newton
 # factor-vs-refactor comparison (factor-flops metric), the engine worker
-# scaling, and the observed per-phase solver breakdown
-# (factor/refactor flops, bytes moved, wait share), as JSON.
+# scaling, the observed per-phase solver breakdown (factor/refactor flops,
+# bytes moved, wait share), and the cluster traffic split of the
+# topology-aware exchange (intra/inter bytes and messages), as JSON.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench 'BenchmarkNewtonRefactor|BenchmarkSessionIterate|BenchmarkEngineWorkers|BenchmarkSolverPhases' -o BENCH_refactor.json
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkNewtonRefactor|BenchmarkSessionIterate|BenchmarkEngineWorkers|BenchmarkSolverPhases|BenchmarkTopologyExchange' -o BENCH_refactor.json
 
 # One-iteration smoke of the same pipeline, part of verify: proves the
 # benchmarks still run and the parser still understands their output.
 bench-json-smoke:
-	$(GO) run ./cmd/benchjson -bench 'BenchmarkNewtonRefactor|BenchmarkSessionIterate|BenchmarkSolverPhases' -benchtime 1x -o BENCH_refactor.json
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkNewtonRefactor|BenchmarkSessionIterate|BenchmarkSolverPhases|BenchmarkTopologyExchange' -benchtime 1x -o BENCH_refactor.json
 
 # Fails on any exported identifier of the simulator, the solver core, the
 # observability layer or the messaging/context plumbing that lacks a doc
 # comment.
 lint-docs:
-	$(GO) run ./cmd/lintdocs internal/vgrid internal/core internal/obs internal/mp internal/simctx
+	$(GO) run ./cmd/lintdocs internal/vgrid internal/core internal/obs internal/mp internal/simctx internal/plan
 
 verify: build vet lint-docs test race bench-json-smoke

@@ -328,3 +328,31 @@ func BenchmarkSolverPhases(b *testing.B) {
 	b.ReportMetric(bytesMoved, "bytes-moved")
 	b.ReportMetric(waitShare, "wait-share")
 }
+
+// BenchmarkTopologyExchange solves on the two-site cluster3 grid with the
+// gateway-aggregated exchange and topology-aware collectives, and reports
+// the intra-/inter-cluster traffic split benchjson lifts into its breakdown
+// fields (deterministic virtual-clock numbers — the inter-cluster ones are
+// the WAN budget the gateway is there to shrink).
+func BenchmarkTopologyExchange(b *testing.B) {
+	a := gen.CageLike(11397/benchScale, 1030)
+	rhs, _ := gen.RHSForSolution(a)
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		plt := repro.Cluster3(repro.MemUnlimited)
+		r, err := core.Solve(plt.Platform, plt.Hosts, a, rhs, core.Options{
+			TopoCollectives: true, Gateway: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Converged {
+			b.Fatal("no convergence")
+		}
+		res = r
+	}
+	b.ReportMetric(float64(res.IntraBytes), "intra-bytes")
+	b.ReportMetric(float64(res.InterBytes), "inter-bytes")
+	b.ReportMetric(float64(res.IntraMsgs), "intra-msgs")
+	b.ReportMetric(float64(res.InterMsgs), "inter-msgs")
+}

@@ -37,12 +37,17 @@ type Record struct {
 
 // Breakdown is the per-phase solver breakdown, lifted out of the generic
 // metric map when a benchmark reports the recognized units (factor-flops,
-// refactor-flops, bytes-moved, wait-share).
+// refactor-flops, bytes-moved, wait-share, and the cluster traffic split
+// intra-bytes/inter-bytes/intra-msgs/inter-msgs).
 type Breakdown struct {
 	FactorFlops   *float64 `json:"factor_flops,omitempty"`
 	RefactorFlops *float64 `json:"refactor_flops,omitempty"`
 	BytesMoved    *float64 `json:"bytes_moved,omitempty"`
 	WaitShare     *float64 `json:"wait_share,omitempty"`
+	IntraBytes    *float64 `json:"intra_cluster_bytes,omitempty"`
+	InterBytes    *float64 `json:"inter_cluster_bytes,omitempty"`
+	IntraMsgs     *float64 `json:"intra_cluster_msgs,omitempty"`
+	InterMsgs     *float64 `json:"inter_cluster_msgs,omitempty"`
 }
 
 // breakdownSlot returns the Breakdown field a metric unit lifts into, or nil
@@ -50,7 +55,8 @@ type Breakdown struct {
 // unit.
 func (r *Record) breakdownSlot(unit string) **float64 {
 	switch unit {
-	case "factor-flops", "refactor-flops", "bytes-moved", "wait-share":
+	case "factor-flops", "refactor-flops", "bytes-moved", "wait-share",
+		"intra-bytes", "inter-bytes", "intra-msgs", "inter-msgs":
 	default:
 		return nil
 	}
@@ -64,6 +70,14 @@ func (r *Record) breakdownSlot(unit string) **float64 {
 		return &r.Breakdown.RefactorFlops
 	case "bytes-moved":
 		return &r.Breakdown.BytesMoved
+	case "intra-bytes":
+		return &r.Breakdown.IntraBytes
+	case "inter-bytes":
+		return &r.Breakdown.InterBytes
+	case "intra-msgs":
+		return &r.Breakdown.IntraMsgs
+	case "inter-msgs":
+		return &r.Breakdown.InterMsgs
 	default:
 		return &r.Breakdown.WaitShare
 	}

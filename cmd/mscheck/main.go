@@ -7,9 +7,15 @@
 // Usage:
 //
 //	mscheck -matrix A.mtx [-bands L] [-overlap K] [-abs] [-iters N]
+//	        [-cluster cluster1|cluster2|cluster3]
 //
 // The -abs check materializes |Ml⁻¹Nl| column by column (O(n) operator
 // applications), so keep it for moderate dimensions.
+//
+// With -cluster the command additionally validates the named platform's
+// cluster topology — every host assigned to a cluster and every
+// inter-cluster host pair routed — and summarizes the cluster layout the
+// topology-aware solver modes (msolve -topo / -gateway) would use.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/iterative"
 	"repro/internal/mmio"
@@ -31,16 +38,60 @@ func main() {
 		overlap    = flag.Int("overlap", 0, "overlap rows per band side")
 		withAbs    = flag.Bool("abs", false, "also check the asynchronous condition rho(|M^-1 N|) < 1 (costly)")
 		iters      = flag.Int("iters", 3000, "power-iteration cap")
+		clusterTyp = flag.String("cluster", "", "also validate this platform's cluster topology: cluster1, cluster2 or cluster3")
 	)
 	flag.Parse()
 	if *matrixPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *clusterTyp != "" {
+		if err := checkTopology(*clusterTyp, *bands); err != nil {
+			fmt.Fprintln(os.Stderr, "mscheck:", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(*matrixPath, *bands, *overlap, *withAbs, *iters); err != nil {
 		fmt.Fprintln(os.Stderr, "mscheck:", err)
 		os.Exit(1)
 	}
+}
+
+// checkTopology builds the named platform, validates its cluster
+// declarations and prints the layout the topology-aware modes rely on.
+func checkTopology(name string, procs int) error {
+	var plt *cluster.Platform
+	switch name {
+	case "cluster1":
+		if procs < 1 || procs > 20 {
+			return fmt.Errorf("cluster1 has 1..20 machines, asked for %d", procs)
+		}
+		plt = cluster.Cluster1(procs, -1)
+	case "cluster2":
+		plt = cluster.Cluster2(-1)
+	case "cluster3":
+		plt = cluster.Cluster3(-1)
+	default:
+		return fmt.Errorf("unknown cluster %q", name)
+	}
+	if err := plt.Platform.ValidateTopology(); err != nil {
+		return fmt.Errorf("topology of %s INVALID: %w", name, err)
+	}
+	cls := plt.Platform.Clusters()
+	fmt.Printf("topology of %s valid: %d hosts in %d cluster(s)\n", name, len(plt.Hosts), len(cls))
+	for _, c := range cls {
+		fmt.Printf("  cluster %q: %d hosts (aggregator candidate %s)\n", c.Name, len(c.Hosts), c.Hosts[0].Name)
+	}
+	inter := 0
+	for i, a := range plt.Hosts {
+		for _, b := range plt.Hosts[i+1:] {
+			if !plt.Platform.SameCluster(a, b) {
+				inter++
+			}
+		}
+	}
+	fmt.Printf("  host pairs crossing clusters: %d\n\n", inter)
+	return nil
 }
 
 func run(path string, bands, overlap int, withAbs bool, iters int) error {

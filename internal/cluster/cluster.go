@@ -113,6 +113,7 @@ func Cluster1(n int, memOverride int64) *Platform {
 		hosts[i] = pl.AddHost(fmt.Sprintf("c1-%02d", i), SpeedP4_26, mem)
 	}
 	lanWire(pl, hosts)
+	pl.AddCluster("site0", hosts...)
 	return &Platform{Platform: pl, Hosts: hosts, SiteOf: sites}
 }
 
@@ -147,6 +148,7 @@ func Cluster2(memOverride int64) *Platform {
 		hosts[i] = pl.AddHost(fmt.Sprintf("c2-%02d", i), speeds[i], mem)
 	}
 	lanWire(pl, hosts)
+	pl.AddCluster("site0", hosts...)
 	return &Platform{Platform: pl, Hosts: hosts, SiteOf: sites}
 }
 
@@ -185,6 +187,8 @@ func Cluster3(memOverride int64) *Platform {
 			}
 		}
 	}
+	pl.AddCluster("site0", hosts[:7]...)
+	pl.AddCluster("site1", hosts[7:]...)
 	return &Platform{Platform: pl, Hosts: hosts, WAN: wan, SiteOf: sites}
 }
 

@@ -110,6 +110,23 @@ type Options struct {
 	// before counting one failed attempt against a silent peer; after
 	// SendRetries attempts the peer is declared dead (default 1 s).
 	DeadRankTimeout float64
+	// TopoCollectives routes the collectives (convergence Allreduce, final
+	// gather) through per-cluster leaders: members reduce to their leader
+	// over the LAN and only leaders cross the WAN, so a collective costs
+	// O(#clusters) inter-cluster messages instead of O(P). Requires cluster
+	// declarations on the platform (vgrid.Platform.AddCluster); without them
+	// the collectives silently stay flat/tree.
+	TopoCollectives bool
+	// Gateway batches the inter-cluster boundary exchange through one
+	// aggregator rank per cluster: every rank ships all of its inter-cluster
+	// segments to its aggregator in one LAN message, aggregators exchange
+	// one WAN message per cluster pair per iteration and fan the updates out
+	// locally. Per-origin version/echo headers ride along, so every exchange
+	// policy keeps its exact semantics (synchronous iterates are
+	// byte-identical to the direct plan). Requires cluster declarations; on
+	// a flat platform the option is a no-op. Incompatible with
+	// BandsPerProc > 1.
+	Gateway bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -161,6 +178,17 @@ type Result struct {
 	BytesSent int64
 	// MsgsSent totals solver messages across ranks.
 	MsgsSent int64
+	// IntraBytes splits BytesSent: the share whose source and destination
+	// host share a declared cluster (everything counts as intra on a
+	// platform without cluster declarations).
+	IntraBytes int64
+	// InterBytes is the remaining share of BytesSent — the WAN traffic the
+	// topology-aware modes are built to shrink.
+	InterBytes int64
+	// IntraMsgs splits MsgsSent the way IntraBytes splits BytesSent.
+	IntraMsgs int64
+	// InterMsgs is the inter-cluster share of MsgsSent.
+	InterMsgs int64
 	// TotalFlops is the summed arithmetic work over all ranks, merged from
 	// the per-rank counters through an atomic aggregation point (safe under
 	// the parallel scheduler).
@@ -222,6 +250,10 @@ func (p *Pending) finishRank(c *mp.Comm, ctx *simctx.Ctx, iter int, factTime flo
 	}
 	p.res.BytesSent += c.Proc().BytesSent
 	p.res.MsgsSent += c.Proc().MsgsSent
+	p.res.IntraBytes += c.Proc().IntraBytes
+	p.res.InterBytes += c.Proc().InterBytes
+	p.res.IntraMsgs += c.Proc().IntraMsgs
+	p.res.InterMsgs += c.Proc().InterMsgs
 	if end := c.Now(); end > p.res.Time {
 		p.res.Time = end
 	}
@@ -257,6 +289,14 @@ func Launch(e *vgrid.Engine, hosts []*vgrid.Host, a *sparse.CSR, b []float64, op
 	if multiband && (o.Balance || o.MaxStale > 0 || o.UseResidual) {
 		return nil, errors.New("core: BandsPerProc > 1 is incompatible with Balance, MaxStale and UseResidual")
 	}
+	if multiband && o.Gateway {
+		return nil, errors.New("core: BandsPerProc > 1 is incompatible with Gateway")
+	}
+	if o.Gateway || o.TopoCollectives {
+		if err := e.Platform.ValidateTopology(); err != nil {
+			return nil, fmt.Errorf("core: topology-aware mode: %w", err)
+		}
+	}
 	var d *Decomposition
 	switch {
 	case multiband:
@@ -277,13 +317,19 @@ func Launch(e *vgrid.Engine, hosts []*vgrid.Host, a *sparse.CSR, b []float64, op
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	// The communication plan is computed once here, from the decomposition
+	// geometry and the sparsity, and shared read-only by all rank bodies.
+	cp, err := buildCommPlan(a, d, len(hosts))
+	if err != nil {
+		return nil, err
+	}
 	pend := &Pending{}
 	pend.res.IterationsPerRank = make([]int, len(hosts))
 	pend.procs = mp.Launch(e, hosts, "ms", func(c *mp.Comm) error {
 		if multiband {
-			return msRankMulti(c, a, b, d, o, pend)
+			return msRankMulti(c, a, b, d, cp, o, pend)
 		}
-		return msRank(c, a, b, d, o, pend)
+		return msRank(c, a, b, d, cp, o, pend)
 	})
 	// Mark the pending result complete when the engine finishes: the last
 	// rank to return fills the aggregate fields.

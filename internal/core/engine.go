@@ -3,11 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/detect"
 	"repro/internal/mp"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/simctx"
 	"repro/internal/sparse"
 	"repro/internal/splu"
@@ -22,23 +22,10 @@ import (
 // what keeps detection sound when messages pipeline over high-latency links.
 const msgHdr = 2
 
-// segment descriptions for an exchange between two ranks: which local
-// positions of the sender map to which dependency slots (with weights) of
-// the receiver.
-type inSegment struct {
-	from    int
-	pos     []int     // positions in depCols
-	weights []float64 // E weight applied to each received value
-}
-
-type outSegment struct {
-	to  int
-	loc []int // local indices (global j − Lo) to ship
-}
-
 // rankState is one rank's full solver state for the band engine: the
-// factored subsystem, the communication plan and the iteration vectors. The
-// engine loop (msRank) drives it through an exchangePolicy and a stopper.
+// factored subsystem, its view of the shared communication plan and the
+// iteration vectors. The engine loop (msRank) drives it through an
+// exchangePolicy and a stopper.
 type rankState struct {
 	c    *mp.Comm
 	ctx  *simctx.Ctx
@@ -62,21 +49,29 @@ type rankState struct {
 	// exact, so declaring it up front leaves nothing for Charge to reconcile.
 	stepFlops float64
 
-	ins             []inSegment
-	outs            []outSegment
-	segIndexByRank  map[int]int
-	verIncorporated []float64 // latest version seen per contributor
-	echoFrom        []float64 // highest own version echoed back
-	// lastRecv[k] holds the last values received from segment k so z can be
-	// updated incrementally under the weighting scheme.
+	// cp is the shared communication plan; rp is this rank's view (one
+	// packed message per peer per iteration, see internal/plan).
+	cp *plan.Plan
+	rp *plan.RankPlan
+	// recvGroupByPeer maps a contributor rank to its index in rp.Recv.
+	recvGroupByPeer map[int]int
+	verIncorporated []float64 // latest version seen per recv group
+	echoFrom        []float64 // highest own version echoed back, per group
+	// lastRecv[g] holds the last packed values received from recv group g so
+	// z can be updated incrementally under the weighting scheme.
 	lastRecv [][]float64
 
-	// freshSeen tracks, per contributor, whether new data arrived since the
+	// freshSeen tracks, per recv group, whether new data arrived since the
 	// last complete exchange round; async convergence evidence only counts
 	// on complete rounds (see asyncPolicy).
 	freshSeen  []bool
 	staleCount []int
 	sendBuf    []float64
+
+	// gw is the gateway-aggregation state (nil in direct mode or when the
+	// platform is flat): inter-cluster groups route through per-cluster
+	// aggregator ranks instead of direct WAN messages.
+	gw *gwState
 
 	iter        int
 	diff        float64 // successive-iterate difference of the last step
@@ -85,20 +80,18 @@ type rankState struct {
 }
 
 // newRankState loads and factors the rank's band (paper step 1 + Remark 4)
-// and builds the communication plan (DependsOnMe of Algorithm 1). It returns
-// the state and the factorization time.
-func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d *Decomposition, o Options) (*rankState, float64, error) {
+// and wires the rank into the shared communication plan (DependsOnMe of
+// Algorithm 1, built once in Launch). It returns the state and the
+// factorization time.
+func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d *Decomposition, cp *plan.Plan, o Options) (*rankState, float64, error) {
 	rank := c.Rank()
 	band := d.Bands[rank]
-	st := &rankState{c: c, ctx: ctx, o: o, rank: rank, d: d, band: band}
+	st := &rankState{c: c, ctx: ctx, o: o, rank: rank, d: d, band: band, cp: cp}
+	st.rp = &cp.Ranks[rank]
 
 	// --- Initialization: load and factor the band.
 	st.sub = a.Submatrix(band.Lo, band.Hi, band.Lo, band.Hi)
-	left := a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
-	right := a.ColumnsUsed(band.Lo, band.Hi, band.Hi, d.N)
-	st.depCols = make([]int, 0, len(left)+len(right))
-	st.depCols = append(st.depCols, left...)
-	st.depCols = append(st.depCols, right...)
+	st.depCols = cp.DepCols[rank]
 	st.depMat = a.SelectColumns(band.Lo, band.Hi, st.depCols)
 	st.bSub = vec.Clone(bGlob[band.Lo:band.Hi])
 
@@ -136,69 +129,33 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 		return nil, 0, err
 	}
 
-	// --- Communication plan: who contributes to my dependencies, and which
-	// of my components do the others depend on.
-	byFrom := map[int]*inSegment{}
-	for i, j := range st.depCols {
-		for _, k := range d.Contributors(j) {
-			seg := byFrom[k]
-			if seg == nil {
-				seg = &inSegment{from: k}
-				byFrom[k] = seg
-			}
-			seg.pos = append(seg.pos, i)
-			seg.weights = append(seg.weights, d.Weight(k, j))
-		}
-	}
-	froms := make([]int, 0, len(byFrom))
-	for k := range byFrom {
-		froms = append(froms, k)
-	}
-	sort.Ints(froms)
-	for _, k := range froms {
-		st.ins = append(st.ins, *byFrom[k])
-	}
-	for m := 0; m < d.L(); m++ {
-		if m == rank {
-			continue
-		}
-		mb := d.Bands[m]
-		mLeft := a.ColumnsUsed(mb.Lo, mb.Hi, 0, mb.Lo)
-		mRight := a.ColumnsUsed(mb.Lo, mb.Hi, mb.Hi, d.N)
-		var loc []int
-		for _, j := range mLeft {
-			if band.Contains(j) && d.Weight(rank, j) > 0 {
-				loc = append(loc, j-band.Lo)
-			}
-		}
-		for _, j := range mRight {
-			if band.Contains(j) && d.Weight(rank, j) > 0 {
-				loc = append(loc, j-band.Lo)
-			}
-		}
-		if len(loc) > 0 {
-			st.outs = append(st.outs, outSegment{to: m, loc: loc})
-		}
-	}
-
-	// --- Iteration state.
+	// --- Iteration state over the shared plan: per-peer receive groups with
+	// preallocated incremental-update buffers, one reused send buffer sized
+	// by the largest packed message.
 	st.xSub = make([]float64, band.Size())
 	st.xPrev = make([]float64, band.Size())
 	st.rhs = make([]float64, band.Size())
 	st.z = make([]float64, len(st.depCols))
-	st.sendBuf = make([]float64, 0, band.Size()+msgHdr)
-	st.segIndexByRank = map[int]int{}
-	for si, seg := range st.ins {
-		st.segIndexByRank[seg.from] = si
+	st.sendBuf = make([]float64, 0, cp.MaxSendVals(rank)+msgHdr)
+	st.recvGroupByPeer = map[int]int{}
+	for gi, g := range st.rp.Recv {
+		st.recvGroupByPeer[g.Peer] = gi
 	}
-	st.verIncorporated = make([]float64, len(st.ins))
-	st.echoFrom = make([]float64, len(st.ins))
-	st.lastRecv = make([][]float64, len(st.ins))
-	for i, seg := range st.ins {
-		st.lastRecv[i] = make([]float64, len(seg.pos))
+	ng := len(st.rp.Recv)
+	st.verIncorporated = make([]float64, ng)
+	st.echoFrom = make([]float64, ng)
+	st.lastRecv = make([][]float64, ng)
+	for gi, g := range st.rp.Recv {
+		st.lastRecv[gi] = make([]float64, g.Vals)
 	}
-	st.freshSeen = make([]bool, len(st.ins))
-	st.staleCount = make([]int, len(st.ins))
+	st.freshSeen = make([]bool, ng)
+	st.staleCount = make([]int, ng)
+	if o.Gateway {
+		// The reduction piggyback needs a pre-exchange criterion (the
+		// successive-iterate difference) and the lockstep of the synchronous
+		// policy.
+		st.gw = newGwState(cp, rank, rankClusters(c), !o.Async && !o.UseResidual)
+	}
 
 	// SpMV counts 2·nnz, the triangular solves a factor-determined constant,
 	// the difference norm 2·n — all exact integers, so the declared cost
@@ -245,24 +202,52 @@ func (st *rankState) recvCritical(from, tag int, what string) (*mp.Packet, error
 	}
 }
 
-// applySeg incorporates a received segment: incremental z update under the
-// weighting scheme plus version/echo bookkeeping.
-func (st *rankState) applySeg(si int, pk *mp.Packet) {
-	seg := st.ins[si]
-	vals := pk.Floats[msgHdr:]
-	st.verIncorporated[si] = pk.Floats[0]
-	if refl := pk.Floats[1]; refl < 0 {
+// applyGroup incorporates one peer's packed update (direct message or
+// gateway-forwarded record): incremental z update under the weighting
+// scheme, segment by segment in the group's canonical order, plus
+// version/echo bookkeeping. vals carries exactly the group's Vals values.
+func (st *rankState) applyGroup(gi int, ver, echo float64, vals []float64) {
+	st.verIncorporated[gi] = ver
+	if echo < 0 {
 		// The sender does not depend on us: no echo is possible, the
 		// round-trip criterion is vacuously satisfied for this channel.
-		st.echoFrom[si] = math.Inf(1)
-	} else if refl > st.echoFrom[si] {
-		st.echoFrom[si] = refl
+		st.echoFrom[gi] = math.Inf(1)
+	} else if echo > st.echoFrom[gi] {
+		st.echoFrom[gi] = echo
 	}
-	for i, pos := range seg.pos {
-		st.z[pos] += seg.weights[i] * (vals[i] - st.lastRecv[si][i])
-		st.lastRecv[si][i] = vals[i]
+	g := &st.rp.Recv[gi]
+	last := st.lastRecv[gi]
+	off := 0
+	for _, s := range g.Segs {
+		for i, pos := range s.Pos {
+			v := vals[off+i]
+			st.z[pos] += s.Weights[i] * (v - last[off+i])
+			last[off+i] = v
+		}
+		off += len(s.Pos)
 	}
-	st.ctx.Counter.Add(3 * float64(len(seg.pos)))
+	st.ctx.Counter.Add(3 * float64(g.Vals))
+}
+
+// reflFor returns the echo header for a message to peer: the highest of the
+// peer's versions this rank has incorporated, or −1 when this rank does not
+// depend on the peer at all.
+func (st *rankState) reflFor(peer int) float64 {
+	if gi, ok := st.recvGroupByPeer[peer]; ok {
+		return st.verIncorporated[gi]
+	}
+	return -1
+}
+
+// packVals appends the group's boundary values (xSub at each segment's
+// producer-local indices, in the group's canonical segment order) to buf.
+func (st *rankState) packVals(g *plan.PeerIO, buf []float64) []float64 {
+	for _, s := range g.Segs {
+		for _, li := range s.Loc {
+			buf = append(buf, st.xSub[li])
+		}
+	}
+	return buf
 }
 
 // iterate runs the computation step (step 2): BLoc = BSub − Dep·z, solve the
@@ -291,21 +276,23 @@ func (st *rankState) iterate() error {
 	return nil
 }
 
-// ship sends this rank's boundary components to their dependents (step 3).
+// ship sends this rank's boundary components to their dependents (step 3):
+// one packed message per peer group. In gateway mode the inter-cluster
+// groups are batched through the cluster aggregator instead.
 func (st *rankState) ship() error {
-	for _, seg := range st.outs {
-		st.sendBuf = st.sendBuf[:0]
-		refl := -1.0
-		if si, ok := st.segIndexByRank[seg.to]; ok {
-			refl = st.verIncorporated[si]
+	for gi := range st.rp.Send {
+		g := &st.rp.Send[gi]
+		if st.gw != nil && st.gw.sendViaGw[gi] {
+			continue
 		}
-		st.sendBuf = append(st.sendBuf, float64(st.iter), refl)
-		for _, li := range seg.loc {
-			st.sendBuf = append(st.sendBuf, st.xSub[li])
-		}
-		if err := st.c.SendFloats(seg.to, tagX, st.sendBuf); err != nil {
+		st.sendBuf = append(st.sendBuf[:0], float64(st.iter), st.reflFor(g.Peer))
+		st.sendBuf = st.packVals(g, st.sendBuf)
+		if err := st.c.SendFloats(g.Peer, tagX, st.sendBuf); err != nil {
 			return err
 		}
+	}
+	if st.gw != nil {
+		return st.gw.shipInter(st)
 	}
 	return nil
 }
@@ -314,8 +301,9 @@ func (st *rankState) ship() error {
 // — iterate, ship, exchange — parameterized by the exchange policy
 // (synchronous barrier, asynchronous freshest-drain, or bounded staleness)
 // and the stopping criterion (successive iterate or true residual).
-func msRank(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o Options, pend *Pending) error {
+func msRank(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, cp *plan.Plan, o Options, pend *Pending) error {
 	c.Tree = o.TreeCollectives
+	c.Topo = o.TopoCollectives
 	ctx := simctx.New()
 	ctx.Trace = o.Trace
 	ctx.Obs = obs.NewScope(c.Proc().Obs(), c.Proc().Name)
@@ -325,7 +313,7 @@ func msRank(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o Opti
 	c.AttachCtx(ctx)
 	applyFaultOptions(c, o)
 
-	st, factTime, err := newRankState(c, ctx, a, bGlob, d, o)
+	st, factTime, err := newRankState(c, ctx, a, bGlob, d, cp, o)
 	if err != nil {
 		return err
 	}

@@ -38,26 +38,56 @@ func newExchangePolicy(o Options, det detect.Detector) exchangePolicy {
 	}
 }
 
-// syncPolicy: blocking receive from every contributor, then a max-Allreduce
-// on the local criterion — the classical synchronous multisplitting round.
+// syncPolicy: blocking receive from every contributor group, then a
+// max-Allreduce on the local criterion — the classical synchronous
+// multisplitting round. In gateway mode the aggregator runs its forwarding
+// round first and the inter-cluster groups are taken from the gateway inbox
+// at the same positions of the peer-ascending apply loop, so the iterates
+// are byte-identical to the direct plan.
 type syncPolicy struct{}
 
 func (syncPolicy) exchange(st *rankState, stop stopper) (outcome, error) {
-	for si, seg := range st.ins {
-		pk, err := st.recvCritical(seg.from, tagX, "boundary data")
+	if st.gw != nil {
+		if err := st.gw.syncRound(st); err != nil {
+			return 0, err
+		}
+		if err := st.gw.recvDownSync(st); err != nil {
+			return 0, err
+		}
+	}
+	for gi := range st.rp.Recv {
+		g := &st.rp.Recv[gi]
+		if st.gw != nil && st.gw.recvViaGw[gi] {
+			rec, ok := st.gw.take(gi)
+			if !ok {
+				return 0, fmt.Errorf("rank %d: gateway delivered no record from rank %d at iteration %d",
+					st.rank, g.Peer, st.iter)
+			}
+			st.applyGroup(gi, rec.ver, rec.echo, rec.vals)
+			continue
+		}
+		pk, err := st.recvCritical(g.Peer, tagX, "boundary data")
 		if err != nil {
 			return 0, err
 		}
-		st.applySeg(si, pk)
+		st.applyGroup(gi, pk.Floats[0], pk.Floats[1], pk.Floats[msgHdr:])
 	}
 	crit := stop.crit(st)
 	st.c.Charge()
 	if sc := st.ctx.Observe(); sc != nil {
 		sc.Sample(stop.series(), st.c.Now(), crit)
 	}
-	global, err := st.c.Allreduce(crit, mp.OpMax)
-	if err != nil {
-		return 0, err
+	var global float64
+	if st.gw != nil && st.gw.red {
+		// The gateway round already reduced the criterion (piggybacked max,
+		// bitwise equal to the Allreduce), so no second WAN round is needed.
+		global = st.gw.globalCrit
+	} else {
+		var err error
+		global, err = st.c.Allreduce(crit, mp.OpMax)
+		if err != nil {
+			return 0, err
+		}
 	}
 	if global <= st.o.Tol {
 		return outConverged, nil
@@ -83,20 +113,43 @@ type asyncPolicy struct {
 }
 
 func (ap *asyncPolicy) exchange(st *rankState, stop stopper) (outcome, error) {
-	ap.drain(st)
+	if err := ap.drain(st); err != nil {
+		return 0, err
+	}
 	return ap.finish(st, stop)
 }
 
-func (ap *asyncPolicy) drain(st *rankState) {
-	for si, seg := range st.ins {
-		if pk := st.c.DrainLatest(seg.from, tagX); pk != nil {
-			st.applySeg(si, pk)
-			st.freshSeen[si] = true
-			st.staleCount[si] = 0
-		} else {
-			st.staleCount[si]++
+func (ap *asyncPolicy) drain(st *rankState) error {
+	if st.gw != nil {
+		// Pump the gateway first: an aggregator forwards whatever arrived
+		// since its last iteration, a plain rank refreshes its inbox with the
+		// freshest per-origin record (versions are monotone over the FIFO
+		// aggregator route, so overwriting is exactly DrainLatest semantics).
+		if err := st.gw.pump(st); err != nil {
+			return err
 		}
 	}
+	for gi := range st.rp.Recv {
+		g := &st.rp.Recv[gi]
+		if st.gw != nil && st.gw.recvViaGw[gi] {
+			if rec, ok := st.gw.take(gi); ok {
+				st.applyGroup(gi, rec.ver, rec.echo, rec.vals)
+				st.freshSeen[gi] = true
+				st.staleCount[gi] = 0
+			} else {
+				st.staleCount[gi]++
+			}
+			continue
+		}
+		if pk := st.c.DrainLatest(g.Peer, tagX); pk != nil {
+			st.applyGroup(gi, pk.Floats[0], pk.Floats[1], pk.Floats[msgHdr:])
+			st.freshSeen[gi] = true
+			st.staleCount[gi] = 0
+		} else {
+			st.staleCount[gi]++
+		}
+	}
+	return nil
 }
 
 func (ap *asyncPolicy) finish(st *rankState, stop stopper) (outcome, error) {
@@ -127,8 +180,8 @@ func (ap *asyncPolicy) finish(st *rankState, stop stopper) (outcome, error) {
 	}
 	localOK := st.stableRuns >= st.o.Smooth
 	if localOK {
-		for si := range st.ins {
-			if st.echoFrom[si] < float64(st.stableStart) {
+		for gi := range st.rp.Recv {
+			if st.echoFrom[gi] < float64(st.stableStart) {
 				localOK = false
 				break
 			}
@@ -171,7 +224,9 @@ type boundedStalePolicy struct {
 }
 
 func (bp *boundedStalePolicy) exchange(st *rankState, stop stopper) (outcome, error) {
-	bp.drain(st)
+	if err := bp.drain(st); err != nil {
+		return 0, err
+	}
 	out, err := bp.waitForStale(st)
 	if err != nil || out != outContinue {
 		return out, err
@@ -190,18 +245,36 @@ func (bp *boundedStalePolicy) waitForStale(st *rankState) (outcome, error) {
 	if st.o.FaultTolerant {
 		maxWait = float64(st.o.SendRetries) * st.o.DeadRankTimeout
 	}
-	for si, seg := range st.ins {
+	for gi := range st.rp.Recv {
+		g := &st.rp.Recv[gi]
 		waited := 0.0
-		for st.staleCount[si] > bp.maxStale {
-			if pk := st.c.DrainLatest(seg.from, tagX); pk != nil {
-				st.applySeg(si, pk)
-				st.freshSeen[si] = true
-				st.staleCount[si] = 0
+		for st.staleCount[gi] > bp.maxStale {
+			// Keep the gateway pumped inside the poll loop: an aggregator
+			// must go on forwarding while it waits, and a plain rank's fresh
+			// data can only arrive through its inbox.
+			if st.gw != nil {
+				if err := st.gw.pump(st); err != nil {
+					return 0, err
+				}
+			}
+			got := false
+			if st.gw != nil && st.gw.recvViaGw[gi] {
+				if rec, ok := st.gw.take(gi); ok {
+					st.applyGroup(gi, rec.ver, rec.echo, rec.vals)
+					got = true
+				}
+			} else if pk := st.c.DrainLatest(g.Peer, tagX); pk != nil {
+				st.applyGroup(gi, pk.Floats[0], pk.Floats[1], pk.Floats[msgHdr:])
+				got = true
+			}
+			if got {
+				st.freshSeen[gi] = true
+				st.staleCount[gi] = 0
 				break
 			}
 			if waited >= maxWait {
 				return 0, fmt.Errorf("rank %d: contributor rank %d over-stale for %.3gs in bounded-staleness mode",
-					st.rank, seg.from, waited)
+					st.rank, g.Peer, waited)
 			}
 			st.c.Proc().Sleep(pollInterval)
 			waited += pollInterval

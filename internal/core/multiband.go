@@ -2,37 +2,19 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/detect"
 	"repro/internal/mp"
+	"repro/internal/plan"
 	"repro/internal/simctx"
 	"repro/internal/sparse"
 	"repro/internal/vec"
 )
 
-// Multi-band message tags: tag(k→b) identifies the (sender band, receiver
-// band) pair; the gather tags identify the band being collected.
-const (
-	tagMBandBase   = 16
-	tagMGatherBase = 1 << 17
-)
+// Multi-band gather tags identify the band being collected at rank 0.
+const tagMGatherBase = 1 << 17
 
-func tagMBand(l, from, to int) int { return tagMBandBase + from*l + to }
-
-// mseg is a per-band incoming segment: values for some of the band's
-// dependency columns, produced by another band.
-type mseg struct {
-	fromBand int
-	pos      []int
-	weights  []float64
-	lastRecv []float64
-	// scratch receives the gathered values of an intra-rank apply, sized to
-	// pos once at plan time so the iteration hot path allocates nothing.
-	scratch []float64
-}
-
-// mBandState is one owned band's full solver state.
+// mBandState is one owned band's solver state.
 type mBandState struct {
 	idx     int
 	band    Band
@@ -44,7 +26,6 @@ type mBandState struct {
 	xSub    []float64
 	xNew    []float64
 	rhs     []float64
-	inSegs  []mseg
 }
 
 type factSolver interface {
@@ -57,14 +38,17 @@ type factSolver interface {
 // msRankMulti is the Algorithm 1 body for the several-bands-per-processor
 // assignment of the paper's Remark 2: rank r owns the non-adjacent bands
 // {r, r+P, r+2P, …} of a decomposition with L = P·BandsPerProc bands and
-// solves each of them every iteration, exchanging boundary segments between
-// bands (locally when both live on the same rank, by message otherwise).
-func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o Options, pend *Pending) error {
+// solves each of them every iteration. Boundary exchange runs over the same
+// shared communication plan as the single-band engine: all segments between
+// two ranks — whatever bands they connect — coalesce into one packed tagX
+// message per iteration, and segments between two local bands are applied
+// in place without communication.
+func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, cp *plan.Plan, o Options, pend *Pending) error {
 	c.Tree = o.TreeCollectives
+	c.Topo = o.TopoCollectives
 	rank := c.Rank()
-	nprocs := c.Size()
 	l := d.L()
-	ownerOf := func(bandIdx int) int { return bandIdx % nprocs }
+	rp := &cp.Ranks[rank]
 	ctx := simctx.New()
 	ctx.Trace = o.Trace
 	if o.TrackMemory {
@@ -73,19 +57,19 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 	c.AttachCtx(ctx)
 	cnt := ctx.Counter
 
-	// --- Initialization: factor every owned band, build the segment plan.
-	// All owned bands factor inside one deferred compute segment (the fill —
-	// and so the cost — is unknown up front), which both overlaps other
-	// ranks' factorizations on the worker pool and preserves the single
-	// aggregate charge of the serial driver. Memory is accounted after
-	// collection: Alloc is a simulator call and may not run inside a segment.
+	// --- Initialization: factor every owned band. All owned bands factor
+	// inside one deferred compute segment (the fill — and so the cost — is
+	// unknown up front), which both overlaps other ranks' factorizations on
+	// the worker pool and preserves the single aggregate charge of the serial
+	// driver. Memory is accounted after collection: Alloc is a simulator call
+	// and may not run inside a segment.
 	var owned []*mBandState
 	var allocBytes int64
 	var factErr error
 	var factBand int
 	factStart := c.Now()
 	c.ComputeDeferred(func() float64 {
-		for k := rank; k < l; k += nprocs {
+		for k := rank; k < l; k += c.Size() {
 			band := d.Bands[k]
 			sub := a.Submatrix(band.Lo, band.Hi, band.Lo, band.Hi)
 			fact, err := o.Solver.Factor(sub, cnt)
@@ -93,46 +77,17 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 				factErr, factBand = err, k
 				break
 			}
-			left := a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
-			right := a.ColumnsUsed(band.Lo, band.Hi, band.Hi, d.N)
-			depCols := make([]int, 0, len(left)+len(right))
-			depCols = append(depCols, left...)
-			depCols = append(depCols, right...)
 			st := &mBandState{
 				idx:     k,
 				band:    band,
 				fact:    fact,
-				depCols: depCols,
-				depMat:  a.SelectColumns(band.Lo, band.Hi, depCols),
+				depCols: cp.DepCols[k],
+				depMat:  a.SelectColumns(band.Lo, band.Hi, cp.DepCols[k]),
 				bSub:    vec.Clone(bGlob[band.Lo:band.Hi]),
-				z:       make([]float64, len(depCols)),
+				z:       make([]float64, len(cp.DepCols[k])),
 				xSub:    make([]float64, band.Size()),
 				xNew:    make([]float64, band.Size()),
 				rhs:     make([]float64, band.Size()),
-			}
-			// Incoming segments: contributors of each dependency column.
-			byFrom := map[int]*mseg{}
-			for i, j := range depCols {
-				for _, kb := range d.Contributors(j) {
-					sg := byFrom[kb]
-					if sg == nil {
-						sg = &mseg{fromBand: kb}
-						byFrom[kb] = sg
-					}
-					sg.pos = append(sg.pos, i)
-					sg.weights = append(sg.weights, d.Weight(kb, j))
-				}
-			}
-			froms := make([]int, 0, len(byFrom))
-			for kb := range byFrom {
-				froms = append(froms, kb)
-			}
-			sort.Ints(froms)
-			for _, kb := range froms {
-				sg := byFrom[kb]
-				sg.lastRecv = make([]float64, len(sg.pos))
-				sg.scratch = make([]float64, len(sg.pos))
-				st.inSegs = append(st.inSegs, *sg)
 			}
 			owned = append(owned, st)
 			allocBytes += csrBytes(sub) + csrBytes(st.depMat) + fact.Bytes()
@@ -146,77 +101,56 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 	if err := ctx.Alloc(allocBytes); err != nil {
 		return err
 	}
-
-	// Outgoing segments: for every owned band k, the remote bands that
-	// depend on it (the sender recomputes the receiver's plan from the
-	// global matrix, so both sides agree without communication).
-	type outSeg struct {
-		fromBand, toBand int
-		toRank           int
-		loc              []int // local indices within band fromBand
-	}
-	var outs []outSeg
-	for _, st := range owned {
-		for b := 0; b < l; b++ {
-			if ownerOf(b) == rank {
-				continue
-			}
-			bb := d.Bands[b]
-			bLeft := a.ColumnsUsed(bb.Lo, bb.Hi, 0, bb.Lo)
-			bRight := a.ColumnsUsed(bb.Lo, bb.Hi, bb.Hi, d.N)
-			var loc []int
-			for _, j := range bLeft {
-				if st.band.Contains(j) && d.Weight(st.idx, j) > 0 {
-					loc = append(loc, j-st.band.Lo)
-				}
-			}
-			for _, j := range bRight {
-				if st.band.Contains(j) && d.Weight(st.idx, j) > 0 {
-					loc = append(loc, j-st.band.Lo)
-				}
-			}
-			if len(loc) > 0 {
-				outs = append(outs, outSeg{fromBand: st.idx, toBand: b, toRank: ownerOf(b), loc: loc})
-			}
-		}
-	}
-
-	applySeg := func(st *mBandState, si int, vals []float64) {
-		sg := &st.inSegs[si]
-		for i, pos := range sg.pos {
-			st.z[pos] += sg.weights[i] * (vals[i] - sg.lastRecv[i])
-			sg.lastRecv[i] = vals[i]
-		}
-		cnt.Add(3 * float64(len(sg.pos)))
-	}
 	stByIdx := map[int]*mBandState{}
 	for _, st := range owned {
 		stByIdx[st.idx] = st
 	}
 
-	// Rank-level causal-echo bookkeeping for the async detection.
-	verFromRank := make([]float64, nprocs)
-	echoFromRank := make([]float64, nprocs)
-	recvFromRank := make([]bool, nprocs) // ranks with any inbound segment
-	mutualRank := make([]bool, nprocs)   // ranks we also send to
-	for _, st := range owned {
-		for _, sg := range st.inSegs {
-			if r := ownerOf(sg.fromBand); r != rank {
-				recvFromRank[r] = true
+	// Per-group exchange state, mirroring the single-band rankState: the last
+	// received packed values (for the incremental z update), the contributor's
+	// latest version and the causal echo, all indexed by recv group.
+	recvGroupByPeer := map[int]int{}
+	for gi, g := range rp.Recv {
+		recvGroupByPeer[g.Peer] = gi
+	}
+	ng := len(rp.Recv)
+	verFrom := make([]float64, ng)
+	echoFrom := make([]float64, ng)
+	lastRecv := make([][]float64, ng)
+	for gi, g := range rp.Recv {
+		lastRecv[gi] = make([]float64, g.Vals)
+	}
+	// localLast mirrors lastRecv for the intra-rank segments of rp.Local.
+	localLast := make([][]float64, len(rp.Local))
+	for i, s := range rp.Local {
+		localLast[i] = make([]float64, len(s.Pos))
+	}
+	reflFor := func(peer int) float64 {
+		if gi, ok := recvGroupByPeer[peer]; ok {
+			return verFrom[gi]
+		}
+		return -1
+	}
+	applyGroup := func(gi int, ver, echo float64, vals []float64) {
+		verFrom[gi] = ver
+		if echo < 0 {
+			echoFrom[gi] = 1e18 // sender does not depend on us: no echo possible
+		} else if echo > echoFrom[gi] {
+			echoFrom[gi] = echo
+		}
+		g := &rp.Recv[gi]
+		last := lastRecv[gi]
+		off := 0
+		for _, s := range g.Segs {
+			dst := stByIdx[s.To]
+			for i, pos := range s.Pos {
+				v := vals[off+i]
+				dst.z[pos] += s.Weights[i] * (v - last[off+i])
+				last[off+i] = v
 			}
+			off += len(s.Pos)
 		}
-	}
-	for _, og := range outs {
-		mutualRank[og.toRank] = true
-	}
-	for r := range echoFromRank {
-		if !recvFromRank[r] {
-			continue
-		}
-		if !mutualRank[r] {
-			// No echo possible from a rank we never send to.
-			echoFromRank[r] = 1e18
-		}
+		cnt.Add(3 * float64(g.Vals))
 	}
 
 	var det detect.Detector
@@ -227,30 +161,16 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 			return err
 		}
 	}
-	// freshRank persists across iterations: a round completes once every
-	// source rank has delivered since the last completed round.
-	freshRank := make([]bool, nprocs)
-	resetFresh := func() {
-		for r := range freshRank {
-			freshRank[r] = !recvFromRank[r]
-		}
-	}
-	resetFresh()
+	// freshSeen persists across iterations: a round completes once every
+	// contributor group has delivered since the last completed round.
+	freshSeen := make([]bool, ng)
 
 	iter := 0
 	converged := false
 	aborted := false
 	stableRuns := 0
 	stableStart := 0
-	// One send buffer sized to the largest outgoing segment, reused for every
-	// ship (engine.go's rankState.sendBuf, mirrored here).
-	maxOut := 0
-	for _, og := range outs {
-		if len(og.loc) > maxOut {
-			maxOut = len(og.loc)
-		}
-	}
-	sendBuf := make([]float64, 0, maxOut+msgHdr)
+	sendBuf := make([]float64, 0, cp.MaxSendVals(rank)+msgHdr)
 
 	// The per-iteration solve sweep over the owned bands is a pure compute
 	// segment with an analytically known cost, declared up front so the
@@ -288,71 +208,37 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 			return fmt.Errorf("rank %d band %d: %w at iteration %d", rank, divergedBand.idx, ErrDiverged, iter)
 		}
 
-		// Ship remote segments.
-		for _, og := range outs {
-			st := stByIdx[og.fromBand]
-			sendBuf = sendBuf[:0]
-			refl := -1.0
-			if recvFromRank[og.toRank] {
-				refl = verFromRank[og.toRank]
+		// Ship one packed message per peer rank, all bands coalesced.
+		for gi := range rp.Send {
+			g := &rp.Send[gi]
+			sendBuf = append(sendBuf[:0], float64(iter), reflFor(g.Peer))
+			for _, s := range g.Segs {
+				src := stByIdx[s.From]
+				for _, li := range s.Loc {
+					sendBuf = append(sendBuf, src.xSub[li])
+				}
 			}
-			sendBuf = append(sendBuf, float64(iter), refl)
-			for _, li := range og.loc {
-				sendBuf = append(sendBuf, st.xSub[li])
-			}
-			if err := c.SendFloats(og.toRank, tagMBand(l, og.fromBand, og.toBand), sendBuf); err != nil {
+			if err := c.SendFloats(g.Peer, tagX, sendBuf); err != nil {
 				return err
 			}
 		}
-		// Apply intra-rank segments directly, gathering into the segment's
-		// preallocated scratch (this runs every iteration: no garbage here).
-		for _, st := range owned {
-			for si := range st.inSegs {
-				sg := &st.inSegs[si]
-				src := stByIdx[sg.fromBand]
-				if src == nil {
-					continue // remote
-				}
-				for i, pos := range sg.pos {
-					sg.scratch[i] = src.xSub[st.depCols[pos]-src.band.Lo]
-				}
-				applySeg(st, si, sg.scratch)
+		// Apply intra-rank segments in place (this runs every iteration: no
+		// garbage here).
+		for i, s := range rp.Local {
+			src, dst := stByIdx[s.From], stByIdx[s.To]
+			last := localLast[i]
+			for i2, pos := range s.Pos {
+				v := src.xSub[s.Loc[i2]]
+				dst.z[pos] += s.Weights[i2] * (v - last[i2])
+				last[i2] = v
 			}
-		}
-
-		recvSeg := func(st *mBandState, si int, blocking bool) (bool, error) {
-			sg := &st.inSegs[si]
-			from := ownerOf(sg.fromBand)
-			tag := tagMBand(l, sg.fromBand, st.idx)
-			var pk *mp.Packet
-			if blocking {
-				pk = c.Recv(from, tag)
-			} else {
-				pk = c.DrainLatest(from, tag)
-				if pk == nil {
-					return false, nil
-				}
-			}
-			if pk.Floats[0] > verFromRank[from] {
-				verFromRank[from] = pk.Floats[0]
-			}
-			if refl := pk.Floats[1]; refl >= 0 && refl > echoFromRank[from] {
-				echoFromRank[from] = refl
-			}
-			applySeg(st, si, pk.Floats[2:])
-			return true, nil
+			cnt.Add(3 * float64(len(s.Pos)))
 		}
 
 		if !o.Async {
-			for _, st := range owned {
-				for si := range st.inSegs {
-					if stByIdx[st.inSegs[si].fromBand] != nil {
-						continue // handled locally
-					}
-					if _, err := recvSeg(st, si, true); err != nil {
-						return err
-					}
-				}
+			for gi := range rp.Recv {
+				pk := c.Recv(rp.Recv[gi].Peer, tagX)
+				applyGroup(gi, pk.Floats[0], pk.Floats[1], pk.Floats[msgHdr:])
 			}
 			c.Charge()
 			gd, err := c.Allreduce(diff, mp.OpMax)
@@ -366,24 +252,16 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 			continue
 		}
 
-		// Asynchronous: drain whatever arrived, per remote segment.
-		for _, st := range owned {
-			for si := range st.inSegs {
-				if stByIdx[st.inSegs[si].fromBand] != nil {
-					continue
-				}
-				got, err := recvSeg(st, si, false)
-				if err != nil {
-					return err
-				}
-				if got {
-					freshRank[ownerOf(st.inSegs[si].fromBand)] = true
-				}
+		// Asynchronous: drain the freshest pending update per contributor.
+		for gi := range rp.Recv {
+			if pk := c.DrainLatest(rp.Recv[gi].Peer, tagX); pk != nil {
+				applyGroup(gi, pk.Floats[0], pk.Floats[1], pk.Floats[msgHdr:])
+				freshSeen[gi] = true
 			}
 		}
 		c.Charge()
 		roundComplete := true
-		for _, f := range freshRank {
+		for _, f := range freshSeen {
 			if !f {
 				roundComplete = false
 				break
@@ -397,11 +275,13 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 			stableRuns++
 		}
 		if roundComplete {
-			resetFresh()
+			for gi := range freshSeen {
+				freshSeen[gi] = false
+			}
 		}
 		localOK := stableRuns >= o.Smooth
-		for r := range echoFromRank {
-			if recvFromRank[r] && echoFromRank[r] < float64(stableStart) {
+		for gi := range echoFrom {
+			if echoFrom[gi] < float64(stableStart) {
 				localOK = false
 				break
 			}
@@ -443,10 +323,10 @@ func msRankMulti(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, o
 			copy(x[st.band.Start:st.band.End], st.xSub[st.band.Start-st.band.Lo:st.band.End-st.band.Lo])
 		}
 		for b := 0; b < l; b++ {
-			if ownerOf(b) == 0 {
+			if cp.Owner[b] == 0 {
 				continue
 			}
-			pk := c.Recv(ownerOf(b), tagMGatherBase+b)
+			pk := c.Recv(cp.Owner[b], tagMGatherBase+b)
 			bb := d.Bands[b]
 			copy(x[bb.Start:bb.End], pk.Floats)
 		}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/mp"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/simctx"
 	"repro/internal/sparse"
 	"repro/internal/splu"
@@ -254,6 +255,7 @@ type Session struct {
 	a           *sparse.CSR
 	o           Options
 	d           *Decomposition
+	cp          *plan.Plan
 	ranks       []*sessionRank
 }
 
@@ -282,6 +284,11 @@ func NewSession(newPlatform func() (*vgrid.Platform, []*vgrid.Host), a *sparse.C
 	}
 	if o.Equilibrate {
 		return nil, errors.New("core: sessions do not support Equilibrate")
+	}
+	if o.Gateway {
+		// The gateway routing tables live outside the per-rank state a session
+		// persists; sessions run the direct plan.
+		return nil, errors.New("core: sessions do not support Gateway")
 	}
 	if newPlatform == nil {
 		return nil, errors.New("core: session needs a platform factory")
@@ -317,7 +324,12 @@ func (s *Session) Resolve(newVals, b []float64) (*Result, error) {
 		if err := d.Validate(); err != nil {
 			return nil, err
 		}
+		cp, err := buildCommPlan(s.a, d, len(hosts))
+		if err != nil {
+			return nil, err
+		}
 		s.d = d
+		s.cp = cp
 		s.ranks = make([]*sessionRank, len(hosts))
 	} else if len(hosts) != len(s.ranks) {
 		return nil, fmt.Errorf("core: session built for %d hosts, factory produced %d", len(s.ranks), len(hosts))
@@ -358,6 +370,7 @@ func (s *Session) Resolve(newVals, b []float64) (*Result, error) {
 // so the writes into s.ranks and s.FactorFlops need no synchronization.
 func (s *Session) rankBody(c *mp.Comm, bGlob []float64, refresh bool, pend *Pending) error {
 	c.Tree = s.o.TreeCollectives
+	c.Topo = s.o.TopoCollectives
 	ctx := simctx.New()
 	ctx.Trace = s.o.Trace
 	ctx.Obs = obs.NewScope(c.Proc().Obs(), c.Proc().Name)
@@ -372,7 +385,7 @@ func (s *Session) rankBody(c *mp.Comm, bGlob []float64, refresh bool, pend *Pend
 	var factTime float64
 	factFlops := ctx.Counter.Flops()
 	if sr == nil {
-		st, ft, err := newRankState(c, ctx, s.a, bGlob, s.d, s.o)
+		st, ft, err := newRankState(c, ctx, s.a, bGlob, s.d, s.cp, s.o)
 		if err != nil {
 			return err
 		}

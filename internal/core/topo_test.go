@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/sparse"
+	"repro/internal/vgrid"
+)
+
+// twoSiteClustered is twoSitePlatform with the two sites declared as vgrid
+// clusters, so the topology-aware modes engage.
+func twoSiteClustered(nA, nB int) (*vgrid.Platform, []*vgrid.Host) {
+	pl, hosts := twoSitePlatform(nA, nB)
+	pl.AddCluster("siteA", hosts[:nA]...)
+	pl.AddCluster("siteB", hosts[nA:]...)
+	return pl, hosts
+}
+
+// topoTestSystem is a Table-1-shaped system whose band coupling spans the
+// site boundary of a 2+2 decomposition.
+func topoTestSystem(t *testing.T) (a *sparse.CSR, b, xtrue []float64) {
+	t.Helper()
+	// The wide band couples every pair of the four ranks, so four rank pairs
+	// cross the site boundary — the regime the gateway batching targets.
+	a = gen.DiagDominant(gen.DiagDominantOpts{N: 480, Band: 300, PerRow: 8, Margin: 0.05, Negative: true, Seed: 99})
+	b, xtrue = gen.RHSForSolution(a)
+	return a, b, xtrue
+}
+
+// runClustered solves on the clustered two-site platform with full
+// observability and scheduler tracing, returning the per-rank "diff" sample
+// values (the per-iteration successive-iterate criterion) alongside.
+func runClustered(t *testing.T, workers int, o Options) (*Result, string, map[string][]float64) {
+	t.Helper()
+	a, b, _ := topoTestSystem(t)
+	pl, hosts := twoSiteClustered(2, 2)
+	e := vgrid.NewEngine(pl)
+	if workers > 0 {
+		e.SetWorkers(workers)
+	}
+	rec := &obs.Recorder{}
+	e.Observe(rec)
+	var sb strings.Builder
+	e.Trace = func(line string) { sb.WriteString(line); sb.WriteByte('\n') }
+	pend, err := Launch(e, hosts, a, b, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pend.res.Time = end
+	pend.Finish()
+	iterates := map[string][]float64{}
+	for _, sp := range rec.Samples() {
+		if sp.Series == "diff" {
+			iterates[sp.Track] = append(iterates[sp.Track], sp.V)
+		}
+	}
+	return pend.Result(), sb.String(), iterates
+}
+
+// TestGatewaySyncByteIdentical is the plan-equivalence contract: the
+// synchronous solve must produce bitwise-identical iterates and solution
+// whether the inter-cluster exchange goes over direct WAN messages or
+// through the gateway aggregators — the gateway changes only the transport.
+func TestGatewaySyncByteIdentical(t *testing.T) {
+	o := Options{Tol: 1e-9, Overlap: 8}
+	direct, _, directIt := runClustered(t, 0, o)
+	o.Gateway = true
+	gw, _, gwIt := runClustered(t, 0, o)
+
+	if !direct.Converged || !gw.Converged {
+		t.Fatalf("convergence: direct %v, gateway %v", direct.Converged, gw.Converged)
+	}
+	if direct.Iterations != gw.Iterations {
+		t.Fatalf("iterations: direct %d, gateway %d", direct.Iterations, gw.Iterations)
+	}
+	for i := range direct.X {
+		if math.Float64bits(direct.X[i]) != math.Float64bits(gw.X[i]) {
+			t.Fatalf("x[%d] differs bitwise: %v vs %v", i, direct.X[i], gw.X[i])
+		}
+	}
+	if len(gwIt) == 0 {
+		t.Fatal("no diff samples recorded")
+	}
+	for track, vals := range directIt {
+		gvals := gwIt[track]
+		if len(gvals) != len(vals) {
+			t.Fatalf("%s: %d vs %d diff samples", track, len(vals), len(gvals))
+		}
+		for i := range vals {
+			if math.Float64bits(vals[i]) != math.Float64bits(gvals[i]) {
+				t.Fatalf("%s iteration %d criterion differs bitwise: %v vs %v",
+					track, i+1, vals[i], gvals[i])
+			}
+		}
+	}
+	// The batching must actually shrink the WAN message count.
+	if gw.InterMsgs >= direct.InterMsgs {
+		t.Fatalf("gateway inter-cluster messages did not drop: %d vs %d", gw.InterMsgs, direct.InterMsgs)
+	}
+	if gw.IntraMsgs+gw.InterMsgs != gw.MsgsSent || gw.IntraBytes+gw.InterBytes != gw.BytesSent {
+		t.Fatal("traffic split does not add up")
+	}
+}
+
+// TestTopoCollectivesByteIdentical: routing the convergence Allreduce and
+// the final gather through cluster leaders must not change the numerics —
+// max/copy reductions are order-independent — only the message routes.
+func TestTopoCollectivesByteIdentical(t *testing.T) {
+	o := Options{Tol: 1e-9, Overlap: 8}
+	flat, _, _ := runClustered(t, 0, o)
+	o.TopoCollectives = true
+	topo, _, _ := runClustered(t, 0, o)
+	if flat.Iterations != topo.Iterations {
+		t.Fatalf("iterations: flat %d, topo %d", flat.Iterations, topo.Iterations)
+	}
+	for i := range flat.X {
+		if math.Float64bits(flat.X[i]) != math.Float64bits(topo.X[i]) {
+			t.Fatalf("x[%d] differs bitwise: %v vs %v", i, flat.X[i], topo.X[i])
+		}
+	}
+}
+
+// TestGatewayWorkersDeterministic: the gateway exchange must preserve the
+// engine's worker-count determinism contract — byte-identical scheduler
+// traces and results for 1 vs 4 workers, in every exchange mode.
+func TestGatewayWorkersDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+	}{
+		{"sync", Options{Tol: 1e-8, Overlap: 8, Gateway: true, TopoCollectives: true}},
+		{"async", Options{Tol: 1e-8, Overlap: 8, Gateway: true, Async: true}},
+		{"bounded", Options{Tol: 1e-8, Overlap: 8, Gateway: true, Async: true, MaxStale: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r1, tr1, _ := runClustered(t, 1, tc.o)
+			r4, tr4, _ := runClustered(t, 4, tc.o)
+			if tr1 != tr4 {
+				d := firstDiffLine(tr1, tr4)
+				t.Fatalf("traces diverge (first differing line %d):\n1 worker:  %s\n4 workers: %s", d[0], d[1], d[2])
+			}
+			if r1.Iterations != r4.Iterations || r1.Time != r4.Time {
+				t.Fatalf("results diverge: %d/%v vs %d/%v", r1.Iterations, r1.Time, r4.Iterations, r4.Time)
+			}
+			for i := range r1.X {
+				if math.Float64bits(r1.X[i]) != math.Float64bits(r4.X[i]) {
+					t.Fatalf("x[%d] differs bitwise", i)
+				}
+			}
+		})
+	}
+}
+
+// TestGatewayAsyncConverges: the asynchronous and bounded-staleness modes
+// keep their freshest-per-origin semantics through the aggregators and still
+// converge to the right solution.
+func TestGatewayAsyncConverges(t *testing.T) {
+	a, b, xtrue := topoTestSystem(t)
+	for _, maxStale := range []int{0, 3} {
+		pl, hosts := twoSiteClustered(2, 2)
+		res, err := Solve(pl, hosts, a, b, Options{
+			Tol: 1e-9, Overlap: 8, Async: true, MaxStale: maxStale, Gateway: true,
+		})
+		if err != nil {
+			t.Fatalf("maxStale=%d: %v", maxStale, err)
+		}
+		checkSolution(t, res, xtrue, 1e-6)
+	}
+}
+
+// TestGatewayFlatPlatformNoop: with no cluster declarations Gateway must
+// silently fall back to the direct plan.
+func TestGatewayFlatPlatformNoop(t *testing.T) {
+	a, b, xtrue := topoTestSystem(t)
+	pl, hosts := lanPlatform(4, 0)
+	res, err := Solve(pl, hosts, a, b, Options{Tol: 1e-9, Overlap: 8, Gateway: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, res, xtrue, 1e-6)
+	if res.InterMsgs != 0 || res.InterBytes != 0 {
+		t.Fatalf("flat platform counted inter-cluster traffic: %d msgs", res.InterMsgs)
+	}
+}
+
+// TestGatewayRejectsMultiband: the gateway routes over the single-band
+// per-rank plan only.
+func TestGatewayRejectsMultiband(t *testing.T) {
+	a, b, _ := topoTestSystem(t)
+	pl, hosts := twoSiteClustered(2, 2)
+	_, err := Solve(pl, hosts, a, b, Options{Gateway: true, BandsPerProc: 2})
+	if err == nil || !strings.Contains(err.Error(), "incompatible with Gateway") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestSessionRejectsGateway: persistent sessions run the direct plan.
+func TestSessionRejectsGateway(t *testing.T) {
+	a, _, _ := topoTestSystem(t)
+	_, err := NewSession(func() (*vgrid.Platform, []*vgrid.Host) {
+		return twoSiteClustered(2, 2)
+	}, a, Options{Gateway: true})
+	if err == nil || !strings.Contains(err.Error(), "do not support Gateway") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestTopologyValidationFailsEarly: enabling a topology-aware mode on a
+// platform with broken cluster declarations must fail at Launch.
+func TestTopologyValidationFailsEarly(t *testing.T) {
+	a, b, _ := topoTestSystem(t)
+	pl, hosts := twoSitePlatform(2, 2)
+	pl.AddCluster("partial", hosts[0])
+	_, err := Solve(pl, hosts, a, b, Options{Gateway: true})
+	if err == nil || !strings.Contains(err.Error(), "belongs to no cluster") {
+		t.Fatalf("err = %v", err)
+	}
+}

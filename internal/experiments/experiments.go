@@ -272,14 +272,20 @@ type msOpts struct {
 	overlap int
 	track   bool
 	flows   int
+	// topo routes the collectives through cluster leaders; gateway batches
+	// the inter-cluster boundary exchange through per-cluster aggregators.
+	topo    bool
+	gateway bool
 }
 
 func runMS(cfg Config, plt *cluster.Platform, a *sparse.CSR, b []float64, o msOpts) (cell, *core.Result) {
 	e := cfg.newEngine(plt)
 	pend, err := core.Launch(e, plt.Hosts, a, b, core.Options{
-		Async:       o.async,
-		Overlap:     o.overlap,
-		TrackMemory: o.track,
+		Async:           o.async,
+		Overlap:         o.overlap,
+		TrackMemory:     o.track,
+		TopoCollectives: o.topo,
+		Gateway:         o.gateway,
 	})
 	if err != nil {
 		return cell{note: "err"}, nil

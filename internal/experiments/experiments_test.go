@@ -235,6 +235,39 @@ func TestFaultSweepShape(t *testing.T) {
 	}
 }
 
+func TestTopologyShape(t *testing.T) {
+	tab, err := TopologyTable(Config{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// The modes only change message routing, never the numerics: every mode
+	// runs the same iteration count.
+	iters := parse(t, tab.Rows[0][2])
+	for _, row := range tab.Rows[1:] {
+		if it := parse(t, row[2]); it != iters {
+			t.Fatalf("%s: %v iterations, direct took %v", row[0], it, iters)
+		}
+	}
+	speedup := func(row []string) float64 {
+		return parse(t, strings.TrimSuffix(row[5], "x"))
+	}
+	for _, row := range tab.Rows[2:] { // gateway, gateway+topo
+		// The headline claims: the gateway collapses the WAN traffic to one
+		// message per cluster pair per iteration (2 on the two-site grid)...
+		if m := parse(t, row[3]); m != 2 {
+			t.Fatalf("%s: %v inter-cluster msgs/iter, want 2", row[0], m)
+		}
+		// ...and converts that into at least the targeted 20% makespan
+		// reduction over the direct plan (measured: ~1.6-1.7x).
+		if s := speedup(row); s < 1.25 {
+			t.Fatalf("%s: speedup %vx, want >= 1.25x", row[0], s)
+		}
+	}
+}
+
 func TestTableFormatting(t *testing.T) {
 	tab := &Table{
 		ID:     "T",
@@ -263,7 +296,7 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"table1", "1", "table2", "table3", "table4", "figure3", "fig3", "faultsweep", "faults", "utilization", "util"} {
+	for _, name := range []string{"table1", "1", "table2", "table3", "table4", "figure3", "fig3", "faultsweep", "faults", "utilization", "util", "topology", "topo"} {
 		if _, err := ByName(name); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -271,7 +304,7 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown name accepted")
 	}
-	if len(All()) != 7 {
+	if len(All()) != 8 {
 		t.Fatalf("All() has %d entries", len(All()))
 	}
 }

@@ -273,6 +273,8 @@ func ByName(name string) (func(Config) (*Table, error), error) {
 		return FaultSweep, nil
 	case "utilization", "util":
 		return Utilization, nil
+	case "topology", "topo":
+		return TopologyTable, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
 	}
@@ -294,5 +296,6 @@ func All() []struct {
 		{"figure3", Figure3},
 		{"faultsweep", FaultSweep},
 		{"utilization", Utilization},
+		{"topology", TopologyTable},
 	}
 }

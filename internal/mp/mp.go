@@ -31,6 +31,7 @@ const (
 	tagReduceOut
 	tagBcast
 	tagGather
+	tagGatherHier
 )
 
 // msgOverheadBytes models per-message envelope cost.
@@ -64,6 +65,19 @@ type Comm struct {
 	// messages through one endpoint, as real MPI implementations do. All
 	// ranks must agree on the setting.
 	Tree bool
+	// Topo switches the collectives to the two-level topology-aware
+	// algorithm: ranks reduce to a per-cluster leader over the LAN, the
+	// leaders exchange over the WAN, and the result fans back out inside
+	// each cluster — so a collective crosses the inter-cluster links only
+	// O(#clusters) times instead of once per rank. It takes effect only when
+	// the platform declares at least two clusters covering every rank's host
+	// (vgrid.Platform.AddCluster); otherwise the Tree/flat algorithms run
+	// unchanged. All ranks must agree on the setting; Topo wins over Tree.
+	Topo bool
+	// topoCached/topoDone memoize the cluster layout derived from the
+	// ranks' hosts (computed on first topology-aware collective).
+	topoCached *topoInfo
+	topoDone   bool
 	// Retry is the retransmission policy applied to every send, point-to-
 	// point and collective alike (default: single attempt).
 	Retry RetryPolicy
@@ -107,6 +121,13 @@ func (c *Comm) Size() int { return len(c.procs) }
 
 // Proc exposes the underlying simulated process (clock, compute, memory).
 func (c *Comm) Proc() *vgrid.Proc { return c.p }
+
+// PeerHost returns the host rank r runs on. Topology-aware layers use it to
+// derive the cluster layout of the communicator.
+func (c *Comm) PeerHost(r int) *vgrid.Host {
+	c.checkRank(r)
+	return c.procs[r].Host()
+}
 
 // Compute charges flops of local work.
 func (c *Comm) Compute(flops float64) { c.p.Compute(flops) }
@@ -338,6 +359,12 @@ func (c *Comm) Barrier() error {
 	if n == 1 {
 		return nil
 	}
+	if c.Topo {
+		if ti := c.topo(); ti != nil {
+			_, err := c.hierAllreduce(0, OpSum, ti)
+			return err
+		}
+	}
 	if c.Tree {
 		_, err := c.treeAllreduce(0, OpSum)
 		return err
@@ -395,6 +422,11 @@ func (c *Comm) Allreduce(v float64, op Op) (float64, error) {
 	n := c.Size()
 	if n == 1 {
 		return v, nil
+	}
+	if c.Topo {
+		if ti := c.topo(); ti != nil {
+			return c.hierAllreduce(v, op, ti)
+		}
 	}
 	if c.Tree {
 		return c.treeAllreduce(v, op)
@@ -472,6 +504,11 @@ func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 	if c.Size() == 1 {
 		return data, nil
 	}
+	if c.Topo {
+		if ti := c.topo(); ti != nil {
+			return c.hierBcast(root, data, ti)
+		}
+	}
 	if c.Tree && root == 0 {
 		return c.treeBcast(data)
 	}
@@ -496,6 +533,11 @@ func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 func (c *Comm) Gather(root int, data []float64) ([][]float64, error) {
 	c.checkRank(root)
 	n := c.Size()
+	if c.Topo {
+		if ti := c.topo(); ti != nil {
+			return c.hierGather(root, data, ti)
+		}
+	}
 	if c.rank != root {
 		cp := append([]float64(nil), data...)
 		return nil, c.xsend(c.procs[root], tagGather, cp, 8*len(cp)+msgOverheadBytes)

@@ -1,0 +1,219 @@
+package mp
+
+// Two-level topology-aware collectives. The flat and tree collectives cross
+// the inter-cluster links once per participating rank (or once per tree
+// edge that happens to span sites); on a grid platform those links are the
+// bottleneck. The hierarchical algorithms here route every collective
+// through per-cluster leaders: members talk to their leader over the LAN,
+// only the leaders talk across clusters, so a collective costs O(#clusters)
+// WAN crossings regardless of the rank count. Enabled per communicator with
+// Comm.Topo; without usable cluster declarations the calls fall back to the
+// flat/tree algorithms in mp.go.
+
+// topoInfo is the memoized cluster layout of a communicator's ranks.
+type topoInfo struct {
+	// cluster maps each rank to its host's cluster index.
+	cluster []int
+	// members lists the ranks of this rank's own cluster, ascending.
+	members []int
+	// leader is the lowest rank of this rank's cluster.
+	leader int
+	// leaders lists each cluster's lowest rank, ascending; leaders[0] acts
+	// as the global root of the leader exchange.
+	leaders []int
+}
+
+// topo derives (once) the cluster layout from the ranks' hosts. It returns
+// nil — disabling the hierarchical algorithms — when any rank's host has no
+// cluster or when all ranks share a single cluster.
+func (c *Comm) topo() *topoInfo {
+	if c.topoDone {
+		return c.topoCached
+	}
+	c.topoDone = true
+	n := c.Size()
+	cl := make([]int, n)
+	seen := map[int]bool{}
+	for r := 0; r < n; r++ {
+		cl[r] = c.procs[r].Host().ClusterIndex()
+		if cl[r] < 0 {
+			return nil
+		}
+		seen[cl[r]] = true
+	}
+	if len(seen) < 2 {
+		return nil
+	}
+	ti := &topoInfo{cluster: cl}
+	leaderOf := map[int]int{}
+	for r := 0; r < n; r++ {
+		if _, ok := leaderOf[cl[r]]; !ok {
+			leaderOf[cl[r]] = r
+			ti.leaders = append(ti.leaders, r)
+		}
+		if cl[r] == cl[c.rank] {
+			ti.members = append(ti.members, r)
+		}
+	}
+	ti.leader = leaderOf[cl[c.rank]]
+	c.topoCached = ti
+	return ti
+}
+
+// clusterLeader returns the leader (lowest rank) of the cluster rank r
+// belongs to.
+func (ti *topoInfo) clusterLeader(r int) int {
+	for _, l := range ti.leaders {
+		if ti.cluster[l] == ti.cluster[r] {
+			return l
+		}
+	}
+	panic("mp: rank without cluster leader")
+}
+
+// hierAllreduce reduces member values to each cluster leader over the LAN,
+// combines the leader partials at leaders[0] over the WAN, and fans the
+// result back out: leaders first, then each cluster's members. 2·(C−1) WAN
+// messages for C clusters, independent of the rank count.
+func (c *Comm) hierAllreduce(v float64, op Op, ti *topoInfo) (float64, error) {
+	if c.rank != ti.leader {
+		if err := c.xsend(c.procs[ti.leader], tagReduceIn, []float64{v}, 8+msgOverheadBytes); err != nil {
+			return 0, err
+		}
+		m := c.p.Recv(ti.leader, tagReduceOut)
+		return m.Payload.([]float64)[0], nil
+	}
+	acc := v
+	for _, r := range ti.members {
+		if r == c.rank {
+			continue
+		}
+		m := c.p.Recv(r, tagReduceIn)
+		acc = op.apply(acc, m.Payload.([]float64)[0])
+	}
+	root := ti.leaders[0]
+	if c.rank != root {
+		if err := c.xsend(c.procs[root], tagReduceIn, []float64{acc}, 8+msgOverheadBytes); err != nil {
+			return 0, err
+		}
+		m := c.p.Recv(root, tagReduceOut)
+		acc = m.Payload.([]float64)[0]
+	} else {
+		for _, l := range ti.leaders[1:] {
+			m := c.p.Recv(l, tagReduceIn)
+			acc = op.apply(acc, m.Payload.([]float64)[0])
+		}
+		for _, l := range ti.leaders[1:] {
+			if err := c.xsend(c.procs[l], tagReduceOut, []float64{acc}, 8+msgOverheadBytes); err != nil {
+				return 0, err
+			}
+		}
+	}
+	for _, r := range ti.members {
+		if r == c.rank {
+			continue
+		}
+		if err := c.xsend(c.procs[r], tagReduceOut, []float64{acc}, 8+msgOverheadBytes); err != nil {
+			return 0, err
+		}
+	}
+	return acc, nil
+}
+
+// hierBcast routes a broadcast root → root's cluster leader → other leaders
+// (WAN) → cluster members (LAN): C−1 WAN messages for C clusters.
+func (c *Comm) hierBcast(root int, data []float64, ti *topoInfo) ([]float64, error) {
+	rootLeader := ti.clusterLeader(root)
+	send := func(dst int) error {
+		cp := append([]float64(nil), data...)
+		return c.xsend(c.procs[dst], tagBcast, cp, 8*len(cp)+msgOverheadBytes)
+	}
+	if c.rank == root {
+		if root != rootLeader {
+			return data, send(rootLeader)
+		}
+	} else if c.rank == ti.leader {
+		var from int
+		if ti.leader == rootLeader {
+			from = root // our own cluster's root hands the data up
+		} else {
+			from = rootLeader
+		}
+		m := c.p.Recv(from, tagBcast)
+		data = m.Payload.([]float64)
+	} else {
+		m := c.p.Recv(ti.leader, tagBcast)
+		return m.Payload.([]float64), nil
+	}
+	// Only leaders (including a root that is its cluster's leader) get here.
+	if c.rank == rootLeader {
+		for _, l := range ti.leaders {
+			if l == rootLeader {
+				continue
+			}
+			if err := send(l); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, r := range ti.members {
+		if r == c.rank || r == root {
+			continue
+		}
+		if err := send(r); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// hierGather collects each rank's slice at its cluster leader over the LAN;
+// every leader other than root packs its cluster's slices into one flat
+// blob of [rank, len, values...] records and ships it to root over the WAN
+// (C−1 crossings when root is a leader). Root unpacks the blobs — plus, when
+// root leads a cluster, its members' raw slices — into the by-rank result.
+func (c *Comm) hierGather(root int, data []float64, ti *topoInfo) ([][]float64, error) {
+	if c.rank != root && c.rank != ti.leader {
+		cp := append([]float64(nil), data...)
+		return nil, c.xsend(c.procs[ti.leader], tagGather, cp, 8*len(cp)+msgOverheadBytes)
+	}
+	if c.rank == ti.leader && c.rank != root {
+		blob := append([]float64{float64(c.rank), float64(len(data))}, data...)
+		for _, r := range ti.members {
+			if r == c.rank || r == root {
+				continue
+			}
+			m := c.p.Recv(r, tagGather)
+			vals := m.Payload.([]float64)
+			blob = append(blob, float64(r), float64(len(vals)))
+			blob = append(blob, vals...)
+		}
+		return nil, c.xsend(c.procs[root], tagGatherHier, blob, 8*len(blob)+msgOverheadBytes)
+	}
+	// rank == root: own members' raw slices (when leading), then one blob
+	// per other leader.
+	out := make([][]float64, c.Size())
+	out[root] = data
+	if root == ti.leader {
+		for _, r := range ti.members {
+			if r == root {
+				continue
+			}
+			m := c.p.Recv(r, tagGather)
+			out[r] = m.Payload.([]float64)
+		}
+	}
+	for _, l := range ti.leaders {
+		if l == root {
+			continue
+		}
+		m := c.p.Recv(l, tagGatherHier)
+		blob := m.Payload.([]float64)
+		for i := 0; i < len(blob); {
+			r, ln := int(blob[i]), int(blob[i+1])
+			out[r] = append([]float64(nil), blob[i+2:i+2+ln]...)
+			i += 2 + ln
+		}
+	}
+	return out, nil
+}

@@ -60,6 +60,21 @@ type Series struct {
 	Points []SeriesPoint `json:"points"`
 }
 
+// TrafficSplit aggregates the run's wire traffic by cluster locality:
+// messages that stayed inside the sender's cluster versus messages that
+// crossed a cluster boundary (the WAN traffic the topology-aware plans try
+// to minimize). On a flat platform everything is intra-cluster.
+type TrafficSplit struct {
+	// IntraBytes is the wire bytes that stayed inside a cluster.
+	IntraBytes float64 `json:"intra_bytes"`
+	// InterBytes is the wire bytes that crossed a cluster boundary.
+	InterBytes float64 `json:"inter_bytes"`
+	// IntraMsgs is the message count that stayed inside a cluster.
+	IntraMsgs float64 `json:"intra_msgs"`
+	// InterMsgs is the message count that crossed a cluster boundary.
+	InterMsgs float64 `json:"inter_msgs"`
+}
+
 // Metrics is the aggregate view of a recorded run: per-host utilization,
 // per-link traffic, counter totals and convergence series.
 type Metrics struct {
@@ -69,6 +84,9 @@ type Metrics struct {
 	Hosts []HostUtil `json:"hosts"`
 	// Links holds per-link traffic rows sorted by link name.
 	Links []LinkStat `json:"links"`
+	// Traffic is the intra- vs inter-cluster traffic split (nil when the run
+	// emitted no cluster counters).
+	Traffic *TrafficSplit `json:"traffic,omitempty"`
 	// Counters holds the remaining accumulator totals (retries, faults, ...).
 	Counters []CounterTotal `json:"counters"`
 	// Series holds the convergence/metric time series.
@@ -84,6 +102,15 @@ const (
 	CntLinkMsgs = "link_msgs"
 	// CntLinkQueue accumulates queueing delay per link.
 	CntLinkQueue = "link_queue"
+)
+
+// Cluster-traffic counter names emitted by the simulator, with track "intra"
+// or "inter"; ComputeMetrics folds these into Metrics.Traffic.
+const (
+	// CntClusterBytes accumulates wire bytes per traffic class.
+	CntClusterBytes = "cluster_bytes"
+	// CntClusterMsgs accumulates messages per traffic class.
+	CntClusterMsgs = "cluster_msgs"
 )
 
 // ComputeMetrics aggregates a recorder into Metrics. makespan is the run's
@@ -139,6 +166,12 @@ func ComputeMetrics(r *Recorder, makespan float64) *Metrics {
 		}
 		return l
 	}
+	trafficOf := func() *TrafficSplit {
+		if m.Traffic == nil {
+			m.Traffic = &TrafficSplit{}
+		}
+		return m.Traffic
+	}
 	for _, c := range r.Counters() {
 		switch c.Name {
 		case CntLinkBytes:
@@ -147,6 +180,18 @@ func ComputeMetrics(r *Recorder, makespan float64) *Metrics {
 			linkOf(c.Track).Msgs = c.Value
 		case CntLinkQueue:
 			linkOf(c.Track).QueueDelay = c.Value
+		case CntClusterBytes:
+			if c.Track == "inter" {
+				trafficOf().InterBytes = c.Value
+			} else {
+				trafficOf().IntraBytes = c.Value
+			}
+		case CntClusterMsgs:
+			if c.Track == "inter" {
+				trafficOf().InterMsgs = c.Value
+			} else {
+				trafficOf().IntraMsgs = c.Value
+			}
 		default:
 			m.Counters = append(m.Counters, c)
 		}
@@ -195,6 +240,12 @@ func (m *Metrics) WriteCSV(w io.Writer) error {
 		fmt.Fprintf(&b, "link,%s,bytes,%g\n", l.Link, l.Bytes)
 		fmt.Fprintf(&b, "link,%s,msgs,%g\n", l.Link, l.Msgs)
 		fmt.Fprintf(&b, "link,%s,queue_delay,%g\n", l.Link, l.QueueDelay)
+	}
+	if t := m.Traffic; t != nil {
+		fmt.Fprintf(&b, "traffic,intra,bytes,%g\n", t.IntraBytes)
+		fmt.Fprintf(&b, "traffic,intra,msgs,%g\n", t.IntraMsgs)
+		fmt.Fprintf(&b, "traffic,inter,bytes,%g\n", t.InterBytes)
+		fmt.Fprintf(&b, "traffic,inter,msgs,%g\n", t.InterMsgs)
 	}
 	for _, c := range m.Counters {
 		fmt.Fprintf(&b, "counter,%s,%s,%g\n", c.Track, c.Name, c.Value)

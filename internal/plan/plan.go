@@ -1,0 +1,240 @@
+// Package plan builds the communication plan shared by the distributed
+// multisplitting drivers: which boundary columns each band needs from which
+// other band, how those per-band segments coalesce into one packed message
+// per rank pair and iteration, and in which order a receiver applies them.
+// The plan is computed once, from the decomposition geometry and the matrix
+// sparsity, with a single receiver-driven sweep that also yields the
+// sender-side packing lists — the construction that used to be duplicated
+// (and, on the sender side, recomputed per peer) in the solver drivers.
+//
+// Orderings are canonical so that results are deterministic and sender and
+// receiver agree on the byte layout of a packed message without any
+// handshake: segments sort by (From, To), peer groups by peer rank, and the
+// segments inside a group again by (From, To).
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Band is the row range of one band of the decomposition: it owns rows
+// [Start, End) and extends (with overlap) over [Lo, Hi).
+type Band struct {
+	// Start is the first owned row.
+	Start int
+	// End is one past the last owned row.
+	End int
+	// Lo is the first row of the (overlap-extended) band.
+	Lo int
+	// Hi is one past the last row of the extended band.
+	Hi int
+}
+
+// Spec is the decomposition geometry the builder consumes. The closures
+// decouple the package from the solver's Decomposition type: Owner maps a
+// band to the rank that computes it, Contributors lists the bands whose
+// solution contributes to a global column, and Weight is the multisplitting
+// weight of band k's value for column j (zero contributions are skipped).
+type Spec struct {
+	// N is the global system size.
+	N int
+	// Bands lists the band geometry, indexed by band.
+	Bands []Band
+	// NRanks is the number of processes the bands are mapped onto.
+	NRanks int
+	// Owner returns the rank computing a band.
+	Owner func(band int) int
+	// Contributors returns the bands contributing to global column j.
+	Contributors func(j int) []int
+	// Weight returns band k's multisplitting weight for global column j.
+	Weight func(k, j int) float64
+}
+
+// Seg is the unit of exchange: the boundary values band From contributes to
+// band To (or to itself via a local apply when both live on one rank). All
+// slices have one entry per transferred value.
+type Seg struct {
+	// Index is the segment's position in Plan.Segs (canonical order).
+	Index int
+	// From is the band producing the values.
+	From int
+	// To is the band consuming them.
+	To int
+	// Cols holds the global column indices.
+	Cols []int
+	// Loc holds the producer-local row indices (Cols[i] - Bands[From].Lo).
+	Loc []int
+	// Pos holds the consumer-side positions into To's dependency-column list.
+	Pos []int
+	// Weights holds the multisplitting weights applied on the consumer side.
+	Weights []float64
+}
+
+// PeerIO groups every segment a rank exchanges with one peer into a single
+// packed message per iteration: values are concatenated in Segs order, so
+// the group's wire payload has exactly Vals floats after the header.
+type PeerIO struct {
+	// Peer is the remote rank.
+	Peer int
+	// Segs lists the member segments in canonical (From, To) order.
+	Segs []*Seg
+	// Vals is the total number of values in the packed message.
+	Vals int
+}
+
+// RankPlan is one rank's view of the plan.
+type RankPlan struct {
+	// Rank is the process this view belongs to.
+	Rank int
+	// Local lists the segments between two bands of this rank, in the apply
+	// order (To ascending, then From) the drivers use.
+	Local []*Seg
+	// Send lists the outgoing peer groups, peer-ascending.
+	Send []PeerIO
+	// Recv lists the incoming peer groups, peer-ascending.
+	Recv []PeerIO
+}
+
+// Plan is the complete communication plan of a decomposition mapped onto a
+// set of ranks.
+type Plan struct {
+	// NRanks is the number of processes.
+	NRanks int
+	// Bands echoes the band geometry the plan was built from.
+	Bands []Band
+	// Owner maps each band to its rank.
+	Owner []int
+	// DepCols lists, per band, the global columns outside the band that its
+	// rows couple to — the band's external dependency, in ascending order.
+	DepCols [][]int
+	// Segs lists every segment in canonical (From, To) order.
+	Segs []*Seg
+	// Ranks holds the per-rank views, indexed by rank.
+	Ranks []RankPlan
+}
+
+// Build computes the plan for matrix a under the given geometry. For every
+// band it collects the external dependency columns from the sparsity, then
+// assigns each (column, contributor) pair to the segment between the two
+// bands; the same sweep fills consumer positions and producer-local indices,
+// so no side ever reconstructs the other's layout.
+func Build(a *sparse.CSR, sp Spec) (*Plan, error) {
+	l := len(sp.Bands)
+	if l == 0 {
+		return nil, fmt.Errorf("plan: no bands")
+	}
+	if sp.NRanks <= 0 {
+		return nil, fmt.Errorf("plan: NRanks = %d", sp.NRanks)
+	}
+	p := &Plan{
+		NRanks:  sp.NRanks,
+		Bands:   append([]Band(nil), sp.Bands...),
+		Owner:   make([]int, l),
+		DepCols: make([][]int, l),
+	}
+	for b := range sp.Bands {
+		r := sp.Owner(b)
+		if r < 0 || r >= sp.NRanks {
+			return nil, fmt.Errorf("plan: band %d owned by rank %d of %d", b, r, sp.NRanks)
+		}
+		p.Owner[b] = r
+	}
+	segOf := make(map[[2]int]*Seg)
+	for b, band := range sp.Bands {
+		left := a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
+		right := a.ColumnsUsed(band.Lo, band.Hi, band.Hi, sp.N)
+		dep := make([]int, 0, len(left)+len(right))
+		dep = append(dep, left...)
+		dep = append(dep, right...)
+		p.DepCols[b] = dep
+		for i, j := range dep {
+			for _, k := range sp.Contributors(j) {
+				w := sp.Weight(k, j)
+				if w == 0 {
+					continue
+				}
+				key := [2]int{k, b}
+				s := segOf[key]
+				if s == nil {
+					s = &Seg{From: k, To: b}
+					segOf[key] = s
+				}
+				s.Cols = append(s.Cols, j)
+				s.Loc = append(s.Loc, j-sp.Bands[k].Lo)
+				s.Pos = append(s.Pos, i)
+				s.Weights = append(s.Weights, w)
+			}
+		}
+	}
+	keys := make([][2]int, 0, len(segOf))
+	for k := range segOf {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	p.Segs = make([]*Seg, len(keys))
+	for i, k := range keys {
+		s := segOf[k]
+		s.Index = i
+		p.Segs[i] = s
+	}
+
+	p.Ranks = make([]RankPlan, sp.NRanks)
+	for r := range p.Ranks {
+		p.Ranks[r].Rank = r
+	}
+	for _, s := range p.Segs {
+		fr, tr := p.Owner[s.From], p.Owner[s.To]
+		if fr == tr {
+			p.Ranks[fr].Local = append(p.Ranks[fr].Local, s)
+			continue
+		}
+		addToGroup(&p.Ranks[fr].Send, tr, s)
+		addToGroup(&p.Ranks[tr].Recv, fr, s)
+	}
+	for r := range p.Ranks {
+		rp := &p.Ranks[r]
+		sort.Slice(rp.Local, func(i, j int) bool {
+			if rp.Local[i].To != rp.Local[j].To {
+				return rp.Local[i].To < rp.Local[j].To
+			}
+			return rp.Local[i].From < rp.Local[j].From
+		})
+		sort.Slice(rp.Send, func(i, j int) bool { return rp.Send[i].Peer < rp.Send[j].Peer })
+		sort.Slice(rp.Recv, func(i, j int) bool { return rp.Recv[i].Peer < rp.Recv[j].Peer })
+	}
+	return p, nil
+}
+
+// addToGroup appends the segment to the peer's group, creating it on first
+// use. Segments arrive in canonical (From, To) order, so the group's member
+// order — and with it the packed-message layout — needs no extra sort.
+func addToGroup(groups *[]PeerIO, peer int, s *Seg) {
+	for i := range *groups {
+		if (*groups)[i].Peer == peer {
+			(*groups)[i].Segs = append((*groups)[i].Segs, s)
+			(*groups)[i].Vals += len(s.Cols)
+			return
+		}
+	}
+	*groups = append(*groups, PeerIO{Peer: peer, Segs: []*Seg{s}, Vals: len(s.Cols)})
+}
+
+// MaxSendVals returns the largest packed-message value count among the
+// rank's send groups; drivers size their (reused) send buffer with it.
+func (p *Plan) MaxSendVals(rank int) int {
+	max := 0
+	for _, g := range p.Ranks[rank].Send {
+		if g.Vals > max {
+			max = g.Vals
+		}
+	}
+	return max
+}

@@ -1,0 +1,91 @@
+package vgrid
+
+import "fmt"
+
+// Cluster is a named group of hosts connected by a fast local network. The
+// grouping is pure metadata: it does not create links or routes, it only
+// lets the upper layers (collectives, gateway exchange, traffic accounting)
+// tell cheap intra-cluster hops apart from expensive inter-cluster ones.
+type Cluster struct {
+	// Index is the cluster's position in the platform's declaration order.
+	Index int
+	// Name identifies the cluster in diagnostics and validation errors.
+	Name string
+	// Hosts lists the member hosts in declaration order.
+	Hosts []*Host
+}
+
+// AddCluster declares a named cluster over the given hosts and returns it.
+// Every host may belong to at most one cluster; declaring a host twice
+// panics, like the other platform-construction errors.
+func (pl *Platform) AddCluster(name string, hosts ...*Host) *Cluster {
+	c := &Cluster{Index: len(pl.clusters), Name: name}
+	for _, h := range hosts {
+		if h.cluster >= 0 {
+			panic(fmt.Sprintf("vgrid: host %s already in cluster %s", h.Name, pl.clusters[h.cluster].Name))
+		}
+		h.cluster = c.Index
+		c.Hosts = append(c.Hosts, h)
+	}
+	pl.clusters = append(pl.clusters, c)
+	return c
+}
+
+// Clusters returns the declared clusters in declaration order (nil for a
+// flat platform).
+func (pl *Platform) Clusters() []*Cluster { return pl.clusters }
+
+// NumClusters returns how many clusters the platform declares.
+func (pl *Platform) NumClusters() int { return len(pl.clusters) }
+
+// ClusterOf returns the cluster a host belongs to, or nil when the host is
+// unassigned.
+func (pl *Platform) ClusterOf(h *Host) *Cluster {
+	if h.cluster < 0 {
+		return nil
+	}
+	return pl.clusters[h.cluster]
+}
+
+// SameCluster reports whether two hosts share a cluster. Two unassigned
+// hosts count as sharing the (implicit) flat cluster, so on a platform with
+// no declarations every transfer is intra-cluster.
+func (pl *Platform) SameCluster(a, b *Host) bool {
+	return a.cluster == b.cluster
+}
+
+// InterCluster classifies the a→b route: true when a message between the
+// hosts crosses a cluster boundary. It is the per-route view of SameCluster
+// used by the traffic accounting in SendFate.
+func (pl *Platform) InterCluster(a, b *Host) bool {
+	return !pl.SameCluster(a, b)
+}
+
+// ValidateTopology checks the cluster declarations against the platform:
+// with at least one cluster declared, every host must belong to exactly one
+// cluster and every pair of hosts in different clusters must have a declared
+// route (the WAN path the inter-cluster traffic will take). A flat platform
+// (no clusters) is always valid. The topology-aware layers call this before
+// relying on the metadata.
+func (pl *Platform) ValidateTopology() error {
+	if len(pl.clusters) == 0 {
+		return nil
+	}
+	for _, h := range pl.Hosts {
+		if h.cluster < 0 {
+			return fmt.Errorf("vgrid: host %s belongs to no cluster", h.Name)
+		}
+	}
+	for i, a := range pl.Hosts {
+		for _, b := range pl.Hosts[i+1:] {
+			if a.cluster == b.cluster {
+				continue
+			}
+			if _, ok := pl.routes[[2]int{a.ID, b.ID}]; !ok {
+				return fmt.Errorf("vgrid: no inter-cluster route %s (%s) -> %s (%s)",
+					a.Name, pl.clusters[a.cluster].Name, b.Name, pl.clusters[b.cluster].Name)
+			}
+		}
+	}
+	return nil
+}

@@ -52,7 +52,14 @@ type Host struct {
 	Memory int64
 
 	used int64
+	// cluster is the index of the cluster this host belongs to, or -1 when
+	// the platform declares no cluster for it (flat topology).
+	cluster int
 }
+
+// ClusterIndex returns the index of the cluster the host was assigned to
+// with Platform.AddCluster, or -1 on a flat platform.
+func (h *Host) ClusterIndex() int { return h.cluster }
 
 // Sharing selects how a link divides its bandwidth among concurrent
 // transfers.
@@ -104,6 +111,9 @@ type Platform struct {
 	// Hosts lists every machine, indexed by Host.ID.
 	Hosts  []*Host
 	routes map[[2]int][]*Link
+	// clusters groups hosts into named LAN islands (see AddCluster); empty
+	// for a flat platform.
+	clusters []*Cluster
 	// loopback cost for messages a host sends to itself.
 	loopLatency   float64
 	loopBandwidth float64
@@ -124,7 +134,7 @@ func (pl *Platform) AddHost(name string, speed float64, memory int64) *Host {
 	if speed <= 0 {
 		panic("vgrid: host speed must be positive")
 	}
-	h := &Host{ID: len(pl.Hosts), Name: name, Speed: speed, Memory: memory}
+	h := &Host{ID: len(pl.Hosts), Name: name, Speed: speed, Memory: memory, cluster: -1}
 	pl.Hosts = append(pl.Hosts, h)
 	return h
 }
@@ -252,6 +262,16 @@ type Proc struct {
 	BytesSent int64
 	// MsgsSent counts the messages this process sent, delivered or not.
 	MsgsSent int64
+	// IntraBytes counts the sent bytes that stayed inside the sender's
+	// cluster (loopback included); with no clusters declared all traffic is
+	// intra-cluster.
+	IntraBytes int64
+	// InterBytes counts the sent bytes that crossed a cluster boundary.
+	InterBytes int64
+	// IntraMsgs counts the messages that stayed inside the sender's cluster.
+	IntraMsgs int64
+	// InterMsgs counts the messages that crossed a cluster boundary.
+	InterMsgs int64
 	// ComputeTime accumulates the virtual time spent in compute segments.
 	ComputeTime float64
 	// BlockedTime accumulates the virtual time spent blocked in Recv.
@@ -881,6 +901,21 @@ func (p *Proc) SendFate(dst *Proc, tag int, payload any, bytes int) (delivered b
 	}
 	p.BytesSent += int64(bytes)
 	p.MsgsSent++
+	if e.Platform.SameCluster(p.host, dst.host) {
+		p.IntraBytes += int64(bytes)
+		p.IntraMsgs++
+		if o := e.obs; o != nil {
+			o.Count(obs.CntClusterBytes, "intra", float64(bytes))
+			o.Count(obs.CntClusterMsgs, "intra", 1)
+		}
+	} else {
+		p.InterBytes += int64(bytes)
+		p.InterMsgs++
+		if o := e.obs; o != nil {
+			o.Count(obs.CntClusterBytes, "inter", float64(bytes))
+			o.Count(obs.CntClusterMsgs, "inter", 1)
+		}
+	}
 	// The sender is busy until its bytes are on the wire.
 	p.clock = start + pushTime
 	p.state = stateReady
@@ -1021,6 +1056,14 @@ type Stats struct {
 	BytesSent int64
 	// MsgsSent is the total messages sent.
 	MsgsSent int64
+	// IntraBytes is the sent bytes that stayed inside the process's cluster.
+	IntraBytes int64
+	// InterBytes is the sent bytes that crossed a cluster boundary.
+	InterBytes int64
+	// IntraMsgs is the messages that stayed inside the process's cluster.
+	IntraMsgs int64
+	// InterMsgs is the messages that crossed a cluster boundary.
+	InterMsgs int64
 }
 
 // Stats returns per-process statistics, sorted by process id.
@@ -1035,6 +1078,10 @@ func (e *Engine) Stats() []Stats {
 			BlockedTime: p.BlockedTime,
 			BytesSent:   p.BytesSent,
 			MsgsSent:    p.MsgsSent,
+			IntraBytes:  p.IntraBytes,
+			InterBytes:  p.InterBytes,
+			IntraMsgs:   p.IntraMsgs,
+			InterMsgs:   p.InterMsgs,
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
