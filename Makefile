@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-json-smoke lint-docs verify
+.PHONY: all build test race vet bench bench-json bench-json-smoke bench-eventcore bench-eventcore-smoke lint-docs verify
 
 all: verify
 
@@ -20,6 +20,7 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 -run 'TestObsDeterministicAcrossWorkers' ./internal/obs
 	$(GO) test -race -count=2 -run 'TestGatewaySyncByteIdentical|TestGatewayWorkersDeterministic' ./internal/core
+	$(GO) test -race -count=2 -run 'TestSchedulerIndexMatchesScanUnderFaults|TestSyntheticTraceByteIdenticalAcrossWorkers|TestDeferredLowerBoundResolvesLate' ./internal/vgrid
 
 vet:
 	$(GO) vet ./...
@@ -40,10 +41,22 @@ bench-json:
 bench-json-smoke:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkNewtonRefactor|BenchmarkSessionIterate|BenchmarkSolverPhases|BenchmarkTopologyExchange' -benchtime 1x -o BENCH_refactor.json
 
-# Fails on any exported identifier of the simulator, the solver core, the
-# observability layer or the messaging/context plumbing that lacks a doc
-# comment.
-lint-docs:
-	$(GO) run ./cmd/lintdocs internal/vgrid internal/core internal/obs internal/mp internal/simctx internal/plan
+# Machine-readable baseline of the event-core rework: the 256- and 1000-host
+# synthetic-grid runs under the indexed scheduler and under the pre-index
+# O(P) scan (the before/after record, as sim-events + sim-wall-clock), plus
+# the topology-exchange allocation budget (allocs/op, pinned under 2000 by
+# TestTopologyExchangeAllocBudget).
+bench-eventcore:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkClusterGrid|BenchmarkTopologyExchange' -benchtime 5x -o BENCH_eventcore.json
 
-verify: build vet lint-docs test race bench-json-smoke
+# One-iteration smoke of the event-core pipeline, part of verify.
+bench-eventcore-smoke:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkClusterGrid|BenchmarkTopologyExchange' -benchtime 1x -o BENCH_eventcore.json
+
+# Fails on any exported identifier of the simulator, the solver core, the
+# observability layer, the messaging/context plumbing or the platform layer
+# that lacks a doc comment.
+lint-docs:
+	$(GO) run ./cmd/lintdocs internal/vgrid internal/core internal/obs internal/mp internal/simctx internal/plan internal/cluster
+
+verify: build vet lint-docs test race bench-json-smoke bench-eventcore-smoke

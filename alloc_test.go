@@ -1,0 +1,41 @@
+package repro_test
+
+import (
+	"testing"
+
+	repro "repro"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestTopologyExchangeAllocBudget pins the allocation economy of the hot
+// solve path: one full BenchmarkTopologyExchange scenario (topology-aware
+// collectives plus the gateway-aggregated exchange on cluster3) must stay
+// under 2000 heap allocations. The budget has ~15% headroom over the
+// measured ~1.7k so incidental churn passes but a reintroduced
+// per-iteration allocation storm (the packed-message, envelope and span
+// storms this guards against were ~36k) fails loudly.
+func TestTopologyExchangeAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting run skipped in -short mode")
+	}
+	a := gen.CageLike(11397/64, 1030)
+	rhs, _ := gen.RHSForSolution(a)
+	solve := func() {
+		plt := repro.Cluster3(repro.MemUnlimited)
+		r, err := core.Solve(plt.Platform, plt.Hosts, a, rhs, core.Options{
+			TopoCollectives: true, Gateway: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Converged {
+			t.Fatal("no convergence")
+		}
+	}
+	// AllocsPerRun's own warm-up run primes the engine's buffer pools.
+	allocs := testing.AllocsPerRun(3, solve)
+	if allocs > 2000 {
+		t.Errorf("topology-exchange solve allocates %.0f objects, budget is 2000", allocs)
+	}
+}

@@ -7,6 +7,7 @@ package repro_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	repro "repro"
 	"repro/internal/core"
@@ -355,4 +356,40 @@ func BenchmarkTopologyExchange(b *testing.B) {
 	b.ReportMetric(float64(res.InterBytes), "inter-bytes")
 	b.ReportMetric(float64(res.IntraMsgs), "intra-msgs")
 	b.ReportMetric(float64(res.InterMsgs), "inter-msgs")
+}
+
+// BenchmarkClusterGrid times the event core itself on generated grids (make
+// bench-eventcore → BENCH_eventcore.json): a ring workload of ~100k
+// scheduler commit points on a 1000-host/100-cluster synthetic platform
+// (plus a 256-host point), under the indexed scheduler and under the
+// pre-index O(P) scan kept as the reference implementation. The sim-events
+// metric is the commit-point count and sim-wall-clock the host milliseconds
+// spent simulating (platform construction excluded); the scan/indexed pair
+// is the before/after record of the scheduler rework.
+func BenchmarkClusterGrid(b *testing.B) {
+	for _, tc := range []struct {
+		name            string
+		hosts, clusters int
+		scan            bool
+	}{
+		{"indexed/hosts=256", 256, 16, false},
+		{"scan/hosts=256", 256, 16, true},
+		{"indexed/hosts=1000", 1000, 100, false},
+		{"scan/hosts=1000", 1000, 100, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var res experiments.ClusterGridResult
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.ClusterGridRun(tc.hosts, tc.clusters, 100000, 0, tc.scan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+				wall += r.Wall
+			}
+			b.ReportMetric(float64(res.Events), "sim-events")
+			b.ReportMetric(float64(wall)/float64(b.N)/1e6, "sim-wall-clock")
+		})
+	}
 }

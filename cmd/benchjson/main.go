@@ -37,8 +37,9 @@ type Record struct {
 
 // Breakdown is the per-phase solver breakdown, lifted out of the generic
 // metric map when a benchmark reports the recognized units (factor-flops,
-// refactor-flops, bytes-moved, wait-share, and the cluster traffic split
-// intra-bytes/inter-bytes/intra-msgs/inter-msgs).
+// refactor-flops, bytes-moved, wait-share, the cluster traffic split
+// intra-bytes/inter-bytes/intra-msgs/inter-msgs, and the event-core scale
+// pair sim-events/sim-wall-clock).
 type Breakdown struct {
 	FactorFlops   *float64 `json:"factor_flops,omitempty"`
 	RefactorFlops *float64 `json:"refactor_flops,omitempty"`
@@ -48,6 +49,8 @@ type Breakdown struct {
 	InterBytes    *float64 `json:"inter_cluster_bytes,omitempty"`
 	IntraMsgs     *float64 `json:"intra_cluster_msgs,omitempty"`
 	InterMsgs     *float64 `json:"inter_cluster_msgs,omitempty"`
+	SimEvents     *float64 `json:"sim_events,omitempty"`
+	SimWallClock  *float64 `json:"sim_wall_clock_ms,omitempty"`
 }
 
 // breakdownSlot returns the Breakdown field a metric unit lifts into, or nil
@@ -56,7 +59,8 @@ type Breakdown struct {
 func (r *Record) breakdownSlot(unit string) **float64 {
 	switch unit {
 	case "factor-flops", "refactor-flops", "bytes-moved", "wait-share",
-		"intra-bytes", "inter-bytes", "intra-msgs", "inter-msgs":
+		"intra-bytes", "inter-bytes", "intra-msgs", "inter-msgs",
+		"sim-events", "sim-wall-clock":
 	default:
 		return nil
 	}
@@ -78,6 +82,10 @@ func (r *Record) breakdownSlot(unit string) **float64 {
 		return &r.Breakdown.IntraMsgs
 	case "inter-msgs":
 		return &r.Breakdown.InterMsgs
+	case "sim-events":
+		return &r.Breakdown.SimEvents
+	case "sim-wall-clock":
+		return &r.Breakdown.SimWallClock
 	default:
 		return &r.Breakdown.WaitShare
 	}

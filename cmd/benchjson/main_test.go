@@ -10,6 +10,7 @@ BenchmarkNewtonRefactor/refactor-8         	       3	  12871904 ns/op	    486530
 BenchmarkNewtonRefactor/factor-each-step-8 	       2	  21565314 ns/op	   1354580 factor-flops	16126152 B/op	    3350 allocs/op
 BenchmarkSessionIterate-8                  	     100	   2096852 ns/op	       0 B/op	       0 allocs/op
 BenchmarkSolverPhases-8                    	       1	  21922938 ns/op	     80624 bytes-moved	    982900 factor-flops	    447923 refactor-flops	         0.3282 wait-share	   42 extra-unit
+BenchmarkClusterGrid/indexed/hosts=1000-8  	      10	 112513004 ns/op	    102000 sim-events	       112.5 sim-wall-clock	  832144 B/op	    9021 allocs/op
 PASS
 ok  	repro	0.053s
 `
@@ -22,7 +23,7 @@ func TestParse(t *testing.T) {
 	if rep.Package != "repro" || rep.Goos != "linux" || rep.Goarch != "amd64" {
 		t.Fatalf("header: %+v", rep)
 	}
-	if len(rep.Benchmarks) != 4 {
+	if len(rep.Benchmarks) != 5 {
 		t.Fatalf("got %d benchmarks", len(rep.Benchmarks))
 	}
 	r := rep.Benchmarks[0]
@@ -58,6 +59,19 @@ func TestParse(t *testing.T) {
 	}
 	if ph.Metrics["extra-unit"] != 42 {
 		t.Fatalf("generic metric lost: %+v", ph.Metrics)
+	}
+	cg := rep.Benchmarks[4]
+	if cg.Name != "BenchmarkClusterGrid/indexed/hosts=1000" {
+		t.Fatalf("name %q", cg.Name)
+	}
+	if cg.Breakdown == nil || cg.Breakdown.SimEvents == nil || cg.Breakdown.SimWallClock == nil {
+		t.Fatalf("sim metrics not lifted into breakdown: %+v", cg.Breakdown)
+	}
+	if *cg.Breakdown.SimEvents != 102000 || *cg.Breakdown.SimWallClock != 112.5 {
+		t.Fatalf("sim metric values: %+v", cg.Breakdown)
+	}
+	if cg.AllocsOp == nil || *cg.AllocsOp != 9021 {
+		t.Fatalf("allocs: %+v", cg.AllocsOp)
 	}
 }
 

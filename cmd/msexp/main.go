@@ -6,11 +6,17 @@
 //	msexp [-scale N] [-csv] [-quiet] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 figure3 faultsweep utilization
-// (default: all). -scale divides the paper's matrix dimensions (default 16;
-// 8 gives a closer, slower run; 1 is the paper's exact sizes, only practical
-// for the generated banded matrices). -csv emits comma-separated values
-// instead of aligned text (handy for plotting figure3). -fault-seed reseeds
-// the deterministic fault injection of the faultsweep experiment.
+// topology clustergrid (default: all). -scale divides the paper's matrix
+// dimensions (default 16; 8 gives a closer, slower run; 1 is the paper's
+// exact sizes, only practical for the generated banded matrices). -csv emits
+// comma-separated values instead of aligned text (handy for plotting
+// figure3). -fault-seed reseeds the deterministic fault injection of the
+// faultsweep experiment.
+//
+// The clustergrid experiment times the event core itself on generated grids
+// (indexed scheduler vs the O(P) reference scan); -hosts/-clusters replace
+// its default scale sweep (64/256/1000 hosts) with a single grid of that
+// size.
 //
 // The utilization experiment honours the observability flags: -trace-json
 // PREFIX writes a Perfetto trace per run to PREFIX-<cluster>-<solver>.json,
@@ -38,6 +44,8 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "utilization: write a Perfetto trace per run to PREFIX-<cluster>-<solver>.json")
 	metricsOut := flag.String("metrics-out", "", "utilization: write per-run metrics to PREFIX-<cluster>-<solver>.metrics.{json,csv}")
 	critPath := flag.Bool("critical-path", false, "utilization: append each run's top critical-path segments to the table notes")
+	synHosts := flag.Int("hosts", 0, "clustergrid: run on a single generated grid of this many hosts instead of the default scale sweep")
+	synClust := flag.Int("clusters", 1, "clustergrid: cluster count of the -hosts grid")
 	flag.Parse()
 
 	var progress io.Writer
@@ -47,6 +55,7 @@ func main() {
 	cfg := experiments.Config{
 		Scale: *scale, Progress: progress, Workers: *workers, FaultSeed: *faultSeed,
 		TraceJSON: *traceJSON, MetricsOut: *metricsOut, CriticalPath: *critPath,
+		SynthHosts: *synHosts, SynthClusters: *synClust,
 	}
 
 	names := flag.Args()

@@ -6,10 +6,18 @@
 //	msolve -matrix A.mtx [-rhs b.txt] [-procs N] [-overlap K] [-async]
 //	       [-scheme owner|average] [-solver sparse|dense|band]
 //	       [-cluster cluster1|cluster2|cluster3] [-tol 1e-8] [-o x.txt]
+//	       [-hosts N [-clusters C] [-het H] [-synth-seed S]]
 //	       [-topo] [-gateway]
 //	       [-ft] [-drop P] [-drop-link NAME] [-crash host@from:until,...]
 //	       [-fault-seed S] [-trace-json out.json] [-metrics-out PREFIX]
 //	       [-critical-path]
+//
+// -hosts switches from the built-in clusters to a generated grid platform
+// (see vgrid.Synthetic): N hosts split into -clusters LAN islands joined by
+// a shared WAN backbone, host speeds spread by ±het around the base rate,
+// deterministically from -synth-seed. All hosts run solver ranks unless
+// -procs narrows the count, and the fault/topology/observability flags work
+// unchanged (the generated backbone link is named "wan", like cluster3's).
 //
 // The topology flags engage the cluster-aware communication plans on
 // platforms that declare clusters (all three built-in clusters do; only
@@ -69,6 +77,10 @@ func main() {
 		schemeName = flag.String("scheme", "owner", "weighting scheme: owner or average")
 		solverName = flag.String("solver", "sparse", "per-band direct solver: sparse, dense or band")
 		clusterTyp = flag.String("cluster", "cluster1", "simulated platform: cluster1, cluster2 or cluster3")
+		synHosts   = flag.Int("hosts", 0, "run on a generated grid of this many hosts instead of -cluster (0 = use -cluster)")
+		synClust   = flag.Int("clusters", 1, "cluster count of the generated grid")
+		synHet     = flag.Float64("het", 0, "speed heterogeneity of the generated grid in [0, 1): hosts spread ±het around the base rate")
+		synSeed    = flag.Int64("synth-seed", 1, "seed of the generated grid's host speeds")
 		tol        = flag.Float64("tol", 1e-8, "successive-iterate accuracy")
 		cond       = flag.Bool("cond", false, "estimate the 1-norm condition number before solving")
 		trace      = flag.Bool("trace", false, "print a per-processor activity timeline after the solve")
@@ -88,12 +100,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *synHosts > 0 {
+		// On a generated grid every host runs a rank unless -procs was given
+		// explicitly (the built-in clusters keep their default of 4).
+		procsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "procs" {
+				procsSet = true
+			}
+		})
+		if !procsSet {
+			*procs = *synHosts
+		}
+	}
+	synth := synthSpec{hosts: *synHosts, clusters: *synClust, het: *synHet, seed: *synSeed}
 	faults := faultSpec{drop: *drop, dropLink: *dropLink, crash: *crash, seed: *faultSeed, ft: *ft}
 	ospec := obsSpec{traceJSON: *traceJSON, metricsOut: *metricsOut, critPath: *critPath}
-	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *topo, *gateway, *schemeName, *solverName, *clusterTyp, *tol, *cond, *trace, *workers, *outPath, faults, ospec); err != nil {
+	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *topo, *gateway, *schemeName, *solverName, *clusterTyp, synth, *tol, *cond, *trace, *workers, *outPath, faults, ospec); err != nil {
 		fmt.Fprintln(os.Stderr, "msolve:", err)
 		os.Exit(1)
 	}
+}
+
+// synthSpec collects the generated-grid flags (hosts 0 = use -cluster).
+type synthSpec struct {
+	hosts, clusters int
+	het             float64
+	seed            int64
 }
 
 // obsSpec collects the observability flags.
@@ -197,7 +230,7 @@ func (fs faultSpec) plan() (*vgrid.FaultPlan, error) {
 	return fp, nil
 }
 
-func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bool, schemeName, solverName, clusterTyp string, tol float64, cond, trace bool, workers int, outPath string, faults faultSpec, ospec obsSpec) error {
+func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bool, schemeName, solverName, clusterTyp string, synth synthSpec, tol float64, cond, trace bool, workers int, outPath string, faults faultSpec, ospec obsSpec) error {
 	a, err := mmio.ReadMatrixAuto(matrixPath)
 	if err != nil {
 		return err
@@ -258,18 +291,30 @@ func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bo
 		return fmt.Errorf("unknown solver %q", solverName)
 	}
 	var plt *cluster.Platform
-	switch clusterTyp {
-	case "cluster1":
-		if procs < 1 || procs > 20 {
-			return fmt.Errorf("cluster1 has 1..20 machines, asked for %d", procs)
+	switch {
+	case synth.hosts > 0:
+		if synth.clusters < 1 || synth.clusters > synth.hosts {
+			return fmt.Errorf("generated grid: %d clusters for %d hosts", synth.clusters, synth.hosts)
 		}
-		plt = cluster.Cluster1(procs, -1)
-	case "cluster2":
-		plt = cluster.Cluster2(-1)
-	case "cluster3":
-		plt = cluster.Cluster3(-1)
+		if synth.het < 0 || synth.het >= 1 {
+			return fmt.Errorf("generated grid: heterogeneity %g outside [0, 1)", synth.het)
+		}
+		plt = cluster.Synthetic(synth.hosts, synth.clusters, synth.het, synth.seed)
+		clusterTyp = fmt.Sprintf("synthetic(%d hosts, %d clusters)", synth.hosts, synth.clusters)
 	default:
-		return fmt.Errorf("unknown cluster %q", clusterTyp)
+		switch clusterTyp {
+		case "cluster1":
+			if procs < 1 || procs > 20 {
+				return fmt.Errorf("cluster1 has 1..20 machines, asked for %d", procs)
+			}
+			plt = cluster.Cluster1(procs, -1)
+		case "cluster2":
+			plt = cluster.Cluster2(-1)
+		case "cluster3":
+			plt = cluster.Cluster3(-1)
+		default:
+			return fmt.Errorf("unknown cluster %q", clusterTyp)
+		}
 	}
 	hosts := plt.Hosts
 	if procs < len(hosts) {

@@ -45,6 +45,7 @@ const (
 // (nil for single-site clusters).
 type Platform struct {
 	*vgrid.Platform
+	// Hosts lists the compute hosts in platform order.
 	Hosts []*vgrid.Host
 	// WAN is the shared inter-site link of cluster3 (nil otherwise).
 	WAN *vgrid.Link

@@ -1,0 +1,44 @@
+// Synthetic grid platforms beyond the paper's three hand-built testbeds:
+// the cluster-level wrapper around vgrid.Synthetic, so commands and
+// experiments can ask for "1000 hosts in 100 clusters" the same way they ask
+// for cluster3.
+
+package cluster
+
+import "repro/internal/vgrid"
+
+// Synthetic builds a generated grid platform (see vgrid.Synthetic): hosts
+// compute hosts split into clusters contiguous LAN islands joined by one
+// shared WAN backbone. heterogeneity spreads host speeds by ±heterogeneity
+// around the base rate (0 = homogeneous); the same (hosts, clusters,
+// heterogeneity, seed) always yields the identical platform. Memory is
+// unlimited — the generator targets scheduling-scale studies, not the
+// paper's memory-boundary tables.
+//
+// WAN is the shared backbone link when the grid spans more than one cluster
+// (nil for a single LAN island), so FairWAN and Perturb work exactly as on
+// cluster3.
+func Synthetic(hosts, clusters int, heterogeneity float64, seed int64) *Platform {
+	pl := vgrid.Synthetic(hosts, clusters, heterogeneity, seed)
+	p := &Platform{Platform: pl, Hosts: pl.Hosts, SiteOf: make([]int, hosts)}
+	for i, h := range pl.Hosts {
+		p.SiteOf[i] = h.ClusterIndex()
+	}
+	if clusters > 1 {
+		// The generator routes lazily; materialize one inter-cluster route to
+		// surface the shared backbone (its middle link).
+		var remote *vgrid.Host
+		for i, h := range pl.Hosts {
+			if p.SiteOf[i] != p.SiteOf[0] {
+				remote = h
+				break
+			}
+		}
+		route, err := pl.Route(pl.Hosts[0], remote)
+		if err != nil || len(route) != 5 {
+			panic("cluster: synthetic inter-cluster route should have 5 links")
+		}
+		p.WAN = route[2]
+	}
+	return p
+}

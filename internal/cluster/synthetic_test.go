@@ -1,0 +1,29 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/vgrid"
+)
+
+func TestSyntheticPlatformWrapper(t *testing.T) {
+	p := Synthetic(20, 4, 0.3, 11)
+	if len(p.Hosts) != 20 || len(p.SiteOf) != 20 {
+		t.Fatalf("got %d hosts, %d site entries", len(p.Hosts), len(p.SiteOf))
+	}
+	for i, h := range p.Hosts {
+		if p.SiteOf[i] != h.ClusterIndex() {
+			t.Errorf("host %d: SiteOf %d != cluster index %d", i, p.SiteOf[i], h.ClusterIndex())
+		}
+	}
+	if p.WAN == nil || p.WAN.Name != "wan" {
+		t.Fatalf("multi-cluster grid should expose the shared wan backbone, got %+v", p.WAN)
+	}
+	// The WAN hook drives FairWAN and Perturb exactly as on cluster3.
+	if p.FairWAN().WAN.Mode != vgrid.SharingFair {
+		t.Error("FairWAN did not switch the backbone's sharing mode")
+	}
+	if single := Synthetic(8, 1, 0, 3); single.WAN != nil {
+		t.Errorf("single-cluster grid has no inter-site link, got %q", single.WAN.Name)
+	}
+}

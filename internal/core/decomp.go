@@ -153,17 +153,23 @@ func (d *Decomposition) Owner(j int) int {
 // Contributors returns the bands whose weight at global index j is nonzero,
 // in increasing band order.
 func (d *Decomposition) Contributors(j int) []int {
+	return d.ContributorsInto(j, nil)
+}
+
+// ContributorsInto appends the contributing bands for index j to buf[:0] and
+// returns the slice — the allocation-free form the plan builder sweeps with.
+func (d *Decomposition) ContributorsInto(j int, buf []int) []int {
+	buf = buf[:0]
 	switch d.Scheme {
 	case WeightOwner:
-		return []int{d.Owner(j)}
+		return append(buf, d.Owner(j))
 	case WeightAverage, WeightLinear:
-		var out []int
 		for k, b := range d.Bands {
 			if b.Contains(j) && d.Weight(k, j) > 0 {
-				out = append(out, k)
+				buf = append(buf, k)
 			}
 		}
-		return out
+		return buf
 	default:
 		panic("core: unknown weight scheme")
 	}

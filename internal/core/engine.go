@@ -48,6 +48,11 @@ type rankState struct {
 	// the dependency columns + triangular solves + difference norm); it is
 	// exact, so declaring it up front leaves nothing for Charge to reconcile.
 	stepFlops float64
+	// stepFn is the computation-step segment body, built once so the
+	// per-iteration ComputeSeg call allocates no closure; it reports a
+	// non-finite iterate through the diverged flag.
+	stepFn   func()
+	diverged bool
 
 	// cp is the shared communication plan; rp is this rank's view (one
 	// packed message per peer per iteration, see internal/plan).
@@ -131,22 +136,35 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 
 	// --- Iteration state over the shared plan: per-peer receive groups with
 	// preallocated incremental-update buffers, one reused send buffer sized
-	// by the largest packed message.
-	st.xSub = make([]float64, band.Size())
-	st.xPrev = make([]float64, band.Size())
-	st.rhs = make([]float64, band.Size())
-	st.z = make([]float64, len(st.depCols))
-	st.sendBuf = make([]float64, 0, cp.MaxSendVals(rank)+msgHdr)
+	// by the largest packed message. All the float state sub-slices a single
+	// arena (three-index slicing keeps the append-grown sendBuf in its lane).
+	ng := len(st.rp.Recv)
+	sz := band.Size()
+	sendCap := cp.MaxSendVals(rank) + msgHdr
+	recvVals := 0
+	for _, g := range st.rp.Recv {
+		recvVals += g.Vals
+	}
+	arena := make([]float64, 3*sz+len(st.depCols)+sendCap+2*ng+recvVals)
+	take := func(n int) []float64 {
+		s := arena[:n:n]
+		arena = arena[n:]
+		return s
+	}
+	st.xSub = take(sz)
+	st.xPrev = take(sz)
+	st.rhs = take(sz)
+	st.z = take(len(st.depCols))
+	st.sendBuf = take(sendCap)[:0]
 	st.recvGroupByPeer = map[int]int{}
 	for gi, g := range st.rp.Recv {
 		st.recvGroupByPeer[g.Peer] = gi
 	}
-	ng := len(st.rp.Recv)
-	st.verIncorporated = make([]float64, ng)
-	st.echoFrom = make([]float64, ng)
+	st.verIncorporated = take(ng)
+	st.echoFrom = take(ng)
 	st.lastRecv = make([][]float64, ng)
 	for gi, g := range st.rp.Recv {
-		st.lastRecv[gi] = make([]float64, g.Vals)
+		st.lastRecv[gi] = take(g.Vals)
 	}
 	st.freshSeen = make([]bool, ng)
 	st.staleCount = make([]int, ng)
@@ -161,6 +179,7 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 	// the difference norm 2·n — all exact integers, so the declared cost
 	// matches the counted flops bit for bit.
 	st.stepFlops = 2*float64(st.depMat.NNZ()) + fact.SolveFlops() + 2*float64(band.Size())
+	st.stepFn = st.step
 	return st, factTime, nil
 }
 
@@ -255,25 +274,29 @@ func (st *rankState) packVals(g *plan.PeerIO, buf []float64) []float64 {
 // pure compute segment with an analytically known cost, so it is declared up
 // front and its arithmetic overlaps other ranks' segments on the worker pool.
 func (st *rankState) iterate() error {
-	diverged := false
-	st.c.ComputeSeg(st.stepFlops, func() {
-		cnt := st.ctx.Counter
-		copy(st.rhs, st.bSub)
-		if len(st.depCols) > 0 {
-			st.depMat.MulVecSub(st.rhs, st.z, cnt)
-		}
-		st.fact.Solve(st.xSub, st.rhs, cnt)
-		if !vec.AllFinite(st.xSub) {
-			diverged = true
-			return
-		}
-		st.diff = vec.DiffNormInf(st.xSub, st.xPrev, cnt)
-		copy(st.xPrev, st.xSub)
-	})
-	if diverged {
+	st.diverged = false
+	st.c.ComputeSeg(st.stepFlops, st.stepFn)
+	if st.diverged {
 		return fmt.Errorf("rank %d: %w at iteration %d", st.rank, ErrDiverged, st.iter)
 	}
 	return nil
+}
+
+// step is the segment body run by iterate on the worker pool (referenced via
+// stepFn; it must touch only this rank's state, never the simulator).
+func (st *rankState) step() {
+	cnt := st.ctx.Counter
+	copy(st.rhs, st.bSub)
+	if len(st.depCols) > 0 {
+		st.depMat.MulVecSub(st.rhs, st.z, cnt)
+	}
+	st.fact.Solve(st.xSub, st.rhs, cnt)
+	if !vec.AllFinite(st.xSub) {
+		st.diverged = true
+		return
+	}
+	st.diff = vec.DiffNormInf(st.xSub, st.xPrev, cnt)
+	copy(st.xPrev, st.xSub)
 }
 
 // ship sends this rank's boundary components to their dependents (step 3):
@@ -394,6 +417,7 @@ func msRankRun(st *rankState, pend *Pending, factTime float64) error {
 			}
 			mb := d.Bands[m]
 			copy(x[mb.Start:mb.End], pk.Floats)
+			c.Release(pk)
 		}
 		pend.res.X = x
 	}

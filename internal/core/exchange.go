@@ -71,6 +71,7 @@ func (syncPolicy) exchange(st *rankState, stop stopper) (outcome, error) {
 			return 0, err
 		}
 		st.applyGroup(gi, pk.Floats[0], pk.Floats[1], pk.Floats[msgHdr:])
+		st.c.Release(pk)
 	}
 	crit := stop.crit(st)
 	st.c.Charge()
@@ -143,6 +144,7 @@ func (ap *asyncPolicy) drain(st *rankState) error {
 		}
 		if pk := st.c.DrainLatest(g.Peer, tagX); pk != nil {
 			st.applyGroup(gi, pk.Floats[0], pk.Floats[1], pk.Floats[msgHdr:])
+			st.c.Release(pk)
 			st.freshSeen[gi] = true
 			st.staleCount[gi] = 0
 		} else {
@@ -209,6 +211,7 @@ func (ap *asyncPolicy) finish(st *rankState, stop stopper) (outcome, error) {
 		return outConverged, nil
 	}
 	if pk := st.c.TryRecv(mp.AnySource, tagAbort); pk != nil {
+		st.c.Release(pk)
 		return outAborted, nil
 	}
 	return outContinue, nil
@@ -265,6 +268,7 @@ func (bp *boundedStalePolicy) waitForStale(st *rankState) (outcome, error) {
 				}
 			} else if pk := st.c.DrainLatest(g.Peer, tagX); pk != nil {
 				st.applyGroup(gi, pk.Floats[0], pk.Floats[1], pk.Floats[msgHdr:])
+				st.c.Release(pk)
 				got = true
 			}
 			if got {
@@ -288,6 +292,7 @@ func (bp *boundedStalePolicy) waitForStale(st *rankState) (outcome, error) {
 				}
 			}
 			if pk := st.c.TryRecv(mp.AnySource, tagAbort); pk != nil {
+				st.c.Release(pk)
 				return outAborted, nil
 			}
 		}

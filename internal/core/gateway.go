@@ -136,11 +136,19 @@ func newGwState(cp *plan.Plan, rank int, clusterOf []int, red bool) *gwState {
 	}
 	g.recvViaGw = make([]bool, len(rp.Recv))
 	g.inbox = make([]gwRecord, len(rp.Recv))
+	inVals := 0
+	for _, io := range rp.Recv {
+		if clusterOf[io.Peer] != clusterOf[rank] {
+			inVals += io.Vals
+		}
+	}
+	inArena := make([]float64, inVals)
 	for gi, io := range rp.Recv {
 		if clusterOf[io.Peer] != clusterOf[rank] {
 			g.recvViaGw[gi] = true
 			g.hasInterRecv = true
-			g.inbox[gi].vals = make([]float64, io.Vals)
+			g.inbox[gi].vals = inArena[:io.Vals:io.Vals]
+			inArena = inArena[io.Vals:]
 		}
 	}
 	if !g.isAgg {
@@ -148,9 +156,22 @@ func newGwState(cp *plan.Plan, rank int, clusterOf []int, red bool) *gwState {
 	}
 
 	// Aggregator routing tables: enumerate every inter-cluster (origin, dst)
-	// group touching this cluster, in (origin, dst) ascending order.
+	// group touching this cluster, in (origin, dst) ascending order. A count
+	// pass sizes the pair slab and its staging-value arena exactly.
 	g.pairIdx = map[[2]int]*gwPair{}
 	myC := clusterOf[rank]
+	nPairs, nVals := 0, 0
+	for r := 0; r < cp.NRanks; r++ {
+		for _, io := range cp.Ranks[r].Send {
+			oc, dc := clusterOf[r], clusterOf[io.Peer]
+			if oc != dc && (oc == myC || dc == myC) {
+				nPairs++
+				nVals += io.Vals
+			}
+		}
+	}
+	pairArena := make([]gwPair, 0, nPairs)
+	valsArena := make([]float64, nVals)
 	upSet := map[int]bool{}
 	wanOutM := map[int]*gwWanOut{}
 	wanInSet := map[int]bool{}
@@ -161,8 +182,10 @@ func newGwState(cp *plan.Plan, rank int, clusterOf []int, red bool) *gwState {
 			if oc == dc || (oc != myC && dc != myC) {
 				continue
 			}
-			pr := &gwPair{origin: r, dst: io.Peer, nvals: io.Vals}
-			pr.rec.vals = make([]float64, io.Vals)
+			pairArena = append(pairArena, gwPair{origin: r, dst: io.Peer, nvals: io.Vals})
+			pr := &pairArena[len(pairArena)-1]
+			pr.rec.vals = valsArena[:io.Vals:io.Vals]
+			valsArena = valsArena[io.Vals:]
 			g.pairIdx[[2]int{r, io.Peer}] = pr
 			if oc == myC {
 				if r != rank {
@@ -447,7 +470,9 @@ func (g *gwState) syncRound(st *rankState) error {
 		if err != nil {
 			return err
 		}
-		if err := g.parseUp(pk); err != nil {
+		err = g.parseUp(pk)
+		st.c.Release(pk)
+		if err != nil {
 			return err
 		}
 	}
@@ -459,7 +484,9 @@ func (g *gwState) syncRound(st *rankState) error {
 		if err != nil {
 			return err
 		}
-		if err := g.parseWan(st, pk); err != nil {
+		err = g.parseWan(st, pk)
+		st.c.Release(pk)
+		if err != nil {
 			return err
 		}
 	}
@@ -480,7 +507,9 @@ func (g *gwState) recvDownSync(st *rankState) error {
 	if err != nil {
 		return err
 	}
-	return g.parseDown(st, pk)
+	err = g.parseDown(st, pk)
+	st.c.Release(pk)
+	return err
 }
 
 // pump is the non-blocking gateway service used by the asynchronous
@@ -495,7 +524,9 @@ func (g *gwState) pump(st *rankState) error {
 			if pk == nil {
 				break
 			}
-			if err := g.parseUp(pk); err != nil {
+			err := g.parseUp(pk)
+			st.c.Release(pk)
+			if err != nil {
 				return err
 			}
 		}
@@ -507,7 +538,9 @@ func (g *gwState) pump(st *rankState) error {
 			if pk == nil {
 				break
 			}
-			if err := g.parseWan(st, pk); err != nil {
+			err := g.parseWan(st, pk)
+			st.c.Release(pk)
+			if err != nil {
 				return err
 			}
 		}
@@ -521,7 +554,9 @@ func (g *gwState) pump(st *rankState) error {
 		if pk == nil {
 			break
 		}
-		if err := g.parseDown(st, pk); err != nil {
+		err := g.parseDown(st, pk)
+		st.c.Release(pk)
+		if err != nil {
 			return err
 		}
 	}

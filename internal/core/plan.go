@@ -17,12 +17,13 @@ func buildCommPlan(a *sparse.CSR, d *Decomposition, nranks int) (*plan.Plan, err
 		bands[i] = plan.Band{Start: b.Start, End: b.End, Lo: b.Lo, Hi: b.Hi}
 	}
 	return plan.Build(a, plan.Spec{
-		N:            d.N,
-		Bands:        bands,
-		NRanks:       nranks,
-		Owner:        func(b int) int { return b % nranks },
-		Contributors: d.Contributors,
-		Weight:       d.Weight,
+		N:                d.N,
+		Bands:            bands,
+		NRanks:           nranks,
+		Owner:            func(b int) int { return b % nranks },
+		Contributors:     d.Contributors,
+		ContributorsInto: d.ContributorsInto,
+		Weight:           d.Weight,
 	})
 }
 

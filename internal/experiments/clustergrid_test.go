@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestClusterGridRunSchedulersAgree checks the cluster-grid workload itself:
+// the scan and indexed schedulers simulate the same ring to the same virtual
+// makespan and event count.
+func TestClusterGridRunSchedulersAgree(t *testing.T) {
+	idx, err := ClusterGridRun(32, 4, 3000, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := ClusterGridRun(32, 4, 3000, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.VirtualTime != scan.VirtualTime {
+		t.Errorf("virtual time: indexed %g, scan %g", idx.VirtualTime, scan.VirtualTime)
+	}
+	if idx.Events != scan.Events || idx.Events < 3000 {
+		t.Errorf("events: indexed %d, scan %d (target 3000)", idx.Events, scan.Events)
+	}
+	if idx.VirtualTime <= 0 {
+		t.Errorf("virtual time %g, want positive", idx.VirtualTime)
+	}
+}
+
+// TestClusterGridTable runs the experiment on a single small override grid.
+func TestClusterGridTable(t *testing.T) {
+	tab, err := ClusterGrid(Config{SynthHosts: 16, SynthClusters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("override grid should produce one row, got %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "16" || tab.Rows[0][1] != "2" {
+		t.Errorf("row head = %v, want the override grid size", tab.Rows[0][:2])
+	}
+	if !strings.HasSuffix(tab.Rows[0][5], "x") {
+		t.Errorf("speedup cell %q not formatted as a ratio", tab.Rows[0][5])
+	}
+}
+
+// TestSolveOnSyntheticGrid runs the full multisplitting solver (with the
+// topology-aware plans engaged) on a generated multi-cluster platform — the
+// path the msolve -hosts flag exercises.
+func TestSolveOnSyntheticGrid(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 1200, Band: 12, PerRow: 7, Seed: 9})
+	b, _ := gen.RHSForSolution(a)
+	plt := cluster.Synthetic(12, 3, 0.3, 5)
+	res, err := core.Solve(plt.Platform, plt.Hosts, a, b, core.Options{
+		Tol: 1e-8, TopoCollectives: true, Gateway: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("no convergence on synthetic grid")
+	}
+	if r := relResidual(a, res.X, b); r > residualGate {
+		t.Errorf("residual %g over gate %g", r, residualGate)
+	}
+	if res.InterBytes == 0 || res.IntraBytes == 0 {
+		t.Errorf("cluster traffic split empty: intra %d, inter %d — clusters not declared?", res.IntraBytes, res.InterBytes)
+	}
+}

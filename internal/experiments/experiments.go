@@ -51,6 +51,12 @@ type Config struct {
 	// CriticalPath adds each run's top critical-path segments to the
 	// utilization table's notes.
 	CriticalPath bool
+	// SynthHosts, when positive, makes the cluster-grid experiment run on a
+	// single generated grid of that many hosts instead of its default scale
+	// sweep.
+	SynthHosts int
+	// SynthClusters is the cluster count of the SynthHosts grid (minimum 1).
+	SynthClusters int
 }
 
 func (c Config) scale() int {

@@ -206,7 +206,7 @@ func TestFaultSweepShape(t *testing.T) {
 	parse(t, clean[2])
 	asyncClean := parse(t, clean[3])
 	itersClean := parse(t, clean[4])
-	for _, row := range tab.Rows[1 : len(faultSweepDrops)] {
+	for _, row := range tab.Rows[1:len(faultSweepDrops)] {
 		// Drop rows: the plain synchronous solver stalls on the first lost
 		// blocking message; retransmission and the fault-tolerant async
 		// variant both still converge.
@@ -296,7 +296,7 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"table1", "1", "table2", "table3", "table4", "figure3", "fig3", "faultsweep", "faults", "utilization", "util", "topology", "topo"} {
+	for _, name := range []string{"table1", "1", "table2", "table3", "table4", "figure3", "fig3", "faultsweep", "faults", "utilization", "util", "topology", "topo", "clustergrid", "cluster-grid"} {
 		if _, err := ByName(name); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -304,7 +304,7 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown name accepted")
 	}
-	if len(All()) != 8 {
+	if len(All()) != 9 {
 		t.Fatalf("All() has %d entries", len(All()))
 	}
 }

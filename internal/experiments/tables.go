@@ -275,6 +275,8 @@ func ByName(name string) (func(Config) (*Table, error), error) {
 		return Utilization, nil
 	case "topology", "topo":
 		return TopologyTable, nil
+	case "clustergrid", "cluster-grid":
+		return ClusterGrid, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
 	}
@@ -297,5 +299,6 @@ func All() []struct {
 		{"faultsweep", FaultSweep},
 		{"utilization", Utilization},
 		{"topology", TopologyTable},
+		{"clustergrid", ClusterGrid},
 	}
 }

@@ -84,6 +84,10 @@ type Comm struct {
 	// Undelivered counts messages this rank gave up on after exhausting the
 	// retry budget (diagnostics; only a fault plan can make it non-zero).
 	Undelivered int
+	// pkFree recycles Packet shells returned with Release. Like the engine
+	// pools it is only touched at serialized points (this rank's body), so
+	// no locking is needed.
+	pkFree []*Packet
 }
 
 // parent/children of rank r in the binary collective tree rooted at 0.
@@ -201,28 +205,56 @@ func (c *Comm) checkRank(r int) {
 
 // xsend is the single transmission funnel: every Comm send — point-to-point,
 // collective or protocol traffic — goes through it, so the retry policy
-// covers them all. A message still lost after the last attempt is dropped
+// covers them all. Float payloads travel in the message's unboxed Floats
+// field (nil means a bare signal); the rare non-float payloads (SendInts) go
+// through xsendAny. A message still lost after the last attempt is dropped
 // silently (counted in Undelivered): loss is a simulated condition for the
 // solver to tolerate, not a Go error.
-func (c *Comm) xsend(dst *vgrid.Proc, tag int, payload any, bytes int) error {
+func (c *Comm) xsend(dst *vgrid.Proc, tag int, floats []float64, bytes int) error {
+	_, err := c.xsendFate(dst, tag, floats, bytes)
+	return err
+}
+
+// xsendFate is xsend reporting whether any attempt delivered, so pooled
+// payload buffers can be reclaimed when the message never reached a mailbox.
+func (c *Comm) xsendFate(dst *vgrid.Proc, tag int, floats []float64, bytes int) (bool, error) {
+	return c.xsendLoop(dst, tag, nil, floats, bytes)
+}
+
+// xsendAny is the funnel for the rare non-float payloads (SendInts), boxed
+// into the message's generic Payload field.
+func (c *Comm) xsendAny(dst *vgrid.Proc, tag int, payload any, bytes int) error {
+	_, err := c.xsendLoop(dst, tag, payload, nil, bytes)
+	return err
+}
+
+// xsendLoop runs the retry loop shared by both funnels; at most one of
+// payload/floats is non-nil (both nil for a bare signal).
+func (c *Comm) xsendLoop(dst *vgrid.Proc, tag int, payload any, floats []float64, bytes int) (bool, error) {
 	attempts := c.Retry.Attempts
 	if attempts < 1 {
 		attempts = 1
 	}
 	backoff := c.Retry.Backoff
 	for i := 0; ; i++ {
-		delivered, err := c.p.SendFate(dst, tag, payload, bytes)
+		var delivered bool
+		var err error
+		if payload != nil {
+			delivered, err = c.p.SendFate(dst, tag, payload, bytes)
+		} else {
+			delivered, err = c.p.SendFloatsFate(dst, tag, floats, bytes)
+		}
 		if err != nil {
-			return err
+			return false, err
 		}
 		if delivered {
-			return nil
+			return true, nil
 		}
 		if i == attempts-1 {
 			c.Undelivered++
 			c.ctx.Faultf("rank %d: message tag=%d to %s lost after %d attempts", c.rank, tag, dst.Name, attempts)
 			c.ctx.Observe().Count("undelivered", 1)
-			return nil
+			return false, nil
 		}
 		c.ctx.Observe().Count("retries", 1)
 		if backoff > 0 {
@@ -235,12 +267,20 @@ func (c *Comm) xsend(dst *vgrid.Proc, tag int, payload any, bytes int) error {
 	}
 }
 
-// SendFloats sends a copy of data to rank dst with the given tag.
+// SendFloats sends a copy of data to rank dst with the given tag. The copy
+// comes from the engine's payload pool; ownership travels with the message,
+// and the receiver returns the buffer via Release (or keeps it — returning
+// is optional). A dropped message's buffer is reclaimed immediately.
 func (c *Comm) SendFloats(dst, tag int, data []float64) error {
 	c.checkTag(tag)
 	c.checkRank(dst)
-	cp := append([]float64(nil), data...)
-	return c.xsend(c.procs[dst], tag, cp, 8*len(cp)+msgOverheadBytes)
+	buf := c.p.GetFloats(len(data))
+	copy(buf, data)
+	delivered, err := c.xsendFate(c.procs[dst], tag, buf, 8*len(buf)+msgOverheadBytes)
+	if !delivered && err == nil {
+		c.p.PutFloats(buf)
+	}
+	return err
 }
 
 // SendInts sends a copy of an int slice.
@@ -248,7 +288,7 @@ func (c *Comm) SendInts(dst, tag int, data []int) error {
 	c.checkTag(tag)
 	c.checkRank(dst)
 	cp := append([]int(nil), data...)
-	return c.xsend(c.procs[dst], tag, cp, 8*len(cp)+msgOverheadBytes)
+	return c.xsendAny(c.procs[dst], tag, cp, 8*len(cp)+msgOverheadBytes)
 }
 
 // Signal sends an empty control message.
@@ -272,18 +312,49 @@ type Packet struct {
 	Arrival float64
 }
 
-func toPacket(m *vgrid.Message) *Packet {
-	pk := &Packet{From: m.From, Tag: m.Tag, Arrival: m.Arrival}
-	switch v := m.Payload.(type) {
-	case nil:
-	case []float64:
-		pk.Floats = v
-	case []int:
-		pk.Ints = v
-	default:
-		panic(fmt.Sprintf("mp: unexpected payload type %T", m.Payload))
+// toPacket converts a delivered message into a Packet from the rank's shell
+// pool and recycles the vgrid envelope. The payload moves by reference: the
+// packet now owns it, until the caller hands both back with Release.
+func (c *Comm) toPacket(m *vgrid.Message) *Packet {
+	var pk *Packet
+	if k := len(c.pkFree); k > 0 {
+		pk = c.pkFree[k-1]
+		c.pkFree[k-1] = nil
+		c.pkFree = c.pkFree[:k-1]
+	} else {
+		pk = &Packet{}
 	}
+	pk.From, pk.Tag, pk.Arrival = m.From, m.Tag, m.Arrival
+	if m.Floats != nil {
+		pk.Floats = m.Floats
+	} else {
+		switch v := m.Payload.(type) {
+		case nil:
+		case []int:
+			pk.Ints = v
+		default:
+			panic(fmt.Sprintf("mp: unexpected payload type %T", m.Payload))
+		}
+	}
+	c.p.ReleaseMessage(m)
 	return pk
+}
+
+// Release returns a received packet to the rank's pools: the shell to the
+// packet pool and a float payload to the engine's buffer pool. Releasing is
+// optional — an unreleased packet is simply GC'd, so callers that let the
+// payload escape (a gathered row handed to the application) just skip the
+// call. The caller must not touch the packet or its payload afterwards, and
+// must release at most once.
+func (c *Comm) Release(pk *Packet) {
+	if pk == nil {
+		return
+	}
+	if pk.Floats != nil {
+		c.p.PutFloats(pk.Floats)
+	}
+	*pk = Packet{}
+	c.pkFree = append(c.pkFree, pk)
 }
 
 // Recv blocks until a message matching (src, tag) arrives.
@@ -291,7 +362,7 @@ func (c *Comm) Recv(src, tag int) *Packet {
 	if src != AnySource {
 		c.checkRank(src)
 	}
-	return toPacket(c.p.Recv(src, tag))
+	return c.toPacket(c.p.Recv(src, tag))
 }
 
 // TryRecv returns a matching already-arrived message or nil.
@@ -303,12 +374,14 @@ func (c *Comm) TryRecv(src, tag int) *Packet {
 	if m == nil {
 		return nil
 	}
-	return toPacket(m)
+	return c.toPacket(m)
 }
 
 // DrainLatest consumes every already-arrived message matching (src, tag)
 // and returns the most recently sent one (nil if none). The asynchronous
 // multisplitting driver uses it to adopt only the freshest neighbor iterate.
+// Superseded packets are recycled internally; the caller owns (and may
+// Release) only the returned one.
 func (c *Comm) DrainLatest(src, tag int) *Packet {
 	var last *Packet
 	for {
@@ -316,6 +389,7 @@ func (c *Comm) DrainLatest(src, tag int) *Packet {
 		if m == nil {
 			return last
 		}
+		c.Release(last)
 		last = m
 	}
 }
@@ -331,7 +405,7 @@ func (c *Comm) RecvTimeout(src, tag int, timeout float64) *Packet {
 	if m == nil {
 		return nil
 	}
-	return toPacket(m)
+	return c.toPacket(m)
 }
 
 // PeerDown reports whether rank r's host is inside a fault-plan outage
@@ -371,7 +445,7 @@ func (c *Comm) Barrier() error {
 	}
 	if c.rank == 0 {
 		for i := 1; i < n; i++ {
-			c.p.Recv(AnySource, tagBarrierIn)
+			c.p.ReleaseMessage(c.p.Recv(AnySource, tagBarrierIn))
 		}
 		for i := 1; i < n; i++ {
 			if err := c.xsend(c.procs[i], tagBarrierOut, nil, msgOverheadBytes); err != nil {
@@ -383,7 +457,7 @@ func (c *Comm) Barrier() error {
 	if err := c.xsend(c.procs[0], tagBarrierIn, nil, msgOverheadBytes); err != nil {
 		return err
 	}
-	c.p.Recv(0, tagBarrierOut)
+	c.p.ReleaseMessage(c.p.Recv(0, tagBarrierOut))
 	return nil
 }
 
@@ -397,6 +471,23 @@ const (
 	OpMin
 	OpAnd // treats values as booleans: zero is false
 )
+
+// scalar wraps one value in a pooled single-element payload buffer.
+func (c *Comm) scalar(v float64) []float64 {
+	buf := c.p.GetFloats(1)
+	buf[0] = v
+	return buf
+}
+
+// takeScalar extracts the single value of a reduction message and recycles
+// both the payload buffer and the envelope.
+func (c *Comm) takeScalar(m *vgrid.Message) float64 {
+	buf := m.Floats
+	v := buf[0]
+	c.p.PutFloats(buf)
+	c.p.ReleaseMessage(m)
+	return v
+}
 
 func (o Op) apply(a, b float64) float64 {
 	switch o {
@@ -434,21 +525,19 @@ func (c *Comm) Allreduce(v float64, op Op) (float64, error) {
 	if c.rank == 0 {
 		acc := v
 		for i := 1; i < n; i++ {
-			m := c.p.Recv(AnySource, tagReduceIn)
-			acc = op.apply(acc, m.Payload.([]float64)[0])
+			acc = op.apply(acc, c.takeScalar(c.p.Recv(AnySource, tagReduceIn)))
 		}
 		for i := 1; i < n; i++ {
-			if err := c.xsend(c.procs[i], tagReduceOut, []float64{acc}, 8+msgOverheadBytes); err != nil {
+			if err := c.xsend(c.procs[i], tagReduceOut, c.scalar(acc), 8+msgOverheadBytes); err != nil {
 				return 0, err
 			}
 		}
 		return acc, nil
 	}
-	if err := c.xsend(c.procs[0], tagReduceIn, []float64{v}, 8+msgOverheadBytes); err != nil {
+	if err := c.xsend(c.procs[0], tagReduceIn, c.scalar(v), 8+msgOverheadBytes); err != nil {
 		return 0, err
 	}
-	m := c.p.Recv(0, tagReduceOut)
-	return m.Payload.([]float64)[0], nil
+	return c.takeScalar(c.p.Recv(0, tagReduceOut)), nil
 }
 
 // AllreduceBool returns the logical AND across ranks.
@@ -465,18 +554,16 @@ func (c *Comm) AllreduceBool(v bool) (bool, error) {
 func (c *Comm) treeAllreduce(v float64, op Op) (float64, error) {
 	acc := v
 	for _, ch := range c.treeChildren() {
-		m := c.p.Recv(ch, tagReduceIn)
-		acc = op.apply(acc, m.Payload.([]float64)[0])
+		acc = op.apply(acc, c.takeScalar(c.p.Recv(ch, tagReduceIn)))
 	}
 	if c.rank != 0 {
-		if err := c.xsend(c.procs[c.treeParent()], tagReduceIn, []float64{acc}, 8+msgOverheadBytes); err != nil {
+		if err := c.xsend(c.procs[c.treeParent()], tagReduceIn, c.scalar(acc), 8+msgOverheadBytes); err != nil {
 			return 0, err
 		}
-		m := c.p.Recv(c.treeParent(), tagReduceOut)
-		acc = m.Payload.([]float64)[0]
+		acc = c.takeScalar(c.p.Recv(c.treeParent(), tagReduceOut))
 	}
 	for _, ch := range c.treeChildren() {
-		if err := c.xsend(c.procs[ch], tagReduceOut, []float64{acc}, 8+msgOverheadBytes); err != nil {
+		if err := c.xsend(c.procs[ch], tagReduceOut, c.scalar(acc), 8+msgOverheadBytes); err != nil {
 			return 0, err
 		}
 	}
@@ -487,10 +574,12 @@ func (c *Comm) treeAllreduce(v float64, op Op) (float64, error) {
 func (c *Comm) treeBcast(data []float64) ([]float64, error) {
 	if c.rank != 0 {
 		m := c.p.Recv(c.treeParent(), tagBcast)
-		data = m.Payload.([]float64)
+		data = m.Floats
+		c.p.ReleaseMessage(m)
 	}
 	for _, ch := range c.treeChildren() {
-		cp := append([]float64(nil), data...)
+		cp := c.p.GetFloats(len(data))
+		copy(cp, data)
 		if err := c.xsend(c.procs[ch], tagBcast, cp, 8*len(cp)+msgOverheadBytes); err != nil {
 			return nil, err
 		}
@@ -517,7 +606,8 @@ func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 			if i == root {
 				continue
 			}
-			cp := append([]float64(nil), data...)
+			cp := c.p.GetFloats(len(data))
+			copy(cp, data)
 			if err := c.xsend(c.procs[i], tagBcast, cp, 8*len(cp)+msgOverheadBytes); err != nil {
 				return nil, err
 			}
@@ -525,7 +615,9 @@ func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 		return data, nil
 	}
 	m := c.p.Recv(root, tagBcast)
-	return m.Payload.([]float64), nil
+	out := m.Floats
+	c.p.ReleaseMessage(m)
+	return out, nil
 }
 
 // Gather collects each rank's slice at root, returned indexed by rank (nil
@@ -539,14 +631,16 @@ func (c *Comm) Gather(root int, data []float64) ([][]float64, error) {
 		}
 	}
 	if c.rank != root {
-		cp := append([]float64(nil), data...)
+		cp := c.p.GetFloats(len(data))
+		copy(cp, data)
 		return nil, c.xsend(c.procs[root], tagGather, cp, 8*len(cp)+msgOverheadBytes)
 	}
 	out := make([][]float64, n)
 	out[root] = data
 	for i := 0; i < n-1; i++ {
 		m := c.p.Recv(AnySource, tagGather)
-		out[m.From] = m.Payload.([]float64)
+		out[m.From] = m.Floats
+		c.p.ReleaseMessage(m)
 	}
 	return out, nil
 }

@@ -77,34 +77,30 @@ func (ti *topoInfo) clusterLeader(r int) int {
 // messages for C clusters, independent of the rank count.
 func (c *Comm) hierAllreduce(v float64, op Op, ti *topoInfo) (float64, error) {
 	if c.rank != ti.leader {
-		if err := c.xsend(c.procs[ti.leader], tagReduceIn, []float64{v}, 8+msgOverheadBytes); err != nil {
+		if err := c.xsend(c.procs[ti.leader], tagReduceIn, c.scalar(v), 8+msgOverheadBytes); err != nil {
 			return 0, err
 		}
-		m := c.p.Recv(ti.leader, tagReduceOut)
-		return m.Payload.([]float64)[0], nil
+		return c.takeScalar(c.p.Recv(ti.leader, tagReduceOut)), nil
 	}
 	acc := v
 	for _, r := range ti.members {
 		if r == c.rank {
 			continue
 		}
-		m := c.p.Recv(r, tagReduceIn)
-		acc = op.apply(acc, m.Payload.([]float64)[0])
+		acc = op.apply(acc, c.takeScalar(c.p.Recv(r, tagReduceIn)))
 	}
 	root := ti.leaders[0]
 	if c.rank != root {
-		if err := c.xsend(c.procs[root], tagReduceIn, []float64{acc}, 8+msgOverheadBytes); err != nil {
+		if err := c.xsend(c.procs[root], tagReduceIn, c.scalar(acc), 8+msgOverheadBytes); err != nil {
 			return 0, err
 		}
-		m := c.p.Recv(root, tagReduceOut)
-		acc = m.Payload.([]float64)[0]
+		acc = c.takeScalar(c.p.Recv(root, tagReduceOut))
 	} else {
 		for _, l := range ti.leaders[1:] {
-			m := c.p.Recv(l, tagReduceIn)
-			acc = op.apply(acc, m.Payload.([]float64)[0])
+			acc = op.apply(acc, c.takeScalar(c.p.Recv(l, tagReduceIn)))
 		}
 		for _, l := range ti.leaders[1:] {
-			if err := c.xsend(c.procs[l], tagReduceOut, []float64{acc}, 8+msgOverheadBytes); err != nil {
+			if err := c.xsend(c.procs[l], tagReduceOut, c.scalar(acc), 8+msgOverheadBytes); err != nil {
 				return 0, err
 			}
 		}
@@ -113,7 +109,7 @@ func (c *Comm) hierAllreduce(v float64, op Op, ti *topoInfo) (float64, error) {
 		if r == c.rank {
 			continue
 		}
-		if err := c.xsend(c.procs[r], tagReduceOut, []float64{acc}, 8+msgOverheadBytes); err != nil {
+		if err := c.xsend(c.procs[r], tagReduceOut, c.scalar(acc), 8+msgOverheadBytes); err != nil {
 			return 0, err
 		}
 	}
@@ -125,7 +121,8 @@ func (c *Comm) hierAllreduce(v float64, op Op, ti *topoInfo) (float64, error) {
 func (c *Comm) hierBcast(root int, data []float64, ti *topoInfo) ([]float64, error) {
 	rootLeader := ti.clusterLeader(root)
 	send := func(dst int) error {
-		cp := append([]float64(nil), data...)
+		cp := c.p.GetFloats(len(data))
+		copy(cp, data)
 		return c.xsend(c.procs[dst], tagBcast, cp, 8*len(cp)+msgOverheadBytes)
 	}
 	if c.rank == root {
@@ -140,10 +137,13 @@ func (c *Comm) hierBcast(root int, data []float64, ti *topoInfo) ([]float64, err
 			from = rootLeader
 		}
 		m := c.p.Recv(from, tagBcast)
-		data = m.Payload.([]float64)
+		data = m.Floats
+		c.p.ReleaseMessage(m)
 	} else {
 		m := c.p.Recv(ti.leader, tagBcast)
-		return m.Payload.([]float64), nil
+		out := m.Floats
+		c.p.ReleaseMessage(m)
+		return out, nil
 	}
 	// Only leaders (including a root that is its cluster's leader) get here.
 	if c.rank == rootLeader {
@@ -174,7 +174,8 @@ func (c *Comm) hierBcast(root int, data []float64, ti *topoInfo) ([]float64, err
 // root leads a cluster, its members' raw slices — into the by-rank result.
 func (c *Comm) hierGather(root int, data []float64, ti *topoInfo) ([][]float64, error) {
 	if c.rank != root && c.rank != ti.leader {
-		cp := append([]float64(nil), data...)
+		cp := c.p.GetFloats(len(data))
+		copy(cp, data)
 		return nil, c.xsend(c.procs[ti.leader], tagGather, cp, 8*len(cp)+msgOverheadBytes)
 	}
 	if c.rank == ti.leader && c.rank != root {
@@ -184,9 +185,11 @@ func (c *Comm) hierGather(root int, data []float64, ti *topoInfo) ([][]float64, 
 				continue
 			}
 			m := c.p.Recv(r, tagGather)
-			vals := m.Payload.([]float64)
+			vals := m.Floats
 			blob = append(blob, float64(r), float64(len(vals)))
 			blob = append(blob, vals...)
+			c.p.PutFloats(vals)
+			c.p.ReleaseMessage(m)
 		}
 		return nil, c.xsend(c.procs[root], tagGatherHier, blob, 8*len(blob)+msgOverheadBytes)
 	}
@@ -200,7 +203,8 @@ func (c *Comm) hierGather(root int, data []float64, ti *topoInfo) ([][]float64, 
 				continue
 			}
 			m := c.p.Recv(r, tagGather)
-			out[r] = m.Payload.([]float64)
+			out[r] = m.Floats
+			c.p.ReleaseMessage(m)
 		}
 	}
 	for _, l := range ti.leaders {
@@ -208,12 +212,14 @@ func (c *Comm) hierGather(root int, data []float64, ti *topoInfo) ([][]float64, 
 			continue
 		}
 		m := c.p.Recv(l, tagGatherHier)
-		blob := m.Payload.([]float64)
+		blob := m.Floats
 		for i := 0; i < len(blob); {
 			r, ln := int(blob[i]), int(blob[i+1])
 			out[r] = append([]float64(nil), blob[i+2:i+2+ln]...)
 			i += 2 + ln
 		}
+		c.p.PutFloats(blob)
+		c.p.ReleaseMessage(m)
 	}
 	return out, nil
 }

@@ -96,7 +96,7 @@ func CriticalPath(r *Recorder) *CPReport {
 
 	// Each step strictly decreases t, and each span/gap is crossed at most
 	// once per visit, but a generous cap guards against malformed input.
-	for steps := 0; t > 0 && steps < 4*len(r.spans)+64; steps++ {
+	for steps := 0; t > 0 && steps < 4*r.NumSpans()+64; steps++ {
 		spans := byTrack[track]
 		// Latest span on the track starting strictly before t.
 		i := sort.Search(len(spans), func(i int) bool { return spans[i].Start >= t }) - 1

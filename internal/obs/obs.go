@@ -130,12 +130,22 @@ type countKey struct {
 	name, track string
 }
 
+// spanChunk is the fixed capacity of one span-storage chunk. Chunked
+// storage keeps recording an amortized-one-append operation without the
+// doubling reallocation-and-copy of a flat slice — on a 1000-host run the
+// recorder holds millions of spans, and repeatedly copying them was one of
+// the per-iteration allocation storms the event-core refactor removes.
+const spanChunk = 4096
+
 // Recorder collects spans, samples and counters from an engine run. The zero
 // value is ready to use; a nil *Recorder is a valid no-op sink (every method
 // checks). A Recorder must only be fed from serialized emission points (see
 // the package comment); it is not otherwise goroutine-safe.
 type Recorder struct {
-	spans   []Span
+	// spans is chunked: every chunk but the last holds exactly spanChunk
+	// entries, so recording never moves previously stored spans.
+	spans   [][]Span
+	nSpans  int
 	samples []SamplePoint
 	counts  map[countKey]float64
 	nextIdx int64
@@ -149,7 +159,20 @@ func (r *Recorder) Span(s Span) {
 	}
 	s.idx = r.nextIdx
 	r.nextIdx++
-	r.spans = append(r.spans, s)
+	if n := len(r.spans); n == 0 || len(r.spans[n-1]) == spanChunk {
+		r.spans = append(r.spans, make([]Span, 0, spanChunk))
+	}
+	last := len(r.spans) - 1
+	r.spans[last] = append(r.spans[last], s)
+	r.nSpans++
+}
+
+// NumSpans returns how many spans have been recorded (0 for nil).
+func (r *Recorder) NumSpans() int {
+	if r == nil {
+		return 0
+	}
+	return r.nSpans
 }
 
 // Sample records one metric observation.
@@ -181,8 +204,10 @@ func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
 	}
-	out := make([]Span, len(r.spans))
-	copy(out, r.spans)
+	out := make([]Span, 0, r.nSpans)
+	for _, chunk := range r.spans {
+		out = append(out, chunk...)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Start != b.Start {

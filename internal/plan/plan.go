@@ -49,6 +49,11 @@ type Spec struct {
 	Owner func(band int) int
 	// Contributors returns the bands contributing to global column j.
 	Contributors func(j int) []int
+	// ContributorsInto, when non-nil, is used instead of Contributors: it
+	// appends the contributing bands for column j to buf[:0] and returns the
+	// slice, letting the builder reuse one scratch buffer across the sweep
+	// instead of allocating a list per column.
+	ContributorsInto func(j int, buf []int) []int
 	// Weight returns band k's multisplitting weight for global column j.
 	Weight func(k, j int) float64
 }
@@ -142,7 +147,17 @@ func Build(a *sparse.CSR, sp Spec) (*Plan, error) {
 		}
 		p.Owner[b] = r
 	}
-	segOf := make(map[[2]int]*Seg)
+	contrib := sp.ContributorsInto
+	if contrib == nil {
+		contrib = func(j int, _ []int) []int { return sp.Contributors(j) }
+	}
+	// First sweep: dependency columns per band and entry counts per segment,
+	// so the second sweep can fill exactly-sized storage. The per-entry slices
+	// of all segments sub-slice four shared backing arrays — the plan costs a
+	// handful of allocations however many segments it has.
+	counts := make(map[[2]int]int)
+	var cbuf []int
+	total := 0
 	for b, band := range sp.Bands {
 		left := a.ColumnsUsed(band.Lo, band.Hi, 0, band.Lo)
 		right := a.ColumnsUsed(band.Lo, band.Hi, band.Hi, sp.N)
@@ -150,27 +165,19 @@ func Build(a *sparse.CSR, sp Spec) (*Plan, error) {
 		dep = append(dep, left...)
 		dep = append(dep, right...)
 		p.DepCols[b] = dep
-		for i, j := range dep {
-			for _, k := range sp.Contributors(j) {
-				w := sp.Weight(k, j)
-				if w == 0 {
+		for _, j := range dep {
+			cbuf = contrib(j, cbuf)
+			for _, k := range cbuf {
+				if sp.Weight(k, j) == 0 {
 					continue
 				}
-				key := [2]int{k, b}
-				s := segOf[key]
-				if s == nil {
-					s = &Seg{From: k, To: b}
-					segOf[key] = s
-				}
-				s.Cols = append(s.Cols, j)
-				s.Loc = append(s.Loc, j-sp.Bands[k].Lo)
-				s.Pos = append(s.Pos, i)
-				s.Weights = append(s.Weights, w)
+				counts[[2]int{k, b}]++
+				total++
 			}
 		}
 	}
-	keys := make([][2]int, 0, len(segOf))
-	for k := range segOf {
+	keys := make([][2]int, 0, len(counts))
+	for k := range counts {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -179,16 +186,99 @@ func Build(a *sparse.CSR, sp Spec) (*Plan, error) {
 		}
 		return keys[i][1] < keys[j][1]
 	})
+	segs := make([]Seg, len(keys))
+	colsArr := make([]int, total)
+	locArr := make([]int, total)
+	posArr := make([]int, total)
+	wArr := make([]float64, total)
+	segOf := make(map[[2]int]*Seg, len(keys))
 	p.Segs = make([]*Seg, len(keys))
+	off := 0
 	for i, k := range keys {
-		s := segOf[k]
-		s.Index = i
+		n := counts[k]
+		s := &segs[i]
+		*s = Seg{Index: i, From: k[0], To: k[1],
+			Cols:    colsArr[off : off : off+n],
+			Loc:     locArr[off : off : off+n],
+			Pos:     posArr[off : off : off+n],
+			Weights: wArr[off : off : off+n],
+		}
+		segOf[k] = s
 		p.Segs[i] = s
+		off += n
+	}
+	// Second sweep: identical order, filling the segments (appends stay
+	// within the counted capacities).
+	for b := range sp.Bands {
+		for i, j := range p.DepCols[b] {
+			cbuf = contrib(j, cbuf)
+			for _, k := range cbuf {
+				w := sp.Weight(k, j)
+				if w == 0 {
+					continue
+				}
+				s := segOf[[2]int{k, b}]
+				s.Cols = append(s.Cols, j)
+				s.Loc = append(s.Loc, j-sp.Bands[k].Lo)
+				s.Pos = append(s.Pos, i)
+				s.Weights = append(s.Weights, w)
+			}
+		}
 	}
 
-	p.Ranks = make([]RankPlan, sp.NRanks)
+	// Rank views, again counted first: per (sender, receiver) cross-rank
+	// segment counts size the peer groups exactly, and two shared arenas back
+	// every group's member list. Building the groups with an ascending peer
+	// loop makes them peer-sorted by construction; the members fill in
+	// canonical (From, To) order, so the packed-message layout needs no sort.
+	nr := sp.NRanks
+	p.Ranks = make([]RankPlan, nr)
+	segCnt := make([]int, nr*nr)
+	nLocal := make([]int, nr)
+	cross := 0
+	for _, s := range p.Segs {
+		fr, tr := p.Owner[s.From], p.Owner[s.To]
+		if fr == tr {
+			nLocal[fr]++
+		} else {
+			segCnt[fr*nr+tr]++
+			cross++
+		}
+	}
+	sendArena := make([]*Seg, cross)
+	recvArena := make([]*Seg, cross)
+	soff, roff := 0, 0
 	for r := range p.Ranks {
-		p.Ranks[r].Rank = r
+		rp := &p.Ranks[r]
+		rp.Rank = r
+		if nLocal[r] > 0 {
+			rp.Local = make([]*Seg, 0, nLocal[r])
+		}
+		nSend, nRecv := 0, 0
+		for o := 0; o < nr; o++ {
+			if segCnt[r*nr+o] > 0 {
+				nSend++
+			}
+			if segCnt[o*nr+r] > 0 {
+				nRecv++
+			}
+		}
+		if nSend > 0 {
+			rp.Send = make([]PeerIO, 0, nSend)
+		}
+		if nRecv > 0 {
+			rp.Recv = make([]PeerIO, 0, nRecv)
+		}
+		for o := 0; o < nr; o++ {
+			if n := segCnt[r*nr+o]; n > 0 {
+				rp.Send = append(rp.Send, PeerIO{Peer: o, Segs: sendArena[soff : soff : soff+n]})
+				soff += n
+			}
+			if n := segCnt[o*nr+r]; n > 0 {
+				rp.Recv = append(rp.Recv, PeerIO{Peer: o, Segs: recvArena[roff : roff : roff+n]})
+				roff += n
+			}
+		}
 	}
 	for _, s := range p.Segs {
 		fr, tr := p.Owner[s.From], p.Owner[s.To]
@@ -196,8 +286,12 @@ func Build(a *sparse.CSR, sp Spec) (*Plan, error) {
 			p.Ranks[fr].Local = append(p.Ranks[fr].Local, s)
 			continue
 		}
-		addToGroup(&p.Ranks[fr].Send, tr, s)
-		addToGroup(&p.Ranks[tr].Recv, fr, s)
+		g := findGroup(p.Ranks[fr].Send, tr)
+		g.Segs = append(g.Segs, s)
+		g.Vals += len(s.Cols)
+		g = findGroup(p.Ranks[tr].Recv, fr)
+		g.Segs = append(g.Segs, s)
+		g.Vals += len(s.Cols)
 	}
 	for r := range p.Ranks {
 		rp := &p.Ranks[r]
@@ -207,24 +301,18 @@ func Build(a *sparse.CSR, sp Spec) (*Plan, error) {
 			}
 			return rp.Local[i].From < rp.Local[j].From
 		})
-		sort.Slice(rp.Send, func(i, j int) bool { return rp.Send[i].Peer < rp.Send[j].Peer })
-		sort.Slice(rp.Recv, func(i, j int) bool { return rp.Recv[i].Peer < rp.Recv[j].Peer })
 	}
 	return p, nil
 }
 
-// addToGroup appends the segment to the peer's group, creating it on first
-// use. Segments arrive in canonical (From, To) order, so the group's member
-// order — and with it the packed-message layout — needs no extra sort.
-func addToGroup(groups *[]PeerIO, peer int, s *Seg) {
-	for i := range *groups {
-		if (*groups)[i].Peer == peer {
-			(*groups)[i].Segs = append((*groups)[i].Segs, s)
-			(*groups)[i].Vals += len(s.Cols)
-			return
+// findGroup returns the peer's group in a peer-ascending group list.
+func findGroup(groups []PeerIO, peer int) *PeerIO {
+	for i := range groups {
+		if groups[i].Peer == peer {
+			return &groups[i]
 		}
 	}
-	*groups = append(*groups, PeerIO{Peer: peer, Segs: []*Seg{s}, Vals: len(s.Cols)})
+	panic("plan: peer group missing")
 }
 
 // MaxSendVals returns the largest packed-message value count among the

@@ -308,8 +308,14 @@ func (m *CSR) SelectColumns(r0, r1 int, cols []int) *CSR {
 	}
 	rows := r1 - r0
 	rowPtr := make([]int, rows+1)
-	var colInd []int
-	var val []float64
+	nnz := 0
+	for p := m.RowPtr[r0]; p < m.RowPtr[r1]; p++ {
+		if _, ok := newCol[m.ColInd[p]]; ok {
+			nnz++
+		}
+	}
+	colInd := make([]int, 0, nnz)
+	val := make([]float64, 0, nnz)
 	for i := r0; i < r1; i++ {
 		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
 			if k, ok := newCol[m.ColInd[p]]; ok {
@@ -371,22 +377,25 @@ func (m *CSR) SelectColumnsMap(r0, r1 int, cols []int) []int {
 // [c0,c1), that carry at least one nonzero in rows [r0,r1). This is how the
 // multisplitting decomposition computes its true dependency sets.
 func (m *CSR) ColumnsUsed(r0, r1, c0, c1 int) []int {
-	seen := make(map[int]bool)
+	var out []int
 	for i := r0; i < r1; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 		ind := m.ColInd[lo:hi]
 		a := sort.SearchInts(ind, c0)
 		b := sort.SearchInts(ind, c1)
-		for p := a; p < b; p++ {
-			seen[ind[p]] = true
-		}
-	}
-	out := make([]int, 0, len(seen))
-	for j := range seen {
-		out = append(out, j)
+		out = append(out, ind[a:b]...)
 	}
 	sort.Ints(out)
-	return out
+	// Dedup in place: cheaper than a seen-map for the short, mostly-sorted
+	// per-row runs this collects.
+	n := 0
+	for _, j := range out {
+		if n == 0 || j != out[n-1] {
+			out[n] = j
+			n++
+		}
+	}
+	return out[:n]
 }
 
 // Transpose returns the transpose of m as a new CSR matrix.

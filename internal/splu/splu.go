@@ -173,6 +173,15 @@ func (s *SparseLU) Factor(a *sparse.CSR, c *vec.Counter) (Factorization, error) 
 	dstack := make([]int, n) // DFS node stack
 	pstack := make([]int, n) // DFS position stack
 
+	// Pre-size the factor arrays for the no-fill case (the narrow bands the
+	// solvers hand us are close to it); discovered fill still grows them, but
+	// the common case avoids the append-doubling churn.
+	est := a.NNZ() + n
+	f.li = make([]int, 0, est)
+	f.lx = make([]float64, 0, est)
+	f.ui = make([]int, 0, est)
+	f.ux = make([]float64, 0, est)
+
 	for k := 0; k < n; k++ {
 		col := k
 		if q != nil {

@@ -139,6 +139,14 @@ func (fs *faultState) resolve(pl *Platform) error {
 			}
 		}
 	}
+	// Lazily-routed platforms (SetRouter) may have materialized no routes
+	// yet; their links are declared via AddLinks.
+	for _, l := range pl.extraLinks {
+		if !seen[l] {
+			seen[l] = true
+			linksByName[l.Name] = append(linksByName[l.Name], l)
+		}
+	}
 
 	fs.outages = map[*Host][]HostOutage{}
 	for _, o := range fs.plan.Outages {

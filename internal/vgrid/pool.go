@@ -1,0 +1,98 @@
+// Hot-path buffer pools: payload float slices (by power-of-two size class)
+// and delivered message envelopes. The iterative solvers send thousands of
+// messages per solve, and before pooling every one of them allocated a
+// payload copy in mp.SendFloats, a Message envelope in SendFate and a
+// Packet on receive — the ~36k allocs/op storm BenchmarkTopologyExchange
+// measured. The pools recycle all three.
+//
+// Ownership protocol:
+//
+//   - GetFloats hands out a buffer owned by the caller; passing it as a Send
+//     payload transfers ownership to the receiver along with the message.
+//   - The receiver (or the engine, for undelivered sends) returns the buffer
+//     with PutFloats once the payload has been copied out or fully consumed.
+//   - ReleaseMessage returns a delivered envelope after the payload has been
+//     extracted (mp does this when converting to a Packet).
+//   - Returning a buffer is always optional: an unreturned buffer is simply
+//     collected by the GC, so code that lets payloads escape (Gather results
+//     handed to the caller, stashed packets) just skips the Put.
+//
+// No locking: every pool operation happens at a serialized point — inside
+// the unique running process or on the scheduler goroutine between commits —
+// and the channel handoffs that pass control establish the happens-before
+// edges. ComputeFunc/ComputeDeferred segments run concurrently with the
+// scheduler and therefore must not touch the pools (the same rule that bars
+// them from all simulator primitives).
+
+package vgrid
+
+import "math/bits"
+
+// maxPoolClass bounds the pooled size classes: slices up to 2^maxPoolClass
+// floats (128 MiB) are recycled, larger ones go to the GC.
+const maxPoolClass = 24
+
+// sizeClass returns the smallest power-of-two exponent c with n ≤ 1<<c.
+func sizeClass(n int) int {
+	return bits.Len(uint(n - 1))
+}
+
+// GetFloats returns a length-n float slice with power-of-two capacity from
+// the engine's payload pool (allocating if the pool is empty). The caller
+// owns the buffer until it passes it as a Send payload or returns it with
+// PutFloats. Must be called from simulator context (the process body or the
+// scheduler), never from a ComputeFunc segment.
+func (p *Proc) GetFloats(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if c > maxPoolClass {
+		return make([]float64, n)
+	}
+	free := &p.eng.floatFree[c]
+	if k := len(*free); k > 0 {
+		buf := (*free)[k-1]
+		(*free)[k-1] = nil
+		*free = (*free)[:k-1]
+		return buf[:n]
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// PutFloats returns a buffer obtained from GetFloats to the payload pool.
+// The caller must not touch the slice afterwards. Buffers whose capacity is
+// not an exact power of two (not pool-born) are silently dropped to the GC,
+// so Put is safe on any float slice.
+func (p *Proc) PutFloats(buf []float64) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cl := bits.Len(uint(c)) - 1
+	if cl > maxPoolClass {
+		return
+	}
+	e := p.eng
+	e.floatFree[cl] = append(e.floatFree[cl], buf[:c])
+}
+
+// getMessage returns a zeroed-or-recycled message envelope.
+func (e *Engine) getMessage() *Message {
+	if k := len(e.msgFree); k > 0 {
+		m := e.msgFree[k-1]
+		e.msgFree[k-1] = nil
+		e.msgFree = e.msgFree[:k-1]
+		return m
+	}
+	return &Message{}
+}
+
+// ReleaseMessage returns a delivered message envelope to the engine's pool
+// after its payload has been extracted. The caller must not touch the
+// message afterwards; releasing is optional (an unreleased envelope is
+// GC'd). Must be called from simulator context, and only once per message.
+func (p *Proc) ReleaseMessage(m *Message) {
+	*m = Message{}
+	p.eng.msgFree = append(p.eng.msgFree, m)
+}

@@ -1,0 +1,203 @@
+// Indexed event scheduling: a binary min-heap over per-process next-event
+// times replaces the O(P) pickNext scan, so a commit costs O(log P) instead
+// of a sweep over every process — the difference between minutes and seconds
+// for 1000-host grids. The heap key is the pair (next-event time, process
+// ID); keys are totally ordered, so the heap's minimum is exactly the
+// process the reference scan would select and the virtual schedule (and
+// with it every trace byte) is unchanged.
+//
+// Re-keying is incremental at every commit point:
+//
+//   - a process that yields back to the scheduler is re-keyed from its new
+//     state (ready, blocked, computing, deferred or done);
+//   - a Send deposit into a blocked receiver's mailbox updates the
+//     receiver's pending-match and sifts it up if the arrival is earlier;
+//   - collecting a deferred segment's measured cost re-keys its owner from
+//     the lower-bound clock to the true resume time;
+//   - fault clamps are folded into the key itself (eventTime applies
+//     faultState.wake), so an outage never requires a rescan.
+//
+// The pre-index linear scan survives as pickNextScan, the reference
+// implementation behind Engine.SetScanScheduler: equivalence tests cross
+// check every heap pick against it, and the event-core benchmarks use it as
+// the "before" core.
+
+package vgrid
+
+import "math"
+
+// eventTime computes a process's next-event key: the earliest virtual
+// instant the scheduler could commit it, clamped past its host's outage
+// windows. +Inf marks an unschedulable process (done, blocked forever, or
+// on a host that never returns).
+func (e *Engine) eventTime(p *Proc) float64 {
+	var t float64
+	switch p.state {
+	case stateReady, stateComputing, stateDeferred:
+		// For stateDeferred, p.clock is the dispatch time — a lower bound on
+		// the true resume time; Run resolves the bound before committing to
+		// any later event.
+		t = p.clock
+	case stateBlocked:
+		t = p.matchDeadline
+		if m := p.pendingMatch; m != nil {
+			if ta := math.Max(p.clock, m.Arrival); ta <= t {
+				t = ta
+			}
+		}
+		if math.IsInf(t, 1) {
+			return t
+		}
+	default:
+		return math.Inf(1)
+	}
+	if e.faults != nil {
+		t = e.faults.wake(p.host, t)
+	}
+	return t
+}
+
+// deliverable returns the message whose arrival would resume the blocked
+// process at its current key, or nil when the key is a timeout deadline.
+func (p *Proc) deliverable() *Message {
+	if m := p.pendingMatch; m != nil {
+		if ta := math.Max(p.clock, m.Arrival); ta <= p.matchDeadline {
+			return m
+		}
+	}
+	return nil
+}
+
+// idxLess orders heap entries by (key, ID) — the same total order the
+// reference scan's tie-breaking uses, so the minimum is unique.
+func idxLess(a, b *Proc) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.ID < b.ID
+}
+
+func (e *Engine) idxSwap(i, j int) {
+	h := e.idx
+	h[i], h[j] = h[j], h[i]
+	h[i].heapPos = i
+	h[j].heapPos = j
+}
+
+func (e *Engine) idxUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !idxLess(e.idx[i], e.idx[parent]) {
+			break
+		}
+		e.idxSwap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) idxDown(i int) {
+	n := len(e.idx)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && idxLess(e.idx[l], e.idx[small]) {
+			small = l
+		}
+		if r < n && idxLess(e.idx[r], e.idx[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		e.idxSwap(i, small)
+		i = small
+	}
+}
+
+// initIndex builds the heap over every spawned process at Run start.
+func (e *Engine) initIndex() {
+	e.idx = make([]*Proc, 0, len(e.procs))
+	for _, p := range e.procs {
+		p.key = e.eventTime(p)
+		p.heapPos = len(e.idx)
+		e.idx = append(e.idx, p)
+	}
+	for i := len(e.idx)/2 - 1; i >= 0; i-- {
+		e.idxDown(i)
+	}
+}
+
+// rekey recomputes a process's next-event time and restores the heap
+// invariant, inserting the process if it is not currently indexed.
+func (e *Engine) rekey(p *Proc) {
+	if e.scanSched {
+		return
+	}
+	p.key = e.eventTime(p)
+	if p.heapPos < 0 {
+		p.heapPos = len(e.idx)
+		e.idx = append(e.idx, p)
+		e.idxUp(p.heapPos)
+		return
+	}
+	e.idxUp(p.heapPos)
+	e.idxDown(p.heapPos)
+}
+
+// idxRemove takes a process out of the heap (it is being committed and
+// resumed, or it is done).
+func (e *Engine) idxRemove(p *Proc) {
+	i := p.heapPos
+	if i < 0 {
+		return
+	}
+	last := len(e.idx) - 1
+	if i != last {
+		e.idxSwap(i, last)
+	}
+	e.idx = e.idx[:last]
+	p.heapPos = -1
+	if i != last {
+		e.idxUp(i)
+		e.idxDown(i)
+	}
+}
+
+// idxMin returns the schedulable process with the smallest (time, ID) key,
+// or nil when every indexed process is unschedulable.
+func (e *Engine) idxMin() *Proc {
+	if len(e.idx) == 0 {
+		return nil
+	}
+	p := e.idx[0]
+	if math.IsInf(p.key, 1) {
+		return nil
+	}
+	return p
+}
+
+// noteDeposit is the Send-side commit hook: a message just landed in dst's
+// mailbox. If dst is blocked on a matching receive and the new arrival is
+// earlier than its current pending match, the receiver's key decreases.
+func (e *Engine) noteDeposit(dst *Proc, m *Message) {
+	if e.scanSched || dst.state != stateBlocked || !matches(m, dst.matchSrc, dst.matchTag) {
+		return
+	}
+	pm := dst.pendingMatch
+	if pm == nil || m.Arrival < pm.Arrival || (m.Arrival == pm.Arrival && m.seq < pm.seq) {
+		dst.pendingMatch = m
+		e.rekey(dst)
+	}
+}
+
+// SetScanScheduler switches the engine to the pre-index O(P) reference
+// scheduler (a full scan over the processes at every commit). The virtual
+// schedule is identical in both modes — the scan is kept as the ground
+// truth for the scheduler-equivalence tests and as the "before" core of the
+// event-core benchmarks. Must be called before Run.
+func (e *Engine) SetScanScheduler(on bool) {
+	if e.started {
+		panic("vgrid: SetScanScheduler after Run")
+	}
+	e.scanSched = on
+}

@@ -1,0 +1,239 @@
+package vgrid
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// randWorkload spawns nprocs processes on the platform's first hosts, each
+// executing a seeded pseudo-random mix of every scheduler-visible primitive:
+// declared and deferred computes, sleeps, fate-reporting sends and
+// timeout-bounded receives. The mix is a pure function of (seed, proc, step),
+// so two engines running it produce the same virtual history regardless of
+// scheduler implementation or worker count.
+func randWorkload(e *Engine, pl *Platform, nprocs, steps int, seed int64) {
+	procs := make([]*Proc, nprocs)
+	for i := 0; i < nprocs; i++ {
+		i := i
+		procs[i] = e.Spawn(pl.Hosts[i], fmt.Sprintf("p%d", i), func(p *Proc) error {
+			for s := 0; s < steps; s++ {
+				at := p.ID*steps + s
+				r := synthU01(seed, at)
+				amt := synthU01(seed+1, at)
+				switch {
+				case r < 0.30:
+					p.Compute(1e4 * (1 + 40*amt))
+				case r < 0.45:
+					p.ComputeDeferred(func() float64 { return 1e4 * (1 + 25*amt) })
+				case r < 0.55:
+					p.Sleep(2e-4 * (1 + 9*amt))
+				case r < 0.80:
+					dst := procs[int(amt*float64(nprocs))%nprocs]
+					if dst != p {
+						if _, err := p.SendFate(dst, 0, nil, 64+int(amt*512)); err != nil {
+							return err
+						}
+					}
+				default:
+					p.RecvTimeout(AnySource, AnyTag, 4e-3*(1+amt))
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// runRandScenario executes one fault-laden randomized scenario on a
+// synthetic grid and returns its trace and final virtual time. scan selects
+// the O(P) reference scheduler; crossCheck makes the indexed scheduler
+// verify every pick against the scan (panicking on the first divergence).
+func runRandScenario(t *testing.T, seed int64, scan, crossCheck bool, workers int) ([]string, float64) {
+	t.Helper()
+	const nprocs, steps = 20, 50
+	pl := Synthetic(nprocs, 4, 0.4, seed)
+	e := NewEngine(pl)
+	e.SetScanScheduler(scan)
+	e.crossCheck = crossCheck
+	if workers > 0 {
+		e.SetWorkers(workers)
+	}
+	fp := NewFaultPlan(seed)
+	fp.DropOnLink("wan", 0, 1, 0.3)
+	fp.DegradeLink("up-site1", 0.002, 0.03, 4, 0.25)
+	fp.CrashHost("g3", 0.001, 0.02)
+	fp.CrashHost("g11", 0.005, 0.04)
+	e.SetFaultPlan(fp)
+	var lines []string
+	e.Trace = func(line string) { lines = append(lines, line) }
+	randWorkload(e, pl, nprocs, steps, seed)
+	vt, err := e.Run()
+	if err != nil {
+		t.Fatalf("seed %d (scan=%v workers=%d): %v", seed, scan, workers, err)
+	}
+	return lines, vt
+}
+
+// TestSchedulerIndexMatchesScanUnderFaults is the scheduler-index property
+// test: on randomized fault-laden scenarios (message loss, link degradation,
+// host crash windows, deferred computes), the indexed scheduler must select
+// the identical event sequence as the pre-index O(P) scan. Each scenario
+// runs three ways — scan, indexed with per-pick cross-checking against the
+// scan, and indexed with a worker pool — and all three must produce
+// byte-identical traces.
+func TestSchedulerIndexMatchesScanUnderFaults(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1030} {
+		ref, refVT := runRandScenario(t, seed, true, false, 0)
+		if len(ref) == 0 {
+			t.Fatalf("seed %d: scan scenario produced no trace", seed)
+		}
+		checked, vt := runRandScenario(t, seed, false, true, 0)
+		if vt != refVT {
+			t.Errorf("seed %d: virtual time diverged: indexed %g, scan %g", seed, vt, refVT)
+		}
+		if strings.Join(checked, "\n") != strings.Join(ref, "\n") {
+			t.Errorf("seed %d: indexed trace differs from scan trace", seed)
+		}
+		pooled, pvt := runRandScenario(t, seed, false, true, 3)
+		if pvt != refVT || strings.Join(pooled, "\n") != strings.Join(ref, "\n") {
+			t.Errorf("seed %d: pooled indexed run diverged from scan (vt %g vs %g)", seed, pvt, refVT)
+		}
+	}
+}
+
+// syntheticGridTrace runs a ring workload with real (pooled) compute
+// segments on a 256-host synthetic grid and returns the trace.
+func syntheticGridTrace(t *testing.T, workers int) []string {
+	t.Helper()
+	const hosts, rounds = 256, 4
+	pl := Synthetic(hosts, 16, 0.3, 9)
+	e := NewEngine(pl)
+	e.SetWorkers(workers)
+	var lines []string
+	e.Trace = func(line string) { lines = append(lines, line) }
+	procs := make([]*Proc, hosts)
+	for i := 0; i < hosts; i++ {
+		i := i
+		procs[i] = e.Spawn(pl.Hosts[i], fmt.Sprintf("ring%d", i), func(p *Proc) error {
+			next := procs[(i+1)%hosts]
+			prev := (i + hosts - 1) % hosts
+			acc := 0.0
+			for r := 0; r < rounds; r++ {
+				flops := 1e5 * float64(1+(i*13+r*7)%31)
+				if r%2 == 0 {
+					p.ComputeFunc(flops, func() { acc += flops })
+				} else {
+					p.ComputeDeferred(func() float64 { acc += flops; return flops })
+				}
+				if err := p.Send(next, r, nil, 256); err != nil {
+					return err
+				}
+				p.Recv(prev, r)
+			}
+			_ = acc
+			return nil
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if len(lines) == 0 {
+		t.Fatalf("workers=%d: no trace recorded", workers)
+	}
+	return lines
+}
+
+// TestSyntheticTraceByteIdenticalAcrossWorkers pins the determinism contract
+// at generator scale: a 256-host synthetic grid running pooled compute
+// segments produces byte-identical traces for 1 and N worker threads.
+func TestSyntheticTraceByteIdenticalAcrossWorkers(t *testing.T) {
+	ref := strings.Join(syntheticGridTrace(t, 1), "\n")
+	for _, workers := range []int{2, 4} {
+		got := strings.Join(syntheticGridTrace(t, workers), "\n")
+		if got != ref {
+			t.Errorf("trace for workers=%d differs from workers=1", workers)
+		}
+	}
+}
+
+// deferredLateTrace runs the deferred lower-bound scenario and returns its
+// trace: process A dispatches a deferred compute whose true cost (resolved
+// only when the worker finishes, well after the scheduler first considers
+// A's optimistic bound) lands far beyond process B's interleaved events.
+func deferredLateTrace(t *testing.T, workers int) []string {
+	t.Helper()
+	pl := NewPlatform()
+	ha := pl.AddHost("ha", 1e6, 0)
+	hb := pl.AddHost("hb", 1e6, 0)
+	hc := pl.AddHost("hc", 1e6, 0)
+	l := NewLink("wire", 1e-5, 1e8)
+	pl.SetRoute(ha, hc, l)
+	pl.SetRoute(hb, hc, l)
+	pl.SetRoute(ha, hb, l)
+	e := NewEngine(pl)
+	e.SetWorkers(workers)
+	var lines []string
+	e.Trace = func(line string) { lines = append(lines, line) }
+	var c *Proc
+	a := e.Spawn(ha, "A", func(p *Proc) error {
+		// The optimistic next-event bound is the dispatch clock (t=0); the
+		// true cost resolves to t=0.005, after every event of B. The
+		// wall-clock sleep keeps the segment physically unfinished when the
+		// scheduler's first pick lands on the bound.
+		p.ComputeDeferred(func() float64 {
+			time.Sleep(2 * time.Millisecond)
+			return 5000
+		})
+		return p.Send(c, 0, nil, 8)
+	})
+	e.Spawn(hb, "B", func(p *Proc) error {
+		for i := 0; i < 5; i++ {
+			p.Sleep(5e-4)
+			if err := p.Send(c, 1, nil, 8); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	c = e.Spawn(hc, "C", func(p *Proc) error {
+		for i := 0; i < 5; i++ {
+			p.Recv(1, 1)
+		}
+		p.Recv(a.ID, 0)
+		return nil
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return lines
+}
+
+// TestDeferredLowerBoundResolvesLate is the regression test for the deferred
+// lower-bound subtlety: when a pick lands on a deferred segment's optimistic
+// bound, the scheduler must collect the true cost and re-pick instead of
+// committing — B's five interleaved sends precede A's send in the trace, and
+// the trace is byte-identical with and without a worker pool.
+func TestDeferredLowerBoundResolvesLate(t *testing.T) {
+	ref := deferredLateTrace(t, 1)
+	got := deferredLateTrace(t, 2)
+	if strings.Join(got, "\n") != strings.Join(ref, "\n") {
+		t.Fatalf("deferred trace differs between 1 and 2 workers:\n1: %s\n2: %s",
+			strings.Join(ref, "\n"), strings.Join(got, "\n"))
+	}
+	aSend, lastBSend := -1, -1
+	for i, line := range got {
+		switch {
+		case strings.Contains(line, " A send"):
+			aSend = i
+		case strings.Contains(line, " B send"):
+			lastBSend = i
+		}
+	}
+	if aSend < 0 || lastBSend < 0 {
+		t.Fatalf("sends missing from trace: %v", got)
+	}
+	if aSend < lastBSend {
+		t.Errorf("deferred process committed at its optimistic bound: A's send (line %d) precedes B's last send (line %d)", aSend, lastBSend)
+	}
+}

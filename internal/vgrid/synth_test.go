@@ -1,0 +1,101 @@
+package vgrid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSyntheticDeterministicAndHeterogeneous(t *testing.T) {
+	a := Synthetic(100, 10, 0.5, 42)
+	b := Synthetic(100, 10, 0.5, 42)
+	if len(a.Hosts) != 100 {
+		t.Fatalf("got %d hosts", len(a.Hosts))
+	}
+	spread := false
+	for i := range a.Hosts {
+		if a.Hosts[i].Speed != b.Hosts[i].Speed {
+			t.Fatalf("host %d speed differs across identical calls: %g vs %g", i, a.Hosts[i].Speed, b.Hosts[i].Speed)
+		}
+		lo, hi := SynthSpeedBase*0.5, SynthSpeedBase*1.5
+		if a.Hosts[i].Speed < lo || a.Hosts[i].Speed >= hi {
+			t.Errorf("host %d speed %g outside [%g, %g)", i, a.Hosts[i].Speed, lo, hi)
+		}
+		if a.Hosts[i].Speed != SynthSpeedBase {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Error("heterogeneity 0.5 produced a homogeneous grid")
+	}
+	hom := Synthetic(16, 2, 0, 42)
+	for i, h := range hom.Hosts {
+		if h.Speed != SynthSpeedBase {
+			t.Errorf("heterogeneity 0: host %d speed %g != base %g", i, h.Speed, SynthSpeedBase)
+		}
+	}
+}
+
+func TestSyntheticClusterBlocks(t *testing.T) {
+	pl := Synthetic(10, 3, 0.2, 1)
+	sizes := map[int]int{}
+	prev := 0
+	for i, h := range pl.Hosts {
+		c := h.ClusterIndex()
+		if c < prev {
+			t.Fatalf("host %d: cluster %d after %d — blocks not contiguous", i, c, prev)
+		}
+		prev = c
+		sizes[c]++
+	}
+	if len(sizes) != 3 {
+		t.Fatalf("got %d clusters, want 3", len(sizes))
+	}
+	for c, n := range sizes {
+		if n < 10/3 || n > 10/3+1 {
+			t.Errorf("cluster %d has %d hosts, want near-equal blocks", c, n)
+		}
+	}
+}
+
+func TestSyntheticRoutes(t *testing.T) {
+	pl := Synthetic(12, 3, 0.1, 5)
+	intra, err := pl.Route(pl.Hosts[0], pl.Hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intra) != 2 {
+		t.Fatalf("intra-cluster route has %d links, want 2 NICs", len(intra))
+	}
+	inter, err := pl.Route(pl.Hosts[0], pl.Hosts[11])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inter) != 5 {
+		t.Fatalf("inter-cluster route has %d links, want 5", len(inter))
+	}
+	if inter[2].Name != "wan" {
+		t.Errorf("middle link of inter-cluster route is %q, want the shared wan backbone", inter[2].Name)
+	}
+	// End-to-end LAN latency matches the hand-built clusters' two-NIC wiring.
+	if got := intra[0].Latency + intra[1].Latency; math.Abs(got-2*SynthLanLatency) > 1e-12 {
+		t.Errorf("intra route latency %g, want %g", got, 2*SynthLanLatency)
+	}
+}
+
+func TestSyntheticRejectsBadParameters(t *testing.T) {
+	for name, build := range map[string]func(){
+		"no hosts":          func() { Synthetic(0, 1, 0, 1) },
+		"clusters > hosts":  func() { Synthetic(4, 5, 0, 1) },
+		"heterogeneity = 1": func() { Synthetic(4, 2, 1, 1) },
+		"negative het":      func() { Synthetic(4, 2, -0.1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			build()
+		}()
+	}
+}

@@ -63,10 +63,13 @@ func (pl *Platform) InterCluster(a, b *Host) bool {
 
 // ValidateTopology checks the cluster declarations against the platform:
 // with at least one cluster declared, every host must belong to exactly one
-// cluster and every pair of hosts in different clusters must have a declared
-// route (the WAN path the inter-cluster traffic will take). A flat platform
-// (no clusters) is always valid. The topology-aware layers call this before
-// relying on the metadata.
+// cluster and every pair of hosts in different clusters must have a route
+// (the WAN path the inter-cluster traffic will take). A flat platform (no
+// clusters) is always valid. On a platform with a lazy resolver (SetRouter)
+// one representative cross-cluster pair per cluster pair is resolved instead
+// of enumerating all host pairs, keeping validation O(clusters²) for
+// generated grids. The topology-aware layers call this before relying on
+// the metadata.
 func (pl *Platform) ValidateTopology() error {
 	if len(pl.clusters) == 0 {
 		return nil
@@ -75,6 +78,19 @@ func (pl *Platform) ValidateTopology() error {
 		if h.cluster < 0 {
 			return fmt.Errorf("vgrid: host %s belongs to no cluster", h.Name)
 		}
+	}
+	if pl.router != nil {
+		for _, ca := range pl.clusters {
+			for _, cb := range pl.clusters {
+				if ca.Index >= cb.Index || len(ca.Hosts) == 0 || len(cb.Hosts) == 0 {
+					continue
+				}
+				if _, err := pl.Route(ca.Hosts[0], cb.Hosts[0]); err != nil {
+					return fmt.Errorf("vgrid: no inter-cluster route %s -> %s: %w", ca.Name, cb.Name, err)
+				}
+			}
+		}
+		return nil
 	}
 	for i, a := range pl.Hosts {
 		for _, b := range pl.Hosts[i+1:] {

@@ -111,12 +111,23 @@ type Platform struct {
 	// Hosts lists every machine, indexed by Host.ID.
 	Hosts  []*Host
 	routes map[[2]int][]*Link
+	// router lazily resolves routes not declared with SetRoute; resolved
+	// routes are memoized into the routes map (see SetRouter).
+	router func(a, b *Host) []*Link
+	// extraLinks lists links declared with AddLinks for platforms using a
+	// lazy router, so fault plans can resolve link names before any route
+	// has been materialized.
+	extraLinks []*Link
 	// clusters groups hosts into named LAN islands (see AddCluster); empty
 	// for a flat platform.
 	clusters []*Cluster
 	// loopback cost for messages a host sends to itself.
 	loopLatency   float64
 	loopBandwidth float64
+	// routeLabels caches the "+"-joined link-name label per host pair for
+	// the observability send spans, so the hot send path does not rebuild
+	// the string per message.
+	routeLabels map[[2]int]string
 }
 
 // NewPlatform returns an empty platform. Loopback transfers cost 1 µs
@@ -126,6 +137,7 @@ func NewPlatform() *Platform {
 		routes:        make(map[[2]int][]*Link),
 		loopLatency:   1e-6,
 		loopBandwidth: 1e9,
+		routeLabels:   make(map[[2]int]string),
 	}
 }
 
@@ -167,16 +179,62 @@ func (pl *Platform) SetLoopback(latency, bandwidth float64) {
 	pl.loopBandwidth = bandwidth
 }
 
-// Route returns the links from a to b, or nil for loopback.
+// SetRouter installs a lazy route resolver: when Route finds no declared
+// route for a host pair, it asks the resolver and memoizes a non-nil answer
+// into the route table. This keeps platform construction O(hosts) for
+// generated grids (a 1000-host grid has ~10⁶ host pairs; materializing them
+// all up front is exactly the kind of cost the event-core refactor removes)
+// while SendFate still pays per-pair map lookups only. The resolver must be
+// deterministic — same pair, same links — and is called at most once per
+// ordered pair. Explicit SetRoute declarations take precedence. Fault plans
+// resolve link names against declared routes plus AddLinks, so a platform
+// using a router should register its links there.
+func (pl *Platform) SetRouter(r func(a, b *Host) []*Link) {
+	pl.router = r
+}
+
+// AddLinks registers links with the platform without declaring a route,
+// so fault plans can reference them by name on lazily-routed platforms
+// (SetRouter) before any route has been materialized.
+func (pl *Platform) AddLinks(links ...*Link) {
+	pl.extraLinks = append(pl.extraLinks, links...)
+}
+
+// Route returns the links from a to b, or nil for loopback. On a platform
+// with a lazy resolver (SetRouter), the first lookup of a pair materializes
+// and memoizes its route.
 func (pl *Platform) Route(a, b *Host) ([]*Link, error) {
 	if a.ID == b.ID {
 		return nil, nil
 	}
-	links, ok := pl.routes[[2]int{a.ID, b.ID}]
+	key := [2]int{a.ID, b.ID}
+	links, ok := pl.routes[key]
+	if !ok && pl.router != nil {
+		if links = pl.router(a, b); links != nil {
+			pl.routes[key] = links
+			ok = true
+		}
+	}
 	if !ok {
 		return nil, fmt.Errorf("vgrid: no route %s -> %s", a.Name, b.Name)
 	}
 	return links, nil
+}
+
+// routeLabel returns the cached "+"-joined link-name label for the a→b
+// route, building it on first use.
+func (pl *Platform) routeLabel(a, b *Host, links []*Link) string {
+	key := [2]int{a.ID, b.ID}
+	if s, ok := pl.routeLabels[key]; ok {
+		return s
+	}
+	parts := make([]string, len(links))
+	for i, l := range links {
+		parts[i] = l.Name
+	}
+	s := strings.Join(parts, "+")
+	pl.routeLabels[key] = s
+	return s
 }
 
 // Message is a payload in flight or delivered to a process mailbox.
@@ -186,6 +244,10 @@ type Message struct {
 	Tag int
 	// Payload is the application data carried by the message.
 	Payload any
+	// Floats is the payload when the message carries a float vector — the
+	// solvers' hot path, kept out of Payload so sends never box a slice
+	// header into an interface. At most one of Payload/Floats is set.
+	Floats []float64
 	// Bytes is the simulated wire size charged to the links.
 	Bytes int
 	// SentAt is the virtual time the sender initiated the transfer.
@@ -243,7 +305,16 @@ type Proc struct {
 	// plain Recv, the timeout instant for RecvTimeout.
 	matchDeadline float64
 	err           error
-	allocated          int64
+	allocated     int64
+	// key is the process's cached next-event time, maintained by the
+	// scheduler index (sched.go); heapPos is its position in the engine's
+	// event heap, -1 while not indexed (running, done, or scan mode).
+	key     float64
+	heapPos int
+	// pendingMatch caches the earliest mailbox message matching the current
+	// blocked receive, maintained incrementally: Recv seeds it with a scan,
+	// Send deposits improve it in O(1). Only meaningful while blocked.
+	pendingMatch *Message
 	// computing is non-nil while a ComputeFunc segment is in flight on the
 	// worker pool; it is closed by the worker when the segment returns.
 	computing chan struct{}
@@ -301,6 +372,21 @@ type Engine struct {
 	workers  int
 	poolOnce sync.Once
 	jobs     chan *computeJob
+
+	// idx is the scheduler's event index: a binary min-heap of schedulable
+	// processes keyed on (next-event time, ID). See sched.go.
+	idx []*Proc
+	// scanSched selects the pre-index O(P) reference scheduler.
+	scanSched bool
+	// crossCheck makes the indexed scheduler verify every pick against the
+	// reference scan (test hook; panics on divergence).
+	crossCheck bool
+	// msgFree and floatFree are the engine's hot-path pools: delivered
+	// message envelopes and payload buffers by power-of-two size class. All
+	// pool operations happen at serialized points (the unique running
+	// process or the scheduler), so no locking is needed. See pool.go.
+	msgFree   []*Message
+	floatFree [maxPoolClass + 1][][]float64
 }
 
 // NewEngine creates an engine for the platform. Compute segments handed to
@@ -389,6 +475,7 @@ func (e *Engine) Spawn(h *Host, name string, body func(p *Proc) error) *Proc {
 		resume:        make(chan struct{}),
 		state:         stateReady,
 		matchDeadline: math.Inf(1),
+		heapPos:       -1,
 	}
 	e.procs = append(e.procs, p)
 	go func() {
@@ -434,8 +521,31 @@ func (e *Engine) Run() (float64, error) {
 			close(e.jobs)
 		}
 	}()
+	if !e.scanSched {
+		e.initIndex()
+	}
 	for {
-		p, resumeAt, deliver := e.pickNext()
+		var p *Proc
+		var resumeAt float64
+		var deliver *Message
+		if e.scanSched {
+			p, resumeAt, deliver = e.pickNextScan()
+		} else {
+			p = e.idxMin()
+			if p != nil {
+				resumeAt = p.key
+				if p.state == stateBlocked {
+					deliver = p.deliverable()
+				}
+			}
+			if e.crossCheck {
+				sp, sat, sm := e.pickNextScan()
+				if sp != p || (p != nil && (sat != resumeAt || sm != deliver)) {
+					panic(fmt.Sprintf("vgrid: scheduler index divergence: heap picked (%v, %v, %v), scan picked (%v, %v, %v)",
+						procName(p), resumeAt, deliver, procName(sp), sat, sm))
+				}
+			}
+		}
 		if p == nil {
 			break
 		}
@@ -450,6 +560,7 @@ func (e *Engine) Run() (float64, error) {
 			p.computing = nil
 			p.chargeFlops(p.deferredFlops)
 			p.state = stateComputing
+			e.rekey(p)
 			continue
 		}
 		if p.state == stateBlocked {
@@ -483,13 +594,19 @@ func (e *Engine) Run() (float64, error) {
 			e.faults.emit(e.now, e.Trace, e.obs)
 		}
 		p.state = stateRunning
+		p.pendingMatch = nil
+		e.idxRemove(p)
 		if deliver != nil && e.Trace != nil {
 			e.Trace(fmt.Sprintf("t=%.6f %s recv from=%d tag=%d bytes=%d", resumeAt, p.Name, deliver.From, deliver.Tag, deliver.Bytes))
 		}
 		p.resume <- struct{}{}
 		q := <-e.yieldCh
-		if q.state == stateDone && e.Trace != nil {
-			e.Trace(fmt.Sprintf("t=%.6f %s done err=%v", q.clock, q.Name, q.err))
+		if q.state == stateDone {
+			if e.Trace != nil {
+				e.Trace(fmt.Sprintf("t=%.6f %s done err=%v", q.clock, q.Name, q.err))
+			}
+		} else if !e.scanSched {
+			e.rekey(q)
 		}
 	}
 	// Check for deadlock: any process not done means nobody was runnable.
@@ -535,13 +652,24 @@ func (e *Engine) Errors() []error {
 // Now returns the engine's high-water virtual time.
 func (e *Engine) Now() float64 { return e.now }
 
-// pickNext selects the process with the earliest next event. For a blocked
+// procName labels a process in diagnostics, tolerating nil.
+func procName(p *Proc) string {
+	if p == nil {
+		return "<none>"
+	}
+	return p.Name
+}
+
+// pickNextScan selects the process with the earliest next event by scanning
+// every process — the pre-index O(P) reference scheduler. For a blocked
 // process the next event is the earliest matching message arrival (clamped
 // to its clock) or its receive deadline, whichever comes first; ready
 // processes resume at their own clock. Under a fault plan every candidate
 // time is clamped past the outage windows of the process's host; a process
-// whose host never returns is unschedulable.
-func (e *Engine) pickNext() (best *Proc, at float64, msg *Message) {
+// whose host never returns is unschedulable. The indexed scheduler
+// (sched.go) commits the exact same sequence; the scan remains as the
+// ground truth for equivalence tests and before/after benchmarks.
+func (e *Engine) pickNextScan() (best *Proc, at float64, msg *Message) {
 	at = math.Inf(1)
 	var bestMsg *Message
 	for _, p := range e.procs {
@@ -775,6 +903,21 @@ func (p *Proc) Send(dst *Proc, tag int, payload any, bytes int) error {
 // protocol. The error return is reserved for configuration problems (no
 // route), not for losses.
 func (p *Proc) SendFate(dst *Proc, tag int, payload any, bytes int) (delivered bool, err error) {
+	return p.sendFate(dst, tag, payload, nil, bytes)
+}
+
+// SendFloatsFate is SendFate for a float-vector payload, carried in the
+// message's dedicated Floats field. Unlike the generic SendFate it never
+// boxes the slice into an interface, so combined with GetFloats/PutFloats a
+// steady-state send is allocation-free. Ownership of the slice transfers to
+// the receiver exactly as for a Payload send.
+func (p *Proc) SendFloatsFate(dst *Proc, tag int, floats []float64, bytes int) (delivered bool, err error) {
+	return p.sendFate(dst, tag, nil, floats, bytes)
+}
+
+// sendFate carries the shared transmission logic; exactly one of
+// payload/floats is non-nil (or both nil for a bare signal).
+func (p *Proc) sendFate(dst *Proc, tag int, payload any, floats []float64, bytes int) (delivered bool, err error) {
 	if bytes < 0 {
 		panic("vgrid: negative message size")
 	}
@@ -861,17 +1004,20 @@ func (p *Proc) SendFate(dst *Proc, tag int, payload any, bytes int) (delivered b
 		}
 	}
 	if dropReason == "" {
-		m := &Message{
+		m := e.getMessage()
+		*m = Message{
 			From:    p.ID,
 			To:      dst.ID,
 			Tag:     tag,
 			Payload: payload,
+			Floats:  floats,
 			Bytes:   bytes,
 			SentAt:  p.clock,
 			Arrival: arrival,
 			seq:     e.seq,
 		}
 		dst.mailbox = append(dst.mailbox, m)
+		e.noteDeposit(dst, m)
 		if e.Trace != nil {
 			e.Trace(fmt.Sprintf("t=%.6f %s send to=%s tag=%d bytes=%d arrive=%.6f", p.clock, p.Name, dst.Name, tag, bytes, arrival))
 		}
@@ -881,11 +1027,7 @@ func (p *Proc) SendFate(dst *Proc, tag int, payload any, bytes int) (delivered b
 	if o := e.obs; o != nil {
 		route := "loopback"
 		if links != nil {
-			parts := make([]string, len(links))
-			for i, l := range links {
-				parts[i] = l.Name
-			}
-			route = strings.Join(parts, "+")
+			route = e.Platform.routeLabel(p.host, dst.host, links)
 		}
 		o.Span(obs.Span{Track: p.Name, Cat: obs.CatSend, Name: "send",
 			Start: p.clock, End: start + pushTime, Bytes: int64(bytes),
@@ -930,6 +1072,9 @@ func (p *Proc) Recv(src, tag int) *Message {
 	p.matchDeadline = math.Inf(1)
 	p.state = stateBlocked
 	p.lastBlockedAt = p.clock
+	// Seed the index's pending match with a one-time mailbox scan; later
+	// deposits improve it incrementally (noteDeposit).
+	p.pendingMatch = p.earliestMatch()
 	p.yield()
 	// The scheduler resumed us at the arrival time of the earliest match.
 	m := p.earliestMatch()
@@ -953,6 +1098,7 @@ func (p *Proc) RecvTimeout(src, tag int, timeout float64) *Message {
 	p.matchDeadline = p.clock + timeout
 	p.state = stateBlocked
 	p.lastBlockedAt = p.clock
+	p.pendingMatch = p.earliestMatch()
 	p.yield()
 	p.matchDeadline = math.Inf(1)
 	m := p.earliestMatch()
