@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-json-smoke bench-eventcore bench-eventcore-smoke lint-docs verify
+.PHONY: all build test race vet bench bench-json bench-json-smoke bench-eventcore bench-eventcore-smoke bench-eventshard bench-eventshard-smoke lint-docs verify
 
 all: verify
 
@@ -20,7 +20,7 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 -run 'TestObsDeterministicAcrossWorkers' ./internal/obs
 	$(GO) test -race -count=2 -run 'TestGatewaySyncByteIdentical|TestGatewayWorkersDeterministic' ./internal/core
-	$(GO) test -race -count=2 -run 'TestSchedulerIndexMatchesScanUnderFaults|TestSyntheticTraceByteIdenticalAcrossWorkers|TestDeferredLowerBoundResolvesLate' ./internal/vgrid
+	$(GO) test -race -count=2 -run 'TestSchedulerIndexMatchesScanUnderFaults|TestSyntheticTraceByteIdenticalAcrossWorkers|TestDeferredLowerBoundResolvesLate|TestShardedMatchesSingleLaneUnderFaults' ./internal/vgrid
 
 vet:
 	$(GO) vet ./...
@@ -53,10 +53,22 @@ bench-eventcore:
 bench-eventcore-smoke:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkClusterGrid|BenchmarkTopologyExchange' -benchtime 1x -o BENCH_eventcore.json
 
+# Machine-readable baseline of the sharded event core: the
+# 1000-host/100-cluster 100k-event ring under the single-lane indexed
+# scheduler and under per-cluster lanes, recording the committed-slice count
+# and the cross-goroutine synchronization count (sim-commits + sim-syncs —
+# the machine-independent handoff reduction) alongside sim-wall-clock.
+bench-eventshard:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkEventHandoff' -benchtime 5x -o BENCH_eventshard.json
+
+# One-iteration smoke of the sharded-core pipeline, part of verify.
+bench-eventshard-smoke:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkEventHandoff' -benchtime 1x -o BENCH_eventshard.json
+
 # Fails on any exported identifier of the simulator, the solver core, the
 # observability layer, the messaging/context plumbing or the platform layer
 # that lacks a doc comment.
 lint-docs:
 	$(GO) run ./cmd/lintdocs internal/vgrid internal/core internal/obs internal/mp internal/simctx internal/plan internal/cluster
 
-verify: build vet lint-docs test race bench-json-smoke bench-eventcore-smoke
+verify: build vet lint-docs test race bench-json-smoke bench-eventcore-smoke bench-eventshard-smoke

@@ -393,3 +393,41 @@ func BenchmarkClusterGrid(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEventHandoff isolates the per-event scheduler handoff cost (make
+// bench-eventshard → BENCH_eventshard.json): the 1000-host/100-cluster
+// 100k-event ring under the single-lane indexed scheduler — every commit a
+// resume/yield handoff through the central scheduler goroutine — and under
+// the sharded event core at one lane per cluster, where intra-cluster
+// commits stay lane-local and only window barriers and serialized WAN
+// turns synchronize. sim-commits is the committed-slice count (identical
+// for both), sim-syncs the cross-goroutine synchronization count the
+// scheduler actually paid — the handoff reduction sharding buys, which is
+// machine-independent; the sim-wall-clock pair additionally shows the
+// speedup on a runner with at least one core per busy lane.
+func BenchmarkEventHandoff(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		lanes int
+	}{
+		{"single-lane/hosts=1000", 1},
+		{"sharded/hosts=1000", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var res experiments.EventShardResult
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.EventShardRun(1000, 100, 100000, tc.lanes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+				wall += r.Wall
+			}
+			b.ReportMetric(float64(res.Events), "sim-events")
+			b.ReportMetric(float64(wall)/float64(b.N)/1e6, "sim-wall-clock")
+			b.ReportMetric(float64(res.Commits), "sim-commits")
+			b.ReportMetric(float64(res.Syncs), "sim-syncs")
+		})
+	}
+}

@@ -38,8 +38,9 @@ type Record struct {
 // Breakdown is the per-phase solver breakdown, lifted out of the generic
 // metric map when a benchmark reports the recognized units (factor-flops,
 // refactor-flops, bytes-moved, wait-share, the cluster traffic split
-// intra-bytes/inter-bytes/intra-msgs/inter-msgs, and the event-core scale
-// pair sim-events/sim-wall-clock).
+// intra-bytes/inter-bytes/intra-msgs/inter-msgs, the event-core scale pair
+// sim-events/sim-wall-clock, and the scheduler-synchronization pair
+// sim-commits/sim-syncs the sharded-core benchmarks report).
 type Breakdown struct {
 	FactorFlops   *float64 `json:"factor_flops,omitempty"`
 	RefactorFlops *float64 `json:"refactor_flops,omitempty"`
@@ -51,6 +52,8 @@ type Breakdown struct {
 	InterMsgs     *float64 `json:"inter_cluster_msgs,omitempty"`
 	SimEvents     *float64 `json:"sim_events,omitempty"`
 	SimWallClock  *float64 `json:"sim_wall_clock_ms,omitempty"`
+	SimCommits    *float64 `json:"sim_commits,omitempty"`
+	SimSyncs      *float64 `json:"sim_syncs,omitempty"`
 }
 
 // breakdownSlot returns the Breakdown field a metric unit lifts into, or nil
@@ -60,7 +63,7 @@ func (r *Record) breakdownSlot(unit string) **float64 {
 	switch unit {
 	case "factor-flops", "refactor-flops", "bytes-moved", "wait-share",
 		"intra-bytes", "inter-bytes", "intra-msgs", "inter-msgs",
-		"sim-events", "sim-wall-clock":
+		"sim-events", "sim-wall-clock", "sim-commits", "sim-syncs":
 	default:
 		return nil
 	}
@@ -86,6 +89,10 @@ func (r *Record) breakdownSlot(unit string) **float64 {
 		return &r.Breakdown.SimEvents
 	case "sim-wall-clock":
 		return &r.Breakdown.SimWallClock
+	case "sim-commits":
+		return &r.Breakdown.SimCommits
+	case "sim-syncs":
+		return &r.Breakdown.SimSyncs
 	default:
 		return &r.Breakdown.WaitShare
 	}

@@ -11,6 +11,7 @@ BenchmarkNewtonRefactor/factor-each-step-8 	       2	  21565314 ns/op	   1354580
 BenchmarkSessionIterate-8                  	     100	   2096852 ns/op	       0 B/op	       0 allocs/op
 BenchmarkSolverPhases-8                    	       1	  21922938 ns/op	     80624 bytes-moved	    982900 factor-flops	    447923 refactor-flops	         0.3282 wait-share	   42 extra-unit
 BenchmarkClusterGrid/indexed/hosts=1000-8  	      10	 112513004 ns/op	    102000 sim-events	       112.5 sim-wall-clock	  832144 B/op	    9021 allocs/op
+BenchmarkEventHandoff/sharded/hosts=1000-8 	      10	  95513004 ns/op	    102000 sim-events	        95.5 sim-wall-clock	  100678 sim-commits	     7321 sim-syncs	  832144 B/op	    9021 allocs/op
 PASS
 ok  	repro	0.053s
 `
@@ -23,7 +24,7 @@ func TestParse(t *testing.T) {
 	if rep.Package != "repro" || rep.Goos != "linux" || rep.Goarch != "amd64" {
 		t.Fatalf("header: %+v", rep)
 	}
-	if len(rep.Benchmarks) != 5 {
+	if len(rep.Benchmarks) != 6 {
 		t.Fatalf("got %d benchmarks", len(rep.Benchmarks))
 	}
 	r := rep.Benchmarks[0]
@@ -72,6 +73,16 @@ func TestParse(t *testing.T) {
 	}
 	if cg.AllocsOp == nil || *cg.AllocsOp != 9021 {
 		t.Fatalf("allocs: %+v", cg.AllocsOp)
+	}
+	eh := rep.Benchmarks[5]
+	if eh.Name != "BenchmarkEventHandoff/sharded/hosts=1000" {
+		t.Fatalf("name %q", eh.Name)
+	}
+	if eh.Breakdown == nil || eh.Breakdown.SimCommits == nil || eh.Breakdown.SimSyncs == nil {
+		t.Fatalf("scheduler-sync metrics not lifted into breakdown: %+v", eh.Breakdown)
+	}
+	if *eh.Breakdown.SimCommits != 100678 || *eh.Breakdown.SimSyncs != 7321 {
+		t.Fatalf("scheduler-sync metric values: %+v", eh.Breakdown)
 	}
 }
 

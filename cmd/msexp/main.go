@@ -6,7 +6,7 @@
 //	msexp [-scale N] [-csv] [-quiet] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 figure3 faultsweep utilization
-// topology clustergrid (default: all). -scale divides the paper's matrix
+// topology clustergrid eventshard (default: all). -scale divides the paper's matrix
 // dimensions (default 16; 8 gives a closer, slower run; 1 is the paper's
 // exact sizes, only practical for the generated banded matrices). -csv emits
 // comma-separated values instead of aligned text (handy for plotting
@@ -16,7 +16,9 @@
 // The clustergrid experiment times the event core itself on generated grids
 // (indexed scheduler vs the O(P) reference scan); -hosts/-clusters replace
 // its default scale sweep (64/256/1000 hosts) with a single grid of that
-// size.
+// size. The eventshard experiment compares the sharded event core
+// (per-cluster scheduler lanes, -lanes) against the single-lane scheduler
+// on the same grids and honours -hosts/-clusters the same way.
 //
 // The utilization experiment honours the observability flags: -trace-json
 // PREFIX writes a Perfetto trace per run to PREFIX-<cluster>-<solver>.json,
@@ -40,6 +42,7 @@ func main() {
 	plot := flag.Bool("plot", false, "render figure3 as an ASCII plot (in addition to the table)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	workers := flag.Int("workers", 0, "worker threads for compute segments (0 = GOMAXPROCS); results are identical for any value")
+	lanes := flag.Int("lanes", 1, "scheduler lanes (0 = auto: one per cluster); results are identical for any value")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the faultsweep experiment's fault injection (0 = fixed default)")
 	traceJSON := flag.String("trace-json", "", "utilization: write a Perfetto trace per run to PREFIX-<cluster>-<solver>.json")
 	metricsOut := flag.String("metrics-out", "", "utilization: write per-run metrics to PREFIX-<cluster>-<solver>.metrics.{json,csv}")
@@ -56,6 +59,11 @@ func main() {
 		Scale: *scale, Progress: progress, Workers: *workers, FaultSeed: *faultSeed,
 		TraceJSON: *traceJSON, MetricsOut: *metricsOut, CriticalPath: *critPath,
 		SynthHosts: *synHosts, SynthClusters: *synClust,
+	}
+	if *lanes == 0 {
+		cfg.Lanes = -1 // auto: one lane per cluster
+	} else if *lanes > 1 {
+		cfg.Lanes = *lanes
 	}
 
 	names := flag.Args()

@@ -36,7 +36,8 @@
 // -metrics-out writes per-host utilization, per-link traffic and convergence
 // series as PREFIX.metrics.json/.csv, and -critical-path prints the makespan
 // decomposed into compute/network/wait along the run's critical path. All
-// outputs are deterministic for any -workers value.
+// outputs are deterministic for any -workers and -lanes value (-lanes 0
+// shards the event core into one scheduler lane per cluster).
 //
 // The fault flags inject deterministic failures into the simulated grid:
 // -drop loses each message crossing -drop-link (default the inter-site
@@ -85,6 +86,7 @@ func main() {
 		cond       = flag.Bool("cond", false, "estimate the 1-norm condition number before solving")
 		trace      = flag.Bool("trace", false, "print a per-processor activity timeline after the solve")
 		workers    = flag.Int("workers", 0, "worker threads for compute segments (0 = GOMAXPROCS); results are identical for any value")
+		lanes      = flag.Int("lanes", 1, "scheduler lanes (0 = auto: one per cluster); results are identical for any value")
 		outPath    = flag.String("o", "", "write the solution vector to this file")
 		traceJSON  = flag.String("trace-json", "", "write a Chrome trace-event JSON (open in Perfetto / chrome://tracing) of the run to this file")
 		metricsOut = flag.String("metrics-out", "", "write utilization/convergence metrics to PREFIX.metrics.json and PREFIX.metrics.csv")
@@ -116,7 +118,7 @@ func main() {
 	synth := synthSpec{hosts: *synHosts, clusters: *synClust, het: *synHet, seed: *synSeed}
 	faults := faultSpec{drop: *drop, dropLink: *dropLink, crash: *crash, seed: *faultSeed, ft: *ft}
 	ospec := obsSpec{traceJSON: *traceJSON, metricsOut: *metricsOut, critPath: *critPath}
-	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *topo, *gateway, *schemeName, *solverName, *clusterTyp, synth, *tol, *cond, *trace, *workers, *outPath, faults, ospec); err != nil {
+	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *topo, *gateway, *schemeName, *solverName, *clusterTyp, synth, *tol, *cond, *trace, *workers, *lanes, *outPath, faults, ospec); err != nil {
 		fmt.Fprintln(os.Stderr, "msolve:", err)
 		os.Exit(1)
 	}
@@ -230,7 +232,7 @@ func (fs faultSpec) plan() (*vgrid.FaultPlan, error) {
 	return fp, nil
 }
 
-func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bool, schemeName, solverName, clusterTyp string, synth synthSpec, tol float64, cond, trace bool, workers int, outPath string, faults faultSpec, ospec obsSpec) error {
+func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bool, schemeName, solverName, clusterTyp string, synth synthSpec, tol float64, cond, trace bool, workers, lanes int, outPath string, faults faultSpec, ospec obsSpec) error {
 	a, err := mmio.ReadMatrixAuto(matrixPath)
 	if err != nil {
 		return err
@@ -327,6 +329,9 @@ func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bo
 	e := vgrid.NewEngine(plt.Platform)
 	if workers > 0 {
 		e.SetWorkers(workers)
+	}
+	if lanes != 1 {
+		e.SetLanes(lanes)
 	}
 	plan, err := faults.plan()
 	if err != nil {

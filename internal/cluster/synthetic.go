@@ -35,10 +35,10 @@ func Synthetic(hosts, clusters int, heterogeneity float64, seed int64) *Platform
 			}
 		}
 		route, err := pl.Route(pl.Hosts[0], remote)
-		if err != nil || len(route) != 5 {
-			panic("cluster: synthetic inter-cluster route should have 5 links")
+		if err != nil || len(route) != 3 {
+			panic("cluster: synthetic inter-cluster route should have 3 links (uplink, wan, uplink)")
 		}
-		p.WAN = route[2]
+		p.WAN = route[1]
 	}
 	return p
 }

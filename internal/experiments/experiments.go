@@ -37,6 +37,11 @@ type Config struct {
 	// the simulated solver ranks; 0 keeps the engine default (GOMAXPROCS).
 	// Results are identical for any value — only wall-clock time changes.
 	Workers int
+	// Lanes selects the engine's scheduler-lane count: 0 keeps the default
+	// single lane, -1 requests auto-sharding (one lane per cluster), n ≥ 1
+	// requests n lanes. Results are identical for any value — only
+	// wall-clock time changes.
+	Lanes int
 	// FaultSeed seeds the deterministic fault injection of the fault-sweep
 	// experiment; 0 selects a fixed default so results are reproducible
 	// without configuration.
@@ -251,6 +256,11 @@ func (c Config) newEngine(plt *cluster.Platform) *vgrid.Engine {
 	e := vgrid.NewEngine(plt.Platform)
 	if c.Workers > 0 {
 		e.SetWorkers(c.Workers)
+	}
+	if c.Lanes < 0 {
+		e.SetLanes(0) // auto: one lane per cluster
+	} else if c.Lanes >= 1 {
+		e.SetLanes(c.Lanes)
 	}
 	return e
 }

@@ -206,12 +206,18 @@ func TestFaultSweepShape(t *testing.T) {
 	parse(t, clean[2])
 	asyncClean := parse(t, clean[3])
 	itersClean := parse(t, clean[4])
-	for _, row := range tab.Rows[1:len(faultSweepDrops)] {
+	for i, row := range tab.Rows[1:len(faultSweepDrops)] {
 		// Drop rows: the plain synchronous solver stalls on the first lost
-		// blocking message; retransmission and the fault-tolerant async
-		// variant both still converge.
+		// blocking message — certain at the higher rates; at the lowest rate
+		// the run is short enough (~140 WAN messages at test scale) that the
+		// seeded loss stream may claim none of them, so that row may be
+		// either a stall or a verified time. Retransmission and the
+		// fault-tolerant async variant always converge.
 		if row[1] != "stall" {
-			t.Fatalf("%s: plain sync = %q, want stall", row[0], row[1])
+			if i > 0 {
+				t.Fatalf("%s: plain sync = %q, want stall", row[0], row[1])
+			}
+			parse(t, row[1])
 		}
 		parse(t, row[2])
 		parse(t, row[3])
@@ -296,7 +302,7 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"table1", "1", "table2", "table3", "table4", "figure3", "fig3", "faultsweep", "faults", "utilization", "util", "topology", "topo", "clustergrid", "cluster-grid"} {
+	for _, name := range []string{"table1", "1", "table2", "table3", "table4", "figure3", "fig3", "faultsweep", "faults", "utilization", "util", "topology", "topo", "clustergrid", "cluster-grid", "eventshard", "event-shard"} {
 		if _, err := ByName(name); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -304,7 +310,7 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown name accepted")
 	}
-	if len(All()) != 9 {
+	if len(All()) != 10 {
 		t.Fatalf("All() has %d entries", len(All()))
 	}
 }

@@ -72,10 +72,12 @@ func (c Config) faultSeed() int64 {
 // FaultSweep measures the three solver variants on cluster3 under injected
 // WAN faults with the 500000 generated matrix: message drops at increasing
 // probability, plus one crash/restart of a site-1 host. The plain
-// synchronous solver stalls at any nonzero drop rate (a blocking exchange
-// loses a message and the whole round deadlocks); synchronous retransmission
-// survives drops but dies on the crash; the fault-tolerant asynchronous
-// solver converges through every scenario with bounded iteration inflation.
+// synchronous solver stalls as soon as the seeded loss stream claims one of
+// its blocking messages (a blocking exchange loses a message and the whole
+// round deadlocks) — certain at the higher drop rates, while the lowest
+// rate may ride through on a short run; synchronous retransmission survives
+// drops but dies on the crash; the fault-tolerant asynchronous solver
+// converges through every scenario with bounded iteration inflation.
 func FaultSweep(cfg Config) (*Table, error) {
 	a := Gen500k(cfg)
 	b, _ := gen.RHSForSolution(a)

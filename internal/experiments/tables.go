@@ -277,6 +277,8 @@ func ByName(name string) (func(Config) (*Table, error), error) {
 		return TopologyTable, nil
 	case "clustergrid", "cluster-grid":
 		return ClusterGrid, nil
+	case "eventshard", "event-shard":
+		return EventShard, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
 	}
@@ -300,5 +302,6 @@ func All() []struct {
 		{"utilization", Utilization},
 		{"topology", TopologyTable},
 		{"clustergrid", ClusterGrid},
+		{"eventshard", EventShard},
 	}
 }

@@ -88,7 +88,10 @@ type Span struct {
 	Tag int
 	// Iter is the solver iteration number for iteration-scoped spans.
 	Iter int
-	// Seq is the engine-global message sequence number for net spans.
+	// Seq is the per-sender message sequence number for net spans (the
+	// sender's process ID packed in the high bits, its send counter in the
+	// low bits) — unique across the run and stable for any lane or worker
+	// count.
 	Seq int64
 	// Cause is the sequence number of the message whose arrival ended a wait
 	// span (0 when the wait ended without a delivery, e.g. a timeout).
@@ -149,12 +152,98 @@ type Recorder struct {
 	samples []SamplePoint
 	counts  map[countKey]float64
 	nextIdx int64
+	journal *journalLog
+}
+
+// countOp is one journaled Count call. Counter accumulation is a float sum,
+// so replay must re-apply the additions in merged order rather than merging
+// per-journal totals — float addition is not associative.
+type countOp struct {
+	name, track string
+	v           float64
+}
+
+// journalLog stores a recorder's emissions as an ordered operation log
+// instead of final storage: kinds is the per-operation type tape ('s' span,
+// 'p' sample, 'c' count) and the three side arrays hold the payloads in
+// emission order.
+type journalLog struct {
+	kinds   []byte
+	spans   []Span
+	samples []SamplePoint
+	counts  []countOp
+}
+
+// NewJournal returns a recorder in journal mode: every Span/Sample/Count
+// call is appended to an ordered operation log instead of final storage, to
+// be replayed later into a destination recorder via NewReplayer. A sharded
+// engine gives each scheduler lane a journal recorder and replays the lanes'
+// logs in merged commit order, so the destination recorder's emission
+// indices — and therefore every export — match a single-lane run exactly.
+func NewJournal() *Recorder {
+	return &Recorder{journal: &journalLog{}}
+}
+
+// NumOps returns how many operations the journal holds (0 for nil or a
+// non-journal recorder). Lane schedulers snapshot this at commit points to
+// delimit each commit's operation range.
+func (r *Recorder) NumOps() int {
+	if r == nil || r.journal == nil {
+		return 0
+	}
+	return len(r.journal.kinds)
+}
+
+// Replayer replays a journal recorder's operation log into a destination
+// recorder, preserving the journal's internal order. Cursors only move
+// forward: ReplayTo(n) applies operations [cursor, n) exactly once.
+type Replayer struct {
+	j   *journalLog
+	dst *Recorder
+	op  int // cursor into j.kinds
+	sp  int // cursor into j.spans
+	sa  int // cursor into j.samples
+	co  int // cursor into j.counts
+}
+
+// NewReplayer returns a replayer that feeds this journal recorder's log into
+// dst. Panics if the recorder is not in journal mode.
+func (r *Recorder) NewReplayer(dst *Recorder) *Replayer {
+	if r == nil || r.journal == nil {
+		panic("obs: NewReplayer on a non-journal recorder")
+	}
+	return &Replayer{j: r.journal, dst: dst}
+}
+
+// ReplayTo applies journal operations up to (but not including) index n into
+// the destination recorder. Calls with n at or below the cursor are no-ops.
+func (rp *Replayer) ReplayTo(n int) {
+	for ; rp.op < n; rp.op++ {
+		switch rp.j.kinds[rp.op] {
+		case 's':
+			rp.dst.Span(rp.j.spans[rp.sp])
+			rp.sp++
+		case 'p':
+			s := rp.j.samples[rp.sa]
+			rp.dst.Sample(s.Series, s.Track, s.T, s.V)
+			rp.sa++
+		default:
+			c := rp.j.counts[rp.co]
+			rp.dst.Count(c.name, c.track, c.v)
+			rp.co++
+		}
+	}
 }
 
 // Span records one span. Zero-duration spans with no cause and no flops are
 // kept too (instantaneous marks); the caller decides what is worth emitting.
 func (r *Recorder) Span(s Span) {
 	if r == nil {
+		return
+	}
+	if j := r.journal; j != nil {
+		j.kinds = append(j.kinds, 's')
+		j.spans = append(j.spans, s)
 		return
 	}
 	s.idx = r.nextIdx
@@ -180,6 +269,11 @@ func (r *Recorder) Sample(series, track string, t, v float64) {
 	if r == nil {
 		return
 	}
+	if j := r.journal; j != nil {
+		j.kinds = append(j.kinds, 'p')
+		j.samples = append(j.samples, SamplePoint{Series: series, Track: track, T: t, V: v})
+		return
+	}
 	r.samples = append(r.samples, SamplePoint{Series: series, Track: track, T: t, V: v, idx: r.nextIdx})
 	r.nextIdx++
 }
@@ -187,6 +281,11 @@ func (r *Recorder) Sample(series, track string, t, v float64) {
 // Count adds n to the named accumulator on the track.
 func (r *Recorder) Count(name, track string, n float64) {
 	if r == nil {
+		return
+	}
+	if j := r.journal; j != nil {
+		j.kinds = append(j.kinds, 'c')
+		j.counts = append(j.counts, countOp{name: name, track: track, v: n})
 		return
 	}
 	if r.counts == nil {

@@ -17,16 +17,29 @@
 //     collected by the GC, so code that lets payloads escape (Gather results
 //     handed to the caller, stashed packets) just skips the Put.
 //
-// No locking: every pool operation happens at a serialized point — inside
-// the unique running process or on the scheduler goroutine between commits —
-// and the channel handoffs that pass control establish the happens-before
-// edges. ComputeFunc/ComputeDeferred segments run concurrently with the
-// scheduler and therefore must not touch the pools (the same rule that bars
-// them from all simulator primitives).
+// No locking: the pools are per scheduler lane, and every pool operation
+// happens at a point serialized within the owning lane — inside the lane's
+// unique running process or on the lane goroutine between commits — with
+// the channel handoffs that pass control establishing the happens-before
+// edges. A buffer or envelope that crosses lanes inside a message simply
+// changes pools: the receiver returns it to its own lane's pool, which is
+// the only lane that will hand it out again. ComputeFunc/ComputeDeferred
+// segments run concurrently with the scheduler and therefore must not touch
+// the pools (the same rule that bars them from all simulator primitives).
+//
+// Ownership guards: a double ReleaseMessage always panics (the envelope
+// carries a pooled bit). SetPoolCheck(true) additionally arms the
+// debug-build float-pool guard: PutFloats panics on a double put and
+// poisons the returned buffer with NaNs, so a use-after-put surfaces as
+// NaN propagation instead of silent cross-message corruption.
 
 package vgrid
 
-import "math/bits"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
 
 // maxPoolClass bounds the pooled size classes: slices up to 2^maxPoolClass
 // floats (128 MiB) are recycled, larger ones go to the GC.
@@ -37,8 +50,48 @@ func sizeClass(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
+// SetPoolCheck arms (or disarms) the float-pool ownership guard: every
+// PutFloats is checked against the set of buffers already in a pool —
+// a double put panics immediately instead of corrupting a later message —
+// and returned buffers are poisoned with NaNs so a use-after-put surfaces
+// in the numerics. The check costs a mutex and a map operation per pool
+// call, so it is off by default; tests and debugging runs turn it on.
+// Must be called before Run.
+func (e *Engine) SetPoolCheck(on bool) {
+	if e.started {
+		panic("vgrid: SetPoolCheck after Run")
+	}
+	e.poolCheck = on
+	if on && e.poolOut == nil {
+		e.poolOut = make(map[*float64]bool)
+	}
+}
+
+// checkGet records that a pooled buffer left a pool (poolCheck mode).
+func (e *Engine) checkGet(buf []float64) {
+	e.poolMu.Lock()
+	delete(e.poolOut, &buf[0])
+	e.poolMu.Unlock()
+}
+
+// checkPut validates that a buffer is not already pooled and poisons it
+// (poolCheck mode). The identity key is the backing array's first element,
+// stable across reslicing.
+func (e *Engine) checkPut(buf []float64) {
+	e.poolMu.Lock()
+	if e.poolOut[&buf[0]] {
+		e.poolMu.Unlock()
+		panic(fmt.Sprintf("vgrid: PutFloats: double put of a pooled buffer (cap %d)", cap(buf)))
+	}
+	e.poolOut[&buf[0]] = true
+	e.poolMu.Unlock()
+	for i := range buf {
+		buf[i] = math.NaN()
+	}
+}
+
 // GetFloats returns a length-n float slice with power-of-two capacity from
-// the engine's payload pool (allocating if the pool is empty). The caller
+// the lane's payload pool (allocating if the pool is empty). The caller
 // owns the buffer until it passes it as a Send payload or returns it with
 // PutFloats. Must be called from simulator context (the process body or the
 // scheduler), never from a ComputeFunc segment.
@@ -47,52 +100,66 @@ func (p *Proc) GetFloats(n int) []float64 {
 		return nil
 	}
 	c := sizeClass(n)
-	if c > maxPoolClass {
+	if c > maxPoolClass || p.ln == nil {
 		return make([]float64, n)
 	}
-	free := &p.eng.floatFree[c]
+	free := &p.ln.floatFree[c]
 	if k := len(*free); k > 0 {
 		buf := (*free)[k-1]
 		(*free)[k-1] = nil
 		*free = (*free)[:k-1]
+		if p.eng.poolCheck {
+			p.eng.checkGet(buf)
+		}
 		return buf[:n]
 	}
 	return make([]float64, n, 1<<c)
 }
 
-// PutFloats returns a buffer obtained from GetFloats to the payload pool.
-// The caller must not touch the slice afterwards. Buffers whose capacity is
-// not an exact power of two (not pool-born) are silently dropped to the GC,
-// so Put is safe on any float slice.
+// PutFloats returns a buffer obtained from GetFloats to the lane's payload
+// pool. The caller must not touch the slice afterwards. Buffers whose
+// capacity is not an exact power of two (not pool-born) are silently
+// dropped to the GC, so Put is safe on any float slice.
 func (p *Proc) PutFloats(buf []float64) {
 	c := cap(buf)
 	if c == 0 || c&(c-1) != 0 {
 		return
 	}
 	cl := bits.Len(uint(c)) - 1
-	if cl > maxPoolClass {
+	if cl > maxPoolClass || p.ln == nil {
 		return
 	}
-	e := p.eng
-	e.floatFree[cl] = append(e.floatFree[cl], buf[:c])
+	if p.eng.poolCheck {
+		p.eng.checkPut(buf[:c])
+	}
+	p.ln.floatFree[cl] = append(p.ln.floatFree[cl], buf[:c])
 }
 
-// getMessage returns a zeroed-or-recycled message envelope.
-func (e *Engine) getMessage() *Message {
-	if k := len(e.msgFree); k > 0 {
-		m := e.msgFree[k-1]
-		e.msgFree[k-1] = nil
-		e.msgFree = e.msgFree[:k-1]
+// getMessage returns a zeroed-or-recycled message envelope from the lane's
+// pool.
+func (ln *lane) getMessage() *Message {
+	if k := len(ln.msgFree); k > 0 {
+		m := ln.msgFree[k-1]
+		ln.msgFree[k-1] = nil
+		ln.msgFree = ln.msgFree[:k-1]
+		m.pooled = false
 		return m
 	}
 	return &Message{}
 }
 
-// ReleaseMessage returns a delivered message envelope to the engine's pool
+// ReleaseMessage returns a delivered message envelope to the lane's pool
 // after its payload has been extracted. The caller must not touch the
 // message afterwards; releasing is optional (an unreleased envelope is
-// GC'd). Must be called from simulator context, and only once per message.
+// GC'd). Must be called from simulator context, and only once per message:
+// a second release of the same envelope panics.
 func (p *Proc) ReleaseMessage(m *Message) {
-	*m = Message{}
-	p.eng.msgFree = append(p.eng.msgFree, m)
+	if m.pooled {
+		panic("vgrid: ReleaseMessage: envelope already released (double put or use after put)")
+	}
+	*m = Message{pooled: true}
+	if p.ln == nil {
+		return
+	}
+	p.ln.msgFree = append(p.ln.msgFree, m)
 }

@@ -1,0 +1,103 @@
+package vgrid
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// poolErr runs a single-proc engine whose body exercises the pools and
+// returns the error Run surfaces (process panics arrive here as process
+// errors).
+func poolErr(t *testing.T, check bool, body func(p *Proc) error) error {
+	t.Helper()
+	pl := NewPlatform()
+	h := pl.AddHost("h", 1e9, 0)
+	e := NewEngine(pl)
+	e.SetPoolCheck(check)
+	e.Spawn(h, "p", body)
+	_, err := e.Run()
+	return err
+}
+
+// TestPoolDoubleReleasePanics pins the envelope ownership guard: returning
+// the same delivered message twice is caught immediately instead of handing
+// the envelope out to two future senders.
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	pl, a, b := twoHostPlatform(0.001, 1e9)
+	e := NewEngine(pl)
+	var sender, receiver *Proc
+	sender = e.Spawn(a, "send", func(p *Proc) error {
+		return p.Send(receiver, 1, []float64{1}, 8)
+	})
+	receiver = e.Spawn(b, "recv", func(p *Proc) error {
+		m := p.Recv(sender.ID, 1)
+		p.ReleaseMessage(m)
+		p.ReleaseMessage(m)
+		return nil
+	})
+	_, err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "already released") {
+		t.Fatalf("double release err = %v, want the ownership guard", err)
+	}
+}
+
+// TestPoolCheckDoublePutPanics pins the armed float-pool guard: a double
+// PutFloats panics instead of letting the same backing array be handed to
+// two messages.
+func TestPoolCheckDoublePutPanics(t *testing.T) {
+	err := poolErr(t, true, func(p *Proc) error {
+		buf := p.GetFloats(8)
+		p.PutFloats(buf)
+		p.PutFloats(buf)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "double put") {
+		t.Fatalf("double put err = %v, want the ownership guard", err)
+	}
+}
+
+// TestPoolCheckPoisonsUseAfterPut pins the second half of the guard: a
+// returned buffer is NaN-poisoned, so a use-after-put corrupts the numerics
+// visibly instead of silently reading another message's payload.
+func TestPoolCheckPoisonsUseAfterPut(t *testing.T) {
+	err := poolErr(t, true, func(p *Proc) error {
+		buf := p.GetFloats(4)
+		for i := range buf {
+			buf[i] = float64(i + 1)
+		}
+		p.PutFloats(buf)
+		for i := range buf { // deliberate use after put
+			if !math.IsNaN(buf[i]) {
+				t.Errorf("buf[%d] = %v after put, want NaN poison", i, buf[i])
+			}
+		}
+		again := p.GetFloats(4)
+		if &again[0] != &buf[0] {
+			t.Error("pool did not recycle the returned buffer")
+		}
+		p.PutFloats(again) // legal again after the re-get
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolPutWithoutCheckIsFree confirms the guard is pay-for-what-you-use:
+// with SetPoolCheck off, a put-get cycle recycles without poisoning.
+func TestPoolPutWithoutCheckIsFree(t *testing.T) {
+	err := poolErr(t, false, func(p *Proc) error {
+		buf := p.GetFloats(4)
+		buf[0] = 42
+		p.PutFloats(buf)
+		again := p.GetFloats(4)
+		if &again[0] != &buf[0] || again[0] != 42 {
+			t.Errorf("unchecked pool should recycle untouched, got %v", again[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,7 +4,9 @@
 // for 1000-host grids. The heap key is the pair (next-event time, process
 // ID); keys are totally ordered, so the heap's minimum is exactly the
 // process the reference scan would select and the virtual schedule (and
-// with it every trace byte) is unchanged.
+// with it every trace byte) is unchanged. Each scheduler lane owns one
+// heap over its own processes (lane.go); a single-lane engine has one heap
+// over everything, exactly the pre-shard structure.
 //
 // Re-keying is incremental at every commit point:
 //
@@ -30,13 +32,13 @@ import "math"
 // instant the scheduler could commit it, clamped past its host's outage
 // windows. +Inf marks an unschedulable process (done, blocked forever, or
 // on a host that never returns).
-func (e *Engine) eventTime(p *Proc) float64 {
+func (ln *lane) eventTime(p *Proc) float64 {
 	var t float64
-	switch p.state {
+	switch p.st() {
 	case stateReady, stateComputing, stateDeferred:
 		// For stateDeferred, p.clock is the dispatch time — a lower bound on
-		// the true resume time; Run resolves the bound before committing to
-		// any later event.
+		// the true resume time; the lane loop resolves the bound before
+		// committing to any later event.
 		t = p.clock
 	case stateBlocked:
 		t = p.matchDeadline
@@ -51,8 +53,8 @@ func (e *Engine) eventTime(p *Proc) float64 {
 	default:
 		return math.Inf(1)
 	}
-	if e.faults != nil {
-		t = e.faults.wake(p.host, t)
+	if fs := ln.eng.faults; fs != nil {
+		t = fs.wake(p.host, t)
 	}
 	return t
 }
@@ -77,99 +79,99 @@ func idxLess(a, b *Proc) bool {
 	return a.ID < b.ID
 }
 
-func (e *Engine) idxSwap(i, j int) {
-	h := e.idx
+func (ln *lane) idxSwap(i, j int) {
+	h := ln.idx
 	h[i], h[j] = h[j], h[i]
 	h[i].heapPos = i
 	h[j].heapPos = j
 }
 
-func (e *Engine) idxUp(i int) {
+func (ln *lane) idxUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !idxLess(e.idx[i], e.idx[parent]) {
+		if !idxLess(ln.idx[i], ln.idx[parent]) {
 			break
 		}
-		e.idxSwap(i, parent)
+		ln.idxSwap(i, parent)
 		i = parent
 	}
 }
 
-func (e *Engine) idxDown(i int) {
-	n := len(e.idx)
+func (ln *lane) idxDown(i int) {
+	n := len(ln.idx)
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && idxLess(e.idx[l], e.idx[small]) {
+		if l < n && idxLess(ln.idx[l], ln.idx[small]) {
 			small = l
 		}
-		if r < n && idxLess(e.idx[r], e.idx[small]) {
+		if r < n && idxLess(ln.idx[r], ln.idx[small]) {
 			small = r
 		}
 		if small == i {
 			return
 		}
-		e.idxSwap(i, small)
+		ln.idxSwap(i, small)
 		i = small
 	}
 }
 
-// initIndex builds the heap over every spawned process at Run start.
-func (e *Engine) initIndex() {
-	e.idx = make([]*Proc, 0, len(e.procs))
-	for _, p := range e.procs {
-		p.key = e.eventTime(p)
-		p.heapPos = len(e.idx)
-		e.idx = append(e.idx, p)
+// initIndex builds the heap over the lane's processes at Run start.
+func (ln *lane) initIndex() {
+	ln.idx = make([]*Proc, 0, len(ln.procs))
+	for _, p := range ln.procs {
+		p.key = ln.eventTime(p)
+		p.heapPos = len(ln.idx)
+		ln.idx = append(ln.idx, p)
 	}
-	for i := len(e.idx)/2 - 1; i >= 0; i-- {
-		e.idxDown(i)
+	for i := len(ln.idx)/2 - 1; i >= 0; i-- {
+		ln.idxDown(i)
 	}
 }
 
 // rekey recomputes a process's next-event time and restores the heap
 // invariant, inserting the process if it is not currently indexed.
-func (e *Engine) rekey(p *Proc) {
-	if e.scanSched {
+func (ln *lane) rekey(p *Proc) {
+	if ln.eng.scanSched {
 		return
 	}
-	p.key = e.eventTime(p)
+	p.key = ln.eventTime(p)
 	if p.heapPos < 0 {
-		p.heapPos = len(e.idx)
-		e.idx = append(e.idx, p)
-		e.idxUp(p.heapPos)
+		p.heapPos = len(ln.idx)
+		ln.idx = append(ln.idx, p)
+		ln.idxUp(p.heapPos)
 		return
 	}
-	e.idxUp(p.heapPos)
-	e.idxDown(p.heapPos)
+	ln.idxUp(p.heapPos)
+	ln.idxDown(p.heapPos)
 }
 
 // idxRemove takes a process out of the heap (it is being committed and
 // resumed, or it is done).
-func (e *Engine) idxRemove(p *Proc) {
+func (ln *lane) idxRemove(p *Proc) {
 	i := p.heapPos
 	if i < 0 {
 		return
 	}
-	last := len(e.idx) - 1
+	last := len(ln.idx) - 1
 	if i != last {
-		e.idxSwap(i, last)
+		ln.idxSwap(i, last)
 	}
-	e.idx = e.idx[:last]
+	ln.idx = ln.idx[:last]
 	p.heapPos = -1
 	if i != last {
-		e.idxUp(i)
-		e.idxDown(i)
+		ln.idxUp(i)
+		ln.idxDown(i)
 	}
 }
 
-// idxMin returns the schedulable process with the smallest (time, ID) key,
-// or nil when every indexed process is unschedulable.
-func (e *Engine) idxMin() *Proc {
-	if len(e.idx) == 0 {
+// idxMin returns the lane's schedulable process with the smallest
+// (time, ID) key, or nil when every indexed process is unschedulable.
+func (ln *lane) idxMin() *Proc {
+	if len(ln.idx) == 0 {
 		return nil
 	}
-	p := e.idx[0]
+	p := ln.idx[0]
 	if math.IsInf(p.key, 1) {
 		return nil
 	}
@@ -179,14 +181,16 @@ func (e *Engine) idxMin() *Proc {
 // noteDeposit is the Send-side commit hook: a message just landed in dst's
 // mailbox. If dst is blocked on a matching receive and the new arrival is
 // earlier than its current pending match, the receiver's key decreases.
-func (e *Engine) noteDeposit(dst *Proc, m *Message) {
-	if e.scanSched || dst.state != stateBlocked || !matches(m, dst.matchSrc, dst.matchTag) {
+// dst must belong to this lane — cross-lane deposits go through the lane
+// inbox and reach here only at the coordinator's window barrier.
+func (ln *lane) noteDeposit(dst *Proc, m *Message) {
+	if ln.eng.scanSched || dst.st() != stateBlocked || !matches(m, dst.matchSrc, dst.matchTag) {
 		return
 	}
 	pm := dst.pendingMatch
 	if pm == nil || m.Arrival < pm.Arrival || (m.Arrival == pm.Arrival && m.seq < pm.seq) {
 		dst.pendingMatch = m
-		e.rekey(dst)
+		ln.rekey(dst)
 	}
 }
 
@@ -194,10 +198,60 @@ func (e *Engine) noteDeposit(dst *Proc, m *Message) {
 // scheduler (a full scan over the processes at every commit). The virtual
 // schedule is identical in both modes — the scan is kept as the ground
 // truth for the scheduler-equivalence tests and as the "before" core of the
-// event-core benchmarks. Must be called before Run.
+// event-core benchmarks. Implies a single scheduler lane. Must be called
+// before Run.
 func (e *Engine) SetScanScheduler(on bool) {
 	if e.started {
 		panic("vgrid: SetScanScheduler after Run")
 	}
 	e.scanSched = on
+}
+
+// pickNextScan selects the lane's process with the earliest next event by
+// scanning every process — the pre-index O(P) reference scheduler (always
+// single-lane, so the scan covers the whole engine). For a blocked process
+// the next event is the earliest matching message arrival (clamped to its
+// clock) or its receive deadline, whichever comes first; ready processes
+// resume at their own clock. Under a fault plan every candidate time is
+// clamped past the outage windows of the process's host; a process whose
+// host never returns is unschedulable. The indexed scheduler commits the
+// exact same sequence; the scan remains as the ground truth for
+// equivalence tests and before/after benchmarks.
+func (ln *lane) pickNextScan() (best *Proc, at float64, msg *Message) {
+	fs := ln.eng.faults
+	at = math.Inf(1)
+	var bestMsg *Message
+	for _, p := range ln.procs {
+		var t float64
+		var dm *Message
+		switch p.st() {
+		case stateReady, stateComputing, stateDeferred:
+			// For stateDeferred, p.clock is the dispatch time — a lower
+			// bound on the true resume time; the lane loop resolves the
+			// bound before committing to any later event.
+			t = p.clock
+		case stateBlocked:
+			t = p.matchDeadline
+			if m := p.earliestMatch(); m != nil {
+				if ta := math.Max(p.clock, m.Arrival); ta <= t {
+					t, dm = ta, m
+				}
+			}
+			if math.IsInf(t, 1) {
+				continue
+			}
+		default:
+			continue
+		}
+		if fs != nil {
+			t = fs.wake(p.host, t)
+			if math.IsInf(t, 1) {
+				continue
+			}
+		}
+		if t < at || (t == at && better(p, best)) {
+			best, at, bestMsg = p, t, dm
+		}
+	}
+	return best, at, bestMsg
 }

@@ -53,9 +53,12 @@ func synthU01(seed int64, i int) float64 {
 // Construction is O(hosts): each host gets a NIC link, each cluster an
 // uplink, and routes materialize lazily per communicating pair via
 // SetRouter (intra-cluster a→nicA→nicB→b, inter-cluster through the
-// cluster uplinks and the shared WAN), so a 1000-host grid costs ~2000
-// links instead of ~10⁶ precomputed routes. Memory is unlimited; use the
-// returned platform's hosts directly to impose budgets.
+// cluster uplinks and the shared WAN — the per-host NICs carry only
+// intra-cluster traffic, so every link is either cluster-local or global
+// and the platform shards cleanly into per-cluster scheduler lanes), so a
+// 1000-host grid costs ~2000 links instead of ~10⁶ precomputed routes.
+// Memory is unlimited; use the returned platform's hosts directly to
+// impose budgets.
 func Synthetic(hosts, clusters int, heterogeneity float64, seed int64) *Platform {
 	if hosts < 1 {
 		panic("vgrid: Synthetic needs at least one host")
@@ -88,7 +91,7 @@ func Synthetic(hosts, clusters int, heterogeneity float64, seed int64) *Platform
 		if a.cluster == b.cluster {
 			return []*Link{nics[a.ID], nics[b.ID]}
 		}
-		return []*Link{nics[a.ID], ups[a.cluster], wan, ups[b.cluster], nics[b.ID]}
+		return []*Link{ups[a.cluster], wan, ups[b.cluster]}
 	})
 	return pl
 }

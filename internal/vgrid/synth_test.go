@@ -70,11 +70,11 @@ func TestSyntheticRoutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(inter) != 5 {
-		t.Fatalf("inter-cluster route has %d links, want 5", len(inter))
+	if len(inter) != 3 {
+		t.Fatalf("inter-cluster route has %d links, want uplink+wan+uplink", len(inter))
 	}
-	if inter[2].Name != "wan" {
-		t.Errorf("middle link of inter-cluster route is %q, want the shared wan backbone", inter[2].Name)
+	if inter[1].Name != "wan" {
+		t.Errorf("middle link of inter-cluster route is %q, want the shared wan backbone", inter[1].Name)
 	}
 	// End-to-end LAN latency matches the hand-built clusters' two-NIC wiring.
 	if got := intra[0].Latency + intra[1].Latency; math.Abs(got-2*SynthLanLatency) > 1e-12 {

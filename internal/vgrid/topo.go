@@ -1,6 +1,9 @@
 package vgrid
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Cluster is a named group of hosts connected by a fast local network. The
 // grouping is pure metadata: it does not create links or routes, it only
@@ -104,4 +107,36 @@ func (pl *Platform) ValidateTopology() error {
 		}
 	}
 	return nil
+}
+
+// minInterClusterLatency measures the platform's inter-cluster lookahead:
+// the smallest summed link latency over one representative route per
+// ordered cluster pair (the first hosts of each cluster, the same
+// representatives ValidateTopology resolves). Any cross-cluster message
+// takes at least this long to arrive, which is exactly the safe-window
+// width the sharded scheduler may advance a lane without hearing from the
+// others. Returns +Inf when the platform has fewer than two non-empty
+// clusters or a representative pair has no route — both mean sharding has
+// no lookahead to exploit and the engine falls back to a single lane.
+func (pl *Platform) minInterClusterLatency() float64 {
+	min := math.Inf(1)
+	for _, ca := range pl.clusters {
+		for _, cb := range pl.clusters {
+			if ca.Index == cb.Index || len(ca.Hosts) == 0 || len(cb.Hosts) == 0 {
+				continue
+			}
+			links, err := pl.Route(ca.Hosts[0], cb.Hosts[0])
+			if err != nil {
+				return math.Inf(1)
+			}
+			lat := 0.0
+			for _, l := range links {
+				lat += l.Latency
+			}
+			if lat < min {
+				min = lat
+			}
+		}
+	}
+	return min
 }

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -91,6 +92,10 @@ type Link struct {
 	// BytesCarried accumulates the traffic that crossed this link, for the
 	// communication-volume reports.
 	BytesCarried int64
+	// laneClass classifies the link on a sharded run: 0 unclassified,
+	// -1 global (inter-lane routes, touched only during serialized WAN
+	// turns), laneID+1 private to one lane. See lane.markLinks.
+	laneClass atomic.Int32
 }
 
 // fairShare returns the bandwidth share for a transfer starting at now and
@@ -128,6 +133,9 @@ type Platform struct {
 	// the observability send spans, so the hot send path does not rebuild
 	// the string per message.
 	routeLabels map[[2]int]string
+	// mu guards the lazily-memoized routes and routeLabels maps: on a
+	// sharded engine, lanes materialize routes concurrently.
+	mu sync.RWMutex
 }
 
 // NewPlatform returns an empty platform. Loopback transfers cost 1 µs
@@ -208,12 +216,18 @@ func (pl *Platform) Route(a, b *Host) ([]*Link, error) {
 		return nil, nil
 	}
 	key := [2]int{a.ID, b.ID}
+	pl.mu.RLock()
 	links, ok := pl.routes[key]
+	pl.mu.RUnlock()
 	if !ok && pl.router != nil {
-		if links = pl.router(a, b); links != nil {
-			pl.routes[key] = links
-			ok = true
+		pl.mu.Lock()
+		if links, ok = pl.routes[key]; !ok {
+			if links = pl.router(a, b); links != nil {
+				pl.routes[key] = links
+				ok = true
+			}
 		}
+		pl.mu.Unlock()
 	}
 	if !ok {
 		return nil, fmt.Errorf("vgrid: no route %s -> %s", a.Name, b.Name)
@@ -225,15 +239,20 @@ func (pl *Platform) Route(a, b *Host) ([]*Link, error) {
 // route, building it on first use.
 func (pl *Platform) routeLabel(a, b *Host, links []*Link) string {
 	key := [2]int{a.ID, b.ID}
-	if s, ok := pl.routeLabels[key]; ok {
+	pl.mu.RLock()
+	s, ok := pl.routeLabels[key]
+	pl.mu.RUnlock()
+	if ok {
 		return s
 	}
 	parts := make([]string, len(links))
 	for i, l := range links {
 		parts[i] = l.Name
 	}
-	s := strings.Join(parts, "+")
+	s = strings.Join(parts, "+")
+	pl.mu.Lock()
 	pl.routeLabels[key] = s
+	pl.mu.Unlock()
 	return s
 }
 
@@ -255,6 +274,9 @@ type Message struct {
 	// Arrival is the virtual time the message reaches the destination mailbox.
 	Arrival float64
 	seq     int64
+	// pooled marks an envelope currently sitting in a lane's free pool;
+	// ReleaseMessage uses it to panic on a double release.
+	pooled bool
 }
 
 const (
@@ -264,7 +286,7 @@ const (
 	AnyTag = -1
 )
 
-type procState int
+type procState int32
 
 const (
 	stateReady procState = iota
@@ -293,10 +315,15 @@ type Proc struct {
 	// Name identifies the process in traces and diagnostics.
 	Name string
 
-	eng     *Engine
-	host    *Host
-	clock   float64
-	state   procState
+	eng  *Engine
+	host *Host
+	// ln is the scheduler lane that owns this process, assigned at Run
+	// start (single-lane engines have exactly one lane).
+	ln    *lane
+	clock float64
+	// state is atomic because peers on other lanes may poll Done/Err
+	// concurrently with this process's own transitions.
+	state   atomic.Int32
 	resume  chan struct{}
 	mailbox []*Message
 	// matcher is set while blocked in Recv.
@@ -325,6 +352,9 @@ type Proc struct {
 	// written by the worker before computing is closed and charged by the
 	// scheduler at collection time.
 	deferredFlops float64
+	// sendSeq counts this process's sends; combined with the ID it forms
+	// the per-sender message sequence number (see sendFate).
+	sendSeq int64
 
 	// FlopsDone counts the virtual floating-point work charged so far.
 	FlopsDone float64
@@ -355,8 +385,6 @@ type Engine struct {
 	// Platform is the simulated grid the processes run on.
 	Platform *Platform
 	procs    []*Proc
-	yieldCh  chan *Proc
-	seq      int64
 	started  bool
 	// Trace, when non-nil, receives one line per scheduling event.
 	Trace func(string)
@@ -373,27 +401,106 @@ type Engine struct {
 	poolOnce sync.Once
 	jobs     chan *computeJob
 
-	// idx is the scheduler's event index: a binary min-heap of schedulable
-	// processes keyed on (next-event time, ID). See sched.go.
-	idx []*Proc
 	// scanSched selects the pre-index O(P) reference scheduler.
 	scanSched bool
 	// crossCheck makes the indexed scheduler verify every pick against the
 	// reference scan (test hook; panics on divergence).
 	crossCheck bool
-	// msgFree and floatFree are the engine's hot-path pools: delivered
-	// message envelopes and payload buffers by power-of-two size class. All
-	// pool operations happen at serialized points (the unique running
-	// process or the scheduler), so no locking is needed. See pool.go.
-	msgFree   []*Message
-	floatFree [maxPoolClass + 1][][]float64
+
+	// lanesReq is the requested scheduler-lane count (SetLanes): 1 single
+	// lane (default), 0 auto (one lane per cluster), n an explicit count.
+	lanesReq int
+	// lanes holds the scheduler shards built at Run start; a single-lane
+	// engine has exactly one, owning every process. See lane.go.
+	lanes []*lane
+	// sharded is set while the run uses more than one lane.
+	sharded bool
+	// lookaheadOverride, when non-zero, replaces the platform-derived
+	// safe-window lookahead (SetLookahead); lookahead memoizes the
+	// resolved value.
+	lookaheadOverride float64
+	lookahead         float64
+	// horizon is the current window's exclusive commit bound (coordinator
+	// state; lanes read it only at serialized points).
+	horizon float64
+	// windows and wanTurns count the sharded run's synchronization events:
+	// window barriers and serialized inter-lane send turns. See EventStats.
+	windows  int64
+	wanTurns int64
+	// parkCh carries the lanes' park reports to the window coordinator.
+	parkCh chan parkMsg
+
+	// poolCheck arms the float-pool ownership guard (SetPoolCheck);
+	// poolOut tracks pooled buffers under poolMu across all lanes.
+	poolCheck bool
+	poolMu    sync.Mutex
+	poolOut   map[*float64]bool
 }
 
 // NewEngine creates an engine for the platform. Compute segments handed to
 // Proc.ComputeFunc run on up to GOMAXPROCS OS threads; use SetWorkers to
-// change the bound (the virtual schedule is identical either way).
+// change the bound (the virtual schedule is identical either way). The
+// scheduler runs a single lane unless SetLanes asks for sharding.
 func NewEngine(pl *Platform) *Engine {
-	return &Engine{Platform: pl, yieldCh: make(chan *Proc), workers: runtime.GOMAXPROCS(0)}
+	return &Engine{Platform: pl, workers: runtime.GOMAXPROCS(0), lanesReq: 1}
+}
+
+// SetLanes requests sharded event scheduling: the processes are
+// partitioned by cluster into n per-lane schedulers that advance
+// independently inside conservative WAN-lookahead safe windows (lane.go).
+// n = 1 (the default) is the single-lane scheduler; n = 0 means one lane
+// per cluster; other values are clamped to [1, clusters]. Traces, obs
+// exports, metrics and iterates are byte-identical for any lane count —
+// sharding changes wall-clock cost only. The engine falls back to a single
+// lane when the preconditions do not hold (scan or cross-check scheduler,
+// hosts outside every cluster, no inter-cluster route lookahead). Must be
+// called before Run.
+func (e *Engine) SetLanes(n int) {
+	if e.started {
+		panic("vgrid: SetLanes after Run")
+	}
+	if n < 0 {
+		n = 1
+	}
+	e.lanesReq = n
+}
+
+// Lanes returns the number of scheduler lanes the run resolved to (0
+// before Run).
+func (e *Engine) Lanes() int { return len(e.lanes) }
+
+// SetLookahead overrides the platform-derived safe-window lookahead: the
+// minimum virtual delay of any inter-lane message. Use it when the
+// platform's representative-route estimate (minimum inter-cluster route
+// latency over first-host pairs) overestimates an actual route — the
+// engine panics mid-run if a cross-lane message ever arrives below the
+// current window horizon. Must be called before Run; 0 restores the
+// derived bound.
+func (e *Engine) SetLookahead(l float64) {
+	if e.started {
+		panic("vgrid: SetLookahead after Run")
+	}
+	if l < 0 {
+		panic("vgrid: negative lookahead")
+	}
+	e.lookaheadOverride = l
+}
+
+// EventStats reports the run's scheduling volume: commits is the number of
+// committed event slices, syncs the number of cross-goroutine
+// synchronization points the scheduler needed — every commit on a
+// single-lane engine (each one is a resume/yield handoff through the
+// central loop), but only window barriers plus serialized WAN turns on a
+// sharded one. The eventshard benchmark records the ratio as the handoff
+// reduction.
+func (e *Engine) EventStats() (commits, syncs int64) {
+	for _, ln := range e.lanes {
+		commits += ln.commits
+	}
+	if e.sharded {
+		return commits, e.windows + e.wanTurns
+	}
+	return commits, commits
 }
 
 // SetWorkers bounds the number of OS threads that execute ComputeFunc
@@ -473,23 +580,31 @@ func (e *Engine) Spawn(h *Host, name string, body func(p *Proc) error) *Proc {
 		eng:           e,
 		host:          h,
 		resume:        make(chan struct{}),
-		state:         stateReady,
 		matchDeadline: math.Inf(1),
 		heapPos:       -1,
 	}
+	p.setSt(stateReady)
 	e.procs = append(e.procs, p)
 	go func() {
 		<-p.resume
 		err := safeBody(body, p)
+		// The error is written before the atomic state transition so a
+		// peer that observes Done also observes the error.
 		p.err = err
-		p.state = stateDone
+		p.setSt(stateDone)
 		// Release any memory the process still holds.
 		p.host.used -= p.allocated
 		p.allocated = 0
-		e.yieldCh <- p
+		p.ln.yieldCh <- p
 	}()
 	return p
 }
+
+// st reads the process state (atomically: peers on other lanes poll it).
+func (p *Proc) st() procState { return procState(p.state.Load()) }
+
+// setSt writes the process state.
+func (p *Proc) setSt(s procState) { p.state.Store(int32(s)) }
 
 func safeBody(body func(p *Proc) error, p *Proc) (err error) {
 	defer func() {
@@ -502,7 +617,10 @@ func safeBody(body func(p *Proc) error, p *Proc) (err error) {
 
 // Run executes the simulation until every process finishes. It returns the
 // final virtual time and the first process error (all process errors are
-// available via Errors).
+// available via Errors). With SetLanes the event loop shards into
+// per-cluster scheduler lanes advancing inside WAN-lookahead safe windows
+// (lane.go); the results — traces, obs exports, metrics, iterates — are
+// byte-identical to the single-lane run.
 func (e *Engine) Run() (float64, error) {
 	if e.started {
 		panic("vgrid: Run called twice")
@@ -521,114 +639,72 @@ func (e *Engine) Run() (float64, error) {
 			close(e.jobs)
 		}
 	}()
-	if !e.scanSched {
-		e.initIndex()
-	}
-	for {
-		var p *Proc
-		var resumeAt float64
-		var deliver *Message
-		if e.scanSched {
-			p, resumeAt, deliver = e.pickNextScan()
-		} else {
-			p = e.idxMin()
-			if p != nil {
-				resumeAt = p.key
-				if p.state == stateBlocked {
-					deliver = p.deliverable()
-				}
-			}
-			if e.crossCheck {
-				sp, sat, sm := e.pickNextScan()
-				if sp != p || (p != nil && (sat != resumeAt || sm != deliver)) {
-					panic(fmt.Sprintf("vgrid: scheduler index divergence: heap picked (%v, %v, %v), scan picked (%v, %v, %v)",
-						procName(p), resumeAt, deliver, procName(sp), sat, sm))
-				}
-			}
+	nl := e.resolveLaneCount()
+	e.buildLanes(nl)
+	if e.sharded {
+		e.runSharded()
+		e.mergeShardLog()
+	} else {
+		ln := e.lanes[0]
+		if !e.scanSched {
+			ln.initIndex()
 		}
-		if p == nil {
-			break
-		}
-		if p.state == stateDeferred {
-			// The pick landed on a deferred segment's dispatch-time lower
-			// bound. Its true resume time needs the measured cost: collect
-			// it, charge, and pick again — another process may now be
-			// earlier. Deterministic regardless of which segments have
-			// physically finished, because every deferred process that could
-			// precede the final pick is resolved before committing.
-			<-p.computing
-			p.computing = nil
-			p.chargeFlops(p.deferredFlops)
-			p.state = stateComputing
-			e.rekey(p)
-			continue
-		}
-		if p.state == stateBlocked {
-			p.BlockedTime += resumeAt - p.lastBlockedAt
-			if e.obs != nil && (resumeAt > p.lastBlockedAt || deliver != nil) {
-				s := obs.Span{Track: p.Name, Cat: obs.CatWait, Name: "wait",
-					Start: p.lastBlockedAt, End: resumeAt}
-				if deliver != nil {
-					s.Cause = deliver.seq
-					s.From = e.procs[deliver.From].Name
-					s.Tag = deliver.Tag
-					s.Bytes = int64(deliver.Bytes)
-				}
-				e.obs.Span(s)
-			}
-		}
-		if p.state == stateComputing {
-			// The pick is committed at the pre-charged virtual time; only the
-			// wall clock waits for the segment to finish (ComputeFunc) — a
-			// collected ComputeDeferred segment has already been waited for.
-			if p.computing != nil {
-				<-p.computing
-				p.computing = nil
-			}
-		}
-		p.clock = resumeAt
-		if resumeAt > e.now {
-			e.now = resumeAt
-		}
-		if e.faults != nil && (e.Trace != nil || e.obs != nil) {
-			e.faults.emit(e.now, e.Trace, e.obs)
-		}
-		p.state = stateRunning
-		p.pendingMatch = nil
-		e.idxRemove(p)
-		if deliver != nil && e.Trace != nil {
-			e.Trace(fmt.Sprintf("t=%.6f %s recv from=%d tag=%d bytes=%d", resumeAt, p.Name, deliver.From, deliver.Tag, deliver.Bytes))
-		}
-		p.resume <- struct{}{}
-		q := <-e.yieldCh
-		if q.state == stateDone {
-			if e.Trace != nil {
-				e.Trace(fmt.Sprintf("t=%.6f %s done err=%v", q.clock, q.Name, q.err))
-			}
-		} else if !e.scanSched {
-			e.rekey(q)
-		}
+		ln.run(math.Inf(1))
 	}
 	// Check for deadlock: any process not done means nobody was runnable.
-	var blocked []string
-	for _, p := range e.procs {
-		if p.state != stateDone {
-			name := p.Name
-			if e.faults != nil && math.IsInf(e.faults.wake(p.host, p.clock), 1) {
-				name += " (host down)"
-			}
-			blocked = append(blocked, name)
-		}
-	}
-	if len(blocked) > 0 {
+	if msg := e.deadlockReport(); msg != "" {
 		if err := e.firstError(); err != nil {
 			// A failed process is the likely root cause of the stall;
 			// report (and wrap) it rather than the secondary deadlock.
-			return e.now, fmt.Errorf("%w (then deadlock: %s)", err, strings.Join(blocked, ", "))
+			return e.now, fmt.Errorf("%w (then deadlock: %s)", err, msg)
 		}
-		return e.now, fmt.Errorf("%w: %s", ErrDeadlock, strings.Join(blocked, ", "))
+		return e.now, fmt.Errorf("%w: %s", ErrDeadlock, msg)
 	}
 	return e.now, e.firstError()
+}
+
+// deadlockReport summarizes the stuck processes after the event loop
+// drained, or returns "" when every process finished. On a single-lane run
+// it is the flat blocked-process list; on a sharded run each lane reports
+// its own horizon state — lane clock, earliest pending key, the final
+// window horizon and its blocked processes — so a cross-lane stall shows
+// which lane starved which.
+func (e *Engine) deadlockReport() string {
+	blockedName := func(p *Proc) string {
+		name := p.Name
+		if e.faults != nil && math.IsInf(e.faults.wake(p.host, p.clock), 1) {
+			name += " (host down)"
+		}
+		return name
+	}
+	if !e.sharded {
+		var blocked []string
+		for _, p := range e.procs {
+			if p.st() != stateDone {
+				blocked = append(blocked, blockedName(p))
+			}
+		}
+		return strings.Join(blocked, ", ")
+	}
+	var parts []string
+	for _, ln := range e.lanes {
+		var blocked []string
+		for _, p := range ln.procs {
+			if p.st() != stateDone {
+				blocked = append(blocked, blockedName(p))
+			}
+		}
+		if len(blocked) == 0 {
+			continue
+		}
+		next := math.Inf(1)
+		if p := ln.idxMin(); p != nil {
+			next = p.key
+		}
+		parts = append(parts, fmt.Sprintf("lane %d [clock=%.6f next=%g horizon=%.6f]: %s",
+			ln.id, ln.now, next, e.horizon, strings.Join(blocked, ", ")))
+	}
+	return strings.Join(parts, "; ")
 }
 
 func (e *Engine) firstError() error {
@@ -660,53 +736,6 @@ func procName(p *Proc) string {
 	return p.Name
 }
 
-// pickNextScan selects the process with the earliest next event by scanning
-// every process — the pre-index O(P) reference scheduler. For a blocked
-// process the next event is the earliest matching message arrival (clamped
-// to its clock) or its receive deadline, whichever comes first; ready
-// processes resume at their own clock. Under a fault plan every candidate
-// time is clamped past the outage windows of the process's host; a process
-// whose host never returns is unschedulable. The indexed scheduler
-// (sched.go) commits the exact same sequence; the scan remains as the
-// ground truth for equivalence tests and before/after benchmarks.
-func (e *Engine) pickNextScan() (best *Proc, at float64, msg *Message) {
-	at = math.Inf(1)
-	var bestMsg *Message
-	for _, p := range e.procs {
-		var t float64
-		var dm *Message
-		switch p.state {
-		case stateReady, stateComputing, stateDeferred:
-			// For stateDeferred, p.clock is the dispatch time — a lower
-			// bound on the true resume time; Run resolves the bound before
-			// committing to any later event.
-			t = p.clock
-		case stateBlocked:
-			t = p.matchDeadline
-			if m := p.earliestMatch(); m != nil {
-				if ta := math.Max(p.clock, m.Arrival); ta <= t {
-					t, dm = ta, m
-				}
-			}
-			if math.IsInf(t, 1) {
-				continue
-			}
-		default:
-			continue
-		}
-		if e.faults != nil {
-			t = e.faults.wake(p.host, t)
-			if math.IsInf(t, 1) {
-				continue
-			}
-		}
-		if t < at || (t == at && better(p, best)) {
-			best, at, bestMsg = p, t, dm
-		}
-	}
-	return best, at, bestMsg
-}
-
 func better(p, cur *Proc) bool { return cur == nil || p.ID < cur.ID }
 
 func (p *Proc) earliestMatch() *Message {
@@ -726,9 +755,9 @@ func matches(m *Message, src, tag int) bool {
 	return (src == AnySource || m.From == src) && (tag == AnyTag || m.Tag == tag)
 }
 
-// yield parks the process until the scheduler resumes it.
+// yield parks the process until its lane's scheduler resumes it.
 func (p *Proc) yield() {
-	p.eng.yieldCh <- p
+	p.ln.yieldCh <- p
 	<-p.resume
 }
 
@@ -736,13 +765,20 @@ func (p *Proc) yield() {
 func (p *Proc) Host() *Host { return p.host }
 
 // Done reports whether the process body has returned. It is safe to read
-// from other simulated processes (the engine is single-threaded).
-func (p *Proc) Done() bool { return p.state == stateDone }
+// from other simulated processes, including processes on other scheduler
+// lanes (the state word is atomic).
+func (p *Proc) Done() bool { return p.st() == stateDone }
 
 // Err returns the process body's error (nil while running or on success).
-// Like Done it is safe to read from other simulated processes, so a peer can
-// diagnose why a rank went silent.
-func (p *Proc) Err() error { return p.err }
+// Like Done it is safe to read from other simulated processes — even on
+// other scheduler lanes — so a peer can diagnose why a rank went silent:
+// the error is published before the done transition.
+func (p *Proc) Err() error {
+	if p.st() != stateDone {
+		return nil
+	}
+	return p.err
+}
 
 // DownAt reports whether the process's host is inside a fault-plan outage
 // window at virtual time t (false without a plan). Peers use it to tell a
@@ -755,9 +791,17 @@ func (p *Proc) DownAt(t float64) bool {
 // Now returns the process's local virtual clock in seconds.
 func (p *Proc) Now() float64 { return p.clock }
 
-// Obs returns the engine's observability recorder (nil when observability is
-// off). Solver drivers wrap it in a per-rank obs.Scope.
-func (p *Proc) Obs() *obs.Recorder { return p.eng.obs }
+// Obs returns the observability recorder this process must emit into (nil
+// when observability is off). Solver drivers wrap it in a per-rank
+// obs.Scope. On a sharded run this is the lane's journal recorder — driver
+// emissions are buffered with the scheduler's own and replayed in merged
+// commit order, so the export is identical to a single-lane run.
+func (p *Proc) Obs() *obs.Recorder {
+	if p.ln != nil {
+		return p.ln.obsRec()
+	}
+	return p.eng.obs
+}
 
 // chargeFlops advances the clock and work statistics by flops at the host's
 // speed, without yielding. Under a fault plan the work pauses across outage
@@ -777,8 +821,9 @@ func (p *Proc) chargeFlops(flops float64) {
 	p.ComputeTime += dt
 	p.FlopsDone += flops
 	// Serialized emission point: either the process goroutine is the unique
-	// runner, or the scheduler is collecting a deferred segment's charge.
-	if o := p.eng.obs; o != nil && p.clock > start {
+	// runner in its lane, or the lane scheduler is collecting a deferred
+	// segment's charge.
+	if o := p.ln.obsRec(); o != nil && p.clock > start {
 		o.Span(obs.Span{Track: p.Name, Cat: obs.CatCompute, Name: "compute",
 			Start: start, End: p.clock, Flops: flops})
 	}
@@ -787,7 +832,7 @@ func (p *Proc) chargeFlops(flops float64) {
 // Compute charges flops of work at the host's speed and advances the clock.
 func (p *Proc) Compute(flops float64) {
 	p.chargeFlops(flops)
-	p.state = stateReady
+	p.setSt(stateReady)
 	p.yield()
 }
 
@@ -808,14 +853,14 @@ func (p *Proc) ComputeFunc(flops float64, fn func()) {
 	p.chargeFlops(flops)
 	if p.eng.workers <= 1 {
 		fn()
-		p.state = stateReady
+		p.setSt(stateReady)
 		p.yield()
 		return
 	}
 	p.eng.startPool()
 	p.computing = make(chan struct{})
 	p.fnPanic = nil
-	p.state = stateComputing
+	p.setSt(stateComputing)
 	p.eng.jobs <- &computeJob{p: p, fn: fn}
 	p.yield()
 	// The scheduler has already waited for the segment; surface its panic on
@@ -851,7 +896,7 @@ func (p *Proc) ComputeFunc(flops float64, fn func()) {
 func (p *Proc) ComputeDeferred(fn func() float64) {
 	if p.eng.workers <= 1 {
 		p.chargeFlops(fn())
-		p.state = stateReady
+		p.setSt(stateReady)
 		p.yield()
 		return
 	}
@@ -859,7 +904,7 @@ func (p *Proc) ComputeDeferred(fn func() float64) {
 	p.computing = make(chan struct{})
 	p.fnPanic = nil
 	p.deferredFlops = 0
-	p.state = stateDeferred
+	p.setSt(stateDeferred)
 	p.eng.jobs <- &computeJob{p: p, fn: func() { p.deferredFlops = fn() }}
 	p.yield()
 	if r := p.fnPanic; r != nil {
@@ -873,12 +918,12 @@ func (p *Proc) Sleep(dt float64) {
 	if dt < 0 {
 		panic("vgrid: negative sleep")
 	}
-	if o := p.eng.obs; o != nil && dt > 0 {
+	if o := p.ln.obsRec(); o != nil && dt > 0 {
 		o.Span(obs.Span{Track: p.Name, Cat: obs.CatSleep, Name: "sleep",
 			Start: p.clock, End: p.clock + dt})
 	}
 	p.clock += dt
-	p.state = stateReady
+	p.setSt(stateReady)
 	p.yield()
 }
 
@@ -916,7 +961,15 @@ func (p *Proc) SendFloatsFate(dst *Proc, tag int, floats []float64, bytes int) (
 }
 
 // sendFate carries the shared transmission logic; exactly one of
-// payload/floats is non-nil (or both nil for a bare signal).
+// payload/floats is non-nil (or both nil for a bare signal). On a sharded
+// engine every inter-cluster send first parks for its serialized WAN turn
+// (coordinated by (send time, process ID), so shared link state — the WAN
+// backbone and cluster uplinks, which lanes other than the sender's also
+// route through — is updated in exactly the global sequential order); a
+// send whose destination lives on another lane additionally deposits into
+// the target lane's inbox instead of the mailbox, and the coordinator
+// applies the inbox at the next window barrier, which the lookahead
+// guarantees is early enough.
 func (p *Proc) sendFate(dst *Proc, tag int, payload any, floats []float64, bytes int) (delivered bool, err error) {
 	if bytes < 0 {
 		panic("vgrid: negative message size")
@@ -926,6 +979,16 @@ func (p *Proc) sendFate(dst *Proc, tag int, payload any, floats []float64, bytes
 	links, err := e.Platform.Route(p.host, dst.host)
 	if err != nil {
 		return false, err
+	}
+	cross := e.sharded && dst.ln != p.ln
+	serialize := e.sharded && links != nil && !e.Platform.SameCluster(p.host, dst.host)
+	if serialize {
+		req := &wanReq{t: p.clock, id: p.ID, grant: make(chan struct{})}
+		e.parkCh <- parkMsg{ln: p.ln, wan: req}
+		<-req.grant
+	}
+	if e.sharded && links != nil {
+		p.ln.markLinks(links, serialize)
 	}
 	var latency, pushTime float64
 	start := p.clock
@@ -969,7 +1032,7 @@ func (p *Proc) sendFate(dst *Proc, tag int, payload any, floats []float64, bytes
 		}
 		pushTime = float64(bytes) / bw
 		for _, l := range links {
-			if o := e.obs; o != nil {
+			if o := p.ln.obsRec(); o != nil {
 				qd := 0.0
 				if l.Mode == SharingFIFO && l.nextFree > t0 {
 					// nextFree still holds the pre-update value, so this is
@@ -989,14 +1052,23 @@ func (p *Proc) sendFate(dst *Proc, tag int, payload any, floats []float64, bytes
 		}
 	}
 	arrival := start + pushTime + latency
-	e.seq++
+	if e.sharded && arrival <= p.clock {
+		panic(fmt.Sprintf("vgrid: zero-delay message %s -> %s: sharded scheduling needs strictly positive message delay (run with a single lane)", p.Name, dst.Name))
+	}
+	// The per-sender sequence number: the sender's ID in the high bits,
+	// its own send counter in the low bits. Unique across the run and a
+	// pure function of the sender's history, so the seeded per-message
+	// loss verdict (dropU01) and the obs Seq/Cause attributes are
+	// identical for any lane or worker count.
+	p.sendSeq++
+	seq := int64(p.ID+1)<<40 | p.sendSeq
 	dropReason := ""
 	if fs != nil {
 		if fs.down(dst.host, arrival) {
 			dropReason = "down"
 		} else {
 			for _, l := range links {
-				if pr := fs.dropProb(l, t0); pr > 0 && dropU01(fs.plan.Seed, l.Name, e.seq) < pr {
+				if pr := fs.dropProb(l, t0); pr > 0 && dropU01(fs.plan.Seed, l.Name, seq) < pr {
 					dropReason = "loss"
 					break
 				}
@@ -1004,7 +1076,7 @@ func (p *Proc) sendFate(dst *Proc, tag int, payload any, floats []float64, bytes
 		}
 	}
 	if dropReason == "" {
-		m := e.getMessage()
+		m := p.ln.getMessage()
 		*m = Message{
 			From:    p.ID,
 			To:      dst.ID,
@@ -1014,17 +1086,24 @@ func (p *Proc) sendFate(dst *Proc, tag int, payload any, floats []float64, bytes
 			Bytes:   bytes,
 			SentAt:  p.clock,
 			Arrival: arrival,
-			seq:     e.seq,
+			seq:     seq,
 		}
-		dst.mailbox = append(dst.mailbox, m)
-		e.noteDeposit(dst, m)
-		if e.Trace != nil {
-			e.Trace(fmt.Sprintf("t=%.6f %s send to=%s tag=%d bytes=%d arrive=%.6f", p.clock, p.Name, dst.Name, tag, bytes, arrival))
+		if cross {
+			if arrival < e.horizon {
+				panic(fmt.Sprintf("vgrid: lookahead violated: %s -> %s arrives at %.9f inside window horizon %.9f; bound the lookahead with Engine.SetLookahead", p.Name, dst.Name, arrival, e.horizon))
+			}
+			dst.ln.inbox = append(dst.ln.inbox, m)
+		} else {
+			dst.mailbox = append(dst.mailbox, m)
+			p.ln.noteDeposit(dst, m)
 		}
-	} else if e.Trace != nil {
-		e.Trace(fmt.Sprintf("t=%.6f %s drop to=%s tag=%d bytes=%d reason=%s", p.clock, p.Name, dst.Name, tag, bytes, dropReason))
+		if p.ln.traceOn() {
+			p.ln.trace(fmt.Sprintf("t=%.6f %s send to=%s tag=%d bytes=%d arrive=%.6f", p.clock, p.Name, dst.Name, tag, bytes, arrival))
+		}
+	} else if p.ln.traceOn() {
+		p.ln.trace(fmt.Sprintf("t=%.6f %s drop to=%s tag=%d bytes=%d reason=%s", p.clock, p.Name, dst.Name, tag, bytes, dropReason))
 	}
-	if o := e.obs; o != nil {
+	if o := p.ln.obsRec(); o != nil {
 		route := "loopback"
 		if links != nil {
 			route = e.Platform.routeLabel(p.host, dst.host, links)
@@ -1034,7 +1113,7 @@ func (p *Proc) sendFate(dst *Proc, tag int, payload any, floats []float64, bytes
 			To: dst.Name, Tag: tag, Queue: start - t0})
 		net := obs.Span{Track: "net", Cat: obs.CatNet, Name: p.Name + ">" + dst.Name,
 			Start: start, End: arrival, Bytes: int64(bytes), From: p.Name,
-			To: dst.Name, Link: route, Tag: tag, Seq: e.seq, Queue: start - t0}
+			To: dst.Name, Link: route, Tag: tag, Seq: seq, Queue: start - t0}
 		if dropReason != "" {
 			net.Note = dropReason
 			o.Count("msg_drops", p.Name, 1)
@@ -1046,21 +1125,21 @@ func (p *Proc) sendFate(dst *Proc, tag int, payload any, floats []float64, bytes
 	if e.Platform.SameCluster(p.host, dst.host) {
 		p.IntraBytes += int64(bytes)
 		p.IntraMsgs++
-		if o := e.obs; o != nil {
+		if o := p.ln.obsRec(); o != nil {
 			o.Count(obs.CntClusterBytes, "intra", float64(bytes))
 			o.Count(obs.CntClusterMsgs, "intra", 1)
 		}
 	} else {
 		p.InterBytes += int64(bytes)
 		p.InterMsgs++
-		if o := e.obs; o != nil {
+		if o := p.ln.obsRec(); o != nil {
 			o.Count(obs.CntClusterBytes, "inter", float64(bytes))
 			o.Count(obs.CntClusterMsgs, "inter", 1)
 		}
 	}
 	// The sender is busy until its bytes are on the wire.
 	p.clock = start + pushTime
-	p.state = stateReady
+	p.setSt(stateReady)
 	p.yield()
 	return dropReason == "", nil
 }
@@ -1070,7 +1149,7 @@ func (p *Proc) sendFate(dst *Proc, tag int, payload any, floats []float64, bytes
 func (p *Proc) Recv(src, tag int) *Message {
 	p.matchSrc, p.matchTag = src, tag
 	p.matchDeadline = math.Inf(1)
-	p.state = stateBlocked
+	p.setSt(stateBlocked)
 	p.lastBlockedAt = p.clock
 	// Seed the index's pending match with a one-time mailbox scan; later
 	// deposits improve it incrementally (noteDeposit).
@@ -1096,7 +1175,7 @@ func (p *Proc) RecvTimeout(src, tag int, timeout float64) *Message {
 	}
 	p.matchSrc, p.matchTag = src, tag
 	p.matchDeadline = p.clock + timeout
-	p.state = stateBlocked
+	p.setSt(stateBlocked)
 	p.lastBlockedAt = p.clock
 	p.pendingMatch = p.earliestMatch()
 	p.yield()
@@ -1114,7 +1193,7 @@ func (p *Proc) RecvTimeout(src, tag int, timeout float64) *Message {
 // the answer is causally exact.
 func (p *Proc) TryRecv(src, tag int) *Message {
 	// Park at the current clock so every earlier event is finalized.
-	p.state = stateReady
+	p.setSt(stateReady)
 	p.yield()
 	var best *Message
 	for _, m := range p.mailbox {
@@ -1144,7 +1223,7 @@ func (p *Proc) removeMessage(m *Message) {
 // Pending reports how many mailbox messages match (src, tag) and have
 // arrived by the current clock. Like TryRecv it synchronizes first.
 func (p *Proc) Pending(src, tag int) int {
-	p.state = stateReady
+	p.setSt(stateReady)
 	p.yield()
 	n := 0
 	for _, m := range p.mailbox {
