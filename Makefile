@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-json-smoke bench-eventcore bench-eventcore-smoke bench-eventshard bench-eventshard-smoke lint-docs verify
+.PHONY: all build test race vet bench bench-json bench-json-smoke bench-eventcore bench-eventcore-smoke bench-eventshard bench-eventshard-smoke bench-twostage bench-twostage-smoke lint-docs verify
 
 all: verify
 
@@ -19,7 +19,7 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 -run 'TestObsDeterministicAcrossWorkers' ./internal/obs
-	$(GO) test -race -count=2 -run 'TestGatewaySyncByteIdentical|TestGatewayWorkersDeterministic' ./internal/core
+	$(GO) test -race -count=2 -run 'TestGatewaySyncByteIdentical|TestGatewayWorkersDeterministic|TestTwoStageDeterministicAcrossLanesAndWorkers' ./internal/core
 	$(GO) test -race -count=2 -run 'TestSchedulerIndexMatchesScanUnderFaults|TestSyntheticTraceByteIdenticalAcrossWorkers|TestDeferredLowerBoundResolvesLate|TestShardedMatchesSingleLaneUnderFaults' ./internal/vgrid
 
 vet:
@@ -65,10 +65,21 @@ bench-eventshard:
 bench-eventshard-smoke:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkEventHandoff' -benchtime 1x -o BENCH_eventshard.json
 
+# Machine-readable baseline of the two-stage solver: the sync and async
+# wide-band runs with their work split (inner-flops + inner-sweeps for the
+# repeated relaxation sweeps, factor-flops for the narrow band
+# preconditioner factorizations they replace the exact LU with).
+bench-twostage:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkTwoStage' -benchtime 5x -o BENCH_twostage.json
+
+# One-iteration smoke of the two-stage pipeline, part of verify.
+bench-twostage-smoke:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkTwoStage' -benchtime 1x -o BENCH_twostage.json
+
 # Fails on any exported identifier of the simulator, the solver core, the
 # observability layer, the messaging/context plumbing or the platform layer
 # that lacks a doc comment.
 lint-docs:
-	$(GO) run ./cmd/lintdocs internal/vgrid internal/core internal/obs internal/mp internal/simctx internal/plan internal/cluster
+	$(GO) run ./cmd/lintdocs internal/vgrid internal/core internal/obs internal/mp internal/simctx internal/plan internal/cluster internal/iterative internal/splu
 
-verify: build vet lint-docs test race bench-json-smoke bench-eventcore-smoke bench-eventshard-smoke
+verify: build vet lint-docs test race bench-json-smoke bench-eventcore-smoke bench-eventshard-smoke bench-twostage-smoke

@@ -431,3 +431,43 @@ func BenchmarkEventHandoff(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTwoStage measures the two-stage multisplitting solver on the
+// wide-band workload, reporting the work split the mode is designed around:
+// cheap repeated inner sweeps (inner-flops, inner-sweeps) in place of the
+// exact band factorization the stationary solver pays up front
+// (factor-flops).
+func BenchmarkTwoStage(b *testing.B) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 3000, Band: 220, PerRow: 10, Negative: true, Seed: 220})
+	rhs, _ := gen.RHSForSolution(a)
+	for _, bc := range []struct {
+		name  string
+		async bool
+	}{{"sync", false}, {"async", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var sweeps, innerFlops, factFlops float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plt := repro.Cluster3(repro.MemUnlimited)
+				res, err := repro.Solve(plt.Platform, plt.Hosts, a, rhs, repro.Options{
+					Tol:      1e-8,
+					Async:    bc.async,
+					TwoStage: core.TwoStage{InnerIters: 4},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.InnerSweeps == 0 {
+					b.Fatal("no inner sweeps recorded")
+				}
+				sweeps += float64(res.InnerSweeps)
+				innerFlops += res.InnerFlops
+				factFlops += res.FactorFlops
+			}
+			n := float64(b.N)
+			b.ReportMetric(sweeps/n, "inner-sweeps")
+			b.ReportMetric(innerFlops/n, "inner-flops")
+			b.ReportMetric(factFlops/n, "factor-flops")
+		})
+	}
+}

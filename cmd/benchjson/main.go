@@ -1,7 +1,8 @@
 // Command benchjson runs `go test -bench` over a benchmark selection and
 // rewrites the textual output as a JSON report: one record per benchmark with
 // ns/op, B/op, allocs/op and any custom metrics keyed by unit. The per-phase
-// solver units (factor-flops, refactor-flops, bytes-moved, wait-share) are
+// solver units (factor-flops, refactor-flops, inner-flops, inner-sweeps,
+// bytes-moved, wait-share) are
 // lifted into a structured "breakdown" object. It exists so CI can archive
 // machine-readable benchmark baselines (make bench-json →
 // BENCH_refactor.json) without depending on external benchmark-parsing
@@ -37,7 +38,8 @@ type Record struct {
 
 // Breakdown is the per-phase solver breakdown, lifted out of the generic
 // metric map when a benchmark reports the recognized units (factor-flops,
-// refactor-flops, bytes-moved, wait-share, the cluster traffic split
+// refactor-flops, the two-stage split inner-flops/inner-sweeps, bytes-moved,
+// wait-share, the cluster traffic split
 // intra-bytes/inter-bytes/intra-msgs/inter-msgs, the event-core scale pair
 // sim-events/sim-wall-clock, and the scheduler-synchronization pair
 // sim-commits/sim-syncs the sharded-core benchmarks report).
@@ -46,6 +48,8 @@ type Breakdown struct {
 	RefactorFlops *float64 `json:"refactor_flops,omitempty"`
 	BytesMoved    *float64 `json:"bytes_moved,omitempty"`
 	WaitShare     *float64 `json:"wait_share,omitempty"`
+	InnerFlops    *float64 `json:"inner_flops,omitempty"`
+	InnerSweeps   *float64 `json:"inner_sweeps,omitempty"`
 	IntraBytes    *float64 `json:"intra_cluster_bytes,omitempty"`
 	InterBytes    *float64 `json:"inter_cluster_bytes,omitempty"`
 	IntraMsgs     *float64 `json:"intra_cluster_msgs,omitempty"`
@@ -62,6 +66,7 @@ type Breakdown struct {
 func (r *Record) breakdownSlot(unit string) **float64 {
 	switch unit {
 	case "factor-flops", "refactor-flops", "bytes-moved", "wait-share",
+		"inner-flops", "inner-sweeps",
 		"intra-bytes", "inter-bytes", "intra-msgs", "inter-msgs",
 		"sim-events", "sim-wall-clock", "sim-commits", "sim-syncs":
 	default:
@@ -77,6 +82,10 @@ func (r *Record) breakdownSlot(unit string) **float64 {
 		return &r.Breakdown.RefactorFlops
 	case "bytes-moved":
 		return &r.Breakdown.BytesMoved
+	case "inner-flops":
+		return &r.Breakdown.InnerFlops
+	case "inner-sweeps":
+		return &r.Breakdown.InnerSweeps
 	case "intra-bytes":
 		return &r.Breakdown.IntraBytes
 	case "inter-bytes":

@@ -91,3 +91,26 @@ func TestParseRejectsEmpty(t *testing.T) {
 		t.Fatal("expected error on output with no benchmarks")
 	}
 }
+
+func TestParseTwoStageUnits(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTwoStage/sync-8 	       2	 500000 ns/op	         1.20e+07 inner-flops	       280 inner-sweeps	         4.8e+05 factor-flops	    1024 B/op	      12 allocs/op
+PASS
+`
+	rep, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d, want 1", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0].Breakdown
+	if b == nil || b.InnerFlops == nil || b.InnerSweeps == nil || b.FactorFlops == nil {
+		t.Fatalf("two-stage units not lifted: %+v", b)
+	}
+	if *b.InnerFlops != 1.2e7 || *b.InnerSweeps != 280 {
+		t.Fatalf("inner breakdown = %g / %g", *b.InnerFlops, *b.InnerSweeps)
+	}
+}

@@ -6,12 +6,12 @@
 //	msexp [-scale N] [-csv] [-quiet] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 figure3 faultsweep utilization
-// topology clustergrid eventshard (default: all). -scale divides the paper's matrix
-// dimensions (default 16; 8 gives a closer, slower run; 1 is the paper's
-// exact sizes, only practical for the generated banded matrices). -csv emits
-// comma-separated values instead of aligned text (handy for plotting
-// figure3). -fault-seed reseeds the deterministic fault injection of the
-// faultsweep experiment.
+// topology clustergrid eventshard twostage (default: all). -scale divides the
+// paper's matrix dimensions (default 16; 8 gives a closer, slower run; 1 is
+// the paper's exact sizes, only practical for the generated banded matrices).
+// -csv emits comma-separated values instead of aligned text (handy for
+// plotting figure3). -fault-seed reseeds the deterministic fault injection of
+// the faultsweep experiment.
 //
 // The clustergrid experiment times the event core itself on generated grids
 // (indexed scheduler vs the O(P) reference scan); -hosts/-clusters replace
@@ -19,6 +19,11 @@
 // size. The eventshard experiment compares the sharded event core
 // (per-cluster scheduler lanes, -lanes) against the single-lane scheduler
 // on the same grids and honours -hosts/-clusters the same way.
+//
+// The twostage experiment sweeps the two-stage solver's inner sweep count
+// against the exact-band baseline on cluster3, then demonstrates the memory
+// wall (a budget where only two-stage completes); -inner-schedule, -omega
+// and -precond-band override its inner-solve parameters.
 //
 // The utilization experiment honours the observability flags: -trace-json
 // PREFIX writes a Perfetto trace per run to PREFIX-<cluster>-<solver>.json,
@@ -49,6 +54,9 @@ func main() {
 	critPath := flag.Bool("critical-path", false, "utilization: append each run's top critical-path segments to the table notes")
 	synHosts := flag.Int("hosts", 0, "clustergrid: run on a single generated grid of this many hosts instead of the default scale sweep")
 	synClust := flag.Int("clusters", 1, "clustergrid: cluster count of the -hosts grid")
+	innerSched := flag.String("inner-schedule", "", "twostage: inner-sweep schedule (fixed, ramp or residual; empty = fixed)")
+	omega := flag.Float64("omega", 0, "twostage: inner relaxation weight in (0, 2) (0 = default 1)")
+	pcBand := flag.Int("precond-band", 0, "twostage: preconditioner half-bandwidth (0 = default 16)")
 	flag.Parse()
 
 	var progress io.Writer
@@ -59,6 +67,7 @@ func main() {
 		Scale: *scale, Progress: progress, Workers: *workers, FaultSeed: *faultSeed,
 		TraceJSON: *traceJSON, MetricsOut: *metricsOut, CriticalPath: *critPath,
 		SynthHosts: *synHosts, SynthClusters: *synClust,
+		TwoStageSchedule: *innerSched, TwoStageOmega: *omega, TwoStagePrecondBand: *pcBand,
 	}
 	if *lanes == 0 {
 		cfg.Lanes = -1 // auto: one lane per cluster

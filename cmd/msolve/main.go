@@ -96,6 +96,11 @@ func main() {
 		dropLink   = flag.String("drop-link", "wan", "name of the link losing messages (cluster3's inter-site link is \"wan\")")
 		crash      = flag.String("crash", "", "crash schedule: comma-separated host@from:until windows in virtual seconds (until may be inf)")
 		faultSeed  = flag.Int64("fault-seed", 42, "seed of the deterministic fault injection")
+		twoStage   = flag.Bool("two-stage", false, "solve each band by inner relaxation sweeps on a narrow band preconditioner instead of an exact factorization (reaches matrices whose LU fill does not fit in memory)")
+		inner      = flag.Int("inner", 4, "inner sweeps per outer iteration in -two-stage mode")
+		innerSched = flag.String("inner-schedule", "fixed", "inner-sweep schedule in -two-stage mode: fixed, ramp or residual")
+		omega      = flag.Float64("omega", 1, "inner relaxation weight in (0, 2) for -two-stage mode")
+		pcBand     = flag.Int("precond-band", 16, "half-bandwidth of the band preconditioner in -two-stage mode")
 	)
 	flag.Parse()
 	if *matrixPath == "" {
@@ -118,7 +123,11 @@ func main() {
 	synth := synthSpec{hosts: *synHosts, clusters: *synClust, het: *synHet, seed: *synSeed}
 	faults := faultSpec{drop: *drop, dropLink: *dropLink, crash: *crash, seed: *faultSeed, ft: *ft}
 	ospec := obsSpec{traceJSON: *traceJSON, metricsOut: *metricsOut, critPath: *critPath}
-	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *topo, *gateway, *schemeName, *solverName, *clusterTyp, synth, *tol, *cond, *trace, *workers, *lanes, *outPath, faults, ospec); err != nil {
+	var ts core.TwoStage
+	if *twoStage {
+		ts = core.TwoStage{InnerIters: *inner, Schedule: *innerSched, Omega: *omega, PrecondBand: *pcBand}
+	}
+	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *topo, *gateway, *schemeName, *solverName, *clusterTyp, synth, *tol, *cond, *trace, *workers, *lanes, *outPath, faults, ospec, ts); err != nil {
 		fmt.Fprintln(os.Stderr, "msolve:", err)
 		os.Exit(1)
 	}
@@ -232,7 +241,7 @@ func (fs faultSpec) plan() (*vgrid.FaultPlan, error) {
 	return fp, nil
 }
 
-func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bool, schemeName, solverName, clusterTyp string, synth synthSpec, tol float64, cond, trace bool, workers, lanes int, outPath string, faults faultSpec, ospec obsSpec) error {
+func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bool, schemeName, solverName, clusterTyp string, synth synthSpec, tol float64, cond, trace bool, workers, lanes int, outPath string, faults faultSpec, ospec obsSpec, ts core.TwoStage) error {
 	a, err := mmio.ReadMatrixAuto(matrixPath)
 	if err != nil {
 		return err
@@ -361,6 +370,7 @@ func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bo
 		TopoCollectives: topo,
 		Gateway:         gateway,
 		FaultTolerant:   faults.ft,
+		TwoStage:        ts,
 	})
 	if err != nil {
 		return err
@@ -398,6 +408,10 @@ func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bo
 		a.Rows, a.NNZ(), len(hosts), mode, schemeName, solverName, overlap)
 	fmt.Printf("virtual time %.4fs (factorization %.4fs), iterations %d, traffic %d bytes in %d messages\n",
 		res.Time, res.FactorTime, res.Iterations, res.BytesSent, res.MsgsSent)
+	if res.InnerSweeps > 0 {
+		fmt.Printf("two-stage: %d inner sweeps (%s schedule, omega %g, band %d), %.3g inner flops vs %.3g factor flops, %d fallbacks\n",
+			res.InnerSweeps, ts.Schedule, ts.Omega, ts.PrecondBand, res.InnerFlops, res.FactorFlops, res.TwoStageFallbacks)
+	}
 	fmt.Printf("cluster traffic: intra %d bytes in %d messages, inter %d bytes in %d messages\n",
 		res.IntraBytes, res.IntraMsgs, res.InterBytes, res.InterMsgs)
 

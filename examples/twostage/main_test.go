@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmall executes the example end to end on a small matrix: the exact
+// solver must hit the memory wall ("nem") while every two-stage row
+// converges under the same per-host budget.
+func TestRunSmall(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 3000); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	var exact, twoStage []string
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		switch {
+		case strings.HasPrefix(l, "exact multisplitting"):
+			exact = append(exact, l)
+		case strings.HasPrefix(l, "two-stage"):
+			twoStage = append(twoStage, l)
+		}
+	}
+	if len(exact) != 1 || len(twoStage) != 3 {
+		t.Fatalf("want 1 exact + 3 two-stage rows, got %d + %d:\n%s", len(exact), len(twoStage), got)
+	}
+	if !strings.Contains(exact[0], "nem") {
+		t.Fatalf("exact row did not hit the memory wall:\n%s", exact[0])
+	}
+	for _, r := range twoStage {
+		if !strings.Contains(r, "it") || !strings.Contains(r, "inner sweeps") {
+			t.Fatalf("two-stage row did not converge:\n%s", r)
+		}
+	}
+}

@@ -127,6 +127,15 @@ type Options struct {
 	// a flat platform the option is a no-op. Incompatible with
 	// BandsPerProc > 1.
 	Gateway bool
+	// TwoStage enables the two-stage (inner-iterative) solver mode: each
+	// band's inner solve becomes a scheduled number of relaxation sweeps
+	// preconditioned by a narrow band LU instead of the exact band
+	// factorization, which keeps factorization memory O(n·width) and opens
+	// problem sizes where the exact method runs out of memory. Composes
+	// with every exchange policy, fault tolerance, gateway aggregation and
+	// sharded lanes; incompatible with BandsPerProc > 1. See twostage.go
+	// and DESIGN.md §14.
+	TwoStage TwoStage
 }
 
 func (o *Options) withDefaults() Options {
@@ -154,6 +163,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.DeadRankTimeout == 0 {
 		out.DeadRankTimeout = 1
+	}
+	if out.TwoStage.enabled() {
+		out.TwoStage = out.TwoStage.withDefaults()
 	}
 	return out
 }
@@ -193,6 +205,20 @@ type Result struct {
 	// the per-rank counters through an atomic aggregation point (safe under
 	// the parallel scheduler).
 	TotalFlops float64
+	// FactorFlops is the factorization arithmetic summed over the
+	// single-band engine's ranks: the band preconditioner factors in
+	// two-stage mode (plus any fallback factorization), the exact band LU
+	// otherwise. The inner-sweep/factor split is the two-stage economy the
+	// benchmarks record.
+	FactorFlops float64
+	// InnerSweeps totals the two-stage inner relaxation sweeps across ranks
+	// (zero in exact mode).
+	InnerSweeps int64
+	// InnerFlops totals the arithmetic spent inside those sweeps.
+	InnerFlops float64
+	// TwoStageFallbacks counts the ranks whose inner iteration diverged and
+	// fell back to the exact band solve.
+	TwoStageFallbacks int
 }
 
 // Pending is a solve registered on an engine; read the Result after the
@@ -291,6 +317,12 @@ func Launch(e *vgrid.Engine, hosts []*vgrid.Host, a *sparse.CSR, b []float64, op
 	}
 	if multiband && o.Gateway {
 		return nil, errors.New("core: BandsPerProc > 1 is incompatible with Gateway")
+	}
+	if err := o.TwoStage.validate(); err != nil {
+		return nil, err
+	}
+	if multiband && o.TwoStage.enabled() {
+		return nil, errors.New("core: BandsPerProc > 1 is incompatible with TwoStage")
 	}
 	if o.Gateway || o.TopoCollectives {
 		if err := e.Platform.ValidateTopology(); err != nil {

@@ -53,6 +53,15 @@ type rankState struct {
 	// non-finite iterate through the diverged flag.
 	stepFn   func()
 	diverged bool
+	// factFlops accumulates this rank's factorization arithmetic (exact LU
+	// or band preconditioner, plus any two-stage fallback factor) for
+	// Result.FactorFlops.
+	factFlops float64
+
+	// ts is the two-stage inner-iteration state (nil in exact mode; see
+	// twostage.go). While active, stepFn points at tsStep and the declared
+	// step cost varies with the schedule's sweep count.
+	ts *twoStageState
 
 	// cp is the shared communication plan; rp is this rank's view (one
 	// packed message per peer per iteration, see internal/plan).
@@ -105,33 +114,51 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 	}
 	factStart := c.Now()
 	factFlops0 := ctx.Counter.Flops()
-	solver := o.Solver
-	if o.SolverPerRank != nil && o.SolverPerRank[rank] != nil {
-		solver = o.SolverPerRank[rank]
+	factName := "factor"
+	// Two-stage mode factors the narrow band preconditioner instead of the
+	// full band LU — O(n·width) memory instead of the LU fill (twostage.go).
+	// A singular preconditioner band falls through to the exact path.
+	if o.TwoStage.enabled() {
+		built, err := st.buildTwoStage()
+		if err != nil {
+			return nil, 0, err
+		}
+		if built {
+			factName = "precond-factor"
+		}
 	}
-	// The factorization's cost depends on the fill it discovers, so it is a
-	// deferred segment: it runs on the worker pool (overlapping the other
-	// ranks' factorizations) and its counted flops are charged on completion.
-	// Reading fact/factErr right after the call is safe: ComputeDeferred's
-	// commit guarantee (see vgrid) is that fn has completed and its writes
-	// are visible before the call returns, for any worker count.
-	var fact splu.Factorization
-	var factErr error
-	c.ComputeDeferred(func() float64 {
-		fact, factErr = solver.Factor(st.sub, ctx.Cnt())
-		return ctx.Counter.Flops() - ctx.Charged
-	})
-	if factErr != nil {
-		return nil, 0, fmt.Errorf("rank %d: %w", rank, factErr)
+	if st.ts == nil {
+		solver := o.Solver
+		if o.SolverPerRank != nil && o.SolverPerRank[rank] != nil {
+			solver = o.SolverPerRank[rank]
+		}
+		// The factorization's cost depends on the fill it discovers, so it is a
+		// deferred segment: it runs on the worker pool (overlapping the other
+		// ranks' factorizations) and its counted flops are charged on completion.
+		// Reading fact/factErr right after the call is safe: ComputeDeferred's
+		// commit guarantee (see vgrid) is that fn has completed and its writes
+		// are visible before the call returns, for any worker count.
+		var fact splu.Factorization
+		var factErr error
+		c.ComputeDeferred(func() float64 {
+			fact, factErr = solver.Factor(st.sub, ctx.Cnt())
+			return ctx.Counter.Flops() - ctx.Charged
+		})
+		if factErr != nil {
+			return nil, 0, fmt.Errorf("rank %d: %w", rank, factErr)
+		}
+		st.fact = fact
 	}
-	st.fact = fact
 	factTime := c.Now() - factStart
+	st.factFlops = ctx.Counter.Flops() - factFlops0
 	if sc := ctx.Observe(); sc != nil {
-		sc.Span(obs.Span{Cat: obs.CatFact, Name: "factor",
-			Start: factStart, End: c.Now(), Flops: ctx.Counter.Flops() - factFlops0})
+		sc.Span(obs.Span{Cat: obs.CatFact, Name: factName,
+			Start: factStart, End: c.Now(), Flops: st.factFlops})
 	}
-	if err := ctx.Alloc(fact.Bytes()); err != nil {
-		return nil, 0, err
+	if st.fact != nil {
+		if err := ctx.Alloc(st.fact.Bytes()); err != nil {
+			return nil, 0, err
+		}
 	}
 
 	// --- Iteration state over the shared plan: per-peer receive groups with
@@ -145,7 +172,11 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 	for _, g := range st.rp.Recv {
 		recvVals += g.Vals
 	}
-	arena := make([]float64, 3*sz+len(st.depCols)+sendCap+2*ng+recvVals)
+	scratch := 0
+	if st.ts != nil {
+		scratch = 2 * sz // inner-sweep residual + correction vectors
+	}
+	arena := make([]float64, 3*sz+scratch+len(st.depCols)+sendCap+2*ng+recvVals)
 	take := func(n int) []float64 {
 		s := arena[:n:n]
 		arena = arena[n:]
@@ -154,6 +185,10 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 	st.xSub = take(sz)
 	st.xPrev = take(sz)
 	st.rhs = take(sz)
+	if st.ts != nil {
+		st.ts.r = take(sz)
+		st.ts.t = take(sz)
+	}
 	st.z = take(len(st.depCols))
 	st.sendBuf = take(sendCap)[:0]
 	st.recvGroupByPeer = map[int]int{}
@@ -177,9 +212,15 @@ func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d
 
 	// SpMV counts 2·nnz, the triangular solves a factor-determined constant,
 	// the difference norm 2·n — all exact integers, so the declared cost
-	// matches the counted flops bit for bit.
-	st.stepFlops = 2*float64(st.depMat.NNZ()) + fact.SolveFlops() + 2*float64(band.Size())
-	st.stepFn = st.step
+	// matches the counted flops bit for bit. In two-stage mode the step cost
+	// varies with the schedule's sweep count and is computed per iteration
+	// (twoStageState.stageCost).
+	if st.ts != nil {
+		st.stepFn = st.tsStep
+	} else {
+		st.stepFlops = 2*float64(st.depMat.NNZ()) + st.fact.SolveFlops() + 2*float64(band.Size())
+		st.stepFn = st.step
+	}
 	return st, factTime, nil
 }
 
@@ -274,6 +315,9 @@ func (st *rankState) packVals(g *plan.PeerIO, buf []float64) []float64 {
 // pure compute segment with an analytically known cost, so it is declared up
 // front and its arithmetic overlaps other ranks' segments on the worker pool.
 func (st *rankState) iterate() error {
+	if st.ts != nil && !st.ts.fellBack {
+		return st.iterateTwoStage()
+	}
 	st.diverged = false
 	st.c.ComputeSeg(st.stepFlops, st.stepFn)
 	if st.diverged {
@@ -422,6 +466,12 @@ func msRankRun(st *rankState, pend *Pending, factTime float64) error {
 		pend.res.X = x
 	}
 
+	if st.ts != nil {
+		pend.res.InnerSweeps += st.ts.totalSweeps
+		pend.res.InnerFlops += st.ts.innerFlops
+		pend.res.TwoStageFallbacks += st.ts.fallbacks
+	}
+	pend.res.FactorFlops += st.factFlops
 	pend.finishRank(c, st.ctx, st.iter, factTime, converged)
 	return nil
 }

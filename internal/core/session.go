@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/iterative"
 	"repro/internal/mp"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -31,6 +32,12 @@ type SeqSession struct {
 	// NoRefactor forces a full factorization on every Resolve (the per-step
 	// Factor baseline, kept for ablation measurements).
 	NoRefactor bool
+	// TwoStage, when enabled, replaces each band's exact inner solve with
+	// scheduled preconditioned relaxation sweeps (see Options.TwoStage; the
+	// nonlinear driver passes its Inner options through here). Set it
+	// before the first Resolve. A band whose inner iteration diverges falls
+	// back to the exact factorization for the rest of the session.
+	TwoStage TwoStage
 
 	a       *sparse.CSR // pattern template; values refreshed by Resolve
 	d       *Decomposition
@@ -51,6 +58,19 @@ type SeqSession struct {
 	// FactorFlops accumulates the flops spent factoring and refactorizing
 	// across all Resolves (the quantity the refactorization economy shrinks).
 	FactorFlops float64
+	// InnerSweeps accumulates the two-stage inner sweeps across Resolves
+	// (zero in exact mode).
+	InnerSweeps int64
+	// TwoStageFallbacks counts the bands that abandoned the inner iteration
+	// after divergence.
+	TwoStageFallbacks int
+
+	// Two-stage state: per-band preconditioners (nil entries run exact),
+	// schedules and shared sweep scratch.
+	ts     TwoStage
+	pcs    []splu.Preconditioner
+	scheds []innerSchedule
+	tr, tt []float64
 }
 
 // NewSeqSession prepares a sequential session for the pattern of a. The
@@ -122,8 +142,35 @@ func (s *SeqSession) Resolve(newVals, b []float64, tol float64, maxIter int, c *
 		copy(s.a.Val, newVals)
 	}
 
+	// First Resolve of a two-stage session: validate the configuration and
+	// size the per-band schedule and scratch state.
+	if !s.factored && s.TwoStage.enabled() {
+		s.ts = s.TwoStage.withDefaults()
+		if err := s.ts.validate(); err != nil {
+			return nil, err
+		}
+		s.pcs = make([]splu.Preconditioner, d.L())
+		s.scheds = make([]innerSchedule, d.L())
+		maxSz := 0
+		for _, band := range d.Bands {
+			if band.Size() > maxSz {
+				maxSz = band.Size()
+			}
+		}
+		s.tr = make([]float64, maxSz)
+		s.tt = make([]float64, maxSz)
+	}
+	if s.pcs != nil {
+		// Each Resolve is a fresh solve from a zero guess: restart the
+		// nonstationary schedules with it.
+		for l := range s.scheds {
+			s.scheds[l] = newInnerSchedule(s.ts)
+		}
+	}
+
 	// Numeric phase: refresh the extracted blocks through the frozen maps,
 	// then refactor (or factor, first time / baseline / unsupported solver).
+	// Two-stage bands factor (and refresh) the band preconditioner instead.
 	factStart := c.Flops()
 	for l, bs := range s.systems {
 		sub := s.subs[l]
@@ -135,20 +182,42 @@ func (s *SeqSession) Resolve(newVals, b []float64, tol float64, maxIter int, c *
 				bs.depMat.Val[k] = s.a.Val[p]
 			}
 		}
-		rf, canRefactor := bs.fact.(splu.Refactorer)
-		switch {
-		case s.factored && newVals == nil:
-			// Same values: the factors are already current.
-		case s.factored && canRefactor && !s.NoRefactor:
-			if err := rf.Refactor(sub, c); err != nil {
-				return nil, fmt.Errorf("core: band %d refactorization: %w", l, err)
+		exact := true
+		if s.pcs != nil {
+			if !s.factored {
+				if pc, pcErr := splu.NewBandPreconditioner(sub, s.ts.PrecondBand, c); pcErr == nil {
+					s.pcs[l] = pc
+					exact = false
+				} else {
+					// Singular preconditioner band: this band runs exact
+					// from the start.
+					s.TwoStageFallbacks++
+				}
+			} else if s.pcs[l] != nil {
+				if newVals != nil {
+					if err := s.pcs[l].Refresh(sub, c); err != nil {
+						return nil, fmt.Errorf("core: band %d preconditioner refresh: %w", l, err)
+					}
+				}
+				exact = false
 			}
-		default:
-			fact, err := s.solver.Factor(sub, c)
-			if err != nil {
-				return nil, fmt.Errorf("core: band %d factorization: %w", l, err)
+		}
+		if exact {
+			rf, canRefactor := bs.fact.(splu.Refactorer)
+			switch {
+			case s.factored && newVals == nil && bs.fact != nil:
+				// Same values: the factors are already current.
+			case s.factored && canRefactor && !s.NoRefactor:
+				if err := rf.Refactor(sub, c); err != nil {
+					return nil, fmt.Errorf("core: band %d refactorization: %w", l, err)
+				}
+			default:
+				fact, err := s.solver.Factor(sub, c)
+				if err != nil {
+					return nil, fmt.Errorf("core: band %d factorization: %w", l, err)
+				}
+				bs.fact = fact
 			}
-			bs.fact = fact
 		}
 		copy(bs.bSub, b[bs.band.Lo:bs.band.Hi])
 	}
@@ -177,7 +246,13 @@ func (s *SeqSession) Resolve(newVals, b []float64, tol float64, maxIter int, c *
 				}
 				bs.depMat.MulVecSub(rhs, z, c)
 			}
-			bs.fact.Solve(s.newXb[l], rhs, c)
+			if s.pcs != nil && s.pcs[l] != nil {
+				if err := s.innerSolve(l, iter, rhs, c); err != nil {
+					return nil, err
+				}
+			} else {
+				bs.fact.Solve(s.newXb[l], rhs, c)
+			}
 			if !vec.AllFinite(s.newXb[l]) {
 				return nil, fmt.Errorf("%w: band %d at iteration %d", ErrDiverged, l, iter)
 			}
@@ -195,6 +270,37 @@ func (s *SeqSession) Resolve(newVals, b []float64, tol float64, maxIter int, c *
 	}
 	s.res = SeqResult{X: s.assembleInto(), Iterations: maxIter, Diff: diff}
 	return &s.res, ErrNoConvergence
+}
+
+// innerSolve runs band l's scheduled inner sweeps (two-stage mode), falling
+// back to a fresh exact factorization for the rest of the session when the
+// sweeps diverge.
+func (s *SeqSession) innerSolve(l, iter int, rhs []float64, c *vec.Counter) error {
+	bs := s.systems[l]
+	n := bs.band.Size()
+	x := s.newXb[l]
+	copy(x, s.xb[l]) // warm start from the previous outer iterate
+	k := s.scheds[l].next(iter)
+	res, err := iterative.PrecondSweeps(s.subs[l], s.pcs[l], x, rhs, s.ts.Omega, k, s.tr[:n], s.tt[:n], c)
+	if err == nil {
+		s.InnerSweeps += int64(res.Sweeps)
+		s.scheds[l].observe(res)
+		return nil
+	}
+	if !errors.Is(err, iterative.ErrDiverged) {
+		return fmt.Errorf("core: band %d inner solve: %w", l, err)
+	}
+	// Divergent inner stage: abandon two-stage for this band, factor the
+	// exact band solver and redo the solve.
+	s.pcs[l] = nil
+	s.TwoStageFallbacks++
+	fact, ferr := s.solver.Factor(s.subs[l], c)
+	if ferr != nil {
+		return fmt.Errorf("core: band %d two-stage fallback: %w", l, ferr)
+	}
+	bs.fact = fact
+	bs.fact.Solve(x, rhs, c)
+	return nil
 }
 
 // assembleInto combines the band iterates into the session's solution buffer.
@@ -428,15 +534,53 @@ func (s *Session) refreshRank(sr *sessionRank, c *mp.Comm, ctx *simctx.Ctx, bGlo
 		st.staleCount[i] = 0
 	}
 	st.iter, st.diff, st.stableRuns, st.stableStart = 0, 0, 0, 0
+	st.factFlops = 0
 	copy(st.bSub, bGlob[band.Lo:band.Hi])
 
 	// The simulated process is new even though the factors persist in the
-	// driver: account its working set against the fresh host.
-	if err := ctx.Alloc(csrBytes(st.sub) + csrBytes(st.depMat) + 8*int64(band.Size()) + st.fact.Bytes()); err != nil {
+	// driver: account its working set against the fresh host. In two-stage
+	// mode the resident factor is the band preconditioner, not an LU.
+	twoStage := st.ts != nil && !st.ts.fellBack
+	factBytes := int64(0)
+	if twoStage {
+		factBytes = st.ts.pc.Bytes()
+		st.ts.totalSweeps, st.ts.innerFlops, st.ts.fallbacks = 0, 0, 0
+		st.ts.sched = newInnerSchedule(st.ts.opt)
+	} else {
+		factBytes = st.fact.Bytes()
+	}
+	if err := ctx.Alloc(csrBytes(st.sub) + csrBytes(st.depMat) + 8*int64(band.Size()) + factBytes); err != nil {
 		return 0, err
 	}
 
 	factStart := c.Now()
+	if refresh && twoStage {
+		// Refresh the preconditioner's band values through its frozen
+		// position map and refactor. The banded elimination cost is value
+		// dependent (pivoting), so this is a deferred segment like the
+		// initial build.
+		for k, p := range sr.subMap {
+			st.sub.Val[k] = s.a.Val[p]
+		}
+		for k, p := range sr.depMap {
+			st.depMat.Val[k] = s.a.Val[p]
+		}
+		refactFlops0 := ctx.Counter.Flops()
+		var refErr error
+		c.ComputeDeferred(func() float64 {
+			refErr = st.ts.pc.Refresh(st.sub, ctx.Cnt())
+			return ctx.Counter.Flops() - ctx.Charged
+		})
+		if refErr != nil {
+			return 0, fmt.Errorf("rank %d: preconditioner refresh: %w", st.rank, refErr)
+		}
+		st.factFlops = ctx.Counter.Flops() - refactFlops0
+		if sc := ctx.Observe(); sc != nil {
+			sc.Span(obs.Span{Cat: obs.CatRefact, Name: "precond-refresh",
+				Start: factStart, End: c.Now(), Flops: st.factFlops})
+		}
+		return c.Now() - factStart, nil
+	}
 	if refresh {
 		for k, p := range sr.subMap {
 			st.sub.Val[k] = s.a.Val[p]

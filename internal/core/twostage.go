@@ -1,0 +1,310 @@
+// Two-stage multisplitting: the exact inner band solve replaced by a bounded
+// number of preconditioned relaxation sweeps (Brown/Bull/Bethune, arXiv
+// 2009.12638), with a per-band, per-outer-iteration inner count schedule
+// (Liu/Li nonstationary multisplitting, arXiv 1803.02541). The band LU that
+// the stationary method uses as its exact solver shrinks to a narrow-band
+// preconditioner M: factorization memory stays O(n·width) while the exact
+// LU's fill grows with the band, which is what opens problem sizes where
+// dslu and the stationary method report "nem". Everything downstream of the
+// iterate — ship, exchange policies, fault tolerance, gateway aggregation,
+// sharded lanes — is untouched: two-stage only changes how xSub is produced.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/iterative"
+	"repro/internal/obs"
+	"repro/internal/splu"
+	"repro/internal/vec"
+)
+
+// Inner-count schedules for the two-stage mode (TwoStage.Schedule).
+const (
+	// ScheduleFixed runs the same InnerIters sweeps every outer iteration
+	// (the stationary two-stage method).
+	ScheduleFixed = "fixed"
+	// ScheduleRamp doubles the sweep count from 1 until it reaches
+	// InnerIters: early outer iterations work on stale boundary data, so
+	// polishing the inner solve there is wasted arithmetic.
+	ScheduleRamp = "ramp"
+	// ScheduleResidual adapts the count per band from the contraction the
+	// previous inner stage achieved, between 1 and residualMaxSweeps,
+	// starting at InnerIters. Purely local data, so determinism is kept.
+	ScheduleResidual = "residual"
+)
+
+// residualMaxSweeps caps the residual-driven schedule's growth.
+const residualMaxSweeps = 64
+
+// TwoStage configures the two-stage (inner-iterative) solver mode; the zero
+// value keeps the exact stationary method. See DESIGN.md §14.
+type TwoStage struct {
+	// InnerIters > 0 enables two-stage mode: each outer iteration solves its
+	// band system with this many preconditioned relaxation sweeps (the base
+	// count — the schedule may vary it per iteration) instead of the exact
+	// band LU solve.
+	InnerIters int
+	// Schedule selects the inner-count schedule: ScheduleFixed (default),
+	// ScheduleRamp or ScheduleResidual.
+	Schedule string
+	// Omega is the relaxation weight of the inner sweeps, in (0, 2);
+	// default 1 (plain preconditioned Richardson).
+	Omega float64
+	// PrecondBand is the half-bandwidth of the inner band preconditioner M:
+	// the |i−j| ≤ PrecondBand band of each band submatrix, factored once by
+	// the banded LU. Default 16. A width at or above the submatrix bandwidth
+	// makes the inner solve exact in one sweep.
+	PrecondBand int
+}
+
+// enabled reports whether the two-stage mode is on.
+func (t TwoStage) enabled() bool { return t.InnerIters > 0 }
+
+// withDefaults fills the documented defaults (only meaningful when enabled).
+func (t TwoStage) withDefaults() TwoStage {
+	if t.Schedule == "" {
+		t.Schedule = ScheduleFixed
+	}
+	if t.Omega == 0 {
+		t.Omega = 1
+	}
+	if t.PrecondBand == 0 {
+		t.PrecondBand = 16
+	}
+	return t
+}
+
+// validate rejects malformed two-stage configurations (after withDefaults).
+func (t TwoStage) validate() error {
+	if !t.enabled() {
+		return nil
+	}
+	switch t.Schedule {
+	case ScheduleFixed, ScheduleRamp, ScheduleResidual:
+	default:
+		return fmt.Errorf("core: unknown inner schedule %q", t.Schedule)
+	}
+	if t.Omega <= 0 || t.Omega >= 2 {
+		return fmt.Errorf("core: two-stage omega %v outside (0,2)", t.Omega)
+	}
+	if t.PrecondBand < 0 {
+		return fmt.Errorf("core: two-stage preconditioner band %d < 0", t.PrecondBand)
+	}
+	return nil
+}
+
+// innerSchedule is the per-band nonstationary inner-count state. next is
+// driven only by the outer iteration number and this band's own inner
+// contraction history, so schedules stay deterministic under any exchange
+// policy, worker count and lane count.
+type innerSchedule struct {
+	ts TwoStage
+	k  int // residual-driven current count
+}
+
+func newInnerSchedule(ts TwoStage) innerSchedule { return innerSchedule{ts: ts, k: ts.InnerIters} }
+
+// next returns the sweep count for outer iteration iter (1-based).
+func (s *innerSchedule) next(iter int) int {
+	switch s.ts.Schedule {
+	case ScheduleRamp:
+		k := 1
+		for i := 1; i < iter && k < s.ts.InnerIters; i++ {
+			k <<= 1
+		}
+		if k > s.ts.InnerIters {
+			k = s.ts.InnerIters
+		}
+		return k
+	case ScheduleResidual:
+		return s.k
+	default:
+		return s.ts.InnerIters
+	}
+}
+
+// observe feeds one inner stage's contraction back into the residual-driven
+// schedule: a stage that kept more than a quarter of its starting residual
+// doubles the next count, one that shed 99% halves it.
+func (s *innerSchedule) observe(r iterative.InnerResult) {
+	if s.ts.Schedule != ScheduleResidual || r.Res0 == 0 {
+		return
+	}
+	limit := residualMaxSweeps
+	if s.ts.InnerIters > limit {
+		limit = s.ts.InnerIters
+	}
+	ratio := r.Res / r.Res0
+	switch {
+	case ratio > 0.25 && s.k < limit:
+		if s.k *= 2; s.k > limit {
+			s.k = limit
+		}
+	case ratio < 0.01 && s.k > 1:
+		s.k /= 2
+	}
+}
+
+// twoStageState is the per-rank inner-stage state riding on rankState: the
+// band preconditioner, the schedule, scratch for the sweeps and the outcome
+// of the last inner stage.
+type twoStageState struct {
+	opt   TwoStage
+	pc    splu.Preconditioner
+	sched innerSchedule
+	r, t  []float64 // sweep scratch, arena-backed
+
+	// depFlops and the per-sweep costs are frozen at build time so the
+	// variable per-iteration cost is pure arithmetic.
+	depFlops float64
+	diffN    float64
+
+	sweeps int // count chosen for the current iteration
+	res    iterative.InnerResult
+	err    error
+
+	// fellBack is set once the inner iteration diverged and the rank
+	// switched to the exact band solve; the two-stage path is then skipped
+	// for the rest of the rank's life (the preconditioner demonstrably does
+	// not contract this band).
+	fellBack bool
+
+	// Per-solve tallies, aggregated into Result.
+	totalSweeps int64
+	innerFlops  float64
+	fallbacks   int
+}
+
+// stageCost returns the exact declared cost of one two-stage outer step with
+// k inner sweeps: the dependency SpMV, the sweeps (with their closing
+// residual evaluation) and the successive-iterate difference norm.
+func (ts *twoStageState) stageCost(st *rankState, k int) float64 {
+	return ts.depFlops + iterative.PrecondSweepsFlops(st.sub, ts.pc, k) + ts.diffN
+}
+
+// buildTwoStage factors the band preconditioner for a rank (deferred
+// segment, like the exact factorization: the banded elimination cost is
+// value-dependent). A singular preconditioner band is logged and reported
+// as not-built so newRankState falls back to the exact path; a memory
+// failure is final.
+func (st *rankState) buildTwoStage() (bool, error) {
+	o := st.o
+	ctx := st.ctx
+	var pc splu.Preconditioner
+	var pcErr error
+	st.c.ComputeDeferred(func() float64 {
+		pc, pcErr = splu.NewBandPreconditioner(st.sub, o.TwoStage.PrecondBand, ctx.Cnt())
+		return ctx.Counter.Flops() - ctx.Charged
+	})
+	if pcErr != nil {
+		ctx.Faultf("rank %d: band preconditioner failed (%v); using exact band solve", st.rank, pcErr)
+		return false, nil
+	}
+	if err := ctx.Alloc(pc.Bytes()); err != nil {
+		return false, err
+	}
+	st.ts = &twoStageState{
+		opt:      o.TwoStage,
+		pc:       pc,
+		sched:    newInnerSchedule(o.TwoStage),
+		depFlops: 2 * float64(st.depMat.NNZ()),
+		diffN:    2 * float64(st.band.Size()),
+	}
+	return true, nil
+}
+
+// iterateTwoStage is the two-stage computation step: pick the sweep count
+// from the schedule, run the inner stage as one declared compute segment,
+// and on divergence fall back to the exact band solve and redo the step.
+func (st *rankState) iterateTwoStage() error {
+	ts := st.ts
+	ts.sweeps = ts.sched.next(st.iter)
+	cost := ts.stageCost(st, ts.sweeps)
+	ts.err = nil
+	start := st.c.Now()
+	st.c.ComputeSeg(cost, st.stepFn)
+	if ts.err != nil {
+		if errors.Is(ts.err, iterative.ErrDiverged) {
+			return st.twoStageFallback()
+		}
+		return fmt.Errorf("rank %d: %w", st.rank, ts.err)
+	}
+	ts.totalSweeps += int64(ts.sweeps)
+	ts.innerFlops += iterative.PrecondSweepsFlops(st.sub, ts.pc, ts.sweeps)
+	ts.sched.observe(ts.res)
+	if sc := st.ctx.Observe(); sc != nil {
+		sc.Span(obs.Span{Cat: obs.CatInner, Name: "inner", Iter: st.iter,
+			Start: start, End: st.c.Now(), Flops: cost})
+		sc.Count("inner_sweeps", float64(ts.sweeps))
+	}
+	return nil
+}
+
+// tsStep is the two-stage segment body (referenced via stepFn; worker-pool
+// rules apply: only this rank's state, never the simulator). On divergence
+// it restores the previous iterate so the exact redo starts clean.
+func (st *rankState) tsStep() {
+	ts := st.ts
+	cnt := st.ctx.Counter
+	copy(st.rhs, st.bSub)
+	if len(st.depCols) > 0 {
+		st.depMat.MulVecSub(st.rhs, st.z, cnt)
+	}
+	ts.res, ts.err = iterative.PrecondSweeps(st.sub, ts.pc, st.xSub, st.rhs,
+		ts.opt.Omega, ts.sweeps, ts.r, ts.t, cnt)
+	if ts.err != nil {
+		copy(st.xSub, st.xPrev)
+		return
+	}
+	st.diff = vec.DiffNormInf(st.xSub, st.xPrev, cnt)
+	copy(st.xPrev, st.xSub)
+}
+
+// twoStageFallback switches a rank whose inner iteration diverged to the
+// exact band solve: factor the band (deferred, full memory accounting — on
+// an undersized host this is where the memory wall reappears), rebuild the
+// declared step cost and redo the current iteration exactly. The aborted
+// inner segment declared more arithmetic than it performed, so the charge
+// watermark is wound back to the counted work before continuing.
+func (st *rankState) twoStageFallback() error {
+	ts := st.ts
+	ctx := st.ctx
+	ctx.Faultf("rank %d iter %d: inner sweeps diverged (%v); falling back to exact band solve",
+		st.rank, st.iter, ts.err)
+	if f := ctx.Counter.Flops(); f < ctx.Charged {
+		ctx.Charged = f
+	}
+	solver := st.o.Solver
+	if st.o.SolverPerRank != nil && st.o.SolverPerRank[st.rank] != nil {
+		solver = st.o.SolverPerRank[st.rank]
+	}
+	start := st.c.Now()
+	f0 := ctx.Counter.Flops()
+	var fact splu.Factorization
+	var factErr error
+	st.c.ComputeDeferred(func() float64 {
+		fact, factErr = solver.Factor(st.sub, ctx.Cnt())
+		return ctx.Counter.Flops() - ctx.Charged
+	})
+	if factErr != nil {
+		return fmt.Errorf("rank %d: two-stage fallback: %w", st.rank, factErr)
+	}
+	if err := ctx.Alloc(fact.Bytes()); err != nil {
+		return err
+	}
+	st.fact = fact
+	st.factFlops += ctx.Counter.Flops() - f0
+	ts.fellBack = true
+	ts.fallbacks++
+	st.stepFlops = ts.depFlops + fact.SolveFlops() + ts.diffN
+	st.stepFn = st.step
+	if sc := ctx.Observe(); sc != nil {
+		sc.Span(obs.Span{Cat: obs.CatFact, Name: "fallback-factor",
+			Start: start, End: st.c.Now(), Flops: ctx.Counter.Flops() - f0})
+		sc.Count("twostage_fallback", 1)
+	}
+	return st.iterate()
+}

@@ -11,7 +11,11 @@
 // This reproduces the baseline's two vulnerabilities the paper exploits:
 // per-block synchronous broadcasts (latency-bound on distant clusters) and
 // aggregate fill memory far above the multisplitting solver's per-band
-// factors (the "nem" rows of Table 3).
+// factors (the "nem" rows of Table 3). The fill wall also limits exact
+// multisplitting once single bands fill heavily; core.Options.TwoStage
+// (DESIGN.md §14, the `twostage` experiment) replaces the exact band
+// solves with preconditioned sweeps whose memory is independent of the
+// fill, reaching sizes where both direct modes answer "nem".
 package dslu
 
 import (

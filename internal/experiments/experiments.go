@@ -62,6 +62,15 @@ type Config struct {
 	SynthHosts int
 	// SynthClusters is the cluster count of the SynthHosts grid (minimum 1).
 	SynthClusters int
+	// TwoStageSchedule overrides the inner-sweep schedule of the two-stage
+	// experiment ("fixed", "ramp", "residual"; empty keeps the core default).
+	TwoStageSchedule string
+	// TwoStageOmega overrides the inner relaxation weight (0 keeps the core
+	// default of 1).
+	TwoStageOmega float64
+	// TwoStagePrecondBand overrides the preconditioner half-bandwidth (0
+	// keeps the core default of 16).
+	TwoStagePrecondBand int
 }
 
 func (c Config) scale() int {
@@ -292,6 +301,8 @@ type msOpts struct {
 	// the inter-cluster boundary exchange through per-cluster aggregators.
 	topo    bool
 	gateway bool
+	// ts, when enabled, switches the inner solves to two-stage sweeps.
+	ts core.TwoStage
 }
 
 func runMS(cfg Config, plt *cluster.Platform, a *sparse.CSR, b []float64, o msOpts) (cell, *core.Result) {
@@ -302,6 +313,7 @@ func runMS(cfg Config, plt *cluster.Platform, a *sparse.CSR, b []float64, o msOp
 		TrackMemory:     o.track,
 		TopoCollectives: o.topo,
 		Gateway:         o.gateway,
+		TwoStage:        o.ts,
 	})
 	if err != nil {
 		return cell{note: "err"}, nil

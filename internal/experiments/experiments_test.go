@@ -302,7 +302,7 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"table1", "1", "table2", "table3", "table4", "figure3", "fig3", "faultsweep", "faults", "utilization", "util", "topology", "topo", "clustergrid", "cluster-grid", "eventshard", "event-shard"} {
+	for _, name := range []string{"table1", "1", "table2", "table3", "table4", "figure3", "fig3", "faultsweep", "faults", "utilization", "util", "topology", "topo", "clustergrid", "cluster-grid", "eventshard", "event-shard", "twostage", "two-stage"} {
 		if _, err := ByName(name); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -310,7 +310,7 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown name accepted")
 	}
-	if len(All()) != 10 {
+	if len(All()) != 11 {
 		t.Fatalf("All() has %d entries", len(All()))
 	}
 }
@@ -345,4 +345,30 @@ func TestRelResidual(t *testing.T) {
 	if r := relResidual(a, x, b); r != 1 {
 		t.Fatalf("residual = %v, want 1", r)
 	}
+}
+
+func TestTwoStageTableShape(t *testing.T) {
+	tab, err := TwoStageTable(Config{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (exact + k sweep + 3 wall rows)", len(tab.Rows))
+	}
+	// The exact baseline and every inner count solve on the unlimited grid.
+	for _, row := range tab.Rows[:5] {
+		parse(t, row[1])
+		parse(t, row[2])
+		if row[0] != "exact" && row[4] == "-" {
+			t.Fatalf("k=%s row recorded no inner sweeps: %v", row[0], row)
+		}
+	}
+	// The memory wall: both direct modes answer nem, two-stage completes.
+	if got := tab.Rows[5][1]; got != "nem" {
+		t.Fatalf("budgeted dslu = %q, want nem", got)
+	}
+	if got := tab.Rows[6][1]; got != "nem" {
+		t.Fatalf("budgeted exact multisplitting = %q, want nem", got)
+	}
+	parse(t, tab.Rows[7][1])
 }

@@ -279,6 +279,8 @@ func ByName(name string) (func(Config) (*Table, error), error) {
 		return ClusterGrid, nil
 	case "eventshard", "event-shard":
 		return EventShard, nil
+	case "twostage", "two-stage":
+		return TwoStageTable, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
 	}
@@ -303,5 +305,6 @@ func All() []struct {
 		{"topology", TopologyTable},
 		{"clustergrid", ClusterGrid},
 		{"eventshard", EventShard},
+		{"twostage", TwoStageTable},
 	}
 }

@@ -21,6 +21,7 @@ var ErrNoConvergence = errors.New("iterative: iteration did not converge")
 
 // Result reports the outcome of an iterative solve.
 type Result struct {
+	// Iterations is the number of sweeps performed.
 	Iterations int
 	// Diff is the final successive-iterate infinity-norm difference.
 	Diff float64

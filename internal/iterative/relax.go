@@ -30,6 +30,8 @@ func SOR(a *sparse.CSR, x, b []float64, omega, tol float64, maxIter int, c *vec.
 			return Result{}, fmt.Errorf("iterative: zero diagonal at row %d", i)
 		}
 	}
+	first, prev := 0.0, 0.0
+	streak := 0
 	for k := 1; k <= maxIter; k++ {
 		diff := 0.0
 		for i := 0; i < n; i++ {
@@ -50,11 +52,32 @@ func SOR(a *sparse.CSR, x, b []float64, omega, tol float64, maxIter int, c *vec.
 		}
 		c.Add(2*float64(a.NNZ()) + 4*float64(n))
 		if !vec.AllFinite(x) {
-			return Result{Iterations: k}, fmt.Errorf("iterative: SOR diverged at iteration %d", k)
+			return Result{Iterations: k}, fmt.Errorf("%w: SOR non-finite at iteration %d", ErrDiverged, k)
 		}
 		if diff <= tol {
 			return Result{Iterations: k, Diff: diff}, nil
 		}
+		// Surface divergence instead of silently running to the cap: the
+		// successive-iterate difference growing past divergeTotal times its
+		// first value, or divergeStreak consecutive growing sweeps, means
+		// the sweep is not a contraction and the caller should fall back.
+		if k == 1 {
+			first = diff
+		} else if first > 0 {
+			if diff > divergeTotal*first {
+				return Result{Iterations: k, Diff: diff}, fmt.Errorf(
+					"%w: SOR diff %.3g vs first sweep %.3g after %d sweeps", ErrDiverged, diff, first, k)
+			}
+			if diff > divergeGrowth*prev {
+				if streak++; streak >= divergeStreak {
+					return Result{Iterations: k, Diff: diff}, fmt.Errorf(
+						"%w: SOR diff grew %d sweeps in a row (%.3g -> %.3g)", ErrDiverged, streak, first, diff)
+				}
+			} else {
+				streak = 0
+			}
+		}
+		prev = diff
 	}
 	return Result{Iterations: maxIter}, ErrNoConvergence
 }

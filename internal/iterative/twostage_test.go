@@ -1,0 +1,128 @@
+package iterative
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/splu"
+	"repro/internal/vec"
+)
+
+func TestPrecondSweepsConverges(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 300, Band: 8, PerRow: 5, Seed: 2})
+	b, xtrue := gen.RHSForSolution(a)
+	var c vec.Counter
+	m, err := splu.NewBandPreconditioner(a, 2, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.Rows)
+	r := make([]float64, a.Rows)
+	tmp := make([]float64, a.Rows)
+	// Repeated sweep blocks drive the residual down like a stationary
+	// iteration: each block reports a smaller final residual.
+	var last float64 = math.Inf(1)
+	for block := 0; block < 6; block++ {
+		res, err := PrecondSweeps(a, m, x, b, 1, 8, r, tmp, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sweeps != 8 {
+			t.Fatalf("sweeps = %d, want 8", res.Sweeps)
+		}
+		if res.Res >= last && last > 1e-12 {
+			t.Fatalf("block %d residual %g did not drop below %g", block, res.Res, last)
+		}
+		last = res.Res
+	}
+	for i := range x {
+		if math.Abs(x[i]-xtrue[i]) > 1e-6*(1+math.Abs(xtrue[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xtrue[i])
+		}
+	}
+}
+
+// TestPrecondSweepsFlopsExact pins the declared cost against the counted
+// cost: the engine declares PrecondSweepsFlops up front and the kernel must
+// spend exactly that when it completes all k sweeps.
+func TestPrecondSweepsFlopsExact(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 150, Band: 10, PerRow: 6, Seed: 4})
+	b, _ := gen.RHSForSolution(a)
+	var c vec.Counter
+	m, err := splu.NewBandPreconditioner(a, 3, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 5} {
+		x := make([]float64, a.Rows)
+		r := make([]float64, a.Rows)
+		tmp := make([]float64, a.Rows)
+		var kc vec.Counter
+		if _, err := PrecondSweeps(a, m, x, b, 1, k, r, tmp, &kc); err != nil {
+			t.Fatal(err)
+		}
+		want := PrecondSweepsFlops(a, m, k)
+		if kc.Flops() != want {
+			t.Fatalf("k=%d: counted %g flops, declared %g", k, kc.Flops(), want)
+		}
+	}
+}
+
+// TestPrecondSweepsDiverges forces a divergent relaxation (omega far past
+// the stability limit on a non-dominant operator) and checks the kernel
+// surfaces ErrDiverged instead of looping k times on exploding iterates.
+func TestPrecondSweepsDiverges(t *testing.T) {
+	a := gen.Poisson2D(12, 12)
+	b, _ := gen.RHSForSolution(a)
+	var c vec.Counter
+	m, err := splu.NewBandPreconditioner(a, 1, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.Rows)
+	r := make([]float64, a.Rows)
+	tmp := make([]float64, a.Rows)
+	res, err := PrecondSweeps(a, m, x, b, 1.99, 64, r, tmp, &c)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+	if res.Sweeps >= 64 {
+		t.Fatalf("divergence detected only after %d sweeps", res.Sweeps)
+	}
+}
+
+func TestPrecondSweepsValidation(t *testing.T) {
+	a := gen.DiagDominant(gen.DiagDominantOpts{N: 20, Seed: 1})
+	b, _ := gen.RHSForSolution(a)
+	var c vec.Counter
+	m, err := splu.NewBandPreconditioner(a, 2, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.Rows)
+	r := make([]float64, a.Rows)
+	tmp := make([]float64, a.Rows)
+	for _, omega := range []float64{0, -0.5, 2, 2.5} {
+		if _, err := PrecondSweeps(a, m, x, b, omega, 1, r, tmp, &c); err == nil {
+			t.Fatalf("omega %g accepted", omega)
+		}
+	}
+}
+
+// TestSORDiverges checks that the reworked SOR surfaces divergence as an
+// error (the fallback trigger) instead of returning a garbage iterate.
+func TestSORDiverges(t *testing.T) {
+	a := gen.Tridiag(60, -3, 1, -3)
+	b := make([]float64, 60)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, 60)
+	var c vec.Counter
+	_, err := SOR(a, x, b, 1.9, 1e-12, 5000, &c)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+}

@@ -222,6 +222,10 @@ func SolveSequential(p *Problem, solver splu.Direct, opt Options, c *vec.Counter
 		return nil, err
 	}
 	sess.NoRefactor = o.NoRefactor
+	// Two-stage inner solves compose with the Newton outer loop: the band
+	// preconditioner's pattern is the frozen Jacobian pattern, so it
+	// refreshes numerically each Newton step like the exact factors do.
+	sess.TwoStage = o.Inner.TwoStage
 	innerTol := o.Inner.Tol
 	if innerTol == 0 {
 		innerTol = 1e-10

@@ -48,6 +48,9 @@ const (
 	CatRefact = "refact"
 	// CatIter is one solver iteration (compute + ship + exchange).
 	CatIter = "iter"
+	// CatInner is one two-stage inner relaxation stage (the scheduled
+	// preconditioned sweeps inside an outer iteration).
+	CatInner = "inner"
 	// CatPhase is a coarse driver phase (e.g. dslu forward/backward solve).
 	CatPhase = "phase"
 	// CatRetry is a retransmission backoff window.

@@ -531,6 +531,8 @@ func (f *cholFact) Bytes() int64                         { return int64(f.n) * i
 // BandSolver adapts the banded LU to the Direct interface. When Reorder is
 // true the matrix is first RCM-permuted to shrink the band.
 type BandSolver struct {
+	// Reorder enables the RCM pre-permutation (kept only when it shrinks
+	// the band).
 	Reorder bool
 }
 
