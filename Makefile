@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-json-smoke bench-eventcore bench-eventcore-smoke bench-eventshard bench-eventshard-smoke bench-twostage bench-twostage-smoke lint-docs verify
+.PHONY: all build test race vet bench bench-json bench-json-smoke bench-eventcore bench-eventcore-smoke bench-eventshard bench-eventshard-smoke bench-twostage bench-twostage-smoke bench-obs bench-obs-smoke bench-diff-fixture lint-docs verify
 
 all: verify
 
@@ -18,7 +18,7 @@ test:
 # under the race detector.
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -count=2 -run 'TestObsDeterministicAcrossWorkers' ./internal/obs
+	$(GO) test -race -count=2 -run 'TestObsDeterministicAcrossWorkers|TestWindowedMetricsDeterministic|TestStreamedTraceByteIdentical' ./internal/obs
 	$(GO) test -race -count=2 -run 'TestGatewaySyncByteIdentical|TestGatewayWorkersDeterministic|TestTwoStageDeterministicAcrossLanesAndWorkers' ./internal/core
 	$(GO) test -race -count=2 -run 'TestSchedulerIndexMatchesScanUnderFaults|TestSyntheticTraceByteIdenticalAcrossWorkers|TestDeferredLowerBoundResolvesLate|TestShardedMatchesSingleLaneUnderFaults' ./internal/vgrid
 
@@ -76,10 +76,32 @@ bench-twostage:
 bench-twostage-smoke:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkTwoStage' -benchtime 1x -o BENCH_twostage.json
 
+# Machine-readable record of the observability layer's price on the
+# 1000-host/100k-event synthetic run: off, aggregate, aggregate + batch
+# export, batch export + windowed metrics, and the streaming flight-recorder
+# mode (obs-spans emitted, obs-peak-spans held — the bounded-memory claim).
+# The windowed and streaming rows produce the same artifacts, so their
+# sim-wall-clock ratio is the streaming overhead.
+bench-obs:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkObsModes' -benchtime 5x -o BENCH_obs.json
+
+# One-iteration smoke of the observability pipeline, part of verify.
+bench-obs-smoke:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkObsModes' -benchtime 1x -o BENCH_obs.json
+
+# The regression gate must actually gate: benchjson -diff exits nonzero on
+# the checked-in fixture pair with a +50% injected ns/op regression, and
+# accepts the clean pair. Part of verify.
+bench-diff-fixture:
+	@if $(GO) run ./cmd/benchjson -diff -old cmd/benchjson/testdata/bench_base.json -new cmd/benchjson/testdata/bench_regress.json -max-regress 10 >/dev/null 2>&1; then \
+		echo "bench-diff-fixture: injected regression NOT flagged"; exit 1; fi
+	@$(GO) run ./cmd/benchjson -diff -old cmd/benchjson/testdata/bench_base.json -new cmd/benchjson/testdata/bench_base.json -max-regress 10 >/dev/null
+	@echo "bench-diff-fixture: gate fires on regression, passes clean"
+
 # Fails on any exported identifier of the simulator, the solver core, the
 # observability layer, the messaging/context plumbing or the platform layer
 # that lacks a doc comment.
 lint-docs:
-	$(GO) run ./cmd/lintdocs internal/vgrid internal/core internal/obs internal/mp internal/simctx internal/plan internal/cluster internal/iterative internal/splu
+	$(GO) run ./cmd/lintdocs internal/vgrid internal/core internal/obs internal/mp internal/simctx internal/plan internal/cluster internal/iterative internal/splu cmd/msprof cmd/benchjson
 
-verify: build vet lint-docs test race bench-json-smoke bench-eventcore-smoke bench-eventshard-smoke bench-twostage-smoke
+verify: build vet lint-docs test race bench-json-smoke bench-eventcore-smoke bench-eventshard-smoke bench-twostage-smoke bench-obs-smoke bench-diff-fixture

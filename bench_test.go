@@ -432,6 +432,39 @@ func BenchmarkEventHandoff(b *testing.B) {
 	}
 }
 
+// BenchmarkObsModes prices the observability layer on the event-core
+// workload (make bench-obs → BENCH_obs.json): the 1000-host/100-cluster
+// 100k-event ring with the layer off, aggregating spans in memory,
+// aggregating plus batch-exporting (trace + metrics), batch-exporting with
+// windowed metrics, and streaming the trace through the bounded
+// flight-recorder ring with windows fed from the flush path. obs-spans is
+// the span count a mode emitted, obs-peak-spans the peak span count held in
+// memory — equal to obs-spans for the batch modes, the ring occupancy when
+// streaming. The windowed and streaming rows produce the same artifacts
+// (full trace + windowed metrics), so the streaming overhead claim of the
+// telemetry layer compares exactly those two; the obs-peak-spans column is
+// what the bounded ring buys for that price.
+func BenchmarkObsModes(b *testing.B) {
+	for _, mode := range []string{"off", "aggregate", "aggregate+export", "windowed", "streaming"} {
+		b.Run(mode+"/hosts=1000", func(b *testing.B) {
+			var res experiments.ObsModesResult
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.ObsModesRun(1000, 100, 100000, 1, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+				wall += r.Wall
+			}
+			b.ReportMetric(float64(res.Events), "sim-events")
+			b.ReportMetric(float64(wall)/float64(b.N)/1e6, "sim-wall-clock")
+			b.ReportMetric(float64(res.Spans), "obs-spans")
+			b.ReportMetric(float64(res.PeakSpans), "obs-peak-spans")
+		})
+	}
+}
+
 // BenchmarkTwoStage measures the two-stage multisplitting solver on the
 // wide-band workload, reporting the work split the mode is designed around:
 // cheap repeated inner sweeps (inner-flops, inner-sweeps) in place of the

@@ -11,8 +11,12 @@
 // Usage:
 //
 //	benchjson [-bench regexp] [-benchtime 1x] [-pkg ./...] [-o out.json]
+//	benchjson -diff -old BENCH_a.json -new BENCH_b.json [-max-regress 10]
 //
-// With -o "" the report goes to stdout.
+// With -o "" the report goes to stdout. The -diff mode compares two
+// previously written reports benchmark-by-benchmark and exits nonzero when
+// any ns/op regression exceeds -max-regress percent — the perf-trajectory
+// gate the Makefile wires over the recorded BENCH_*.json baselines.
 package main
 
 import (
@@ -21,19 +25,27 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 // Record is one benchmark result line in JSON form.
 type Record struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
-	BytesOp    *float64           `json:"bytes_per_op,omitempty"`
-	Breakdown  *Breakdown         `json:"breakdown,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	// Name is the benchmark name without the -<GOMAXPROCS> suffix.
+	Name string `json:"name"`
+	// Iterations is the b.N the benchmark ran with.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsOp is allocs/op when -benchmem reported it.
+	AllocsOp *float64 `json:"allocs_per_op,omitempty"`
+	// BytesOp is B/op when -benchmem reported it.
+	BytesOp *float64 `json:"bytes_per_op,omitempty"`
+	// Breakdown holds the recognized typed units (see Breakdown).
+	Breakdown *Breakdown `json:"breakdown,omitempty"`
+	// Metrics holds the remaining free-form metrics keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Breakdown is the per-phase solver breakdown, lifted out of the generic
@@ -41,34 +53,54 @@ type Record struct {
 // refactor-flops, the two-stage split inner-flops/inner-sweeps, bytes-moved,
 // wait-share, the cluster traffic split
 // intra-bytes/inter-bytes/intra-msgs/inter-msgs, the event-core scale pair
-// sim-events/sim-wall-clock, and the scheduler-synchronization pair
-// sim-commits/sim-syncs the sharded-core benchmarks report).
+// sim-events/sim-wall-clock, the scheduler-synchronization pair
+// sim-commits/sim-syncs the sharded-core benchmarks report, and the
+// observability-mode pair obs-spans/obs-peak-spans).
 type Breakdown struct {
-	FactorFlops   *float64 `json:"factor_flops,omitempty"`
+	// FactorFlops is the "factor-flops" unit (exact factorization work).
+	FactorFlops *float64 `json:"factor_flops,omitempty"`
+	// RefactorFlops is the "refactor-flops" unit (refactorization work).
 	RefactorFlops *float64 `json:"refactor_flops,omitempty"`
-	BytesMoved    *float64 `json:"bytes_moved,omitempty"`
-	WaitShare     *float64 `json:"wait_share,omitempty"`
-	InnerFlops    *float64 `json:"inner_flops,omitempty"`
-	InnerSweeps   *float64 `json:"inner_sweeps,omitempty"`
-	IntraBytes    *float64 `json:"intra_cluster_bytes,omitempty"`
-	InterBytes    *float64 `json:"inter_cluster_bytes,omitempty"`
-	IntraMsgs     *float64 `json:"intra_cluster_msgs,omitempty"`
-	InterMsgs     *float64 `json:"inter_cluster_msgs,omitempty"`
-	SimEvents     *float64 `json:"sim_events,omitempty"`
-	SimWallClock  *float64 `json:"sim_wall_clock_ms,omitempty"`
-	SimCommits    *float64 `json:"sim_commits,omitempty"`
-	SimSyncs      *float64 `json:"sim_syncs,omitempty"`
+	// BytesMoved is the "bytes-moved" unit (solver data movement).
+	BytesMoved *float64 `json:"bytes_moved,omitempty"`
+	// WaitShare is the "wait-share" unit (blocked fraction of the makespan).
+	WaitShare *float64 `json:"wait_share,omitempty"`
+	// InnerFlops is the "inner-flops" unit (two-stage relaxation work).
+	InnerFlops *float64 `json:"inner_flops,omitempty"`
+	// InnerSweeps is the "inner-sweeps" unit (two-stage sweep count).
+	InnerSweeps *float64 `json:"inner_sweeps,omitempty"`
+	// IntraBytes is the "intra-bytes" unit (intra-cluster traffic).
+	IntraBytes *float64 `json:"intra_cluster_bytes,omitempty"`
+	// InterBytes is the "inter-bytes" unit (inter-cluster traffic).
+	InterBytes *float64 `json:"inter_cluster_bytes,omitempty"`
+	// IntraMsgs is the "intra-msgs" unit (intra-cluster message count).
+	IntraMsgs *float64 `json:"intra_cluster_msgs,omitempty"`
+	// InterMsgs is the "inter-msgs" unit (inter-cluster message count).
+	InterMsgs *float64 `json:"inter_cluster_msgs,omitempty"`
+	// SimEvents is the "sim-events" unit (scheduler commit points).
+	SimEvents *float64 `json:"sim_events,omitempty"`
+	// SimWallClock is the "sim-wall-clock" unit in milliseconds.
+	SimWallClock *float64 `json:"sim_wall_clock_ms,omitempty"`
+	// SimCommits is the "sim-commits" unit (committed event slices).
+	SimCommits *float64 `json:"sim_commits,omitempty"`
+	// SimSyncs is the "sim-syncs" unit (cross-goroutine scheduler syncs).
+	SimSyncs *float64 `json:"sim_syncs,omitempty"`
+	// ObsSpans is the "obs-spans" unit (spans an observability mode emitted).
+	ObsSpans *float64 `json:"obs_spans,omitempty"`
+	// ObsPeakSpans is the "obs-peak-spans" unit (peak spans held in memory).
+	ObsPeakSpans *float64 `json:"obs_peak_spans,omitempty"`
 }
 
 // breakdownSlot returns the Breakdown field a metric unit lifts into, or nil
-// for generic metrics; the Breakdown is allocated on the first recognized
-// unit.
+// for units outside the breakdown vocabulary; the Breakdown is allocated on
+// the first recognized unit.
 func (r *Record) breakdownSlot(unit string) **float64 {
 	switch unit {
 	case "factor-flops", "refactor-flops", "bytes-moved", "wait-share",
 		"inner-flops", "inner-sweeps",
 		"intra-bytes", "inter-bytes", "intra-msgs", "inter-msgs",
-		"sim-events", "sim-wall-clock", "sim-commits", "sim-syncs":
+		"sim-events", "sim-wall-clock", "sim-commits", "sim-syncs",
+		"obs-spans", "obs-peak-spans":
 	default:
 		return nil
 	}
@@ -102,6 +134,10 @@ func (r *Record) breakdownSlot(unit string) **float64 {
 		return &r.Breakdown.SimCommits
 	case "sim-syncs":
 		return &r.Breakdown.SimSyncs
+	case "obs-spans":
+		return &r.Breakdown.ObsSpans
+	case "obs-peak-spans":
+		return &r.Breakdown.ObsPeakSpans
 	default:
 		return &r.Breakdown.WaitShare
 	}
@@ -109,10 +145,15 @@ func (r *Record) breakdownSlot(unit string) **float64 {
 
 // Report is the top-level JSON document.
 type Report struct {
-	Package    string   `json:"package,omitempty"`
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
+	// Package is the benchmarked Go package path.
+	Package string `json:"package,omitempty"`
+	// Goos is the build's target operating system.
+	Goos string `json:"goos,omitempty"`
+	// Goarch is the build's target architecture.
+	Goarch string `json:"goarch,omitempty"`
+	// CPU is the host CPU model go test reported.
+	CPU string `json:"cpu,omitempty"`
+	// Benchmarks holds one Record per benchmark line.
 	Benchmarks []Record `json:"benchmarks"`
 }
 
@@ -121,7 +162,15 @@ func main() {
 	benchtime := flag.String("benchtime", "", "benchmark duration or iteration count (go test -benchtime)")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("o", "", "output file (empty = stdout)")
+	diff := flag.Bool("diff", false, "compare two reports (-old/-new) instead of running benchmarks")
+	oldPath := flag.String("old", "", "baseline report for -diff")
+	newPath := flag.String("new", "", "candidate report for -diff")
+	maxRegress := flag.Float64("max-regress", 10, "ns/op regression threshold in percent for -diff (exit 1 above it)")
 	flag.Parse()
+
+	if *diff {
+		os.Exit(runDiff(*oldPath, *newPath, *maxRegress))
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
 	if *benchtime != "" {
@@ -158,15 +207,114 @@ func main() {
 	fmt.Printf("benchjson: wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), *out)
 }
 
+// runDiff implements the -diff mode: load both reports, print the
+// comparison, and return the process exit code (1 on any regression past
+// maxPct or on a load error).
+func runDiff(oldPath, newPath string, maxPct float64) int {
+	if oldPath == "" || newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -diff needs -old and -new report paths")
+		return 1
+	}
+	oldRep, err := LoadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	newRep, err := LoadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	lines, regressed := Diff(oldRep, newRep, maxPct)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.1f%% (%s -> %s)\n", maxPct, oldPath, newPath)
+		return 1
+	}
+	return 0
+}
+
+// LoadReport reads a JSON report previously written by benchjson.
+func LoadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(raw, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return rep, nil
+}
+
+// Diff compares two reports benchmark-by-benchmark on ns/op (with
+// allocs/op shown informationally) and returns the human-readable
+// comparison plus whether any matched benchmark regressed by more than
+// maxPct percent. Benchmarks present in only one report are listed but
+// never fail the gate — a renamed benchmark should not masquerade as a
+// regression or as an improvement.
+func Diff(oldRep, newRep *Report, maxPct float64) (lines []string, regressed bool) {
+	oldBy := map[string]*Record{}
+	for i := range oldRep.Benchmarks {
+		oldBy[oldRep.Benchmarks[i].Name] = &oldRep.Benchmarks[i]
+	}
+	seen := map[string]bool{}
+	for i := range newRep.Benchmarks {
+		nb := &newRep.Benchmarks[i]
+		seen[nb.Name] = true
+		ob := oldBy[nb.Name]
+		if ob == nil {
+			lines = append(lines, fmt.Sprintf("%-56s only in new report (%.0f ns/op)", nb.Name, nb.NsPerOp))
+			continue
+		}
+		pct := 0.0
+		if ob.NsPerOp > 0 {
+			pct = 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		}
+		verdict := "ok"
+		if pct > maxPct {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		l := fmt.Sprintf("%-56s %12.0f -> %12.0f ns/op  %+7.2f%%  %s", nb.Name, ob.NsPerOp, nb.NsPerOp, pct, verdict)
+		if ob.AllocsOp != nil && nb.AllocsOp != nil && *ob.AllocsOp != *nb.AllocsOp {
+			l += fmt.Sprintf("  (allocs %g -> %g)", *ob.AllocsOp, *nb.AllocsOp)
+		}
+		lines = append(lines, l)
+	}
+	missing := make([]string, 0)
+	for name := range oldBy {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		lines = append(lines, fmt.Sprintf("%-56s only in old report", name))
+	}
+	return lines, regressed
+}
+
 // Parse converts `go test -bench` textual output into a Report. Lines it
 // does not recognize are ignored; a benchmark line has the shape
 //
-//	BenchmarkName-8   123   4567 ns/op   89 B/op   1 allocs/op   42 extra-unit
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   1 allocs/op   42 some-unit
 //
 // where every trailing "<value> <unit>" pair past the iteration count is a
-// metric keyed by its unit.
+// metric keyed by its unit. Hyphenated units must belong to the typed
+// breakdown vocabulary (breakdownSlot) — an unknown one is a spelling
+// mistake in a ReportMetric call, not data, and is rejected; units with a
+// '/' (like "vsec/solve") stay generic metrics. Duplicate benchmark names
+// and duplicate units on one line are rejected too: silently keeping the
+// last write would corrupt a baseline without anyone noticing.
 func Parse(text string) (*Report, error) {
 	rep := &Report{}
+	names := map[string]bool{}
 	for _, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
 		switch {
@@ -195,12 +343,22 @@ func Parse(text string) (*Report, error) {
 			continue // e.g. a "Benchmark... --- SKIP" line
 		}
 		r := Record{Name: trimProcSuffix(fields[0]), Iterations: iters}
+		if names[r.Name] {
+			return nil, fmt.Errorf("duplicate benchmark %q (ran with -count > 1?)", r.Name)
+		}
+		names[r.Name] = true
+		units := map[string]bool{}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
 			}
-			switch unit := fields[i+1]; unit {
+			unit := fields[i+1]
+			if units[unit] {
+				return nil, fmt.Errorf("duplicate unit %q in line %q", unit, line)
+			}
+			units[unit] = true
+			switch unit {
 			case "ns/op":
 				r.NsPerOp = v
 			case "B/op":
@@ -212,6 +370,9 @@ func Parse(text string) (*Report, error) {
 					vv := v
 					*slot = &vv
 					continue
+				}
+				if !strings.ContainsRune(unit, '/') {
+					return nil, fmt.Errorf("unknown breakdown unit %q in line %q (typed units must be in the breakdown vocabulary; free-form metrics need a '/' unit)", unit, line)
 				}
 				if r.Metrics == nil {
 					r.Metrics = map[string]float64{}

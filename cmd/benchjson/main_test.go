@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 const sample = `goos: linux
 goarch: amd64
@@ -9,7 +12,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
 BenchmarkNewtonRefactor/refactor-8         	       3	  12871904 ns/op	    486530 factor-flops	 3167304 B/op	     578 allocs/op
 BenchmarkNewtonRefactor/factor-each-step-8 	       2	  21565314 ns/op	   1354580 factor-flops	16126152 B/op	    3350 allocs/op
 BenchmarkSessionIterate-8                  	     100	   2096852 ns/op	       0 B/op	       0 allocs/op
-BenchmarkSolverPhases-8                    	       1	  21922938 ns/op	     80624 bytes-moved	    982900 factor-flops	    447923 refactor-flops	         0.3282 wait-share	   42 extra-unit
+BenchmarkSolverPhases-8                    	       1	  21922938 ns/op	     80624 bytes-moved	    982900 factor-flops	    447923 refactor-flops	         0.3282 wait-share	   42 vsec/solve
 BenchmarkClusterGrid/indexed/hosts=1000-8  	      10	 112513004 ns/op	    102000 sim-events	       112.5 sim-wall-clock	  832144 B/op	    9021 allocs/op
 BenchmarkEventHandoff/sharded/hosts=1000-8 	      10	  95513004 ns/op	    102000 sim-events	        95.5 sim-wall-clock	  100678 sim-commits	     7321 sim-syncs	  832144 B/op	    9021 allocs/op
 PASS
@@ -58,7 +61,7 @@ func TestParse(t *testing.T) {
 	if *bd.RefactorFlops != 447923 || *bd.BytesMoved != 80624 || *bd.WaitShare != 0.3282 {
 		t.Fatalf("phase breakdown values: %+v", bd)
 	}
-	if ph.Metrics["extra-unit"] != 42 {
+	if ph.Metrics["vsec/solve"] != 42 {
 		t.Fatalf("generic metric lost: %+v", ph.Metrics)
 	}
 	cg := rep.Benchmarks[4]
@@ -89,6 +92,89 @@ func TestParse(t *testing.T) {
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := Parse("PASS\nok repro 0.1s\n"); err == nil {
 		t.Fatal("expected error on output with no benchmarks")
+	}
+}
+
+func TestParseRejectsDuplicateName(t *testing.T) {
+	const out = `BenchmarkX-8 	 10	 100 ns/op
+BenchmarkX-8 	 12	 101 ns/op
+PASS
+`
+	_, err := Parse(out)
+	if err == nil || !strings.Contains(err.Error(), "duplicate benchmark") {
+		t.Fatalf("want duplicate-benchmark error, got %v", err)
+	}
+}
+
+func TestParseRejectsDuplicateUnit(t *testing.T) {
+	const out = "BenchmarkX-8 \t 10\t 100 ns/op\t 5 sim-events\t 6 sim-events\nPASS\n"
+	_, err := Parse(out)
+	if err == nil || !strings.Contains(err.Error(), "duplicate unit") {
+		t.Fatalf("want duplicate-unit error, got %v", err)
+	}
+}
+
+func TestParseRejectsUnknownBreakdownUnit(t *testing.T) {
+	const out = "BenchmarkX-8 \t 10\t 100 ns/op\t 5 sim-evnets\nPASS\n"
+	_, err := Parse(out)
+	if err == nil || !strings.Contains(err.Error(), "unknown breakdown unit") {
+		t.Fatalf("want unknown-unit error, got %v", err)
+	}
+	// Units with a '/' stay generic metrics, not errors.
+	rep, err := Parse("BenchmarkX-8 \t 10\t 100 ns/op\t 5 vsec/solve\nPASS\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmarks[0].Metrics["vsec/solve"] != 5 {
+		t.Fatalf("generic metric lost: %+v", rep.Benchmarks[0].Metrics)
+	}
+}
+
+// TestDiffRegressionFixture pins the regression gate against the checked-in
+// fixture pair: the regressed candidate must fail a 10% gate, and the clean
+// pair must pass it.
+func TestDiffRegressionFixture(t *testing.T) {
+	oldRep, err := LoadReport("testdata/bench_base.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRep, err := LoadReport("testdata/bench_regress.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, regressed := Diff(oldRep, newRep, 10)
+	if !regressed {
+		t.Fatalf("injected regression not flagged:\n%s", strings.Join(lines, "\n"))
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "REGRESSED") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no REGRESSED verdict in output:\n%s", strings.Join(lines, "\n"))
+	}
+	if _, regressed := Diff(oldRep, oldRep, 10); regressed {
+		t.Fatal("identical reports flagged as regressed")
+	}
+	// A generous threshold lets the injected regression pass.
+	if _, regressed := Diff(oldRep, newRep, 500); regressed {
+		t.Fatal("regression below threshold still flagged")
+	}
+}
+
+// TestDiffUnmatchedBenchmarks checks that renames are reported but never
+// gate.
+func TestDiffUnmatchedBenchmarks(t *testing.T) {
+	oldRep := &Report{Benchmarks: []Record{{Name: "BenchmarkA", NsPerOp: 100}}}
+	newRep := &Report{Benchmarks: []Record{{Name: "BenchmarkB", NsPerOp: 9000}}}
+	lines, regressed := Diff(oldRep, newRep, 10)
+	if regressed {
+		t.Fatalf("unmatched benchmarks must not gate:\n%s", strings.Join(lines, "\n"))
+	}
+	if len(lines) != 2 {
+		t.Fatalf("want 2 report lines, got %v", lines)
 	}
 }
 

@@ -6,7 +6,8 @@
 //	msexp [-scale N] [-csv] [-quiet] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 figure3 faultsweep utilization
-// topology clustergrid eventshard twostage (default: all). -scale divides the
+// windowed topology clustergrid eventshard twostage (default: all). -scale
+// divides the
 // paper's matrix dimensions (default 16; 8 gives a closer, slower run; 1 is
 // the paper's exact sizes, only practical for the generated banded matrices).
 // -csv emits comma-separated values instead of aligned text (handy for
@@ -30,6 +31,12 @@
 // -metrics-out PREFIX writes PREFIX-<cluster>-<solver>.metrics.{json,csv},
 // and -critical-path appends each run's top critical-path segments to the
 // table's notes.
+//
+// The windowed experiment folds a clean and a degraded cluster2 solve into
+// fixed virtual-time windows (internal/obs windowed telemetry): -window sets
+// the window width, -stream-trace accumulates the windows from the
+// bounded-memory streaming flush path, and -metrics-out PREFIX writes
+// PREFIX-windowed-{clean,degraded}.windows.{json,csv} for cmd/msprof.
 package main
 
 import (
@@ -52,6 +59,8 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "utilization: write a Perfetto trace per run to PREFIX-<cluster>-<solver>.json")
 	metricsOut := flag.String("metrics-out", "", "utilization: write per-run metrics to PREFIX-<cluster>-<solver>.metrics.{json,csv}")
 	critPath := flag.Bool("critical-path", false, "utilization: append each run's top critical-path segments to the table notes")
+	window := flag.Float64("window", 0, "windowed: virtual-time window width in seconds for the windowed-utilization experiment (0 = auto: 1/8 of the clean makespan); with -metrics-out also writes PREFIX-windowed-{clean,degraded}.windows.{json,csv}")
+	streamTr := flag.Bool("stream-trace", false, "windowed: accumulate the windows from the bounded-memory streaming flush path instead of the retained spans (same numbers, exercises the flight-recorder feed)")
 	synHosts := flag.Int("hosts", 0, "clustergrid: run on a single generated grid of this many hosts instead of the default scale sweep")
 	synClust := flag.Int("clusters", 1, "clustergrid: cluster count of the -hosts grid")
 	innerSched := flag.String("inner-schedule", "", "twostage: inner-sweep schedule (fixed, ramp or residual; empty = fixed)")
@@ -66,6 +75,7 @@ func main() {
 	cfg := experiments.Config{
 		Scale: *scale, Progress: progress, Workers: *workers, FaultSeed: *faultSeed,
 		TraceJSON: *traceJSON, MetricsOut: *metricsOut, CriticalPath: *critPath,
+		Window: *window, StreamTrace: *streamTr,
 		SynthHosts: *synHosts, SynthClusters: *synClust,
 		TwoStageSchedule: *innerSched, TwoStageOmega: *omega, TwoStagePrecondBand: *pcBand,
 	}

@@ -10,7 +10,7 @@
 //	       [-topo] [-gateway]
 //	       [-ft] [-drop P] [-drop-link NAME] [-crash host@from:until,...]
 //	       [-fault-seed S] [-trace-json out.json] [-metrics-out PREFIX]
-//	       [-critical-path]
+//	       [-critical-path] [-window W] [-stream-trace]
 //
 // -hosts switches from the built-in clusters to a generated grid platform
 // (see vgrid.Synthetic): N hosts split into -clusters LAN islands joined by
@@ -35,9 +35,14 @@
 // writes a Chrome trace-event file loadable in Perfetto (ui.perfetto.dev),
 // -metrics-out writes per-host utilization, per-link traffic and convergence
 // series as PREFIX.metrics.json/.csv, and -critical-path prints the makespan
-// decomposed into compute/network/wait along the run's critical path. All
-// outputs are deterministic for any -workers and -lanes value (-lanes 0
-// shards the event core into one scheduler lane per cluster).
+// decomposed into compute/network/wait along the run's critical path.
+// -window W folds the run into fixed virtual-time windows (per-window host
+// utilization, link traffic/staleness, residual progress, critical-path
+// attribution, and per-lane scheduler stats on sharded runs; analyzed with
+// cmd/msprof), and -stream-trace flushes the Perfetto trace incrementally
+// behind a bounded flight-recorder ring so span memory stays flat on huge
+// grids. All outputs are deterministic for any -workers and -lanes value
+// (-lanes 0 shards the event core into one scheduler lane per cluster).
 //
 // The fault flags inject deterministic failures into the simulated grid:
 // -drop loses each message crossing -drop-link (default the inter-site
@@ -91,6 +96,8 @@ func main() {
 		traceJSON  = flag.String("trace-json", "", "write a Chrome trace-event JSON (open in Perfetto / chrome://tracing) of the run to this file")
 		metricsOut = flag.String("metrics-out", "", "write utilization/convergence metrics to PREFIX.metrics.json and PREFIX.metrics.csv")
 		critPath   = flag.Bool("critical-path", false, "print the critical-path decomposition of the makespan after the solve")
+		window     = flag.Float64("window", 0, "windowed telemetry: fold the run into fixed virtual-time windows of this width in seconds — per-window host utilization/wait share, link traffic/staleness, series and critical-path attribution; prints a summary, writes PREFIX.windows.{json,csv} with -metrics-out, and enables lane telemetry on sharded runs (0 = off; every other output stays byte-identical)")
+		streamTr   = flag.Bool("stream-trace", false, "stream -trace-json incrementally behind a bounded flight-recorder ring instead of batch-exporting after the run: span memory stays bounded on huge grids, but the spans are not retained, so -critical-path is unavailable (default off keeps today's batch export byte-identical)")
 		ft         = flag.Bool("ft", false, "enable the fault-tolerant mode (retransmission, timeouts, degraded operation)")
 		drop       = flag.Float64("drop", 0, "drop each message on -drop-link with this probability")
 		dropLink   = flag.String("drop-link", "wan", "name of the link losing messages (cluster3's inter-site link is \"wan\")")
@@ -122,7 +129,12 @@ func main() {
 	}
 	synth := synthSpec{hosts: *synHosts, clusters: *synClust, het: *synHet, seed: *synSeed}
 	faults := faultSpec{drop: *drop, dropLink: *dropLink, crash: *crash, seed: *faultSeed, ft: *ft}
-	ospec := obsSpec{traceJSON: *traceJSON, metricsOut: *metricsOut, critPath: *critPath}
+	ospec := obsSpec{traceJSON: *traceJSON, metricsOut: *metricsOut, critPath: *critPath,
+		window: *window, streamTrace: *streamTr}
+	if err := ospec.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "msolve:", err)
+		os.Exit(2)
+	}
 	var ts core.TwoStage
 	if *twoStage {
 		ts = core.TwoStage{InnerIters: *inner, Schedule: *innerSched, Omega: *omega, PrecondBand: *pcBand}
@@ -142,14 +154,51 @@ type synthSpec struct {
 
 // obsSpec collects the observability flags.
 type obsSpec struct {
-	traceJSON  string
-	metricsOut string
-	critPath   bool
+	traceJSON   string
+	metricsOut  string
+	critPath    bool
+	window      float64
+	streamTrace bool
 }
 
 // enabled reports whether any observability output was requested.
 func (ospec obsSpec) enabled() bool {
-	return ospec.traceJSON != "" || ospec.metricsOut != "" || ospec.critPath
+	return ospec.traceJSON != "" || ospec.metricsOut != "" || ospec.critPath || ospec.window > 0
+}
+
+// validate rejects contradictory observability flag combinations up front.
+func (ospec obsSpec) validate() error {
+	if ospec.window < 0 {
+		return fmt.Errorf("-window must be >= 0")
+	}
+	if ospec.streamTrace && ospec.traceJSON == "" {
+		return fmt.Errorf("-stream-trace needs -trace-json")
+	}
+	if ospec.streamTrace && ospec.critPath {
+		return fmt.Errorf("-stream-trace does not retain spans, so -critical-path is unavailable; drop one of the two")
+	}
+	return nil
+}
+
+// attach prepares the streaming trace writer when -stream-trace is on: the
+// recorder hands every span to a flight-recorder ring flushing incrementally
+// into the trace file, and the window accumulator (when -window > 0) rides
+// on the flushed spans. Returns the streamer to Close after the run (nil in
+// batch mode).
+func (ospec obsSpec) attach(rec *obs.Recorder) (*obs.Streamer, error) {
+	if !ospec.streamTrace {
+		return nil, nil
+	}
+	f, err := os.Create(ospec.traceJSON)
+	if err != nil {
+		return nil, err
+	}
+	st := obs.NewStreamer(f, 0)
+	if ospec.window > 0 {
+		st.AccumulateWindows(ospec.window)
+	}
+	rec.SetStream(st)
+	return st, nil
 }
 
 // writeFile creates path and streams write into it.
@@ -166,15 +215,23 @@ func writeFile(path string, write func(io.Writer) error) error {
 }
 
 // export writes the requested artifacts from a finished run: the Perfetto
-// trace, the metrics pair (JSON + CSV) and the critical-path report.
-func (ospec obsSpec) export(rec *obs.Recorder, makespan float64) error {
-	if ospec.traceJSON != "" {
+// trace (batch, or closing the incremental stream), the metrics pair
+// (JSON + CSV), the windowed telemetry and the critical-path report.
+func (ospec obsSpec) export(rec *obs.Recorder, st *obs.Streamer, makespan float64) error {
+	if ospec.traceJSON != "" && st == nil {
 		if err := writeFile(ospec.traceJSON, func(w io.Writer) error {
 			return obs.WriteTraceJSON(w, rec)
 		}); err != nil {
 			return err
 		}
 		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", ospec.traceJSON)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace streamed to %s: %d spans flushed, peak %d in ring (%d overflow flushes)\n",
+			ospec.traceJSON, st.Flushed(), st.PeakPending(), st.OverflowFlushes())
 	}
 	if ospec.metricsOut != "" {
 		m := obs.ComputeMetrics(rec, makespan)
@@ -186,10 +243,30 @@ func (ospec obsSpec) export(rec *obs.Recorder, makespan float64) error {
 		}
 		fmt.Printf("metrics written to %s.metrics.{json,csv}\n", ospec.metricsOut)
 	}
-	if ospec.critPath {
-		if cp := obs.CriticalPath(rec); cp != nil {
-			cp.Fprint(os.Stdout, 10)
+	var cp *obs.CPReport
+	if ospec.critPath || (ospec.window > 0 && st == nil) {
+		cp = obs.CriticalPath(rec)
+	}
+	if ospec.window > 0 {
+		var wm *obs.WindowedMetrics
+		if st != nil {
+			wm = st.Windows(makespan)
+		} else {
+			wm = obs.ComputeWindows(rec, ospec.window, makespan, cp)
 		}
+		wm.Fprint(os.Stdout, 12)
+		if ospec.metricsOut != "" {
+			if err := writeFile(ospec.metricsOut+".windows.json", wm.WriteJSON); err != nil {
+				return err
+			}
+			if err := writeFile(ospec.metricsOut+".windows.csv", wm.WriteCSV); err != nil {
+				return err
+			}
+			fmt.Printf("windowed metrics written to %s.windows.{json,csv}\n", ospec.metricsOut)
+		}
+	}
+	if ospec.critPath && cp != nil {
+		cp.Fprint(os.Stdout, 10)
 	}
 	return nil
 }
@@ -357,9 +434,16 @@ func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bo
 		e.Record(rec)
 	}
 	var orec *obs.Recorder
+	var stream *obs.Streamer
 	if ospec.enabled() {
 		orec = &obs.Recorder{}
 		e.Observe(orec)
+		if stream, err = ospec.attach(orec); err != nil {
+			return err
+		}
+	}
+	if ospec.window > 0 {
+		e.SetLaneTelemetry(ospec.window)
 	}
 	pend, err := core.Launch(e, hosts, a, b, core.Options{
 		Overlap:         overlap,
@@ -383,8 +467,27 @@ func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bo
 	if orec != nil {
 		// Export before the convergence verdict: a stalled run is exactly
 		// the kind the profile should explain.
-		if err := ospec.export(orec, e.Now()); err != nil {
+		if err := ospec.export(orec, stream, e.Now()); err != nil {
 			return err
+		}
+	}
+	if lt := e.LaneTelemetry(); len(lt) > 0 {
+		fmt.Printf("lane telemetry: %d windows (width %g)\n", len(lt), ospec.window)
+		for i, ls := range lt {
+			if i == 12 {
+				fmt.Printf("  ... %d more windows\n", len(lt)-i)
+				break
+			}
+			fmt.Printf("  w%-3d occupancy %.3f  wan-turns %d  grant-wait %.4fs  inbox %d\n",
+				ls.W, ls.Occupancy, ls.WanTurns, ls.WanGrantWait, ls.InboxDepth)
+		}
+		if ospec.metricsOut != "" {
+			if err := writeFile(ospec.metricsOut+".lanes.json", func(w io.Writer) error {
+				return vgrid.WriteLaneTelemetryJSON(w, lt)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("lane telemetry written to %s.lanes.json\n", ospec.metricsOut)
 		}
 	}
 	res := pend.Result()

@@ -1,0 +1,284 @@
+// Command msprof analyzes the metrics artifacts a run writes (msolve/msexp
+// -metrics-out and -window): it summarizes a windowed or aggregate metrics
+// JSON file, diffs two windowed files window-by-window, and re-exports the
+// windowed time series as JSON or CSV.
+//
+// Usage:
+//
+//	msprof summary FILE [-top N]
+//	msprof diff OLD NEW [-top N]
+//	msprof export FILE [-json OUT] [-csv OUT]
+//
+// FILE is either a windowed metrics file (PREFIX.windows.json, written when
+// -window > 0) or an aggregate metrics file (PREFIX.json); summary detects
+// which by the "width" field. diff and export need windowed files.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, rest := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "summary":
+		err = runSummary(rest)
+	case "diff":
+		err = runDiff(rest)
+	case "export":
+		err = runExport(rest)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msprof: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  msprof summary FILE [-top N]   summarize a windowed or aggregate metrics file
+  msprof diff OLD NEW [-top N]   compare two windowed metrics files
+  msprof export FILE [-json OUT] [-csv OUT]   re-export windowed time series
+`)
+	os.Exit(2)
+}
+
+// parseMixed parses fs accepting flags before or after the positional
+// arguments (the usage lines show them trailing, where package flag would
+// otherwise stop scanning) and returns the positionals in order.
+func parseMixed(fs *flag.FlagSet, args []string) ([]string, error) {
+	var pos []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		args = fs.Args()
+		if len(args) == 0 {
+			return pos, nil
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+}
+
+// loadWindowed reads a windowed metrics file; ok is false when the file is
+// an aggregate metrics file instead (no "width").
+func loadWindowed(path string) (*obs.WindowedMetrics, bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	wm := &obs.WindowedMetrics{}
+	if err := json.Unmarshal(raw, wm); err != nil {
+		return nil, false, fmt.Errorf("%s: %w", path, err)
+	}
+	if wm.Width <= 0 {
+		return nil, false, nil
+	}
+	return wm, true, nil
+}
+
+// runSummary implements `msprof summary`.
+func runSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	top := fs.Int("top", 20, "maximum windows (or hosts) to print")
+	pos, err := parseMixed(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		return fmt.Errorf("summary needs exactly one metrics file")
+	}
+	path := pos[0]
+	wm, ok, err := loadWindowed(path)
+	if err != nil {
+		return err
+	}
+	if ok {
+		wm.Fprint(os.Stdout, *top)
+		return nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	m := &obs.Metrics{}
+	if err := json.Unmarshal(raw, m); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("aggregate metrics: makespan %.6fs, %d hosts, %d links\n", m.Makespan, len(m.Hosts), len(m.Links))
+	hosts := make([]obs.HostUtil, len(m.Hosts))
+	copy(hosts, m.Hosts)
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i].Utilization > hosts[j].Utilization })
+	n := len(hosts)
+	if n > *top {
+		n = *top
+	}
+	for _, h := range hosts[:n] {
+		fmt.Printf("  %-16s util %.3f  compute %.4f  send %.4f  wait %.4f  idle %.4f\n",
+			h.Track, h.Utilization, h.Compute, h.Send, h.Wait, h.Idle)
+	}
+	return nil
+}
+
+// winAgg is one window's cross-host/link aggregate used by diff.
+type winAgg struct {
+	util, wait  float64
+	hosts       int
+	bytes, msgs float64
+}
+
+// aggregate folds a windowed file into per-window means and totals.
+func aggregate(wm *obs.WindowedMetrics) map[int]*winAgg {
+	rows := map[int]*winAgg{}
+	at := func(w int) *winAgg {
+		r := rows[w]
+		if r == nil {
+			r = &winAgg{}
+			rows[w] = r
+		}
+		return r
+	}
+	for i := range wm.Hosts {
+		h := &wm.Hosts[i]
+		r := at(h.W)
+		r.util += h.Utilization
+		r.wait += h.WaitShare
+		r.hosts++
+	}
+	for i := range wm.Links {
+		l := &wm.Links[i]
+		r := at(l.W)
+		r.bytes += l.Bytes
+		r.msgs += l.Msgs
+	}
+	for _, r := range rows {
+		if r.hosts > 0 {
+			r.util /= float64(r.hosts)
+			r.wait /= float64(r.hosts)
+		}
+	}
+	return rows
+}
+
+// runDiff implements `msprof diff`: window-by-window deltas of mean
+// utilization, mean wait share and link traffic between two windowed files.
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	top := fs.Int("top", 40, "maximum windows to print")
+	pos, err := parseMixed(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 2 {
+		return fmt.Errorf("diff needs exactly two windowed metrics files")
+	}
+	load := func(path string) (*obs.WindowedMetrics, error) {
+		wm, ok, err := loadWindowed(path)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("%s: not a windowed metrics file (write one with -window > 0)", path)
+		}
+		return wm, nil
+	}
+	a, err := load(pos[0])
+	if err != nil {
+		return err
+	}
+	b, err := load(pos[1])
+	if err != nil {
+		return err
+	}
+	if a.Width != b.Width {
+		fmt.Printf("note: window widths differ (%g vs %g); windows compare positionally\n", a.Width, b.Width)
+	}
+	fmt.Printf("makespan %.6fs -> %.6fs (%+.6fs)\n", a.Makespan, b.Makespan, b.Makespan-a.Makespan)
+	ra, rb := aggregate(a), aggregate(b)
+	n := a.Windows
+	if b.Windows > n {
+		n = b.Windows
+	}
+	printed := 0
+	for w := 0; w < n && printed < *top; w++ {
+		x, y := ra[w], rb[w]
+		if x == nil && y == nil {
+			continue
+		}
+		var z winAgg
+		if x == nil {
+			x = &z
+		}
+		if y == nil {
+			y = &z
+		}
+		fmt.Printf("  w%-3d util %.3f -> %.3f (%+.3f)  wait %.3f -> %.3f (%+.3f)  bytes %.0f -> %.0f\n",
+			w, x.util, y.util, y.util-x.util, x.wait, y.wait, y.wait-x.wait, x.bytes, y.bytes)
+		printed++
+	}
+	return nil
+}
+
+// runExport implements `msprof export`: re-emit a windowed file's rows as
+// indented JSON and/or long-form CSV (stdout with "-").
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	jsonOut := fs.String("json", "", "write windowed time series as JSON to this file (\"-\" = stdout)")
+	csvOut := fs.String("csv", "", "write windowed time series as CSV to this file (\"-\" = stdout)")
+	pos, err := parseMixed(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		return fmt.Errorf("export needs exactly one windowed metrics file")
+	}
+	if *jsonOut == "" && *csvOut == "" {
+		return fmt.Errorf("export needs -json and/or -csv")
+	}
+	wm, ok, err := loadWindowed(pos[0])
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%s: not a windowed metrics file (write one with -window > 0)", pos[0])
+	}
+	write := func(path string, emit func(w io.Writer) error) error {
+		if path == "-" {
+			return emit(os.Stdout)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if *jsonOut != "" {
+		if err := write(*jsonOut, wm.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if *csvOut != "" {
+		if err := write(*csvOut, wm.WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -239,6 +239,9 @@ func (st *rankState) iterateTwoStage() error {
 		sc.Span(obs.Span{Cat: obs.CatInner, Name: "inner", Iter: st.iter,
 			Start: start, End: st.c.Now(), Flops: cost})
 		sc.Count("inner_sweeps", float64(ts.sweeps))
+		// Cumulative sweep series: the windowed telemetry layer turns this
+		// into per-window inner-sweep progress alongside the residual series.
+		sc.Sample("inner_sweeps", st.c.Now(), float64(ts.totalSweeps))
 	}
 	return nil
 }

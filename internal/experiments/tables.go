@@ -273,6 +273,8 @@ func ByName(name string) (func(Config) (*Table, error), error) {
 		return FaultSweep, nil
 	case "utilization", "util":
 		return Utilization, nil
+	case "windowed", "window":
+		return WindowedUtilization, nil
 	case "topology", "topo":
 		return TopologyTable, nil
 	case "clustergrid", "cluster-grid":
@@ -302,6 +304,7 @@ func All() []struct {
 		{"figure3", Figure3},
 		{"faultsweep", FaultSweep},
 		{"utilization", Utilization},
+		{"windowed", WindowedUtilization},
 		{"topology", TopologyTable},
 		{"clustergrid", ClusterGrid},
 		{"eventshard", EventShard},

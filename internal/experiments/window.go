@@ -1,0 +1,310 @@
+// The windowed-utilization experiment and the observability-overhead
+// benchmark harness. The windowed experiment is the demonstration piece of
+// the windowed telemetry layer (internal/obs: WindowAccum): it injects a
+// mid-run WAN-class degradation and a host crash into a cluster2 solve and
+// shows the per-window utilization trough that aggregate metrics average
+// away. ObsModesRun is the overhead record behind BENCH_obs.json: the same
+// 1000-host ring workload the event-core studies use, timed with the
+// observability layer off, aggregating, exporting, windowing and streaming.
+
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/sparse"
+	"repro/internal/vgrid"
+)
+
+// windowedRun is one observed solve folded into virtual-time windows.
+type windowedRun struct {
+	cell cell
+	wm   *obs.WindowedMetrics
+}
+
+// runWindowedMS runs one fault-tolerant asynchronous multisplitting solve
+// with the windowed telemetry attached. When cfg.StreamTrace is set the
+// windows are accumulated from the streaming flush path (spans are not
+// retained; the trace bytes go to io.Discard) — the result is the same
+// table through the other deterministic feed.
+func runWindowedMS(cfg Config, plt *cluster.Platform, a *sparse.CSR, b []float64, plan *vgrid.FaultPlan, width float64) windowedRun {
+	e := cfg.newEngine(plt)
+	if plan != nil {
+		e.SetFaultPlan(plan)
+	}
+	rec := &obs.Recorder{}
+	e.Observe(rec)
+	var st *obs.Streamer
+	if cfg.StreamTrace {
+		st = obs.NewStreamer(io.Discard, 0)
+		st.AccumulateWindows(width)
+		rec.SetStream(st)
+	}
+	pend, err := core.Launch(e, plt.Hosts, a, b, core.Options{Async: true, FaultTolerant: true})
+	if err != nil {
+		return windowedRun{cell: cell{note: "err"}}
+	}
+	_, err = e.Run()
+	pend.Finish()
+	res := pend.Result()
+	makespan := e.Now()
+	var wm *obs.WindowedMetrics
+	if st != nil {
+		if err := st.Close(); err != nil {
+			return windowedRun{cell: cell{note: "err"}}
+		}
+		wm = st.Windows(makespan)
+	} else {
+		wm = obs.ComputeWindows(rec, width, makespan, obs.CriticalPath(rec))
+	}
+	switch {
+	case err != nil:
+		return windowedRun{cell: cell{note: "err"}, wm: wm}
+	case !res.Converged:
+		return windowedRun{cell: cell{note: "div"}, wm: wm}
+	}
+	if r := relResidual(a, res.X, b); r > residualGate {
+		return windowedRun{cell: cell{note: fmt.Sprintf("bad(%.0e)", r)}, wm: wm}
+	}
+	return windowedRun{cell: cell{time: res.Time, ok: true}, wm: wm}
+}
+
+// winMeans folds a windowed report into per-window host means and the byte
+// count of one link of interest.
+func winMeans(wm *obs.WindowedMetrics, link string) (util, wait, linkKB map[int]float64) {
+	util = map[int]float64{}
+	wait = map[int]float64{}
+	linkKB = map[int]float64{}
+	hosts := map[int]int{}
+	for i := range wm.Hosts {
+		h := &wm.Hosts[i]
+		util[h.W] += h.Utilization
+		wait[h.W] += h.WaitShare
+		hosts[h.W]++
+	}
+	for w, n := range hosts {
+		util[w] /= float64(n)
+		wait[w] /= float64(n)
+	}
+	for i := range wm.Links {
+		l := &wm.Links[i]
+		if l.Link == link {
+			linkKB[l.W] += l.Bytes / 1024
+		}
+	}
+	return util, wait, linkKB
+}
+
+// The cluster2 fault scenario: one host's NIC degrades sharply over the
+// middle half of the run, and a second host crashes inside that window.
+const (
+	windowedDegradedLink = "nic-c2-06"
+	windowedCrashedHost  = "c2-07"
+)
+
+// WindowedUtilization is the windowed-telemetry demonstration (an extension,
+// not a paper table): the fault-tolerant asynchronous solver on cluster2
+// with cage11, clean versus degraded (one NIC slowed 8x/8x and one host
+// crashed over the middle of the run). The aggregate utilization of the two
+// runs barely differs; the windowed series localizes the trough to the
+// fault interval and shows the recovery afterwards.
+func WindowedUtilization(cfg Config) (*Table, error) {
+	a := Cage11Like(cfg)
+	b, _ := gen.RHSForSolution(a)
+
+	// Probe the clean makespan to place the fault windows and size the
+	// telemetry windows relative to the run.
+	cfg.logf("windowed: probing clean async run")
+	probe, _ := runMSFault(cfg, cluster.Cluster2(-1), a, b, faultMSOpts{async: true, ft: true})
+	if !probe.ok {
+		return nil, fmt.Errorf("experiments: windowed clean probe failed (%s)", probe.note)
+	}
+	T := probe.time
+	width := cfg.Window
+	if width <= 0 {
+		width = T / 8
+	}
+	degFrom, degUntil := 0.25*T, 0.75*T
+	crashFrom, crashUntil := 0.40*T, 0.60*T
+
+	feed := "batch spans"
+	if cfg.StreamTrace {
+		feed = "streaming flush"
+	}
+	t := &Table{
+		ID: "Windowed utilization",
+		Title: fmt.Sprintf("windowed telemetry on cluster2 under degradation, cage11-like matrix (n=%d, scale %d, window %.3fs)",
+			a.Rows, cfg.scale(), width),
+		Header: []string{"window", "interval", "util clean", "util degraded", "wait clean", "wait degraded", "KB on " + windowedDegradedLink},
+		Notes: []string{
+			fmt.Sprintf("degraded run: %s latency x8 / bandwidth /8 over [%.3fs, %.3fs), %s crashed over [%.3fs, %.3fs)",
+				windowedDegradedLink, degFrom, degUntil, windowedCrashedHost, crashFrom, crashUntil),
+			fmt.Sprintf("windows accumulated from the %s feed (internal/obs); util/wait are host means per window", feed),
+		},
+	}
+
+	cfg.logf("windowed: clean run with telemetry")
+	clean := runWindowedMS(cfg, cluster.Cluster2(-1), a, b, nil, width)
+	cfg.logf("windowed: degraded run with telemetry")
+	plan := vgrid.NewFaultPlan(cfg.faultSeed()).
+		DegradeLink(windowedDegradedLink, degFrom, degUntil, 8, 1.0/8).
+		CrashHost(windowedCrashedHost, crashFrom, crashUntil)
+	deg := runWindowedMS(cfg, cluster.Cluster2(-1), a, b, plan, width)
+	if clean.wm == nil || deg.wm == nil {
+		return nil, fmt.Errorf("experiments: windowed runs produced no telemetry (clean %s, degraded %s)",
+			clean.cell.timeStr(), deg.cell.timeStr())
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("solve times: clean %s, degraded %s", clean.cell.timeStr(), deg.cell.timeStr()))
+
+	cu, cw, _ := winMeans(clean.wm, windowedDegradedLink)
+	du, dw, dl := winMeans(deg.wm, windowedDegradedLink)
+	n := clean.wm.Windows
+	if deg.wm.Windows > n {
+		n = deg.wm.Windows
+	}
+	for w := 0; w < n; w++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(w),
+			fmt.Sprintf("[%.3f, %.3f)", float64(w)*width, float64(w+1)*width),
+			fmt.Sprintf("%.3f", cu[w]), fmt.Sprintf("%.3f", du[w]),
+			fmt.Sprintf("%.3f", cw[w]), fmt.Sprintf("%.3f", dw[w]),
+			fmt.Sprintf("%.1f", dl[w]),
+		})
+	}
+
+	if cfg.MetricsOut != "" {
+		for _, out := range []struct {
+			key string
+			wm  *obs.WindowedMetrics
+		}{{"clean", clean.wm}, {"degraded", deg.wm}} {
+			base := fmt.Sprintf("%s-windowed-%s", cfg.MetricsOut, out.key)
+			if err := writeTo(base+".windows.json", out.wm.WriteJSON); err != nil {
+				return nil, err
+			}
+			if err := writeTo(base+".windows.csv", out.wm.WriteCSV); err != nil {
+				return nil, err
+			}
+			cfg.logf("windowed: metrics written to %s.windows.{json,csv}", base)
+		}
+	}
+	return t, nil
+}
+
+// writeTo creates path and streams fn into it.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ObsModesResult is one timed observability-overhead run.
+type ObsModesResult struct {
+	// Events is the scheduler commit-point count of the ring workload.
+	Events int
+	// Wall is the host wall-clock time of the simulation.
+	Wall time.Duration
+	// VirtualTime is the simulated makespan (identical across modes).
+	VirtualTime float64
+	// Spans is the number of spans the run emitted (0 with the layer off).
+	Spans int
+	// PeakSpans is the peak number of spans held in memory: all of them in
+	// batch modes, the flight-recorder ring occupancy when streaming.
+	PeakSpans int
+}
+
+// ObsModesRun times the synthetic-grid ring workload (the event-core
+// studies' 1000-host/100k-event shape) under one observability mode:
+//
+//	off                no recorder attached
+//	aggregate          recorder attached, nothing exported
+//	aggregate+export   recorder + batch trace export + aggregate metrics
+//	windowed           recorder + batch trace export + windowed metrics
+//	streaming          streaming trace + windows from the flush path
+//
+// The windowed and streaming modes produce the same artifacts (a full trace
+// plus windowed metrics), so their wall-clock ratio is the price of the
+// bounded-memory flight recorder; their obs-peak-spans ratio is what it
+// buys. Export bytes go to io.Discard so the record times the layer, not
+// the filesystem. The virtual result is identical across modes.
+func ObsModesRun(hosts, clusters, events, lanes int, mode string) (ObsModesResult, error) {
+	rounds := (events + 3*hosts - 1) / (3 * hosts)
+	if rounds < 1 {
+		rounds = 1
+	}
+	plt := cluster.Synthetic(hosts, clusters, 0.3, 7)
+	e := vgrid.NewEngine(plt.Platform)
+	e.SetLanes(lanes)
+
+	var rec *obs.Recorder
+	var st *obs.Streamer
+	if mode != "off" {
+		rec = &obs.Recorder{}
+		e.Observe(rec)
+	}
+	if mode == "streaming" {
+		st = obs.NewStreamer(io.Discard, 0)
+		st.AccumulateWindows(0.05)
+		rec.SetStream(st)
+	}
+	spawnRing(e, plt, hosts, rounds)
+
+	start := time.Now()
+	vt, err := e.Run()
+	if err != nil {
+		return ObsModesResult{}, err
+	}
+	res := ObsModesResult{Events: 3 * rounds * hosts, VirtualTime: vt}
+	switch mode {
+	case "off":
+	case "aggregate":
+		res.Spans = rec.NumSpans()
+		res.PeakSpans = rec.NumSpans()
+	case "aggregate+export":
+		if err := obs.WriteTraceJSON(io.Discard, rec); err != nil {
+			return ObsModesResult{}, err
+		}
+		m := obs.ComputeMetrics(rec, vt)
+		if err := m.WriteJSON(io.Discard); err != nil {
+			return ObsModesResult{}, err
+		}
+		res.Spans = rec.NumSpans()
+		res.PeakSpans = rec.NumSpans()
+	case "windowed":
+		if err := obs.WriteTraceJSON(io.Discard, rec); err != nil {
+			return ObsModesResult{}, err
+		}
+		wm := obs.ComputeWindows(rec, 0.05, vt, nil)
+		if err := wm.WriteJSON(io.Discard); err != nil {
+			return ObsModesResult{}, err
+		}
+		res.Spans = rec.NumSpans()
+		res.PeakSpans = rec.NumSpans()
+	case "streaming":
+		if err := st.Close(); err != nil {
+			return ObsModesResult{}, err
+		}
+		wm := st.Windows(vt)
+		if err := wm.WriteJSON(io.Discard); err != nil {
+			return ObsModesResult{}, err
+		}
+		res.Spans = int(st.Flushed())
+		res.PeakSpans = st.PeakPending()
+	default:
+		return ObsModesResult{}, fmt.Errorf("experiments: unknown obs mode %q", mode)
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}

@@ -260,8 +260,10 @@ func (c *Comm) xsendLoop(dst *vgrid.Proc, tag int, payload any, floats []float64
 		if backoff > 0 {
 			t0 := c.p.Now()
 			c.p.Sleep(backoff)
+			// Iter carries the attempt number so the windowed retry-pressure
+			// view can distinguish first backoffs from escalating ones.
 			c.ctx.Observe().Span(obs.Span{Cat: obs.CatRetry, Name: "retry",
-				Start: t0, End: c.p.Now(), To: dst.Name, Tag: tag, Bytes: int64(bytes)})
+				Start: t0, End: c.p.Now(), To: dst.Name, Tag: tag, Bytes: int64(bytes), Iter: i + 1})
 			backoff *= 2
 		}
 	}

@@ -156,6 +156,49 @@ type Recorder struct {
 	counts  map[countKey]float64
 	nextIdx int64
 	journal *journalLog
+	// stream, when non-nil, receives every span instead of chunked storage
+	// (bounded-memory streaming mode; see stream.go); trackSeq assigns the
+	// per-track emission sequence the stream's deterministic flush order
+	// ties on.
+	stream   *Streamer
+	trackSeq map[string]int64
+}
+
+// SetStream switches the recorder into streaming mode: spans are handed to
+// the streamer's flight-recorder ring instead of being retained, and
+// Recorder.Advance watermarks from the engine's commit points drive the
+// incremental flush. Samples and counters are still retained (they are tiny
+// and the aggregate metrics need them); Spans() returns nothing, so the
+// batch exporters and the critical-path walk are unavailable on a streaming
+// recorder. Must be called before recording starts; panics on a journal
+// recorder (a sharded engine's lanes journal as usual — the stream attaches
+// to the destination recorder the merge replays into).
+func (r *Recorder) SetStream(st *Streamer) {
+	if r.journal != nil {
+		panic("obs: SetStream on a journal recorder")
+	}
+	if r.nSpans > 0 {
+		panic("obs: SetStream after recording started")
+	}
+	r.stream = st
+	st.rec = r
+}
+
+// Streaming reports whether the recorder is in streaming mode (false for
+// nil).
+func (r *Recorder) Streaming() bool { return r != nil && r.stream != nil }
+
+// Advance tells a streaming recorder that the engine's commit time reached
+// t: every pending span that ended strictly before t is final (commit keys
+// are non-decreasing and spans never end before the commit that emits them)
+// and is flushed to the trace writer. A no-op on nil or non-streaming
+// recorders, so the engine can call it unconditionally from its serialized
+// commit points.
+func (r *Recorder) Advance(t float64) {
+	if r == nil || r.stream == nil {
+		return
+	}
+	r.stream.advance(t)
 }
 
 // countOp is one journaled Count call. Counter accumulation is a float sum,
@@ -247,6 +290,16 @@ func (r *Recorder) Span(s Span) {
 	if j := r.journal; j != nil {
 		j.kinds = append(j.kinds, 's')
 		j.spans = append(j.spans, s)
+		return
+	}
+	if st := r.stream; st != nil {
+		if r.trackSeq == nil {
+			r.trackSeq = map[string]int64{}
+		}
+		s.idx = r.trackSeq[s.Track]
+		r.trackSeq[s.Track]++
+		r.nSpans++
+		st.push(s)
 		return
 	}
 	s.idx = r.nextIdx

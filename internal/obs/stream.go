@@ -1,0 +1,289 @@
+// Bounded-memory streaming trace export. A Streamer sits behind the recorder
+// as a flight-recorder ring: spans are held in a small pending heap and
+// flushed incrementally to the Chrome trace-event writer as the engine's
+// commit-time watermark passes them, so a 10⁴-host run never holds its full
+// span population in RAM.
+//
+// The determinism argument mirrors the batch exporter's, with the watermark
+// replacing the end-of-run sort. Two invariants make the streamed bytes
+// identical for any worker or lane count:
+//
+//   - Every span's End is at or past the commit time of the slice that emits
+//     it (spans describe work the scheduler has just committed, never work
+//     that could still be reordered), and the engine's commit keys are
+//     non-decreasing. So when the engine advances the watermark to commit
+//     time t, every span with End < t has already been emitted — the flush
+//     set {End < t} is complete, and concatenating the per-watermark flushes
+//     yields all spans in (End, Start, Track, per-track seq) order no matter
+//     which watermark subsequence a particular lane count produced.
+//   - Ties are broken by a per-track emission sequence instead of the
+//     recorder's global index: the per-track emission order is the process's
+//     own program order, which is worker- and lane-count invariant, while the
+//     global interleaving is not.
+//
+// The one escape hatch is ring overflow: if the pending heap outgrows the
+// configured ring, the oldest spans are force-flushed early to keep memory
+// bounded. Those early flushes can precede the watermark, so byte-stability
+// across worker counts is only guaranteed while the ring is large enough to
+// hold the peak live span population (OverflowFlushes reports violations;
+// the default ring is ample for every shipped workload).
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// DefaultStreamRing is the default flight-recorder capacity: the maximum
+// number of spans held in memory awaiting their watermark.
+const DefaultStreamRing = 1 << 16
+
+// streamHeap is a min-heap of pending spans ordered by the deterministic
+// flush key (End, Start, Track, per-track seq).
+type streamHeap []Span
+
+func (h streamHeap) Len() int { return len(h) }
+
+func (h streamHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.Track != b.Track {
+		return a.Track < b.Track
+	}
+	return a.idx < b.idx
+}
+
+// push adds s keeping the heap invariant. Hand-rolled sift-up: the per-span
+// hot path runs once per committed event, and container/heap would box every
+// Span into an interface on the way in and out.
+func (h *streamHeap) push(s Span) {
+	a := append(*h, s)
+	*h = a
+	for i := len(a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !a.Less(i, p) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum-keyed span.
+func (h *streamHeap) pop() Span {
+	a := *h
+	n := len(a) - 1
+	s := a[0]
+	a[0] = a[n]
+	a = a[:n]
+	*h = a
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && a.Less(r, c) {
+			c = r
+		}
+		if !a.Less(c, i) {
+			break
+		}
+		a[i], a[c] = a[c], a[i]
+		i = c
+	}
+	return s
+}
+
+// Streamer is the incremental trace-event writer behind a streaming
+// recorder: a pending-span ring plus the encoder state of one Chrome
+// trace-event JSON document. Create it with NewStreamer, attach it with
+// Recorder.SetStream before the run, and Close it after the run to flush the
+// tail, append the metric counter events and terminate the document. A
+// Streamer is fed only from the recorder's serialized emission points; it is
+// not goroutine-safe.
+type Streamer struct {
+	w    io.Writer
+	ring int
+	rec  *Recorder
+
+	pend     streamHeap
+	peak     int
+	flushed  int
+	overflow int
+
+	started bool
+	closed  bool
+	err     error
+	tids    map[int]map[string]int
+	buf     []byte
+
+	windows *WindowAccum
+}
+
+// NewStreamer returns a streamer writing one Chrome trace-event JSON
+// document to w, holding at most ring pending spans (DefaultStreamRing when
+// ring <= 0).
+func NewStreamer(w io.Writer, ring int) *Streamer {
+	if ring <= 0 {
+		ring = DefaultStreamRing
+	}
+	return &Streamer{w: w, ring: ring, tids: map[int]map[string]int{}}
+}
+
+// AccumulateWindows additionally folds every flushed span (and, at Close,
+// every sample) into a windowed-metrics accumulator of the given width, so
+// rolling metrics survive streaming even though the spans are not retained.
+// Must be called before the run; retrieve the result with Windows after
+// Close.
+func (st *Streamer) AccumulateWindows(width float64) {
+	st.windows = NewWindowAccum(width)
+}
+
+// Windows finishes and returns the windowed metrics accumulated during
+// streaming (nil unless AccumulateWindows was called). Call after Close.
+func (st *Streamer) Windows(makespan float64) *WindowedMetrics {
+	if st.windows == nil {
+		return nil
+	}
+	return st.windows.Finish(makespan, nil)
+}
+
+// PeakPending reports the largest number of spans the ring ever held — the
+// streaming mode's span-memory high-water mark, bounded by the ring size.
+func (st *Streamer) PeakPending() int { return st.peak }
+
+// Flushed reports how many spans have been written out.
+func (st *Streamer) Flushed() int { return st.flushed }
+
+// OverflowFlushes reports how many spans were force-flushed ahead of their
+// watermark because the ring was full. A non-zero value means the ring is
+// smaller than the peak live span population and the stream's byte-identity
+// guarantee across worker counts no longer holds (the trace itself is still
+// valid).
+func (st *Streamer) OverflowFlushes() int { return st.overflow }
+
+// push enqueues a span, then enforces the ring bound by force-flushing the
+// smallest-keyed pending spans. The engine calls this via Recorder.Span.
+func (st *Streamer) push(s Span) {
+	st.pend.push(s)
+	for len(st.pend) > st.ring {
+		st.overflow++
+		st.emit(st.pend.pop())
+	}
+	if len(st.pend) > st.peak {
+		st.peak = len(st.pend)
+	}
+}
+
+// advance flushes every pending span that ended strictly before the
+// watermark t. The engine calls this via Recorder.Advance at its serialized
+// commit points, with non-decreasing t.
+func (st *Streamer) advance(t float64) {
+	for len(st.pend) > 0 && st.pend[0].End < t {
+		st.emit(st.pend.pop())
+	}
+}
+
+// write appends raw bytes to the output, latching the first error.
+func (st *Streamer) write(b []byte) {
+	if st.err != nil {
+		return
+	}
+	_, st.err = st.w.Write(b)
+}
+
+// event encodes one trace event, emitting the document header before the
+// first and a separating comma before every later one.
+func (st *Streamer) event(ev traceEvent) {
+	if !st.started {
+		st.write([]byte(`{"traceEvents":[`))
+		st.started = true
+	} else {
+		st.write([]byte{','})
+	}
+	b, err := json.Marshal(ev)
+	if err != nil && st.err == nil {
+		st.err = err
+	}
+	st.write(b)
+}
+
+// track returns the tid for (pid, name), emitting process_name and
+// thread_name metadata events on first use. Unlike the batch exporter, tids
+// follow first-flush order rather than sorted order — the flush order is
+// itself deterministic, so the document still is.
+func (st *Streamer) track(pid int, name string) int {
+	m := st.tids[pid]
+	if m == nil {
+		m = map[string]int{}
+		st.tids[pid] = m
+		st.event(traceEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": map[int]string{pidGrid: "grid", pidNet: "network", pidSolver: "solver", pidMetrics: "metrics"}[pid]}})
+	}
+	tid, ok := m[name]
+	if !ok {
+		tid = len(m)
+		m[name] = tid
+		st.event(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name}})
+	}
+	return tid
+}
+
+// emit writes one span out (and folds it into the window accumulator).
+func (st *Streamer) emit(s Span) {
+	st.flushed++
+	if st.windows != nil {
+		st.windows.AddSpan(s)
+	}
+	pid := pidOf(s.Cat)
+	tid := st.track(pid, s.Track)
+	name := s.Name
+	if name == "" {
+		name = s.Cat
+	}
+	if pid == pidNet {
+		args := spanArgs(s)
+		st.event(traceEvent{Name: name, Cat: s.Cat, Ph: "b", Ts: usec(s.Start), Pid: pid, Tid: tid, ID: s.Seq, Args: args})
+		st.event(traceEvent{Name: name, Cat: s.Cat, Ph: "e", Ts: usec(s.End), Pid: pid, Tid: tid, ID: s.Seq})
+		return
+	}
+	dur := usec(s.End - s.Start)
+	st.event(traceEvent{Name: name, Cat: s.Cat, Ph: "X", Ts: usec(s.Start), Dur: &dur,
+		Pid: pid, Tid: tid, Args: spanArgs(s)})
+}
+
+// Close flushes every remaining pending span, appends the recorder's metric
+// samples as counter events, terminates the JSON document and returns the
+// first write error. The streamer must not be fed after Close.
+func (st *Streamer) Close() error {
+	if st.closed {
+		return st.err
+	}
+	st.closed = true
+	for len(st.pend) > 0 {
+		st.emit(st.pend.pop())
+	}
+	if st.rec != nil {
+		for _, sp := range st.rec.Samples() {
+			if st.windows != nil {
+				st.windows.AddSample(sp)
+			}
+			name := sp.Series + ":" + sp.Track
+			tid := st.track(pidMetrics, name)
+			st.event(traceEvent{Name: name, Ph: "C", Ts: usec(sp.T), Pid: pidMetrics, Tid: tid,
+				Args: map[string]any{"value": sp.V}})
+		}
+	}
+	if !st.started {
+		st.write([]byte(`{"traceEvents":[`))
+		st.started = true
+	}
+	st.write([]byte("],\"displayTimeUnit\":\"ms\"}\n"))
+	return st.err
+}

@@ -1,0 +1,529 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HostWindow is one host track's budget inside one fixed-width virtual-time
+// window: the tiling span categories split at window boundaries, plus the
+// derived busy share and wait share of the covered window width.
+type HostWindow struct {
+	// Track is the process name.
+	Track string `json:"track"`
+	// W is the window index (window w covers [w*width, (w+1)*width)).
+	W int `json:"w"`
+	// Compute is the charged compute time falling inside the window.
+	Compute float64 `json:"compute"`
+	// Send is the sender-side occupancy falling inside the window.
+	Send float64 `json:"send"`
+	// Wait is the blocked-receive time falling inside the window.
+	Wait float64 `json:"wait"`
+	// Sleep is the sleep/backoff time falling inside the window.
+	Sleep float64 `json:"sleep"`
+	// Flops is the arithmetic work prorated onto the window by time overlap.
+	Flops float64 `json:"flops"`
+	// Retries is the retransmission-backoff time of the host's solver overlay
+	// falling inside the window (fault pressure signal).
+	Retries float64 `json:"retries,omitempty"`
+	// Utilization is (Compute+Send) divided by the covered window width.
+	Utilization float64 `json:"utilization"`
+	// WaitShare is Wait divided by the covered window width.
+	WaitShare float64 `json:"wait_share"`
+}
+
+// LinkWindow is one link's traffic inside one window. A message is attributed
+// whole to the window its wire transfer starts in; multi-hop routes charge
+// every constituent link, mirroring the aggregate per-link counters.
+type LinkWindow struct {
+	// Link is the link name.
+	Link string `json:"link"`
+	// W is the window index.
+	W int `json:"w"`
+	// Bytes is the wire bytes of transfers starting in the window.
+	Bytes float64 `json:"bytes"`
+	// Msgs is the number of transfers starting in the window.
+	Msgs float64 `json:"msgs"`
+	// QueueDelay is the accumulated queueing delay of those transfers.
+	QueueDelay float64 `json:"queue_delay"`
+	// AgeSum is the summed flight time (wire start to arrival) of those
+	// transfers — the staleness age the receiver observes.
+	AgeSum float64 `json:"age_sum"`
+	// AgeMax is the largest single flight time among them.
+	AgeMax float64 `json:"age_max"`
+}
+
+// SeriesWindow summarizes one metric series on one track inside one window
+// (e.g. per-window residual progress from the stoppers).
+type SeriesWindow struct {
+	// Series is the metric name.
+	Series string `json:"series"`
+	// Track is the emitting rank or resource.
+	Track string `json:"track"`
+	// W is the window index.
+	W int `json:"w"`
+	// Count is the number of observations in the window.
+	Count float64 `json:"count"`
+	// First is the earliest observation in the window.
+	First float64 `json:"first"`
+	// Last is the latest observation in the window.
+	Last float64 `json:"last"`
+	// Min is the smallest observation in the window.
+	Min float64 `json:"min"`
+	// Max is the largest observation in the window.
+	Max float64 `json:"max"`
+}
+
+// CPWindow is the critical-path attribution of one window: the slice of the
+// backward walk's segments that falls inside it, split into the three
+// makespan buckets.
+type CPWindow struct {
+	// W is the window index.
+	W int `json:"w"`
+	// Compute is critical-path compute time inside the window.
+	Compute float64 `json:"compute"`
+	// Network is critical-path network time inside the window.
+	Network float64 `json:"network"`
+	// Wait is critical-path wait/idle time inside the window.
+	Wait float64 `json:"wait"`
+}
+
+// WindowedMetrics is the rolling view of a recorded run: fixed-width
+// virtual-time windows with per-host utilization and wait share, per-link
+// traffic and staleness age, per-window series summaries and (when a
+// critical-path report is supplied) per-window critical-path attribution.
+// All row lists are sorted, so the JSON and CSV exports are deterministic —
+// byte-identical for any worker or lane count.
+type WindowedMetrics struct {
+	// Width is the window width in virtual seconds.
+	Width float64 `json:"width"`
+	// Makespan is the run's end-to-end virtual time.
+	Makespan float64 `json:"makespan"`
+	// Windows is the number of windows covering the makespan.
+	Windows int `json:"windows"`
+	// Hosts holds per-host window rows sorted by (track, window).
+	Hosts []HostWindow `json:"hosts,omitempty"`
+	// Links holds per-link window rows sorted by (link, window).
+	Links []LinkWindow `json:"links,omitempty"`
+	// Series holds per-series window rows sorted by (series, track, window).
+	Series []SeriesWindow `json:"series,omitempty"`
+	// CritPath holds per-window critical-path rows sorted by window.
+	CritPath []CPWindow `json:"critpath,omitempty"`
+}
+
+type hostWinKey struct {
+	track string
+	w     int
+}
+
+type linkWinKey struct {
+	link string
+	w    int
+}
+
+type seriesWinKey struct {
+	series, track string
+	w             int
+}
+
+// WindowAccum accumulates spans and samples into fixed-width virtual-time
+// windows. It is the shared engine behind ComputeWindows (batch, fed from the
+// recorder's sorted accessors after the run) and the streaming trace mode
+// (fed span-by-span at flush time, so windowed metrics survive even though
+// the spans themselves are not retained). Feeding order is deterministic in
+// both modes, so the float accumulation — and therefore the export bytes —
+// is too.
+type WindowAccum struct {
+	width  float64
+	hosts  map[hostWinKey]*HostWindow
+	links  map[linkWinKey]*LinkWindow
+	series map[seriesWinKey]*SeriesWindow
+	// lastKey/lastHost short-circuit the map lookup for the common case of
+	// consecutive spans landing in the same (track, window) cell: both feeds
+	// deliver host spans grouped by track or by time, so runs of repeats
+	// dominate.
+	lastKey  hostWinKey
+	lastHost *HostWindow
+}
+
+// NewWindowAccum returns an accumulator for windows of the given width.
+// Panics on a non-positive width.
+func NewWindowAccum(width float64) *WindowAccum {
+	if !(width > 0) {
+		panic("obs: window width must be positive")
+	}
+	return &WindowAccum{
+		width:  width,
+		hosts:  map[hostWinKey]*HostWindow{},
+		links:  map[linkWinKey]*LinkWindow{},
+		series: map[seriesWinKey]*SeriesWindow{},
+	}
+}
+
+// winOf returns the window index containing virtual time t.
+func (a *WindowAccum) winOf(t float64) int {
+	w := int(t / a.width)
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// hostAt returns (creating on demand) the host row for (track, w).
+func (a *WindowAccum) hostAt(track string, w int) *HostWindow {
+	k := hostWinKey{track, w}
+	if a.lastHost != nil && a.lastKey == k {
+		return a.lastHost
+	}
+	h := a.hosts[k]
+	if h == nil {
+		h = &HostWindow{Track: track, W: w}
+		a.hosts[k] = h
+	}
+	a.lastKey, a.lastHost = k, h
+	return h
+}
+
+// AddSpan folds one span into the windows. Host-level tiling categories are
+// split at window boundaries, with flops prorated by time overlap; retry
+// spans on "solver:" overlays are split the same way onto the underlying
+// host's retry column; net spans are attributed whole to the window their
+// wire transfer starts in; other solver overlays and marks are ignored.
+func (a *WindowAccum) AddSpan(s Span) {
+	switch s.Cat {
+	case CatCompute, CatSend, CatWait, CatSleep:
+		a.splitHost(s, func(h *HostWindow, d, frac float64) {
+			switch s.Cat {
+			case CatCompute:
+				h.Compute += d
+			case CatSend:
+				h.Send += d
+			case CatWait:
+				h.Wait += d
+			case CatSleep:
+				h.Sleep += d
+			}
+			h.Flops += s.Flops * frac
+		})
+	case CatRetry:
+		track := strings.TrimPrefix(s.Track, "solver:")
+		s.Track = track
+		a.splitHost(s, func(h *HostWindow, d, _ float64) { h.Retries += d })
+	case CatNet:
+		w := a.winOf(s.Start)
+		age := s.End - s.Start
+		for _, link := range strings.Split(s.Link, "+") {
+			if link == "" {
+				continue
+			}
+			k := linkWinKey{link, w}
+			l := a.links[k]
+			if l == nil {
+				l = &LinkWindow{Link: link, W: w}
+				a.links[k] = l
+			}
+			l.Bytes += float64(s.Bytes)
+			l.Msgs++
+			l.QueueDelay += s.Queue
+			l.AgeSum += age
+			if age > l.AgeMax {
+				l.AgeMax = age
+			}
+		}
+	}
+}
+
+// splitHost distributes a span's [Start, End) interval over the windows it
+// overlaps, calling add with each window's row, the overlap duration and the
+// overlap fraction of the whole span. Zero-length spans land whole in their
+// instant's window.
+func (a *WindowAccum) splitHost(s Span, add func(h *HostWindow, d, frac float64)) {
+	if s.End <= s.Start {
+		add(a.hostAt(s.Track, a.winOf(s.Start)), 0, 1)
+		return
+	}
+	total := s.End - s.Start
+	for w := a.winOf(s.Start); ; w++ {
+		lo := float64(w) * a.width
+		hi := lo + a.width
+		if lo < s.Start {
+			lo = s.Start
+		}
+		if hi > s.End {
+			hi = s.End
+		}
+		if d := hi - lo; d > 0 {
+			add(a.hostAt(s.Track, w), d, d/total)
+		}
+		if hi >= s.End {
+			return
+		}
+	}
+}
+
+// AddSample folds one metric observation into its window's series summary.
+func (a *WindowAccum) AddSample(p SamplePoint) {
+	k := seriesWinKey{p.Series, p.Track, a.winOf(p.T)}
+	sw := a.series[k]
+	if sw == nil {
+		sw = &SeriesWindow{Series: p.Series, Track: p.Track, W: k.w,
+			First: p.V, Min: p.V, Max: p.V}
+		a.series[k] = sw
+	}
+	sw.Count++
+	sw.Last = p.V
+	if p.V < sw.Min {
+		sw.Min = p.V
+	}
+	if p.V > sw.Max {
+		sw.Max = p.V
+	}
+}
+
+// Finish derives the windowed view: window count from the makespan, per-row
+// utilization and wait share against the covered window width (the final
+// window may be partial), sorted row lists, and — when cp is non-nil — the
+// per-window critical-path attribution.
+func (a *WindowAccum) Finish(makespan float64, cp *CPReport) *WindowedMetrics {
+	wm := &WindowedMetrics{Width: a.width, Makespan: makespan}
+	if makespan > 0 {
+		wm.Windows = int(math.Ceil(makespan / a.width))
+	}
+	for k := range a.hosts {
+		if k.w >= wm.Windows {
+			wm.Windows = k.w + 1
+		}
+	}
+	for k := range a.links {
+		if k.w >= wm.Windows {
+			wm.Windows = k.w + 1
+		}
+	}
+	covered := func(w int) float64 {
+		c := makespan - float64(w)*a.width
+		if c <= 0 || c > a.width {
+			return a.width
+		}
+		return c
+	}
+	for _, h := range a.hosts {
+		c := covered(h.W)
+		h.Utilization = (h.Compute + h.Send) / c
+		h.WaitShare = h.Wait / c
+		wm.Hosts = append(wm.Hosts, *h)
+	}
+	sort.Slice(wm.Hosts, func(i, j int) bool {
+		a, b := wm.Hosts[i], wm.Hosts[j]
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.W < b.W
+	})
+	for _, l := range a.links {
+		wm.Links = append(wm.Links, *l)
+	}
+	sort.Slice(wm.Links, func(i, j int) bool {
+		a, b := wm.Links[i], wm.Links[j]
+		if a.Link != b.Link {
+			return a.Link < b.Link
+		}
+		return a.W < b.W
+	})
+	for _, s := range a.series {
+		wm.Series = append(wm.Series, *s)
+	}
+	sort.Slice(wm.Series, func(i, j int) bool {
+		a, b := wm.Series[i], wm.Series[j]
+		if a.Series != b.Series {
+			return a.Series < b.Series
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.W < b.W
+	})
+	if cp != nil {
+		wm.CritPath = cp.Windows(a.width)
+	}
+	return wm
+}
+
+// ComputeWindows aggregates a recorder into windowed metrics: spans are fed
+// in the deterministic (Start, Track, emission index) export order, samples
+// in the (Series, Track, T, index) order, so the result is byte-identical
+// for any worker or lane count. cp may be nil to skip the per-window
+// critical-path attribution.
+func ComputeWindows(r *Recorder, width, makespan float64, cp *CPReport) *WindowedMetrics {
+	a := NewWindowAccum(width)
+	for _, s := range r.Spans() {
+		a.AddSpan(s)
+	}
+	for _, p := range r.Samples() {
+		a.AddSample(p)
+	}
+	return a.Finish(makespan, cp)
+}
+
+// Windows splits the critical-path segments at window boundaries and sums
+// each window's share into the three makespan buckets. Only windows the path
+// touches produce rows.
+func (cp *CPReport) Windows(width float64) []CPWindow {
+	if !(width > 0) {
+		panic("obs: window width must be positive")
+	}
+	rows := map[int]*CPWindow{}
+	for _, seg := range cp.Segments {
+		for w := int(seg.Start / width); ; w++ {
+			lo := float64(w) * width
+			hi := lo + width
+			if lo < seg.Start {
+				lo = seg.Start
+			}
+			if hi > seg.End {
+				hi = seg.End
+			}
+			d := hi - lo
+			if d > 0 || (seg.Start == seg.End && w == int(seg.Start/width)) {
+				r := rows[w]
+				if r == nil {
+					r = &CPWindow{W: w}
+					rows[w] = r
+				}
+				switch seg.Cat {
+				case CatCompute:
+					r.Compute += d
+				case CatSend, CatNet:
+					r.Network += d
+				default:
+					r.Wait += d
+				}
+			}
+			if hi >= seg.End {
+				break
+			}
+		}
+	}
+	out := make([]CPWindow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].W < out[j].W })
+	return out
+}
+
+// WriteJSON writes the windowed metrics as indented JSON (deterministic:
+// struct field order and sorted row lists).
+func (wm *WindowedMetrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wm)
+}
+
+// WriteCSV writes the windowed metrics in long form: one row per (table,
+// key, window, field) with %g values, mirroring Metrics.WriteCSV.
+func (wm *WindowedMetrics) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table,key,w,field,value\n")
+	fmt.Fprintf(&b, "run,,,width,%g\n", wm.Width)
+	fmt.Fprintf(&b, "run,,,makespan,%g\n", wm.Makespan)
+	fmt.Fprintf(&b, "run,,,windows,%d\n", wm.Windows)
+	for _, h := range wm.Hosts {
+		fmt.Fprintf(&b, "hostw,%s,%d,compute,%g\n", h.Track, h.W, h.Compute)
+		fmt.Fprintf(&b, "hostw,%s,%d,send,%g\n", h.Track, h.W, h.Send)
+		fmt.Fprintf(&b, "hostw,%s,%d,wait,%g\n", h.Track, h.W, h.Wait)
+		fmt.Fprintf(&b, "hostw,%s,%d,sleep,%g\n", h.Track, h.W, h.Sleep)
+		fmt.Fprintf(&b, "hostw,%s,%d,flops,%g\n", h.Track, h.W, h.Flops)
+		if h.Retries != 0 {
+			fmt.Fprintf(&b, "hostw,%s,%d,retries,%g\n", h.Track, h.W, h.Retries)
+		}
+		fmt.Fprintf(&b, "hostw,%s,%d,utilization,%g\n", h.Track, h.W, h.Utilization)
+		fmt.Fprintf(&b, "hostw,%s,%d,wait_share,%g\n", h.Track, h.W, h.WaitShare)
+	}
+	for _, l := range wm.Links {
+		fmt.Fprintf(&b, "linkw,%s,%d,bytes,%g\n", l.Link, l.W, l.Bytes)
+		fmt.Fprintf(&b, "linkw,%s,%d,msgs,%g\n", l.Link, l.W, l.Msgs)
+		fmt.Fprintf(&b, "linkw,%s,%d,queue_delay,%g\n", l.Link, l.W, l.QueueDelay)
+		fmt.Fprintf(&b, "linkw,%s,%d,age_sum,%g\n", l.Link, l.W, l.AgeSum)
+		fmt.Fprintf(&b, "linkw,%s,%d,age_max,%g\n", l.Link, l.W, l.AgeMax)
+	}
+	for _, s := range wm.Series {
+		key := s.Series + ":" + s.Track
+		fmt.Fprintf(&b, "seriesw,%s,%d,count,%g\n", key, s.W, s.Count)
+		fmt.Fprintf(&b, "seriesw,%s,%d,first,%g\n", key, s.W, s.First)
+		fmt.Fprintf(&b, "seriesw,%s,%d,last,%g\n", key, s.W, s.Last)
+		fmt.Fprintf(&b, "seriesw,%s,%d,min,%g\n", key, s.W, s.Min)
+		fmt.Fprintf(&b, "seriesw,%s,%d,max,%g\n", key, s.W, s.Max)
+	}
+	for _, c := range wm.CritPath {
+		fmt.Fprintf(&b, "cpw,,%d,compute,%g\n", c.W, c.Compute)
+		fmt.Fprintf(&b, "cpw,,%d,network,%g\n", c.W, c.Network)
+		fmt.Fprintf(&b, "cpw,,%d,wait,%g\n", c.W, c.Wait)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Fprint writes a compact per-window summary: mean host utilization and wait
+// share, total per-hop link bytes and messages, and — when present — the
+// window's critical-path split. At most maxRows windows are printed.
+func (wm *WindowedMetrics) Fprint(w io.Writer, maxRows int) {
+	fmt.Fprintf(w, "windowed telemetry: width %gs, %d windows, makespan %.6fs\n",
+		wm.Width, wm.Windows, wm.Makespan)
+	type agg struct {
+		util, wait  float64
+		hosts       int
+		bytes, msgs float64
+		cp          *CPWindow
+	}
+	rows := map[int]*agg{}
+	at := func(wi int) *agg {
+		r := rows[wi]
+		if r == nil {
+			r = &agg{}
+			rows[wi] = r
+		}
+		return r
+	}
+	for i := range wm.Hosts {
+		h := &wm.Hosts[i]
+		r := at(h.W)
+		r.util += h.Utilization
+		r.wait += h.WaitShare
+		r.hosts++
+	}
+	for i := range wm.Links {
+		l := &wm.Links[i]
+		r := at(l.W)
+		r.bytes += l.Bytes
+		r.msgs += l.Msgs
+	}
+	for i := range wm.CritPath {
+		at(wm.CritPath[i].W).cp = &wm.CritPath[i]
+	}
+	printed := 0
+	for wi := 0; wi < wm.Windows && printed < maxRows; wi++ {
+		r := rows[wi]
+		if r == nil {
+			continue
+		}
+		util, wait := 0.0, 0.0
+		if r.hosts > 0 {
+			util = r.util / float64(r.hosts)
+			wait = r.wait / float64(r.hosts)
+		}
+		fmt.Fprintf(w, "  w%-3d [%g, %g) util %.3f wait %.3f bytes %.0f msgs %.0f",
+			wi, float64(wi)*wm.Width, float64(wi+1)*wm.Width, util, wait, r.bytes, r.msgs)
+		if r.cp != nil {
+			fmt.Fprintf(w, "  cp: comp %.4f net %.4f wait %.4f", r.cp.Compute, r.cp.Network, r.cp.Wait)
+		}
+		fmt.Fprintln(w)
+		printed++
+	}
+	if printed < len(rows) {
+		fmt.Fprintf(w, "  ... %d more windows\n", len(rows)-printed)
+	}
+}

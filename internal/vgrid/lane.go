@@ -63,9 +63,9 @@ import (
 // groups that correspond to a sequential commit (where faultState.emit
 // runs) as opposed to a deferred-cost collection (where it does not).
 type commitGroup struct {
-	t     float64
-	proc  int32
-	flush bool
+	t                      float64
+	proc                   int32
+	flush                  bool
 	opsLo, opsSplit, opsHi int32
 	traceLo, traceHi       int32
 }
@@ -270,6 +270,9 @@ func (ln *lane) run(limit float64) {
 			if resumeAt > e.now {
 				e.now = resumeAt
 			}
+			// Watermark for the streaming trace mode: every span ending
+			// before this commit is final (a no-op recorder call otherwise).
+			e.obs.Advance(resumeAt)
 			if e.faults != nil && (e.Trace != nil || e.obs != nil) {
 				e.faults.emit(e.now, e.Trace, e.obs)
 			}
@@ -435,7 +438,9 @@ func (e *Engine) runSharded() {
 	running := 0
 	var wanQ []*wanReq
 	for {
+		applied := 0
 		for _, ln := range e.lanes {
+			applied += len(ln.inbox)
 			for _, m := range ln.inbox {
 				dst := e.procs[m.To]
 				dst.mailbox = append(dst.mailbox, m)
@@ -455,11 +460,19 @@ func (e *Engine) runSharded() {
 		h := t + e.lookahead
 		e.horizon = h
 		e.windows++
+		opened := 0
 		for _, ln := range e.lanes {
 			if p := ln.idxMin(); p != nil && p.key < h {
 				running++
+				opened++
 				ln.windowCh <- h
 			}
+		}
+		ts := e.laneStatAt(t)
+		if ts != nil {
+			ts.Windows++
+			ts.LaneOpens += int64(opened)
+			ts.InboxDepth += int64(applied)
 		}
 		for running > 0 || len(wanQ) > 0 {
 			if running == 0 {
@@ -470,6 +483,11 @@ func (e *Engine) runSharded() {
 					}
 				}
 				req := wanQ[best]
+				if ts != nil {
+					ts.WanTurns++
+					ts.WanQueue += int64(len(wanQ))
+					ts.WanGrantWait += h - req.t
+				}
 				wanQ[best] = wanQ[len(wanQ)-1]
 				wanQ[len(wanQ)-1] = nil
 				wanQ = wanQ[:len(wanQ)-1]
@@ -542,6 +560,12 @@ func (e *Engine) mergeShardLog() {
 		}
 		g := &bc.ln.groups[bc.gi]
 		bc.gi++
+		// Watermark for the streaming trace mode: groups replay in
+		// non-decreasing (t, proc) order, so g.t is a valid commit-time
+		// watermark for the destination recorder. The flushed span set at
+		// any watermark is exactly {End < t}, so the streamed bytes match a
+		// single-lane run even though the watermark subsequence differs.
+		e.obs.Advance(g.t)
 		if bc.rp != nil {
 			bc.rp.ReplayTo(int(g.opsSplit))
 		}

@@ -429,6 +429,11 @@ type Engine struct {
 	wanTurns int64
 	// parkCh carries the lanes' park reports to the window coordinator.
 	parkCh chan parkMsg
+	// laneStatWidth and laneStats hold the coordinator's lane telemetry
+	// (SetLaneTelemetry): per-virtual-time-bucket safe-window occupancy,
+	// WAN-turn and inbox statistics. See telemetry.go.
+	laneStatWidth float64
+	laneStats     map[int]*LaneWindowStat
 
 	// poolCheck arms the float-pool ownership guard (SetPoolCheck);
 	// poolOut tracks pooled buffers under poolMu across all lanes.
