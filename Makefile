@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-json-smoke bench-eventcore bench-eventcore-smoke bench-eventshard bench-eventshard-smoke bench-twostage bench-twostage-smoke bench-obs bench-obs-smoke bench-diff-fixture lint-docs verify
+.PHONY: all build test race vet bench bench-json bench-json-smoke bench-eventcore bench-eventcore-smoke bench-eventshard bench-eventshard-smoke bench-twostage bench-twostage-smoke bench-obs bench-obs-smoke bench-adapt bench-adapt-smoke bench-diff-fixture lint-docs verify
 
 all: verify
 
@@ -19,7 +19,7 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 -run 'TestObsDeterministicAcrossWorkers|TestWindowedMetricsDeterministic|TestStreamedTraceByteIdentical' ./internal/obs
-	$(GO) test -race -count=2 -run 'TestGatewaySyncByteIdentical|TestGatewayWorkersDeterministic|TestTwoStageDeterministicAcrossLanesAndWorkers' ./internal/core
+	$(GO) test -race -count=2 -run 'TestGatewaySyncByteIdentical|TestGatewayWorkersDeterministic|TestTwoStageDeterministicAcrossLanesAndWorkers|TestAdaptiveDeterministicAcrossLanesAndWorkers' ./internal/core
 	$(GO) test -race -count=2 -run 'TestSchedulerIndexMatchesScanUnderFaults|TestSyntheticTraceByteIdenticalAcrossWorkers|TestDeferredLowerBoundResolvesLate|TestShardedMatchesSingleLaneUnderFaults' ./internal/vgrid
 
 vet:
@@ -89,6 +89,18 @@ bench-obs:
 bench-obs-smoke:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkObsModes' -benchtime 1x -o BENCH_obs.json
 
+# Machine-readable baseline of the live decomposition: the cluster2 solve
+# with one host persistently slowed and the controller on, recording what
+# the adaptivity costs (resplit-count, resplit-flops — the safety checks,
+# sparsity scans and refactorizations charged to the transitions) next to
+# the total factorization work (factor-flops).
+bench-adapt:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkAdaptive' -benchtime 5x -o BENCH_adapt.json
+
+# One-iteration smoke of the adaptive pipeline, part of verify.
+bench-adapt-smoke:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkAdaptive' -benchtime 1x -o BENCH_adapt.json
+
 # The regression gate must actually gate: benchjson -diff exits nonzero on
 # the checked-in fixture pair with a +50% injected ns/op regression, and
 # accepts the clean pair. Part of verify.
@@ -102,6 +114,6 @@ bench-diff-fixture:
 # observability layer, the messaging/context plumbing or the platform layer
 # that lacks a doc comment.
 lint-docs:
-	$(GO) run ./cmd/lintdocs internal/vgrid internal/core internal/obs internal/mp internal/simctx internal/plan internal/cluster internal/iterative internal/splu cmd/msprof cmd/benchjson
+	$(GO) run ./cmd/lintdocs internal/vgrid internal/core internal/obs internal/mp internal/simctx internal/plan internal/cluster internal/iterative internal/splu internal/adapt cmd/msprof cmd/benchjson
 
-verify: build vet lint-docs test race bench-json-smoke bench-eventcore-smoke bench-eventshard-smoke bench-twostage-smoke bench-obs-smoke bench-diff-fixture
+verify: build vet lint-docs test race bench-json-smoke bench-eventcore-smoke bench-eventshard-smoke bench-twostage-smoke bench-obs-smoke bench-adapt-smoke bench-diff-fixture

@@ -6,6 +6,7 @@ package repro_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
 	"time"
 
@@ -503,4 +504,48 @@ func BenchmarkTwoStage(b *testing.B) {
 			b.ReportMetric(factFlops/n, "factor-flops")
 		})
 	}
+}
+
+// BenchmarkAdaptive measures the live-decomposition solve on cluster2 with
+// one host persistently slowed, reporting what the controller costs on top
+// of the static solve: the number of applied resplits (resplit-count), the
+// virtual flops charged to the transitions — safety checks, sparsity scans
+// and refactorizations (resplit-flops) — and the total factorization work
+// including those refactorizations (factor-flops).
+func BenchmarkAdaptive(b *testing.B) {
+	a := experiments.AdaptiveMatrix(experiments.Config{Scale: 32})
+	rhs, _ := gen.RHSForSolution(a)
+	var resplits, resplitFlops, factFlops float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plt := repro.Cluster2(repro.MemUnlimited)
+		e := vgrid.NewEngine(plt.Platform)
+		e.SetFaultPlan(vgrid.NewFaultPlan(1).
+			DegradeHost("c2-07", 0, math.Inf(1), 8))
+		pend, err := core.Launch(e, plt.Hosts, a, rhs, repro.Options{
+			Overlap: 8, Balance: true, Tol: 1e-10,
+			Adapt: true, AdaptInterval: 5, AdaptHysteresis: 0.05,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		pend.Finish()
+		res := pend.Result()
+		if !res.Converged {
+			b.Fatal("adaptive run diverged")
+		}
+		if res.Resplits == 0 {
+			b.Fatal("no resplit under a persistent slowdown")
+		}
+		resplits += float64(res.Resplits)
+		resplitFlops += res.ResplitFlops
+		factFlops += res.FactorFlops
+	}
+	n := float64(b.N)
+	b.ReportMetric(resplits/n, "resplit-count")
+	b.ReportMetric(resplitFlops/n, "resplit-flops")
+	b.ReportMetric(factFlops/n, "factor-flops")
 }

@@ -54,8 +54,9 @@ type Record struct {
 // wait-share, the cluster traffic split
 // intra-bytes/inter-bytes/intra-msgs/inter-msgs, the event-core scale pair
 // sim-events/sim-wall-clock, the scheduler-synchronization pair
-// sim-commits/sim-syncs the sharded-core benchmarks report, and the
-// observability-mode pair obs-spans/obs-peak-spans).
+// sim-commits/sim-syncs the sharded-core benchmarks report, the
+// observability-mode pair obs-spans/obs-peak-spans, and the live-resplit
+// pair resplit-count/resplit-flops).
 type Breakdown struct {
 	// FactorFlops is the "factor-flops" unit (exact factorization work).
 	FactorFlops *float64 `json:"factor_flops,omitempty"`
@@ -89,6 +90,11 @@ type Breakdown struct {
 	ObsSpans *float64 `json:"obs_spans,omitempty"`
 	// ObsPeakSpans is the "obs-peak-spans" unit (peak spans held in memory).
 	ObsPeakSpans *float64 `json:"obs_peak_spans,omitempty"`
+	// ResplitCount is the "resplit-count" unit (applied live resplits).
+	ResplitCount *float64 `json:"resplit_count,omitempty"`
+	// ResplitFlops is the "resplit-flops" unit (virtual flops charged to the
+	// resplit transitions: safety checks, sparsity scans, refactorizations).
+	ResplitFlops *float64 `json:"resplit_flops,omitempty"`
 }
 
 // breakdownSlot returns the Breakdown field a metric unit lifts into, or nil
@@ -100,7 +106,7 @@ func (r *Record) breakdownSlot(unit string) **float64 {
 		"inner-flops", "inner-sweeps",
 		"intra-bytes", "inter-bytes", "intra-msgs", "inter-msgs",
 		"sim-events", "sim-wall-clock", "sim-commits", "sim-syncs",
-		"obs-spans", "obs-peak-spans":
+		"obs-spans", "obs-peak-spans", "resplit-count", "resplit-flops":
 	default:
 		return nil
 	}
@@ -138,6 +144,10 @@ func (r *Record) breakdownSlot(unit string) **float64 {
 		return &r.Breakdown.ObsSpans
 	case "obs-peak-spans":
 		return &r.Breakdown.ObsPeakSpans
+	case "resplit-count":
+		return &r.Breakdown.ResplitCount
+	case "resplit-flops":
+		return &r.Breakdown.ResplitFlops
 	default:
 		return &r.Breakdown.WaitShare
 	}

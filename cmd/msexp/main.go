@@ -6,8 +6,8 @@
 //	msexp [-scale N] [-csv] [-quiet] [experiment ...]
 //
 // Experiments: table1 table2 table3 table4 figure3 faultsweep utilization
-// windowed topology clustergrid eventshard twostage (default: all). -scale
-// divides the
+// windowed topology clustergrid eventshard twostage adaptive (default:
+// all). -scale divides the
 // paper's matrix dimensions (default 16; 8 gives a closer, slower run; 1 is
 // the paper's exact sizes, only practical for the generated banded matrices).
 // -csv emits comma-separated values instead of aligned text (handy for
@@ -31,6 +31,12 @@
 // -metrics-out PREFIX writes PREFIX-<cluster>-<solver>.metrics.{json,csv},
 // and -critical-path appends each run's top critical-path segments to the
 // table's notes.
+//
+// The adaptive experiment compares the live decomposition (internal/adapt)
+// against the static speed-balanced split on a windowed cluster2 host
+// degradation, printing the resplit timeline; -adapt enables the live
+// decomposition in the synchronous runs of the paper tables too, and
+// -adapt-interval/-adapt-hysteresis override the controller parameters.
 //
 // The windowed experiment folds a clean and a degraded cluster2 solve into
 // fixed virtual-time windows (internal/obs windowed telemetry): -window sets
@@ -66,6 +72,9 @@ func main() {
 	innerSched := flag.String("inner-schedule", "", "twostage: inner-sweep schedule (fixed, ramp or residual; empty = fixed)")
 	omega := flag.Float64("omega", 0, "twostage: inner relaxation weight in (0, 2) (0 = default 1)")
 	pcBand := flag.Int("precond-band", 0, "twostage: preconditioner half-bandwidth (0 = default 16)")
+	adapt := flag.Bool("adapt", false, "enable the live decomposition (online band resplits) in the synchronous runs of the paper tables; each resplitting run logs a resplit summary on the progress stream")
+	adaptInt := flag.Int("adapt-interval", 0, "iterations between adaptive controller epochs (0 = per-experiment default)")
+	adaptHyst := flag.Float64("adapt-hysteresis", 0, "minimal relative band-size change an accepted resplit must reach (0 = per-experiment default)")
 	flag.Parse()
 
 	var progress io.Writer
@@ -78,6 +87,7 @@ func main() {
 		Window: *window, StreamTrace: *streamTr,
 		SynthHosts: *synHosts, SynthClusters: *synClust,
 		TwoStageSchedule: *innerSched, TwoStageOmega: *omega, TwoStagePrecondBand: *pcBand,
+		Adapt: *adapt, AdaptInterval: *adaptInt, AdaptHysteresis: *adaptHyst,
 	}
 	if *lanes == 0 {
 		cfg.Lanes = -1 // auto: one lane per cluster

@@ -9,8 +9,10 @@
 //	       [-hosts N [-clusters C] [-het H] [-synth-seed S]]
 //	       [-topo] [-gateway]
 //	       [-ft] [-drop P] [-drop-link NAME] [-crash host@from:until,...]
-//	       [-fault-seed S] [-trace-json out.json] [-metrics-out PREFIX]
+//	       [-slow host@from:until:factor,...] [-fault-seed S]
+//	       [-trace-json out.json] [-metrics-out PREFIX]
 //	       [-critical-path] [-window W] [-stream-trace]
+//	       [-adapt] [-adapt-interval K] [-adapt-hysteresis H] [-balance]
 //
 // -hosts switches from the built-in clusters to a generated grid platform
 // (see vgrid.Synthetic): N hosts split into -clusters LAN islands joined by
@@ -46,11 +48,22 @@
 //
 // The fault flags inject deterministic failures into the simulated grid:
 // -drop loses each message crossing -drop-link (default the inter-site
-// "wan" link of cluster3) with probability P, and -crash takes hosts down
-// over virtual-time windows ("until" may be "inf" for a permanent crash).
-// -ft enables the fault-tolerant mode (retransmission, receive timeouts
-// with dead-rank diagnostics, detector refresh); without it the solver runs
-// the plain protocol and shows how it stalls under loss.
+// "wan" link of cluster3) with probability P, -crash takes hosts down over
+// virtual-time windows ("until" may be "inf" for a permanent crash), and
+// -slow stretches a host's compute by the given factor over a window
+// (factor ≥ 1; a degraded-but-alive processor). -ft enables the
+// fault-tolerant mode (retransmission, receive timeouts with dead-rank
+// diagnostics, detector refresh); without it the solver runs the plain
+// protocol and shows how it stalls under loss.
+//
+// -balance sizes the bands by nameplate host speed (the paper's
+// heterogeneous partitioning); -adapt makes the decomposition live: a
+// deterministic controller observes every rank's committed compute windows
+// each -adapt-interval iterations and resplits the bands online when the
+// observed effective speeds drift by more than -adapt-hysteresis (e.g.
+// under a -slow window), guarded by the paper's Theorem-1 contraction
+// bound. The run prints a resplit summary line (count, virtual times, band
+// deltas); all outputs stay deterministic for any -workers/-lanes value.
 package main
 
 import (
@@ -102,7 +115,12 @@ func main() {
 		drop       = flag.Float64("drop", 0, "drop each message on -drop-link with this probability")
 		dropLink   = flag.String("drop-link", "wan", "name of the link losing messages (cluster3's inter-site link is \"wan\")")
 		crash      = flag.String("crash", "", "crash schedule: comma-separated host@from:until windows in virtual seconds (until may be inf)")
+		slow       = flag.String("slow", "", "slowdown schedule: comma-separated host@from:until:factor windows (factor >= 1 stretches the host's compute; until may be inf)")
 		faultSeed  = flag.Int64("fault-seed", 42, "seed of the deterministic fault injection")
+		balance    = flag.Bool("balance", false, "size the bands proportionally to nameplate host speed instead of equally")
+		adapt      = flag.Bool("adapt", false, "live decomposition: resplit the bands online from observed effective speeds (synchronous mode only)")
+		adaptInt   = flag.Int("adapt-interval", 20, "iterations between adaptive controller epochs")
+		adaptHyst  = flag.Float64("adapt-hysteresis", 0.1, "minimal relative band-size change an accepted resplit must reach")
 		twoStage   = flag.Bool("two-stage", false, "solve each band by inner relaxation sweeps on a narrow band preconditioner instead of an exact factorization (reaches matrices whose LU fill does not fit in memory)")
 		inner      = flag.Int("inner", 4, "inner sweeps per outer iteration in -two-stage mode")
 		innerSched = flag.String("inner-schedule", "fixed", "inner-sweep schedule in -two-stage mode: fixed, ramp or residual")
@@ -128,7 +146,8 @@ func main() {
 		}
 	}
 	synth := synthSpec{hosts: *synHosts, clusters: *synClust, het: *synHet, seed: *synSeed}
-	faults := faultSpec{drop: *drop, dropLink: *dropLink, crash: *crash, seed: *faultSeed, ft: *ft}
+	faults := faultSpec{drop: *drop, dropLink: *dropLink, crash: *crash, slow: *slow, seed: *faultSeed, ft: *ft}
+	ad := adaptSpec{balance: *balance, on: *adapt, interval: *adaptInt, hysteresis: *adaptHyst}
 	ospec := obsSpec{traceJSON: *traceJSON, metricsOut: *metricsOut, critPath: *critPath,
 		window: *window, streamTrace: *streamTr}
 	if err := ospec.validate(); err != nil {
@@ -139,7 +158,7 @@ func main() {
 	if *twoStage {
 		ts = core.TwoStage{InnerIters: *inner, Schedule: *innerSched, Omega: *omega, PrecondBand: *pcBand}
 	}
-	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *topo, *gateway, *schemeName, *solverName, *clusterTyp, synth, *tol, *cond, *trace, *workers, *lanes, *outPath, faults, ospec, ts); err != nil {
+	if err := run(*matrixPath, *rhsPath, *procs, *overlap, *async, *topo, *gateway, *schemeName, *solverName, *clusterTyp, synth, *tol, *cond, *trace, *workers, *lanes, *outPath, faults, ospec, ts, ad); err != nil {
 		fmt.Fprintln(os.Stderr, "msolve:", err)
 		os.Exit(1)
 	}
@@ -276,14 +295,42 @@ type faultSpec struct {
 	drop     float64
 	dropLink string
 	crash    string
+	slow     string
 	seed     int64
 	ft       bool
+}
+
+// adaptSpec collects the partitioning flags: the static speed balance and
+// the live-decomposition controller.
+type adaptSpec struct {
+	balance    bool
+	on         bool
+	interval   int
+	hysteresis float64
+}
+
+// parseWindow splits a "from:until" window, where until may be "inf".
+func parseWindow(spec, window string) (from, until float64, err error) {
+	fromStr, untilStr, ok := strings.Cut(window, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("spec %q: want from:until", spec)
+	}
+	if from, err = strconv.ParseFloat(fromStr, 64); err != nil {
+		return 0, 0, fmt.Errorf("spec %q: bad start time: %w", spec, err)
+	}
+	until = math.Inf(1)
+	if untilStr != "inf" {
+		if until, err = strconv.ParseFloat(untilStr, 64); err != nil {
+			return 0, 0, fmt.Errorf("spec %q: bad end time: %w", spec, err)
+		}
+	}
+	return from, until, nil
 }
 
 // plan compiles the flags into a vgrid fault plan (nil when no fault was
 // requested).
 func (fs faultSpec) plan() (*vgrid.FaultPlan, error) {
-	if fs.drop == 0 && fs.crash == "" {
+	if fs.drop == 0 && fs.crash == "" && fs.slow == "" {
 		return nil, nil
 	}
 	fp := vgrid.NewFaultPlan(fs.seed)
@@ -298,27 +345,47 @@ func (fs faultSpec) plan() (*vgrid.FaultPlan, error) {
 		if !ok {
 			return nil, fmt.Errorf("crash spec %q: want host@from:until", spec)
 		}
-		fromStr, untilStr, ok := strings.Cut(window, ":")
-		if !ok {
-			return nil, fmt.Errorf("crash spec %q: want host@from:until", spec)
-		}
-		from, err := strconv.ParseFloat(fromStr, 64)
+		from, until, err := parseWindow(spec, window)
 		if err != nil {
-			return nil, fmt.Errorf("crash spec %q: bad start time: %w", spec, err)
-		}
-		until := math.Inf(1)
-		if untilStr != "inf" {
-			until, err = strconv.ParseFloat(untilStr, 64)
-			if err != nil {
-				return nil, fmt.Errorf("crash spec %q: bad end time: %w", spec, err)
-			}
+			return nil, fmt.Errorf("crash %w", err)
 		}
 		fp.CrashHost(host, from, until)
+	}
+	for _, spec := range strings.Split(fs.slow, ",") {
+		if spec == "" {
+			continue
+		}
+		host, rest, ok := strings.Cut(spec, "@")
+		if !ok {
+			return nil, fmt.Errorf("slow spec %q: want host@from:until:factor", spec)
+		}
+		window, factorStr, ok := cutLast(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("slow spec %q: want host@from:until:factor", spec)
+		}
+		factor, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("slow spec %q: bad factor: %w", spec, err)
+		}
+		from, until, err := parseWindow(spec, window)
+		if err != nil {
+			return nil, fmt.Errorf("slow %w", err)
+		}
+		fp.DegradeHost(host, from, until, factor)
 	}
 	return fp, nil
 }
 
-func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bool, schemeName, solverName, clusterTyp string, synth synthSpec, tol float64, cond, trace bool, workers, lanes int, outPath string, faults faultSpec, ospec obsSpec, ts core.TwoStage) error {
+// cutLast splits s around the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bool, schemeName, solverName, clusterTyp string, synth synthSpec, tol float64, cond, trace bool, workers, lanes int, outPath string, faults faultSpec, ospec obsSpec, ts core.TwoStage, ad adaptSpec) error {
 	a, err := mmio.ReadMatrixAuto(matrixPath)
 	if err != nil {
 		return err
@@ -425,8 +492,8 @@ func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bo
 	}
 	if plan != nil {
 		e.SetFaultPlan(plan)
-		fmt.Printf("fault injection: seed %d, drop %.3g on %q, crash schedule %q, fault-tolerant %v\n",
-			faults.seed, faults.drop, faults.dropLink, faults.crash, faults.ft)
+		fmt.Printf("fault injection: seed %d, drop %.3g on %q, crash schedule %q, slowdown schedule %q, fault-tolerant %v\n",
+			faults.seed, faults.drop, faults.dropLink, faults.crash, faults.slow, faults.ft)
 	}
 	var rec *vgrid.Recorder
 	if trace {
@@ -455,6 +522,10 @@ func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bo
 		Gateway:         gateway,
 		FaultTolerant:   faults.ft,
 		TwoStage:        ts,
+		Balance:         ad.balance,
+		Adapt:           ad.on,
+		AdaptInterval:   ad.interval,
+		AdaptHysteresis: ad.hysteresis,
 	})
 	if err != nil {
 		return err
@@ -517,6 +588,14 @@ func run(matrixPath, rhsPath string, procs, overlap int, async, topo, gateway bo
 	}
 	fmt.Printf("cluster traffic: intra %d bytes in %d messages, inter %d bytes in %d messages\n",
 		res.IntraBytes, res.IntraMsgs, res.InterBytes, res.InterMsgs)
+	if ad.on {
+		fmt.Printf("resplits: %d applied, %d rejected by safety check, %.3g transition flops\n",
+			res.Resplits, res.ResplitRejected, res.ResplitFlops)
+		for _, ev := range res.ResplitEvents {
+			fmt.Printf("  iter %-5d t=%.4fs  max band delta %d rows, overlap %d\n",
+				ev.Iter, ev.Time, ev.MaxDelta, ev.Overlap)
+		}
+	}
 
 	// Report the achieved quality.
 	y := make([]float64, a.Rows)

@@ -1,0 +1,41 @@
+// Bridging obs.WindowedMetrics into controller observations. The engine's
+// online epochs measure busy/wait time directly on each rank's virtual clock
+// (committed state, exchanged through ordinary messages — see
+// internal/core), but the same quantities exist per window in the offline
+// telemetry artifacts; this converter lets tools and tests replay controller
+// decisions from a recorded .windows.json file.
+
+package adapt
+
+import "repro/internal/obs"
+
+// FromWindows folds one window of a windowed-metrics report into controller
+// observations: for each rank, Busy is the window's charged compute time and
+// Wait is its wait+sleep time. trackRank maps a host-window track name to
+// the rank index and its owned row count (return ok=false for tracks that
+// are not solver ranks, e.g. background traffic processes). Ranks without a
+// row in the window get a zero observation, which the controller treats as
+// "no information" for the speed estimate. The aggregated windows do not
+// separate nameplate from stretched compute time, so Nominal and Speed stay
+// zero too — callers replaying rebalance decisions must fill them from the
+// platform description.
+func FromWindows(wm *obs.WindowedMetrics, window, ranks int, trackRank func(track string) (rank, rows int, ok bool)) []Observation {
+	out := make([]Observation, ranks)
+	for i := range out {
+		out[i].Rank = i
+	}
+	for i := range wm.Hosts {
+		h := &wm.Hosts[i]
+		if h.W != window {
+			continue
+		}
+		r, rows, ok := trackRank(h.Track)
+		if !ok || r < 0 || r >= ranks {
+			continue
+		}
+		out[r].Rows = rows
+		out[r].Busy += h.Compute
+		out[r].Wait += h.Wait + h.Sleep
+	}
+	return out
+}

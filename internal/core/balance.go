@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/adapt"
 	"repro/internal/vgrid"
 )
 
@@ -10,45 +11,24 @@ import (
 // their compute speed, so that on heterogeneous clusters (the paper's
 // cluster2/cluster3) every processor's band solve costs roughly the same
 // wall time per iteration. The returned starts slice feeds
-// NewDecompositionFromStarts. Every band gets at least one row.
+// NewDecompositionFromStarts. Every band gets at least one row. The
+// partitioning math itself lives in adapt.StartsFromWeights, shared with the
+// online resplit controller (which feeds observed effective speeds instead
+// of nameplate ones).
 func BalancedStarts(n int, hosts []*vgrid.Host) ([]int, error) {
 	if len(hosts) == 0 {
 		return nil, fmt.Errorf("core: no hosts to balance over")
 	}
-	if n < len(hosts) {
-		return nil, fmt.Errorf("core: cannot split %d unknowns over %d hosts", n, len(hosts))
-	}
-	total := 0.0
-	for _, h := range hosts {
+	w := make([]float64, len(hosts))
+	for i, h := range hosts {
 		if h.Speed <= 0 {
 			return nil, fmt.Errorf("core: host %s has non-positive speed", h.Name)
 		}
-		total += h.Speed
+		w[i] = h.Speed
 	}
-	starts := make([]int, len(hosts)+1)
-	acc := 0.0
-	for i, h := range hosts {
-		acc += h.Speed
-		starts[i+1] = int(acc / total * float64(n))
-	}
-	starts[len(hosts)] = n
-	// Enforce non-empty bands (tiny n or extreme ratios can collapse one).
-	for i := 1; i <= len(hosts); i++ {
-		if starts[i] <= starts[i-1] {
-			starts[i] = starts[i-1] + 1
-		}
-	}
-	if starts[len(hosts)] > n {
-		return nil, fmt.Errorf("core: balance failed: %v exceeds %d", starts, n)
-	}
-	starts[len(hosts)] = n
-	for i := len(hosts) - 1; i >= 1; i-- {
-		if starts[i] >= starts[i+1] {
-			starts[i] = starts[i+1] - 1
-		}
-	}
-	if starts[0] != 0 || starts[1] <= 0 {
-		return nil, fmt.Errorf("core: balance failed: %v", starts)
+	starts, err := adapt.StartsFromWeights(n, w)
+	if err != nil {
+		return nil, fmt.Errorf("core: balance failed: %w", err)
 	}
 	return starts, nil
 }

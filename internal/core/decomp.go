@@ -140,6 +140,45 @@ func NewDecompositionFromStarts(n int, starts []int, overlap int, scheme WeightS
 // L returns the number of bands.
 func (d *Decomposition) L() int { return len(d.Bands) }
 
+// Starts returns the partition boundaries (len L+1: starts[0]=0,
+// starts[L]=N) — the inverse of NewDecompositionFromStarts, and the current
+// state the resplit controller perturbs.
+func (d *Decomposition) Starts() []int {
+	starts := make([]int, d.L()+1)
+	for l, b := range d.Bands {
+		starts[l] = b.Start
+	}
+	starts[d.L()] = d.N
+	return starts
+}
+
+// Clone returns an independent copy of the decomposition. Ranks that are
+// about to Resplit work on a clone, so the construction-time object other
+// ranks may still be reading is never mutated under them.
+func (d *Decomposition) Clone() *Decomposition {
+	out := *d
+	out.Bands = append([]Band(nil), d.Bands...)
+	return &out
+}
+
+// Resplit transitions the decomposition in place to the new partition
+// boundaries and overlap width, keeping N and the weighting scheme. The band
+// count must stay the same (each rank keeps exactly one band); everything
+// else — owned cells, solved ranges, weights — is re-derived. It is the
+// mutation primitive behind the adaptive controller's online rebalancing.
+func (d *Decomposition) Resplit(starts []int, overlap int) error {
+	if len(starts) != d.L()+1 {
+		return fmt.Errorf("core: resplit with %d starts for %d bands", len(starts), d.L())
+	}
+	d2, err := NewDecompositionFromStarts(d.N, starts, overlap, d.Scheme)
+	if err != nil {
+		return err
+	}
+	d.Overlap = overlap
+	copy(d.Bands, d2.Bands)
+	return nil
+}
+
 // Owner returns the band index owning global index j.
 func (d *Decomposition) Owner(j int) int {
 	for k, b := range d.Bands {

@@ -18,6 +18,7 @@ const (
 	tagX      = 1 // boundary solution exchange
 	tagAbort  = 2 // a rank hit the iteration cap
 	tagGather = 3 // final solution assembly
+	tagAdapt  = 4 // resplit iterate redistribution (rank 0 → new bands)
 )
 
 // Options configures a distributed multisplitting solve.
@@ -127,6 +128,28 @@ type Options struct {
 	// a flat platform the option is a no-op. Incompatible with
 	// BandsPerProc > 1.
 	Gateway bool
+	// Adapt turns the decomposition into a live object: a deterministic
+	// feedback controller (internal/adapt) observes every rank's committed
+	// busy/wait window each AdaptInterval iterations and — in synchronous
+	// mode — resizes the bands and the overlap width online through a full
+	// resplit transition (new decomposition, new communication plan, fresh
+	// symbolic pattern and factorization, iterates remapped across the old
+	// and new bands). Every proposal passes the paper's Theorem-1 safety
+	// check first (a conservative diagonal-dominance contraction bound valid
+	// for every WeightScheme); unsafe proposals are logged and skipped. In
+	// asynchronous bounded-staleness mode the controller instead tunes each
+	// receive group's staleness bound per link class (intra- vs
+	// inter-cluster). Decisions use committed virtual-time data only, so
+	// adaptive runs stay byte-identical for any worker or lane count.
+	// Incompatible with BandsPerProc > 1 and TwoStage.
+	Adapt bool
+	// AdaptInterval is the number of iterations between controller epochs
+	// (default 20).
+	AdaptInterval int
+	// AdaptHysteresis is the minimal relative band-size change an accepted
+	// resplit must reach; smaller proposals are discarded so measurement
+	// noise cannot thrash the split (default 0.10).
+	AdaptHysteresis float64
 	// TwoStage enables the two-stage (inner-iterative) solver mode: each
 	// band's inner solve becomes a scheduled number of relaxation sweeps
 	// preconditioned by a narrow band LU instead of the exact band
@@ -163,6 +186,12 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.DeadRankTimeout == 0 {
 		out.DeadRankTimeout = 1
+	}
+	if out.AdaptInterval == 0 {
+		out.AdaptInterval = 20
+	}
+	if out.AdaptHysteresis == 0 {
+		out.AdaptHysteresis = 0.10
 	}
 	if out.TwoStage.enabled() {
 		out.TwoStage = out.TwoStage.withDefaults()
@@ -219,6 +248,34 @@ type Result struct {
 	// TwoStageFallbacks counts the ranks whose inner iteration diverged and
 	// fell back to the exact band solve.
 	TwoStageFallbacks int
+	// Resplits counts the adaptive resplit transitions applied during the
+	// solve (zero without Options.Adapt).
+	Resplits int
+	// ResplitRejected counts controller proposals the Theorem-1 safety check
+	// refused; they were logged and skipped, never applied.
+	ResplitRejected int
+	// ResplitFlops is the total arithmetic the resplit transitions cost
+	// across ranks: the re-derived symbolic patterns and full band
+	// refactorizations plus the communication-plan rebuilds. It is included
+	// in TotalFlops and FactorFlops already; this field breaks the adaptive
+	// overhead out for the benchmarks.
+	ResplitFlops float64
+	// ResplitEvents is the resplit timeline: one entry per applied
+	// transition, in virtual-time order.
+	ResplitEvents []ResplitEvent
+}
+
+// ResplitEvent records one applied resplit transition.
+type ResplitEvent struct {
+	// Time is the virtual time the transition completed.
+	Time float64
+	// Iter is the iteration count at the epoch.
+	Iter int
+	// MaxDelta is the largest owned-band size change (rows) the transition
+	// applied (0 for an overlap-only transition).
+	MaxDelta int
+	// Overlap is the overlap width after the transition.
+	Overlap int
 }
 
 // Pending is a solve registered on an engine; read the Result after the
@@ -323,6 +380,12 @@ func Launch(e *vgrid.Engine, hosts []*vgrid.Host, a *sparse.CSR, b []float64, op
 	}
 	if multiband && o.TwoStage.enabled() {
 		return nil, errors.New("core: BandsPerProc > 1 is incompatible with TwoStage")
+	}
+	if o.Adapt && multiband {
+		return nil, errors.New("core: Adapt is incompatible with BandsPerProc > 1")
+	}
+	if o.Adapt && o.TwoStage.enabled() {
+		return nil, errors.New("core: Adapt is incompatible with TwoStage")
 	}
 	if o.Gateway || o.TopoCollectives {
 		if err := e.Platform.ValidateTopology(); err != nil {

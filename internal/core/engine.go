@@ -34,6 +34,15 @@ type rankState struct {
 	d    *Decomposition
 	band Band
 
+	// aGlob and bGlob are the globally-readable system (paper
+	// Initialization); the adaptive resplit transition re-extracts the new
+	// band from them. gen counts the resplit transitions this rank has
+	// applied — the persistent Session uses it to notice that its frozen
+	// value-refresh maps went stale.
+	aGlob *sparse.CSR
+	bGlob []float64
+	gen   int
+
 	sub     *sparse.CSR
 	depMat  *sparse.CSR
 	depCols []int
@@ -100,7 +109,8 @@ type rankState struct {
 func newRankState(c *mp.Comm, ctx *simctx.Ctx, a *sparse.CSR, bGlob []float64, d *Decomposition, cp *plan.Plan, o Options) (*rankState, float64, error) {
 	rank := c.Rank()
 	band := d.Bands[rank]
-	st := &rankState{c: c, ctx: ctx, o: o, rank: rank, d: d, band: band, cp: cp}
+	st := &rankState{c: c, ctx: ctx, o: o, rank: rank, d: d, band: band, cp: cp,
+		aGlob: a, bGlob: bGlob}
 	st.rp = &cp.Ranks[rank]
 
 	// --- Initialization: load and factor the band.
@@ -392,7 +402,6 @@ func msRank(c *mp.Comm, a *sparse.CSR, bGlob []float64, d *Decomposition, cp *pl
 // persistent Session, which rebuilds only the numeric state between calls.
 func msRankRun(st *rankState, pend *Pending, factTime float64) error {
 	c, o := st.c, st.o
-	d := st.d
 
 	var det detect.Detector
 	var err error
@@ -404,6 +413,7 @@ func msRankRun(st *rankState, pend *Pending, factTime float64) error {
 	}
 	policy := newExchangePolicy(o, det)
 	stop := newStopper(o)
+	ad := newAdaptRank(st)
 
 	converged := false
 	aborted := false
@@ -432,6 +442,14 @@ func msRankRun(st *rankState, pend *Pending, factTime float64) error {
 			aborted = true
 			break
 		}
+		// The adaptive epoch runs between iterations, after the convergence
+		// decision, so a resplit never races the exchange: every rank reaches
+		// it in lockstep and the next iteration runs whole on the new bands.
+		if ad != nil && ad.due(st.iter) {
+			if err := ad.epoch(st, pend); err != nil {
+				return err
+			}
+		}
 	}
 	if !converged && !aborted && o.Async {
 		// Hit the cap: tell everyone to stop so the run terminates.
@@ -444,7 +462,10 @@ func msRankRun(st *rankState, pend *Pending, factTime float64) error {
 		}
 	}
 
-	// Assemble the solution from the owned segments at rank 0.
+	// Assemble the solution from the owned segments at rank 0. Read the
+	// decomposition through st: a resplit replaced it mid-run, and all ranks
+	// hold the same final bands.
+	d := st.d
 	band := st.band
 	owned := st.xSub[band.Start-band.Lo : band.End-band.Lo]
 	if st.rank != 0 {
@@ -472,6 +493,9 @@ func msRankRun(st *rankState, pend *Pending, factTime float64) error {
 		pend.res.TwoStageFallbacks += st.ts.fallbacks
 	}
 	pend.res.FactorFlops += st.factFlops
+	if ad != nil {
+		pend.res.ResplitFlops += ad.flops
+	}
 	pend.finishRank(c, st.ctx, st.iter, factTime, converged)
 	return nil
 }

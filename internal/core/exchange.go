@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/adapt"
 	"repro/internal/detect"
 	"repro/internal/mp"
 	"repro/internal/obs"
@@ -32,7 +33,7 @@ func newExchangePolicy(o Options, det detect.Detector) exchangePolicy {
 	case !o.Async:
 		return syncPolicy{}
 	case o.MaxStale > 0:
-		return &boundedStalePolicy{asyncPolicy{det: det}, o.MaxStale}
+		return &boundedStalePolicy{asyncPolicy: asyncPolicy{det: det}, maxStale: o.MaxStale}
 	default:
 		return &asyncPolicy{det: det}
 	}
@@ -220,21 +221,85 @@ func (ap *asyncPolicy) finish(st *rankState, stop stopper) (outcome, error) {
 // boundedStalePolicy is asyncPolicy with a partial-synchronism guarantee: if
 // any contributor has produced no fresh data for MaxStale consecutive
 // iterations, the rank polls (virtual-time sleeps) until an update arrives,
-// bounding how far ranks can drift apart.
+// bounding how far ranks can drift apart. With Options.Adapt the single
+// configured bound becomes a live per-group bound, tuned every AdaptInterval
+// iterations by link class (adapt.TuneStale): a WAN contributor that keeps
+// forcing waits earns more slack, a contributor that always delivers
+// tightens back toward the base. The tuning reads only this rank's
+// deterministic staleness counters, so no extra messages are needed and the
+// virtual schedule stays byte-identical for any worker or lane count.
 type boundedStalePolicy struct {
 	asyncPolicy
 	maxStale int
+	// Adaptive per-group state (nil without Options.Adapt): the live bounds,
+	// the forced-wait and fresh-delivery counters of the current tuning
+	// window, and the link class per group.
+	bounds []int
+	forced []int
+	fresh  []int
+	inter  []bool
 }
 
 func (bp *boundedStalePolicy) exchange(st *rankState, stop stopper) (outcome, error) {
 	if err := bp.drain(st); err != nil {
 		return 0, err
 	}
+	if st.o.Adapt {
+		bp.tuneBounds(st)
+	}
 	out, err := bp.waitForStale(st)
 	if err != nil || out != outContinue {
 		return out, err
 	}
 	return bp.finish(st, stop)
+}
+
+// bound returns the staleness limit for one receive group: the live tuned
+// bound when adaptive, the configured MaxStale otherwise.
+func (bp *boundedStalePolicy) bound(gi int) int {
+	if bp.bounds != nil {
+		return bp.bounds[gi]
+	}
+	return bp.maxStale
+}
+
+// tuneBounds accumulates this iteration's per-group evidence and, at every
+// AdaptInterval boundary, retunes the live bounds through adapt.TuneStale.
+func (bp *boundedStalePolicy) tuneBounds(st *rankState) {
+	if bp.bounds == nil {
+		ng := len(st.rp.Recv)
+		bp.bounds = make([]int, ng)
+		bp.forced = make([]int, ng)
+		bp.fresh = make([]int, ng)
+		bp.inter = make([]bool, ng)
+		clusters := rankClusters(st.c)
+		for gi := range st.rp.Recv {
+			bp.bounds[gi] = bp.maxStale
+			if clusters != nil {
+				bp.inter[gi] = clusters[st.rp.Recv[gi].Peer] != clusters[st.rank]
+			}
+		}
+	}
+	for gi := range st.rp.Recv {
+		if st.staleCount[gi] == 0 {
+			bp.fresh[gi]++
+		}
+	}
+	if st.iter%st.o.AdaptInterval != 0 {
+		return
+	}
+	for gi := range bp.bounds {
+		nb := adapt.TuneStale(bp.bounds[gi], bp.maxStale, bp.forced[gi], bp.fresh[gi], bp.inter[gi])
+		if nb != bp.bounds[gi] {
+			st.ctx.Tracef("rank %d iter %d: staleness bound for rank %d contributor: %d -> %d",
+				st.rank, st.iter, st.rp.Recv[gi].Peer, bp.bounds[gi], nb)
+			if sc := st.ctx.Observe(); sc != nil {
+				sc.Count("stale_retune", 1)
+			}
+			bp.bounds[gi] = nb
+		}
+		bp.forced[gi], bp.fresh[gi] = 0, 0
+	}
 }
 
 // waitForStale blocks (in virtual time) on every over-stale contributor.
@@ -251,7 +316,11 @@ func (bp *boundedStalePolicy) waitForStale(st *rankState) (outcome, error) {
 	for gi := range st.rp.Recv {
 		g := &st.rp.Recv[gi]
 		waited := 0.0
-		for st.staleCount[gi] > bp.maxStale {
+		limit := bp.bound(gi)
+		if bp.forced != nil && st.staleCount[gi] > limit {
+			bp.forced[gi]++
+		}
+		for st.staleCount[gi] > limit {
 			// Keep the gateway pumped inside the poll loop: an aggregator
 			// must go on forwarding while it waits, and a plain rank's fresh
 			// data can only arrive through its inbox.

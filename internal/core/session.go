@@ -366,11 +366,15 @@ type Session struct {
 }
 
 // sessionRank is the state of one rank that survives across Resolves,
-// together with the frozen maps refreshing its extracted values.
+// together with the frozen maps refreshing its extracted values. gen mirrors
+// the rank state's resplit generation: when an adaptive Resolve resplit the
+// decomposition mid-run, the maps were built for a band that no longer
+// exists and must be re-derived before the next refresh.
 type sessionRank struct {
 	st     *rankState
 	subMap []int
 	depMap []int
+	gen    int
 }
 
 // NewSession prepares a persistent distributed session for the pattern of a.
@@ -520,6 +524,16 @@ func (s *Session) refreshRank(sr *sessionRank, c *mp.Comm, ctx *simctx.Ctx, bGlo
 	st := sr.st
 	st.c, st.ctx = c, ctx
 	band := st.band
+
+	// A resplit during the previous Resolve moved the band: re-derive the
+	// frozen value-refresh maps for the current range. The factorization
+	// already matches the new band (the transition factored it), so the
+	// ordinary refactor path below stays valid.
+	if sr.gen != st.gen {
+		sr.subMap = s.a.SubmatrixMap(band.Lo, band.Hi, band.Lo, band.Hi)
+		sr.depMap = s.a.SelectColumnsMap(band.Lo, band.Hi, st.depCols)
+		sr.gen = st.gen
+	}
 
 	// Reset the iteration state: a Resolve is a new solve from a zero guess,
 	// identical to what a fresh rank would run.

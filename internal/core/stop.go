@@ -35,7 +35,9 @@ type residualStopper struct {
 }
 
 func (r *residualStopper) crit(st *rankState) float64 {
-	if r.rtmp == nil {
+	// Length check rather than nil check: a resplit changes the band size
+	// mid-run and the scratch must follow.
+	if len(r.rtmp) != len(st.bSub) {
 		r.rtmp = make([]float64, len(st.bSub))
 	}
 	cnt := st.ctx.Counter

@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// TestAdaptiveShape pins the adaptive experiment's acceptance claims: the
+// controller stays quiet on the clean grid, fires under the windowed host
+// degradation, and the adaptive leg beats the static balanced split by at
+// least 15% of the degraded makespan. Scale 16 (not the suite-wide 32): the
+// resplit's refactorization is a fixed cost, so the win needs a run long
+// enough to amortize it — exactly the regime the experiment documents.
+func TestAdaptiveShape(t *testing.T) {
+	tab, err := Adaptive(Config{Scale: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// clean adaptive: converges, zero resplits — the speed-balanced split is
+	// a fixed point of the controller on a healthy grid.
+	r := tab.Rows[1]
+	if r[0] != "clean" || r[1] != "adaptive" {
+		t.Fatalf("row 1 is %q/%q, want clean/adaptive", r[0], r[1])
+	}
+	parse(t, r[2])
+	if n := parse(t, r[4]); n != 0 {
+		t.Fatalf("clean adaptive run resplit %v times, want 0", n)
+	}
+	// degraded adaptive: at least one resplit, accounted transition cost.
+	ra := tab.Rows[3]
+	if ra[0] != "degraded" || ra[1] != "adaptive" {
+		t.Fatalf("row 3 is %q/%q, want degraded/adaptive", ra[0], ra[1])
+	}
+	if n := parse(t, ra[4]); n < 1 {
+		t.Fatalf("degraded adaptive run resplit %v times, want >= 1", n)
+	}
+	if f := parse(t, ra[6]); f <= 0 {
+		t.Fatalf("transition flops %v, want > 0", f)
+	}
+	// The acceptance bar: adaptive beats static by >= 15% makespan under the
+	// windowed degradation.
+	static := parse(t, tab.Rows[2][2])
+	adaptive := parse(t, ra[2])
+	if adaptive > 0.85*static {
+		t.Fatalf("adaptive %v not >=15%% better than static %v", adaptive, static)
+	}
+}

@@ -84,7 +84,7 @@ func solveWithLanes(t *testing.T, lanes int) (*core.Result, int) {
 // lane per cluster.
 func TestSolverIteratesIdenticalAcrossLanes(t *testing.T) {
 	ref, refLanes := solveWithLanes(t, 0) // Config zero value: single lane
-	sh, shLanes := solveWithLanes(t, -1) // auto: one lane per cluster
+	sh, shLanes := solveWithLanes(t, -1)  // auto: one lane per cluster
 	if refLanes != 1 || shLanes != 3 {
 		t.Errorf("lane counts %d and %d, want 1 and one per cluster (3)", refLanes, shLanes)
 	}

@@ -78,6 +78,17 @@ type Config struct {
 	// TwoStagePrecondBand overrides the preconditioner half-bandwidth (0
 	// keeps the core default of 16).
 	TwoStagePrecondBand int
+	// Adapt enables the live decomposition (online band resplits,
+	// internal/adapt) in every synchronous multisplitting run of the paper
+	// tables; the adaptive experiment always runs its adaptive leg.
+	// Asynchronous runs ignore it — resplits need lockstep.
+	Adapt bool
+	// AdaptInterval overrides the iterations between controller epochs (0
+	// keeps the per-experiment default).
+	AdaptInterval int
+	// AdaptHysteresis overrides the minimal relative band-size change an
+	// accepted resplit must reach (0 keeps the per-experiment default).
+	AdaptHysteresis float64
 }
 
 func (c Config) scale() int {
@@ -314,14 +325,20 @@ type msOpts struct {
 
 func runMS(cfg Config, plt *cluster.Platform, a *sparse.CSR, b []float64, o msOpts) (cell, *core.Result) {
 	e := cfg.newEngine(plt)
-	pend, err := core.Launch(e, plt.Hosts, a, b, core.Options{
+	co := core.Options{
 		Async:           o.async,
 		Overlap:         o.overlap,
 		TrackMemory:     o.track,
 		TopoCollectives: o.topo,
 		Gateway:         o.gateway,
 		TwoStage:        o.ts,
-	})
+	}
+	if cfg.Adapt && !o.async && o.ts.InnerIters == 0 {
+		co.Adapt = true
+		co.AdaptInterval = cfg.AdaptInterval
+		co.AdaptHysteresis = cfg.AdaptHysteresis
+	}
+	pend, err := core.Launch(e, plt.Hosts, a, b, co)
 	if err != nil {
 		return cell{note: "err"}, nil
 	}
@@ -331,6 +348,7 @@ func runMS(cfg Config, plt *cluster.Platform, a *sparse.CSR, b []float64, o msOp
 	_, err = e.Run()
 	pend.Finish()
 	res := pend.Result()
+	logResplits(cfg, res)
 	switch {
 	case errors.Is(err, vgrid.ErrOutOfMemory):
 		return cell{note: "nem"}, res

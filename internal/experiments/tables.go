@@ -283,6 +283,8 @@ func ByName(name string) (func(Config) (*Table, error), error) {
 		return EventShard, nil
 	case "twostage", "two-stage":
 		return TwoStageTable, nil
+	case "adaptive", "adapt":
+		return Adaptive, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
 	}
@@ -309,5 +311,6 @@ func All() []struct {
 		{"clustergrid", ClusterGrid},
 		{"eventshard", EventShard},
 		{"twostage", TwoStageTable},
+		{"adaptive", Adaptive},
 	}
 }

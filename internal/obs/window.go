@@ -473,6 +473,26 @@ func (wm *WindowedMetrics) WriteCSV(w io.Writer) error {
 func (wm *WindowedMetrics) Fprint(w io.Writer, maxRows int) {
 	fmt.Fprintf(w, "windowed telemetry: width %gs, %d windows, makespan %.6fs\n",
 		wm.Width, wm.Windows, wm.Makespan)
+	// An adaptive run marks every applied resplit with a "resplit" sample
+	// (value = the transition's max band delta); which windows the
+	// controller acted in is exactly what a summary should localize, so the
+	// markers get their own row ahead of the window table.
+	var marks []string
+	for i := range wm.Series {
+		s := &wm.Series[i]
+		if s.Series != "resplit" {
+			continue
+		}
+		m := fmt.Sprintf("w%d", s.W)
+		if s.Count > 1 {
+			m += fmt.Sprintf(" ×%g", s.Count)
+		}
+		m += fmt.Sprintf(" (max band delta %g)", s.Max)
+		marks = append(marks, m)
+	}
+	if len(marks) > 0 {
+		fmt.Fprintf(w, "  resplit markers: %s\n", strings.Join(marks, ", "))
+	}
 	type agg struct {
 		util, wait  float64
 		hosts       int

@@ -28,6 +28,24 @@ type HostOutage struct {
 	Until float64
 }
 
+// HostSlowdown is a compute-degradation window for one host: during
+// [From, Until) every flop charged on the host takes Factor times its
+// nominal time (Factor 8 ≈ a thermally throttled or oversubscribed CPU
+// running 8× slower). Unlike an outage the host stays up — it keeps sending,
+// receiving and computing, just more slowly — which is exactly the
+// heterogeneity drift the adaptive rebalancer (internal/adapt) exists to
+// absorb. Overlapping windows compose multiplicatively.
+type HostSlowdown struct {
+	// Host names the affected host (Platform.AddHost name).
+	Host string
+	// From and Until bound the slowdown window in virtual seconds; an
+	// infinite Until degrades the host for the rest of the run.
+	From, Until float64
+	// Factor multiplies the time any compute work takes (> 1 slows the
+	// host down; values in (0, 1) would speed it up and are rejected).
+	Factor float64
+}
+
 // LinkFault degrades one link during [From, Until): latency is multiplied by
 // LatencyFactor, bandwidth by BandwidthFactor, and each message crossing the
 // link is independently lost with probability Drop. A factor of 1 (or 0,
@@ -57,6 +75,8 @@ type FaultPlan struct {
 	Seed int64
 	// Outages lists host crash/restart windows.
 	Outages []HostOutage
+	// Slowdowns lists host compute-degradation windows.
+	Slowdowns []HostSlowdown
 	// Links lists link degradation/loss windows.
 	Links []LinkFault
 }
@@ -71,6 +91,14 @@ func NewFaultPlan(seed int64) *FaultPlan {
 // plan for chaining.
 func (fp *FaultPlan) CrashHost(host string, from, until float64) *FaultPlan {
 	fp.Outages = append(fp.Outages, HostOutage{Host: host, From: from, Until: until})
+	return fp
+}
+
+// DegradeHost makes every flop charged on the named host take factor times
+// its nominal time during [from, until) (pass math.Inf(1) to degrade it for
+// the rest of the run). It returns the plan for chaining.
+func (fp *FaultPlan) DegradeHost(host string, from, until, factor float64) *FaultPlan {
+	fp.Slowdowns = append(fp.Slowdowns, HostSlowdown{Host: host, From: from, Until: until, Factor: factor})
 	return fp
 }
 
@@ -110,13 +138,14 @@ func (e *Engine) SetFaultPlan(fp *FaultPlan) {
 type faultEvent struct {
 	time float64
 	host string
-	kind string // "crash" or "restart"
+	kind string // "crash", "restart", "degrade" or "recover"
 }
 
 // faultState is a fault plan resolved against a concrete platform.
 type faultState struct {
 	plan    *FaultPlan
-	outages map[*Host][]HostOutage // merged, sorted by From
+	outages map[*Host][]HostOutage   // merged, sorted by From
+	slow    map[*Host][]HostSlowdown // sorted by From, may overlap
 	links   map[*Link][]LinkFault
 	events  []faultEvent
 	emitted int
@@ -168,6 +197,30 @@ func (fs *faultState) resolve(pl *Platform) error {
 			}
 		}
 	}
+
+	fs.slow = map[*Host][]HostSlowdown{}
+	for _, s := range fs.plan.Slowdowns {
+		h := hostByName[s.Host]
+		if h == nil {
+			return fmt.Errorf("vgrid: fault plan references unknown host %q", s.Host)
+		}
+		if !(s.From < s.Until) {
+			return fmt.Errorf("vgrid: host %s slowdown window [%g, %g) is empty", s.Host, s.From, s.Until)
+		}
+		if !(s.Factor >= 1) {
+			return fmt.Errorf("vgrid: host %s slowdown factor %g must be ≥ 1", s.Host, s.Factor)
+		}
+		fs.slow[h] = append(fs.slow[h], s)
+		fs.events = append(fs.events, faultEvent{time: s.From, host: h.Name, kind: "degrade"})
+		if !math.IsInf(s.Until, 1) {
+			fs.events = append(fs.events, faultEvent{time: s.Until, host: h.Name, kind: "recover"})
+		}
+	}
+	for h := range fs.slow {
+		ws := fs.slow[h]
+		sort.Slice(ws, func(i, j int) bool { return ws[i].From < ws[j].From })
+	}
+
 	sort.Slice(fs.events, func(i, j int) bool {
 		a, b := fs.events[i], fs.events[j]
 		if a.time != b.time {
@@ -249,23 +302,84 @@ func (fs *faultState) wake(h *Host, t float64) float64 {
 
 // busyEnd returns the completion time of dt seconds of work started at t on
 // the host, pausing across outage windows (the warm-restart model: work in
-// flight freezes with the host and resumes where it left off).
+// flight freezes with the host and resumes where it left off) and stretching
+// across slowdown windows (each second of work takes Factor clock seconds,
+// factors of overlapping windows composing multiplicatively).
 func (fs *faultState) busyEnd(h *Host, t, dt float64) float64 {
+	if len(fs.slow[h]) == 0 {
+		// Outage-only fast path: skip the boundary walk.
+		rem := dt
+		cur := t
+		for _, w := range fs.outages[h] {
+			if w.Until <= cur {
+				continue
+			}
+			if up := w.From - cur; up > 0 {
+				if rem <= up {
+					return cur + rem
+				}
+				rem -= up
+			}
+			cur = w.Until
+		}
+		return cur + rem
+	}
 	rem := dt
 	cur := t
-	for _, w := range fs.outages[h] {
-		if w.Until <= cur {
+	for rem > 0 {
+		// Inside an outage the host is frozen: jump to the restart instant
+		// (+Inf for a permanent crash, which also ends the walk below).
+		if up := fs.wake(h, cur); up > cur {
+			cur = up
 			continue
 		}
-		if up := w.From - cur; up > 0 {
-			if rem <= up {
-				return cur + rem
-			}
-			rem -= up
+		f := fs.slowFactor(h, cur)
+		nb := fs.nextBoundary(h, cur)
+		if math.IsInf(nb, 1) {
+			return cur + rem*f
 		}
-		cur = w.Until
+		if capacity := (nb - cur) / f; rem <= capacity {
+			return cur + rem*f
+		} else {
+			rem -= capacity
+		}
+		cur = nb
 	}
-	return cur + rem
+	return cur
+}
+
+// slowFactor is the product of the factors of every slowdown window active on
+// the host at time t (1 when none is).
+func (fs *faultState) slowFactor(h *Host, t float64) float64 {
+	f := 1.0
+	for _, s := range fs.slow[h] {
+		if t >= s.From && t < s.Until {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
+// nextBoundary returns the earliest outage or slowdown window edge strictly
+// after t on the host (+Inf when none remains). Between consecutive
+// boundaries the host's effective compute rate is constant, which is what
+// lets busyEnd walk segment by segment.
+func (fs *faultState) nextBoundary(h *Host, t float64) float64 {
+	nb := math.Inf(1)
+	edge := func(x float64) {
+		if x > t && x < nb {
+			nb = x
+		}
+	}
+	for _, w := range fs.outages[h] {
+		edge(w.From)
+		edge(w.Until)
+	}
+	for _, s := range fs.slow[h] {
+		edge(s.From)
+		edge(s.Until)
+	}
+	return nb
 }
 
 // linkFactors returns the combined latency and bandwidth multipliers for a

@@ -81,7 +81,8 @@ func fullFaultPlan() *FaultPlan {
 	return NewFaultPlan(42).
 		DropOnLink("wan", 0, math.Inf(1), 0.2).
 		DegradeLink("wan", 0.3, 0.8, 10, 0.1).
-		CrashHost("s1-b", 0.5, 0.9)
+		CrashHost("s1-b", 0.5, 0.9).
+		DegradeHost("s2-d", 0.2, 1.1, 3)
 }
 
 // TestFaultPlanDeterministicAcrossWorkers extends the scheduler determinism
@@ -107,6 +108,9 @@ func TestFaultPlanDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if !strings.Contains(tr1, "s1-b crash") || !strings.Contains(tr1, "s1-b restart") {
 		t.Fatalf("crash/restart events missing from trace:\n%s", tr1)
+	}
+	if !strings.Contains(tr1, "s2-d degrade") || !strings.Contains(tr1, "s2-d recover") {
+		t.Fatalf("degrade/recover events missing from trace:\n%s", tr1)
 	}
 }
 
@@ -195,6 +199,98 @@ func TestHostOutagePausesWork(t *testing.T) {
 	}
 	if math.Abs(end-1.5) > 1e-12 {
 		t.Fatalf("end = %v, want 1.5 (1 s work + 0.5 s outage)", end)
+	}
+}
+
+// TestHostSlowdownStretchesWork: a factor-2 window over part of a compute
+// segment stretches only the covered portion, BusyTime records the stretched
+// clock time while ComputeTime stays nominal.
+func TestHostSlowdownStretchesWork(t *testing.T) {
+	pl := NewPlatform()
+	h := pl.AddHost("h", 1e9, 0)
+	e := NewEngine(pl)
+	// 1 s of nominal work; [0.3, 0.8) runs 2× slower: 0.3 s done before the
+	// window, 0.25 s of work inside it (0.5 s of clock), 0.45 s after.
+	e.SetFaultPlan(NewFaultPlan(1).DegradeHost("h", 0.3, 0.8, 2))
+	p := e.Spawn(h, "p", func(p *Proc) error {
+		p.Compute(1e9)
+		return nil
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-1.25) > 1e-12 {
+		t.Fatalf("end = %v, want 1.25 (1 s work, 0.5 s window at 2×)", end)
+	}
+	if math.Abs(p.ComputeTime-1.0) > 1e-12 {
+		t.Fatalf("ComputeTime = %v, want nominal 1.0", p.ComputeTime)
+	}
+	if math.Abs(p.BusyTime-1.25) > 1e-12 {
+		t.Fatalf("BusyTime = %v, want stretched 1.25", p.BusyTime)
+	}
+}
+
+// TestHostSlowdownComposesWithOutage: a permanent slowdown and an outage
+// window on the same host compose — work stretches outside the outage and
+// freezes inside it.
+func TestHostSlowdownComposesWithOutage(t *testing.T) {
+	pl := NewPlatform()
+	h := pl.AddHost("h", 1e9, 0)
+	e := NewEngine(pl)
+	// 0.2 s of nominal work at 4× slower, frozen during [0.5, 1.0):
+	// 0.125 s of work done by t=0.5, outage to 1.0, remaining 0.075 s of work
+	// takes 0.3 s → end 1.3.
+	e.SetFaultPlan(NewFaultPlan(1).
+		DegradeHost("h", 0, math.Inf(1), 4).
+		CrashHost("h", 0.5, 1.0))
+	p := e.Spawn(h, "p", func(p *Proc) error {
+		p.Compute(2e8)
+		return nil
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-1.3) > 1e-12 {
+		t.Fatalf("end = %v, want 1.3 (stretched work frozen across the outage)", end)
+	}
+	if math.Abs(p.BusyTime-1.3) > 1e-12 {
+		t.Fatalf("BusyTime = %v, want 1.3", p.BusyTime)
+	}
+}
+
+// TestHostSlowdownOverlapMultiplies: two concurrent windows compose
+// multiplicatively (2× and 3× → 6×).
+func TestHostSlowdownOverlapMultiplies(t *testing.T) {
+	pl := NewPlatform()
+	h := pl.AddHost("h", 1e9, 0)
+	e := NewEngine(pl)
+	e.SetFaultPlan(NewFaultPlan(1).
+		DegradeHost("h", 0, 1, 2).
+		DegradeHost("h", 0, 1, 3))
+	e.Spawn(h, "p", func(p *Proc) error {
+		p.Compute(1e8) // 0.1 s nominal → 0.6 s at 6×
+		return nil
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-0.6) > 1e-12 {
+		t.Fatalf("end = %v, want 0.6 (0.1 s work at 6×)", end)
+	}
+}
+
+// TestHostSlowdownRejectsSpeedup: factors below one (a speedup) fail at Run.
+func TestHostSlowdownRejectsSpeedup(t *testing.T) {
+	pl := NewPlatform()
+	a := pl.AddHost("a", 1e9, 0)
+	e := NewEngine(pl)
+	e.SetFaultPlan(NewFaultPlan(1).DegradeHost("a", 0, 1, 0.5))
+	e.Spawn(a, "p", func(p *Proc) error { return nil })
+	if _, err := e.Run(); err == nil || !strings.Contains(err.Error(), "factor") {
+		t.Fatalf("want factor validation error, got %v", err)
 	}
 }
 

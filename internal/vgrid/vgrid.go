@@ -375,6 +375,11 @@ type Proc struct {
 	InterMsgs int64
 	// ComputeTime accumulates the virtual time spent in compute segments.
 	ComputeTime float64
+	// BusyTime accumulates the clock time compute segments occupied,
+	// including fault-plan stalls: under a host outage or slowdown window it
+	// grows faster than ComputeTime. The gap between the two is the
+	// degradation signal the adaptive controller rebalances on.
+	BusyTime float64
 	// BlockedTime accumulates the virtual time spent blocked in Recv.
 	BlockedTime   float64
 	lastBlockedAt float64
@@ -824,6 +829,7 @@ func (p *Proc) chargeFlops(flops float64) {
 		p.clock += dt
 	}
 	p.ComputeTime += dt
+	p.BusyTime += p.clock - start
 	p.FlopsDone += flops
 	// Serialized emission point: either the process goroutine is the unique
 	// runner in its lane, or the lane scheduler is collecting a deferred
@@ -1280,6 +1286,10 @@ type Stats struct {
 	Flops float64
 	// ComputeTime is the virtual time spent in compute segments.
 	ComputeTime float64
+	// BusyTime is the clock time compute segments occupied including
+	// fault-plan stalls (outage freezes, slowdown stretching); equal to
+	// ComputeTime on a healthy host.
+	BusyTime float64
 	// BlockedTime is the virtual time spent blocked in Recv.
 	BlockedTime float64
 	// BytesSent is the total simulated bytes sent.
@@ -1305,6 +1315,7 @@ func (e *Engine) Stats() []Stats {
 			Clock:       p.clock,
 			Flops:       p.FlopsDone,
 			ComputeTime: p.ComputeTime,
+			BusyTime:    p.BusyTime,
 			BlockedTime: p.BlockedTime,
 			BytesSent:   p.BytesSent,
 			MsgsSent:    p.MsgsSent,
